@@ -1,0 +1,37 @@
+//! Benchmark: constructing and measuring the basic line/ring embeddings
+//! (Theorems 13/17/24/28) across host shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::{mesh, torus};
+use embeddings::basic::{embed_line_in, embed_ring_in};
+use topology::Grid;
+
+fn bench_basic_dilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("basic_dilation");
+    let hosts: Vec<(&str, Grid)> = vec![
+        ("(4,2,3)-mesh", mesh(&[4, 2, 3])),
+        ("(32,32)-mesh", mesh(&[32, 32])),
+        ("(32,32)-torus", torus(&[32, 32])),
+        ("(16,16,16)-torus", torus(&[16, 16, 16])),
+    ];
+    for (label, host) in hosts {
+        group.throughput(Throughput::Elements(host.size()));
+        group.bench_with_input(BenchmarkId::new("line", label), &host, |b, host| {
+            b.iter(|| embed_line_in(host).unwrap().dilation())
+        });
+        group.bench_with_input(BenchmarkId::new("ring", label), &host, |b, host| {
+            b.iter(|| embed_ring_in(host).unwrap().dilation())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_basic_dilation
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmark: evaluating the basic sequences f_L, g_L, h_L over every node
+//! (Figure 9 at paper scale and at larger scales).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::shape;
+use embeddings::basic::{f_l, g_l, h_l};
+
+fn bench_basic_sequences(c: &mut Criterion) {
+    let mut group = c.benchmark_group("basic_sequences");
+    let cases: Vec<(&str, Vec<u32>)> = vec![
+        ("fig9_(4,2,3)", vec![4, 2, 3]),
+        ("(16,16,16)", vec![16, 16, 16]),
+        ("(64,64,8)", vec![64, 64, 8]),
+    ];
+    for (label, radices) in cases {
+        let base = shape(&radices);
+        let n = base.size();
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("f_L", label), &base, |b, base| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for x in 0..n {
+                    acc = acc.wrapping_add(f_l(base, x).get(0) as u64);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("g_L", label), &base, |b, base| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for x in 0..n {
+                    acc = acc.wrapping_add(g_l(base, x).get(0) as u64);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("h_L", label), &base, |b, base| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for x in 0..n {
+                    acc = acc.wrapping_add(h_l(base, x).get(0) as u64);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_basic_sequences
+}
+criterion_main!(benches);

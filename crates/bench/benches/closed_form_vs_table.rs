@@ -1,0 +1,79 @@
+//! Ablation benchmark for the "linear-index-first API" design decision:
+//! measuring dilation by evaluating the closed-form embedding function per
+//! node (`O(dim H)` each, no memory) versus materializing the full
+//! guest-to-host table once and looking images up.
+//!
+//! The closed-form path is what the library does by default; the table path
+//! trades memory for lookup speed. This benchmark quantifies the trade on
+//! unit-dilation ring embeddings and on a lowering-dimension case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::mesh;
+use embeddings::auto::embed;
+use embeddings::basic::embed_ring_in;
+use embeddings::Embedding;
+use topology::Grid;
+
+/// Dilation computed through the materialized table.
+fn dilation_via_table(embedding: &Embedding) -> u64 {
+    let table = embedding.to_table().unwrap();
+    let host = embedding.host();
+    embedding
+        .guest()
+        .edges()
+        .map(|(a, b)| {
+            let fa = host.coord(table[a as usize]).unwrap();
+            let fb = host.coord(table[b as usize]).unwrap();
+            host.distance(&fa, &fb)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn bench_closed_form_vs_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form_vs_table");
+
+    let cases: Vec<(String, Embedding)> = vec![
+        (
+            "ring_in_32x32_mesh".to_string(),
+            embed_ring_in(&mesh(&[32, 32])).unwrap(),
+        ),
+        (
+            "ring_in_16x16x16_mesh".to_string(),
+            embed_ring_in(&mesh(&[16, 16, 16])).unwrap(),
+        ),
+        (
+            "mesh16x16_to_line".to_string(),
+            embed(&mesh(&[16, 16]), &Grid::line(256).unwrap()).unwrap(),
+        ),
+        (
+            "hypercube12_to_64x64_mesh".to_string(),
+            embed(&Grid::hypercube(12).unwrap(), &mesh(&[64, 64])).unwrap(),
+        ),
+    ];
+
+    for (label, embedding) in &cases {
+        group.throughput(Throughput::Elements(embedding.guest().num_edges()));
+        group.bench_function(BenchmarkId::new("closed_form", label), |b| {
+            b.iter(|| embedding.dilation())
+        });
+        group.bench_function(BenchmarkId::new("closed_form_parallel", label), |b| {
+            b.iter(|| embedding.dilation_parallel(0))
+        });
+        group.bench_function(BenchmarkId::new("materialized_table", label), |b| {
+            b.iter(|| dilation_via_table(embedding))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_closed_form_vs_table
+}
+criterion_main!(benches);

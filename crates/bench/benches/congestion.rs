@@ -1,0 +1,50 @@
+//! Benchmark: edge-congestion measurement under dimension-ordered routing
+//! for embeddings of increasing size and for the lowering-dimension cases
+//! where congestion grows with the reduction factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::mesh;
+use embeddings::auto::embed;
+use embeddings::basic::embed_ring_in;
+use embeddings::congestion::congestion;
+use topology::Grid;
+
+fn bench_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion");
+
+    // Unit-dilation ring embeddings: congestion 1, cost dominated by the
+    // per-edge route walk.
+    for radices in [&[8, 8][..], &[16, 16], &[32, 32], &[16, 16, 16]] {
+        let host = mesh(radices);
+        let embedding = embed_ring_in(&host).unwrap();
+        let label = format!("ring_in_{}", host);
+        group.throughput(Throughput::Elements(host.size()));
+        group.bench_function(BenchmarkId::new("unit_dilation", label), |b| {
+            b.iter(|| congestion(&embedding).unwrap().max_congestion)
+        });
+    }
+
+    // Lowering dimension: collapsing a square mesh onto a line concentrates
+    // load, so the route walks get longer as the guest grows.
+    for ell in [8u32, 16, 24] {
+        let guest = mesh(&[ell, ell]);
+        let host = Grid::line(guest.size()).unwrap();
+        let embedding = embed(&guest, &host).unwrap();
+        group.throughput(Throughput::Elements(guest.num_edges()));
+        group.bench_function(BenchmarkId::new("mesh_to_line", format!("{ell}x{ell}")), |b| {
+            b.iter(|| congestion(&embedding).unwrap().max_congestion)
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_congestion
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmark: the Figure 11 expansion maps F_V / G_V / H_V, from the paper's
+//! 24-node example up to ~64k nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::{mesh, torus};
+use embeddings::expansion::find_expansion_factor;
+use embeddings::increase::{embed_increasing_with, IncreaseFunction};
+use topology::Grid;
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion_functions");
+    let cases: Vec<(&str, Grid, Grid)> = vec![
+        ("fig11_24", torus(&[4, 6]), torus(&[2, 2, 2, 3])),
+        ("4k", torus(&[64, 64]), torus(&[8, 8, 8, 8])),
+        ("65k", torus(&[256, 256]), torus(&[16, 16, 16, 16])),
+    ];
+    for (label, guest, host) in cases {
+        let factor = find_expansion_factor(guest.shape(), host.shape()).unwrap();
+        group.throughput(Throughput::Elements(guest.size()));
+        for (name, func) in [
+            ("F_V", IncreaseFunction::F),
+            ("G_V", IncreaseFunction::G),
+            ("H_V", IncreaseFunction::H),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &factor, |b, factor| {
+                let guest_mesh = mesh(guest.shape().radices());
+                let host_for = if func == IncreaseFunction::F { &guest_mesh } else { &guest };
+                b.iter(|| {
+                    let e = embed_increasing_with(host_for, &host, factor, func).unwrap();
+                    // Evaluate the map over a strided sample of nodes.
+                    let mut acc = 0u64;
+                    let stride = (guest.size() / 1024).max(1);
+                    let mut x = 0;
+                    while x < guest.size() {
+                        acc = acc.wrapping_add(e.map_index(x));
+                        x += stride;
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_expansion
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmark: hypercube cases — grids into hypercubes (Corollary 34) and
+//! hypercubes into grids (Corollaries 40/49).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::{mesh, torus};
+use embeddings::auto::embed;
+use topology::Grid;
+
+fn bench_hypercube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypercube");
+    let into: Vec<(&str, Grid)> = vec![
+        ("(8,8)-mesh", mesh(&[8, 8])),
+        ("(64,64)-torus", torus(&[64, 64])),
+        ("(16,16,16)-mesh", mesh(&[16, 16, 16])),
+    ];
+    for (label, guest) in into {
+        let bits = guest.size().trailing_zeros() as usize;
+        let host = Grid::hypercube(bits).unwrap();
+        group.throughput(Throughput::Elements(guest.size()));
+        group.bench_function(BenchmarkId::new("into_hypercube", label), |b| {
+            b.iter(|| embed(&guest, &host).unwrap().dilation())
+        });
+    }
+    let outof: Vec<(&str, usize, Grid)> = vec![
+        ("2^6 -> (8,8)", 6, mesh(&[8, 8])),
+        ("2^12 -> (64,64)", 12, mesh(&[64, 64])),
+        ("2^12 -> (16,16,16)", 12, torus(&[16, 16, 16])),
+    ];
+    for (label, bits, host) in outof {
+        let guest = Grid::hypercube(bits).unwrap();
+        group.throughput(Throughput::Elements(guest.size()));
+        group.bench_function(BenchmarkId::new("out_of_hypercube", label), |b| {
+            b.iter(|| embed(&guest, &host).unwrap().dilation())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_hypercube
+}
+criterion_main!(benches);

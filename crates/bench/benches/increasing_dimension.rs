@@ -1,0 +1,39 @@
+//! Benchmark: Theorem 32 increasing-dimension embeddings (construction +
+//! full dilation measurement) across guest/host type combinations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::{mesh, torus};
+use embeddings::increase::embed_increasing;
+use topology::Grid;
+
+fn bench_increasing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("increasing_dimension");
+    let cases: Vec<(&str, Grid, Grid)> = vec![
+        ("mesh->mesh 24", mesh(&[4, 6]), mesh(&[2, 2, 2, 3])),
+        ("torus->mesh 24", torus(&[4, 6]), mesh(&[2, 2, 2, 3])),
+        ("mesh->mesh 4k", mesh(&[64, 64]), mesh(&[8, 8, 8, 8])),
+        ("torus->torus 4k", torus(&[64, 64]), torus(&[8, 8, 8, 8])),
+        ("torus->mesh 4k", torus(&[64, 64]), mesh(&[8, 8, 8, 8])),
+        ("odd torus->mesh 11k", torus(&[105, 105]), mesh(&[15, 7, 15, 7])),
+    ];
+    for (label, guest, host) in cases {
+        group.throughput(Throughput::Elements(guest.size()));
+        group.bench_function(BenchmarkId::new("embed+dilation", label), |b| {
+            b.iter(|| {
+                let e = embed_increasing(&guest, &host).unwrap();
+                e.dilation()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_increasing
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmark: Theorem 39 simple reductions and Theorem 43 general reductions
+//! (construction + full dilation measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::{mesh, torus};
+use embeddings::general_reduction::embed_general_reduction;
+use embeddings::reduction::embed_simple_reduction;
+use topology::Grid;
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowering_dimension");
+    let simple: Vec<(&str, Grid, Grid)> = vec![
+        ("(4,2,3)->(4,6)", mesh(&[4, 2, 3]), mesh(&[4, 6])),
+        ("(8,8,8)->(64,8)", mesh(&[8, 8, 8]), mesh(&[64, 8])),
+        ("torus(8,8,8)->mesh(64,8)", torus(&[8, 8, 8]), mesh(&[64, 8])),
+        ("(2^12 hypercube)->(64,64)", Grid::hypercube(12).unwrap(), mesh(&[64, 64])),
+    ];
+    for (label, guest, host) in simple {
+        group.throughput(Throughput::Elements(guest.size()));
+        group.bench_function(BenchmarkId::new("simple_reduction", label), |b| {
+            b.iter(|| embed_simple_reduction(&guest, &host).unwrap().dilation())
+        });
+    }
+    let general: Vec<(&str, Grid, Grid)> = vec![
+        ("(3,3,6)->(6,9)", mesh(&[3, 3, 6]), mesh(&[6, 9])),
+        ("(12,12,24)->(48,72)", mesh(&[12, 12, 24]), mesh(&[48, 72])),
+        ("torus(12,12,24)->mesh(48,72)", torus(&[12, 12, 24]), mesh(&[48, 72])),
+    ];
+    for (label, guest, host) in general {
+        group.throughput(Throughput::Elements(guest.size()));
+        group.bench_function(BenchmarkId::new("general_reduction", label), |b| {
+            b.iter(|| embed_general_reduction(&guest, &host).unwrap().dilation())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_lowering
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmark: routed neighbor-exchange traffic under the paper's placement
+//! versus a naive row-major placement (the netsim extension experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::mesh;
+use embeddings::auto::embed;
+use netsim::{simulate, Network, Placement, Workload};
+use topology::Grid;
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_latency");
+    let cases: Vec<(&str, Grid, Grid)> = vec![
+        ("ring64_on_8x8", Grid::ring(64).unwrap(), mesh(&[8, 8])),
+        ("ring1024_on_32x32", Grid::ring(1024).unwrap(), mesh(&[32, 32])),
+        ("stencil16x16_on_4x4x4x4", mesh(&[16, 16]), mesh(&[4, 4, 4, 4])),
+    ];
+    for (label, guest, host) in cases {
+        let network = Network::new(host.clone());
+        let workload = Workload::from_task_graph(&guest);
+        let paper = Placement::from_embedding(&embed(&guest, &host).unwrap());
+        let naive = Placement::identity(guest.size());
+        group.throughput(Throughput::Elements(workload.messages_per_round() as u64));
+        group.bench_function(BenchmarkId::new("paper_placement", label), |b| {
+            b.iter(|| simulate(&network, &workload, &paper, 1).total_hops)
+        });
+        group.bench_function(BenchmarkId::new("naive_placement", label), |b| {
+            b.iter(|| simulate(&network, &workload, &naive, 1).total_hops)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_netsim
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmark: the Section 5 comparison — our constructions vs. exhaustive
+//! branch-and-bound optima on tiny instances, plus the closed-form optima.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emb_bench::mesh;
+use embeddings::auto::embed;
+use embeddings::exhaustive::optimal_dilation_exhaustive;
+use embeddings::optimal::{optimal_hypercube_in_line, paper_hypercube_in_line};
+use topology::Grid;
+
+fn bench_optimal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_comparison");
+
+    // Construction cost on the instances compared in Section 5.
+    let cases: Vec<(&str, Grid, Grid)> = vec![
+        ("(16,16)-mesh->line", mesh(&[16, 16]), Grid::line(256).unwrap()),
+        ("(8,8,8)-mesh->line", mesh(&[8, 8, 8]), Grid::line(512).unwrap()),
+        ("hypercube 2^10->line", Grid::hypercube(10).unwrap(), Grid::line(1024).unwrap()),
+    ];
+    for (label, guest, host) in cases {
+        group.bench_function(BenchmarkId::new("construction", label), |b| {
+            b.iter(|| embed(&guest, &host).unwrap().dilation())
+        });
+    }
+
+    // The exhaustive search our tests use to certify optimality on tiny cases.
+    let tiny: Vec<(&str, Grid, Grid)> = vec![
+        ("ring(9)->(3,3)-mesh", Grid::ring(9).unwrap(), mesh(&[3, 3])),
+        ("ring(12)->(4,3)-mesh", Grid::ring(12).unwrap(), mesh(&[4, 3])),
+    ];
+    for (label, guest, host) in tiny {
+        group.bench_function(BenchmarkId::new("exhaustive", label), |b| {
+            b.iter(|| optimal_dilation_exhaustive(&guest, &host, Some(16)).unwrap())
+        });
+    }
+
+    // Closed-form evaluation (Harper's sum vs. ours).
+    group.bench_function("harper_formula_d_1..=20", |b| {
+        b.iter(|| {
+            (1..=20u32)
+                .map(|d| (paper_hypercube_in_line(d), optimal_hypercube_in_line(d)))
+                .fold(0u128, |acc, (a, b)| acc + a + b)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_optimal
+}
+criterion_main!(benches);

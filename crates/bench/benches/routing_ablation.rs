@@ -1,0 +1,65 @@
+//! Ablation benchmark: routing disciplines (dimension-ordered, reverse
+//! dimension-ordered, Valiant two-phase) on adversarial permutation traffic,
+//! and the simulator cost of the detailed statistics path versus the
+//! aggregate path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::{mesh, torus};
+use netsim::patterns;
+use netsim::{simulate, simulate_detailed, Network, Placement, RoutingAlgorithm, Workload};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_ablation");
+
+    let cases: Vec<(&str, Network, Workload)> = vec![
+        (
+            "bit_complement_8x8_mesh",
+            Network::new(mesh(&[8, 8])),
+            patterns::bit_complement(6),
+        ),
+        (
+            "transpose_16x16_mesh",
+            Network::new(mesh(&[16, 16])),
+            patterns::transpose(16, 16),
+        ),
+        (
+            "tornado_16x16_torus",
+            Network::new(torus(&[16, 16])),
+            patterns::tornado(256),
+        ),
+    ];
+
+    for (label, network, workload) in &cases {
+        let placement = Placement::identity(network.size());
+        group.throughput(Throughput::Elements(workload.messages_per_round() as u64));
+        for algorithm in [
+            RoutingAlgorithm::DimensionOrdered,
+            RoutingAlgorithm::ReverseDimensionOrdered,
+            RoutingAlgorithm::Valiant { seed: 11 },
+        ] {
+            group.bench_function(BenchmarkId::new(algorithm.name(), *label), |b| {
+                b.iter(|| {
+                    simulate_detailed(network, workload, &placement, algorithm, 1)
+                        .link_loads
+                        .max_load()
+                })
+            });
+        }
+        // Aggregate simulator as the baseline cost.
+        group.bench_function(BenchmarkId::new("aggregate_simulate", *label), |b| {
+            b.iter(|| simulate(network, workload, &placement, 1).cycles)
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmark: sequential vs. crossbeam-parallel dilation verification on
+//! larger graphs — the fork/join sweep the library uses for big instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::{mesh, torus};
+use embeddings::auto::embed;
+use embeddings::verify::{verify, verify_sequential};
+use embeddings::Embedding;
+use topology::Grid;
+
+fn big_embedding() -> Embedding {
+    // (256,256)-torus into a (16,16,16,16)-torus: 65 536 nodes, 262 144 edges.
+    let guest = torus(&[256, 256]);
+    let host = torus(&[16, 16, 16, 16]);
+    embed(&guest, &host).unwrap()
+}
+
+fn medium_embedding() -> Embedding {
+    // Hypercube 2^14 into a (128,128)-mesh.
+    let guest = Grid::hypercube(14).unwrap();
+    let host = mesh(&[128, 128]);
+    embed(&guest, &host).unwrap()
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    for (label, embedding) in [("torus65k", big_embedding()), ("hypercube16k", medium_embedding())] {
+        group.throughput(Throughput::Elements(embedding.guest().num_edges()));
+        group.bench_function(BenchmarkId::new("sequential", label), |b| {
+            b.iter(|| verify_sequential(&embedding).dilation)
+        });
+        for threads in [2usize, 4, 8] {
+            group.bench_function(BenchmarkId::new(format!("parallel_{threads}"), label), |b| {
+                b.iter(|| verify(&embedding, threads).unwrap().dilation)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_verification
+}
+criterion_main!(benches);

@@ -1,0 +1,801 @@
+//! The experiment harness: regenerates every figure-level artifact and
+//! dilation table of the paper.
+//!
+//! ```text
+//! cargo run --release -p emb-bench --bin repro -- <experiment-id> [...]
+//! cargo run --release -p emb-bench --bin repro -- all
+//! cargo run --release -p emb-bench --bin repro -- list
+//! ```
+//!
+//! Experiment ids match the per-experiment index in `DESIGN.md`; the output
+//! is the data recorded in `EXPERIMENTS.md`.
+
+use emb_bench::{check_mark, mesh, shape, torus};
+
+use embeddings::auto::{embed, predicted_dilation};
+use embeddings::basic::{embed_line_in, embed_ring_in, f_l, g_l, h_l};
+use embeddings::exhaustive::optimal_dilation_exhaustive;
+use embeddings::expansion::ExpansionFactor;
+use embeddings::general_reduction::embed_general_reduction;
+use embeddings::increase::{embed_increasing_with, IncreaseFunction};
+use embeddings::lower_bound::{asymptotic_lower_bound, dilation_lower_bound};
+use embeddings::optimal::{
+    epsilon, optimal_cube_mesh_in_line, optimal_hypercube_in_line, optimal_square_mesh_in_line,
+    optimal_square_torus_in_ring, paper_hypercube_in_line,
+};
+use embeddings::verify::verify;
+use mixedradix::sequence::{ExplicitSequence, NaturalSequence, RadixSequence};
+use mixedradix::{Digits, RadixBase};
+use netsim::{simulate, Network, Placement, Workload};
+use topology::hamiltonian::admits_hamiltonian_circuit;
+use topology::{Coord, GraphKind, Grid, Shape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment-id>... | all | list");
+        std::process::exit(2);
+    }
+    let all = experiments();
+    if args.iter().any(|a| a == "list") {
+        for (id, description, _) in &all {
+            println!("{id:<22} {description}");
+        }
+        return;
+    }
+    let run_all = args.iter().any(|a| a == "all");
+    let mut ran = 0;
+    for (id, description, runner) in &all {
+        if run_all || args.iter().any(|a| a == id) {
+            println!("==============================================================");
+            println!("experiment {id}: {description}");
+            println!("==============================================================");
+            runner();
+            println!();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {:?}; try `repro list`", args);
+        std::process::exit(2);
+    }
+}
+
+type Runner = fn();
+
+fn experiments() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        ("fig1-2", "the (4,2,3)-torus and (4,2,3)-mesh of Figures 1-2", fig1_2),
+        ("fig3", "spreads of a function [9] -> Omega_(3,3) (Figure 3)", fig3),
+        ("fig4", "sequences P and P' for L = (4,2,3) (Figure 4)", fig4),
+        ("fig9", "f_L, g_L, h_L tables for n = 24, L = (4,2,3) (Figure 9)", fig9),
+        ("fig10", "line/ring of size 24 in a (4,2,3)-mesh (Figure 10)", fig10),
+        ("fig11", "F_V, G_V, H_V for L = (4,6), M = (2,2,2,3) (Figure 11)", fig11),
+        ("fig12", "(3,3,6)-mesh in a (6,9)-mesh via supernodes (Figure 12)", fig12),
+        ("basic-table", "basic embedding dilation sweep (Theorems 13/17/24/28)", basic_table),
+        ("hamiltonian", "Hamiltonicity corollaries 18/25/29", hamiltonian),
+        ("increasing-table", "increasing-dimension dilation sweep (Theorem 32)", increasing_table),
+        ("hypercube-in", "grids into hypercubes (Corollary 34)", hypercube_in),
+        ("simple-reduction", "simple reduction sweep (Theorem 39, Corollary 40)", simple_reduction),
+        ("general-reduction", "general reduction sweep (Theorem 43)", general_reduction),
+        ("lower-bound", "Theorem 47 lower bound vs. achieved dilation", lower_bound),
+        ("square-lowering", "square lowering-dimension sweep (Theorems 48/51)", square_lowering),
+        ("square-increasing", "square increasing-dimension sweep (Theorems 52/53)", square_increasing),
+        ("optimal-comparison", "Section 5 comparison against known optima", optimal_comparison),
+        ("appendix", "the epsilon_d analysis of Harper's bound (Appendix)", appendix),
+        ("netsim", "routed-traffic effect of dilation (extension)", netsim_experiment),
+        ("collective", "ring allreduce over Hamiltonian circuits (extension)", collective_experiment),
+        ("grid-metrics", "network figures of merit for the example graphs (extension)", grid_metrics_experiment),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+fn fig1_2() {
+    let torus = torus(&[4, 2, 3]);
+    let mesh = mesh(&[4, 2, 3]);
+    for grid in [&torus, &mesh] {
+        println!(
+            "{:<16} nodes = {:>3}  edges = {:>3}  diameter = {}",
+            grid.to_string(),
+            grid.size(),
+            grid.num_edges(),
+            grid.diameter()
+        );
+    }
+    let a = Coord::from_slice(&[0, 0, 1]).unwrap();
+    let b = Coord::from_slice(&[3, 0, 0]).unwrap();
+    println!("paper: distance (0,0,1)-(3,0,0) = 2 in the torus, 4 in the mesh");
+    println!(
+        "measured: {} in the torus, {} in the mesh",
+        torus.distance(&a, &b),
+        mesh.distance(&a, &b)
+    );
+}
+
+fn fig3() {
+    // A bijection [9] -> Omega_(3,3) with the spreads quoted in the text.
+    let base = RadixBase::new(vec![3, 3]).unwrap();
+    let rows: Vec<Digits> = [
+        [0, 0], [0, 1], [0, 2], [2, 2], [2, 1], [2, 0], [1, 0], [1, 1], [1, 2],
+    ]
+    .iter()
+    .map(|r| Digits::from_slice(r).unwrap())
+    .collect();
+    let f = ExplicitSequence::new(base.clone(), rows.clone()).unwrap();
+    println!("{:>3} {:>8} {:>12} {:>12}", "i", "f(i)", "dm(i,i+1)", "dt(i,i+1)");
+    for i in 0..9usize {
+        let a = &rows[i];
+        let b = &rows[(i + 1) % 9];
+        let dm = mixedradix::distance::delta_m(&base, a, b).unwrap();
+        let dt = mixedradix::distance::delta_t(&base, a, b).unwrap();
+        println!("{:>3} {:>8} {:>12} {:>12}", i, a.to_string(), dm, dt);
+    }
+    println!(
+        "acyclic spreads: dm = {} (paper: 2), dt = {} (paper: 1)",
+        f.acyclic_spread_mesh(),
+        f.acyclic_spread_torus()
+    );
+    println!(
+        "cyclic spreads : dm = {} (paper: 3), dt = {} (paper: 2)",
+        f.cyclic_spread_mesh(),
+        f.cyclic_spread_torus()
+    );
+}
+
+fn fig4() {
+    let base = RadixBase::new(vec![4, 2, 3]).unwrap();
+    let natural = NaturalSequence::new(base.clone());
+    println!("{:>3} {:>12} {:>14}", "x", "P(x)", "P'(x)=f_L(x)");
+    for x in 0..24u64 {
+        println!(
+            "{:>3} {:>12} {:>14}",
+            x,
+            base.to_digits(x).unwrap().to_string(),
+            f_l(&base, x).to_string()
+        );
+    }
+    let inner = base.clone();
+    let reflected =
+        mixedradix::sequence::FnSequence::new(base.clone(), 24, move |x| f_l(&inner, x));
+    println!(
+        "dm-spread of P = {} (paper: > 1), dm-spread of P' = {} (paper: 1)",
+        natural.acyclic_spread_mesh(),
+        reflected.acyclic_spread_mesh()
+    );
+}
+
+fn fig9() {
+    let base = RadixBase::new(vec![4, 2, 3]).unwrap();
+    println!("{:>3} {:>12} {:>12} {:>12}", "x", "f_L(x)", "g_L(x)", "h_L(x)");
+    for x in 0..24u64 {
+        println!(
+            "{:>3} {:>12} {:>12} {:>12}",
+            x,
+            f_l(&base, x).to_string(),
+            g_l(&base, x).to_string(),
+            h_l(&base, x).to_string()
+        );
+    }
+}
+
+fn fig10() {
+    let host = mesh(&[4, 2, 3]);
+    let line = embed_line_in(&host).unwrap();
+    let ring = embed_ring_in(&host).unwrap();
+    // The explicit g-based ring embedding for comparison (Figure 10e).
+    let base = RadixBase::new(vec![4, 2, 3]).unwrap();
+    let mut g_worst = 0u64;
+    for x in 0..24u64 {
+        let a = g_l(&base, x);
+        let b = g_l(&base, (x + 1) % 24);
+        g_worst = g_worst.max(host.distance(&a, &b));
+    }
+    println!("{:<42} {:>9} {:>9}", "embedding", "paper", "measured");
+    println!(
+        "{:<42} {:>9} {:>9}  {}",
+        "line in (4,2,3)-mesh via f_L (10d)",
+        1,
+        line.dilation(),
+        check_mark(1, line.dilation())
+    );
+    println!(
+        "{:<42} {:>9} {:>9}  {}",
+        "ring in (4,2,3)-mesh via g_L (10e)",
+        2,
+        g_worst,
+        check_mark(2, g_worst)
+    );
+    println!(
+        "{:<42} {:>9} {:>9}  {}",
+        "ring in (4,2,3)-mesh via h_L (10f)",
+        1,
+        ring.dilation(),
+        check_mark(1, ring.dilation())
+    );
+}
+
+fn fig11() {
+    let factor = ExpansionFactor::new(vec![vec![2, 2], vec![2, 3]]).unwrap();
+    let guest_mesh = mesh(&[4, 6]);
+    let guest_torus = torus(&[4, 6]);
+    let host_mesh = mesh(&[2, 2, 2, 3]);
+    let host_torus = torus(&[2, 2, 2, 3]);
+    let f = embed_increasing_with(&guest_mesh, &host_mesh, &factor, IncreaseFunction::F).unwrap();
+    let g = embed_increasing_with(&guest_torus, &host_mesh, &factor, IncreaseFunction::G).unwrap();
+    let h = embed_increasing_with(&guest_torus, &host_torus, &factor, IncreaseFunction::H).unwrap();
+    println!("V = ((2,2),(2,3)), L = (4,6), M = (2,2,2,3)");
+    println!("{:>3} {:>8} {:>15} {:>15} {:>15}", "x", "(i1,i2)", "F_V", "G_V", "H_V");
+    let guest_shape = shape(&[4, 6]);
+    for x in 0..24u64 {
+        println!(
+            "{:>3} {:>8} {:>15} {:>15} {:>15}",
+            x,
+            guest_shape.to_digits(x).unwrap().to_string(),
+            f.map(x).to_string(),
+            g.map(x).to_string(),
+            h.map(x).to_string()
+        );
+    }
+    println!(
+        "dilation: F_V = {} (paper 1), G_V = {} (paper 2), H_V = {} (paper 1)",
+        f.dilation(),
+        g.dilation(),
+        h.dilation()
+    );
+}
+
+fn fig12() {
+    let guest = mesh(&[3, 3, 6]);
+    let host = mesh(&[6, 9]);
+    let general = embed_general_reduction(&guest, &host).unwrap();
+    println!("supernode view: (3,3,6)-mesh = (3,3)-mesh of lines of 6,");
+    println!("                (6,9)-mesh   = (3,3)-mesh of (2,3)-meshes");
+    println!(
+        "general-reduction embedding `{}`: dilation {} (paper: 3)",
+        general.name(),
+        general.dilation()
+    );
+    let auto = embed(&guest, &host).unwrap();
+    println!(
+        "planner choice `{}`: dilation {} (paper: 3)",
+        auto.name(),
+        auto.dilation()
+    );
+    // Show where one supernode lands.
+    println!("images of supernode (2,0) of G (its 6 line nodes):");
+    for inner in 0..6u32 {
+        let node = guest
+            .index(&Coord::from_slice(&[2, 0, inner]).unwrap())
+            .unwrap();
+        println!("  (2,0,{inner}) -> {}", general.map(node));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem sweeps
+// ---------------------------------------------------------------------------
+
+fn basic_table() {
+    let hosts: Vec<Vec<u32>> = vec![
+        vec![6],
+        vec![7],
+        vec![3, 3],
+        vec![4, 3],
+        vec![4, 2, 3],
+        vec![3, 3, 3],
+        vec![2, 2, 2, 2],
+        vec![5, 4],
+        vec![6, 6],
+        vec![5, 5, 5],
+    ];
+    println!(
+        "{:<8} {:<16} {:>11} {:>10} {:>10}",
+        "guest", "host", "paper", "measured", "status"
+    );
+    for radices in hosts {
+        for kind in [GraphKind::Torus, GraphKind::Mesh] {
+            let host = Grid::new(kind, shape(&radices));
+            let n = host.size();
+            for (guest_name, guest) in [
+                ("line", Grid::line(n).unwrap()),
+                ("ring", Grid::ring(n).unwrap()),
+            ] {
+                let paper = predicted_dilation(&guest, &host).unwrap();
+                let e = embed(&guest, &host).unwrap();
+                let measured = e.dilation();
+                println!(
+                    "{:<8} {:<16} {:>11} {:>10} {:>10}",
+                    guest_name,
+                    host.to_string(),
+                    paper,
+                    measured,
+                    check_mark(paper, measured)
+                );
+            }
+        }
+    }
+}
+
+fn hamiltonian() {
+    let shapes: Vec<Vec<u32>> = vec![
+        vec![3, 3],
+        vec![4, 3],
+        vec![2, 2, 3],
+        vec![5, 5],
+        vec![4, 2, 3],
+        vec![3, 3, 3],
+        vec![7],
+        vec![8],
+    ];
+    println!(
+        "{:<16} {:>6} {:>24} {:>24}",
+        "graph", "size", "corollary predicts HC", "ring embedding dil 1"
+    );
+    for radices in shapes {
+        for kind in [GraphKind::Torus, GraphKind::Mesh] {
+            let grid = Grid::new(kind, shape(&radices));
+            let predicted = admits_hamiltonian_circuit(&grid);
+            let embedding = embed(&Grid::ring(grid.size()).unwrap(), &grid).unwrap();
+            let unit = embedding.dilation() == 1;
+            println!(
+                "{:<16} {:>6} {:>24} {:>24}",
+                grid.to_string(),
+                grid.size(),
+                predicted,
+                unit
+            );
+        }
+    }
+}
+
+fn increasing_table() {
+    let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+        (vec![4, 6], vec![2, 2, 2, 3]),
+        (vec![8, 9], vec![2, 4, 3, 3]),
+        (vec![6, 12], vec![6, 3, 2, 2]),
+        (vec![9, 15], vec![3, 3, 3, 5]),
+        (vec![12, 2], vec![3, 4, 2]),
+        (vec![6, 6], vec![2, 3, 2, 3]),
+        (vec![16, 16], vec![4, 4, 4, 4]),
+    ];
+    println!(
+        "{:<16} {:<16} {:<14} {:>7} {:>9} {:>8}",
+        "guest", "host", "types", "paper", "measured", "status"
+    );
+    for (l, m) in cases {
+        for guest_kind in [GraphKind::Mesh, GraphKind::Torus] {
+            for host_kind in [GraphKind::Mesh, GraphKind::Torus] {
+                let guest = Grid::new(guest_kind, shape(&l));
+                let host = Grid::new(host_kind, shape(&m));
+                let paper = predicted_dilation(&guest, &host).unwrap();
+                let measured = embed(&guest, &host).unwrap().dilation();
+                println!(
+                    "{:<16} {:<16} {:<14} {:>7} {:>9} {:>8}",
+                    guest.shape().to_string(),
+                    host.shape().to_string(),
+                    format!("{}->{}", guest.kind(), host.kind()),
+                    paper,
+                    measured,
+                    check_mark(paper, measured)
+                );
+            }
+        }
+    }
+}
+
+fn hypercube_in() {
+    let guests: Vec<Vec<u32>> = vec![
+        vec![8, 8],
+        vec![4, 4, 4],
+        vec![16, 4],
+        vec![32, 2],
+        vec![4, 4, 2, 2],
+        vec![64],
+    ];
+    println!(
+        "{:<16} {:<10} {:>7} {:>9} {:>8}",
+        "guest", "kind", "paper", "measured", "status"
+    );
+    for radices in guests {
+        for kind in [GraphKind::Mesh, GraphKind::Torus] {
+            let guest = Grid::new(kind, shape(&radices));
+            let bits = guest.size().trailing_zeros() as usize;
+            let host = Grid::hypercube(bits).unwrap();
+            let paper = predicted_dilation(&guest, &host).unwrap();
+            let measured = embed(&guest, &host).unwrap().dilation();
+            println!(
+                "{:<16} {:<10} {:>7} {:>9} {:>8}",
+                guest.shape().to_string(),
+                format!("{}", guest.kind()),
+                paper,
+                measured,
+                check_mark(paper, measured)
+            );
+        }
+    }
+}
+
+fn simple_reduction() {
+    let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+        (vec![4, 2, 3], vec![4, 6]),
+        (vec![2, 2, 2, 2], vec![4, 4]),
+        (vec![3, 3, 3], vec![9, 3]),
+        (vec![2, 3, 2, 3], vec![6, 6]),
+        (vec![4, 4, 4], vec![16, 4]),
+        (vec![2, 2, 2, 2, 2, 2], vec![8, 8]),
+        (vec![2, 2, 2, 2], vec![16]),
+        (vec![4, 4, 4], vec![64]),
+    ];
+    println!(
+        "{:<18} {:<12} {:<14} {:>7} {:>9} {:>8}",
+        "guest", "host", "types", "paper", "measured", "status"
+    );
+    for (l, m) in cases {
+        for guest_kind in [GraphKind::Mesh, GraphKind::Torus] {
+            for host_kind in [GraphKind::Mesh, GraphKind::Torus] {
+                let guest = Grid::new(guest_kind, shape(&l));
+                let host = Grid::new(host_kind, shape(&m));
+                let paper = predicted_dilation(&guest, &host).unwrap();
+                let measured = embed(&guest, &host).unwrap().dilation();
+                println!(
+                    "{:<18} {:<12} {:<14} {:>7} {:>9} {:>8}",
+                    guest.shape().to_string(),
+                    host.shape().to_string(),
+                    format!("{}->{}", guest.kind(), host.kind()),
+                    paper,
+                    measured,
+                    check_mark(paper, measured)
+                );
+            }
+        }
+    }
+}
+
+fn general_reduction() {
+    let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+        (vec![3, 3, 6], vec![6, 9]),
+        (vec![5, 5, 4], vec![10, 10]),
+        (vec![3, 3, 3, 4], vec![6, 6, 3]),
+        (vec![2, 3, 2, 10, 6, 21, 5, 4], vec![4, 3, 5, 28, 10, 18]),
+    ];
+    println!(
+        "{:<28} {:<22} {:<14} {:>7} {:>9} {:>8}",
+        "guest", "host", "types", "paper", "measured", "status"
+    );
+    for (l, m) in cases {
+        for guest_kind in [GraphKind::Mesh, GraphKind::Torus] {
+            for host_kind in [GraphKind::Mesh, GraphKind::Torus] {
+                let guest = Grid::new(guest_kind, shape(&l));
+                let host = Grid::new(host_kind, shape(&m));
+                let reduction = embeddings::general_reduction::find_general_reduction(
+                    guest.shape(),
+                    host.shape(),
+                );
+                let Some(reduction) = reduction else {
+                    println!(
+                        "{:<28} {:<22} {:<14} not a general reduction",
+                        guest.shape().to_string(),
+                        host.shape().to_string(),
+                        format!("{}->{}", guest.kind(), host.kind()),
+                    );
+                    continue;
+                };
+                let paper = embeddings::general_reduction::predicted_dilation_general_reduction(
+                    &guest, &host, &reduction,
+                );
+                let measured =
+                    embeddings::general_reduction::embed_general_reduction(&guest, &host)
+                        .unwrap()
+                        .dilation();
+                println!(
+                    "{:<28} {:<22} {:<14} {:>7} {:>9} {:>8}",
+                    guest.shape().to_string(),
+                    host.shape().to_string(),
+                    format!("{}->{}", guest.kind(), host.kind()),
+                    paper,
+                    measured,
+                    check_mark(paper, measured)
+                );
+            }
+        }
+    }
+}
+
+fn lower_bound() {
+    let cases: Vec<(Grid, Grid)> = vec![
+        (mesh(&[8, 8]), Grid::line(64).unwrap()),
+        (mesh(&[16, 16]), Grid::line(256).unwrap()),
+        (mesh(&[4, 4, 4]), mesh(&[8, 8])),
+        (mesh(&[4, 4, 4]), Grid::line(64).unwrap()),
+        (torus(&[8, 8]), Grid::ring(64).unwrap()),
+        (Grid::hypercube(8).unwrap(), mesh(&[16, 16])),
+    ];
+    println!(
+        "{:<16} {:<14} {:>12} {:>12} {:>10} {:>8}",
+        "guest", "host", "lower bound", "asymptotic", "achieved", "ratio"
+    );
+    for (guest, host) in cases {
+        let bound = dilation_lower_bound(&guest, &host).unwrap();
+        let asymptotic = asymptotic_lower_bound(
+            guest.dim(),
+            host.dim(),
+            guest.shape().min_radix() as u64,
+        );
+        let achieved = embed(&guest, &host).unwrap().dilation();
+        println!(
+            "{:<16} {:<14} {:>12} {:>12.2} {:>10} {:>8.2}",
+            guest.to_string(),
+            host.to_string(),
+            bound,
+            asymptotic,
+            achieved,
+            achieved as f64 / asymptotic.max(1.0)
+        );
+    }
+}
+
+fn square_lowering() {
+    let cases: Vec<(u32, usize, usize)> = vec![
+        (4, 2, 1),
+        (8, 2, 1),
+        (2, 4, 2),
+        (4, 3, 2),
+        (2, 6, 3),
+        (3, 4, 2),
+        (4, 5, 2),
+        (9, 2, 1),
+    ];
+    println!(
+        "{:<8} {:<4} {:<4} {:<14} {:>7} {:>9} {:>8}",
+        "side", "d", "c", "types", "paper", "measured", "status"
+    );
+    for (ell, d, c) in cases {
+        let guest_shape = Shape::square(ell, d).unwrap();
+        let side = (guest_shape.size() as f64).powf(1.0 / c as f64).round() as u32;
+        let host_shape = Shape::square(side, c).unwrap();
+        for guest_kind in [GraphKind::Mesh, GraphKind::Torus] {
+            for host_kind in [GraphKind::Mesh, GraphKind::Torus] {
+                let guest = Grid::new(guest_kind, guest_shape.clone());
+                let host = Grid::new(host_kind, host_shape.clone());
+                let paper = predicted_dilation(&guest, &host).unwrap();
+                let measured = embed(&guest, &host).unwrap().dilation();
+                println!(
+                    "{:<8} {:<4} {:<4} {:<14} {:>7} {:>9} {:>8}",
+                    ell,
+                    d,
+                    c,
+                    format!("{}->{}", guest.kind(), host.kind()),
+                    paper,
+                    measured,
+                    check_mark(paper, measured)
+                );
+            }
+        }
+    }
+}
+
+fn square_increasing() {
+    let cases: Vec<(u32, usize, usize)> = vec![
+        (4, 2, 4),
+        (9, 2, 4),
+        (16, 1, 2),
+        (8, 2, 3),
+        (27, 2, 3),
+        (16, 3, 4),
+        (64, 1, 3),
+    ];
+    println!(
+        "{:<8} {:<4} {:<4} {:<14} {:>7} {:>9} {:>8}",
+        "side", "d", "c", "types", "paper", "measured", "status"
+    );
+    for (ell, d, c) in cases {
+        let guest_shape = Shape::square(ell, d).unwrap();
+        let side = (guest_shape.size() as f64).powf(1.0 / c as f64).round() as u32;
+        let host_shape = Shape::square(side, c).unwrap();
+        for guest_kind in [GraphKind::Mesh, GraphKind::Torus] {
+            for host_kind in [GraphKind::Mesh, GraphKind::Torus] {
+                let guest = Grid::new(guest_kind, guest_shape.clone());
+                let host = Grid::new(host_kind, host_shape.clone());
+                let paper = predicted_dilation(&guest, &host).unwrap();
+                let measured = embed(&guest, &host).unwrap().dilation();
+                println!(
+                    "{:<8} {:<4} {:<4} {:<14} {:>7} {:>9} {:>8}",
+                    ell,
+                    d,
+                    c,
+                    format!("{}->{}", guest.kind(), host.kind()),
+                    paper,
+                    measured,
+                    check_mark(paper, measured)
+                );
+            }
+        }
+    }
+}
+
+fn optimal_comparison() {
+    println!("-- (l,l)-mesh in a line (FitzGerald 1974) --");
+    println!("{:>4} {:>8} {:>8} {:>7}", "l", "ours", "optimal", "ratio");
+    for ell in [2u32, 3, 4, 6, 8, 12, 16] {
+        let guest = Grid::mesh(Shape::square(ell, 2).unwrap());
+        let host = Grid::line(guest.size()).unwrap();
+        let ours = embed(&guest, &host).unwrap().dilation();
+        let optimal = optimal_square_mesh_in_line(ell as u64);
+        println!("{:>4} {:>8} {:>8} {:>7.3}", ell, ours, optimal, ours as f64 / optimal as f64);
+    }
+    println!();
+    println!("-- (l,l)-torus in a ring (Ma & Narahari 1986) --");
+    println!("{:>4} {:>8} {:>8} {:>7}", "l", "ours", "optimal", "ratio");
+    for ell in [2u32, 3, 4, 6, 8, 12, 16] {
+        let guest = Grid::torus(Shape::square(ell, 2).unwrap());
+        let host = Grid::ring(guest.size()).unwrap();
+        let ours = embed(&guest, &host).unwrap().dilation();
+        let optimal = optimal_square_torus_in_ring(ell as u64);
+        println!("{:>4} {:>8} {:>8} {:>7.3}", ell, ours, optimal, ours as f64 / optimal as f64);
+    }
+    println!();
+    println!("-- (l,l,l)-mesh in a line (FitzGerald 1974) --");
+    println!("{:>4} {:>8} {:>8} {:>7}", "l", "ours", "optimal", "ratio");
+    for ell in [2u32, 3, 4, 5, 6] {
+        let guest = Grid::mesh(Shape::square(ell, 3).unwrap());
+        let host = Grid::line(guest.size()).unwrap();
+        let ours = embed(&guest, &host).unwrap().dilation();
+        let optimal = optimal_cube_mesh_in_line(ell as u64);
+        println!("{:>4} {:>8} {:>8} {:>7.3}", ell, ours, optimal, ours as f64 / optimal as f64);
+    }
+    println!();
+    println!("-- hypercube 2^d in a line (Harper 1966) --");
+    println!("{:>4} {:>10} {:>10} {:>7}", "d", "ours", "optimal", "ratio");
+    for d in 1..=12u32 {
+        let ours = paper_hypercube_in_line(d);
+        let optimal = optimal_hypercube_in_line(d);
+        println!(
+            "{:>4} {:>10} {:>10} {:>7.3}",
+            d,
+            ours,
+            optimal,
+            ours as f64 / optimal as f64
+        );
+    }
+    println!();
+    println!("-- exhaustive optima on tiny instances --");
+    println!("{:<12} {:<14} {:>8} {:>10}", "guest", "host", "ours", "exhaustive");
+    let tiny: Vec<(Grid, Grid)> = vec![
+        (Grid::ring(9).unwrap(), mesh(&[3, 3])),
+        (Grid::ring(12).unwrap(), mesh(&[4, 3])),
+        (torus(&[3, 3]), mesh(&[3, 3])),
+        (mesh(&[3, 3]), Grid::line(9).unwrap()),
+    ];
+    for (guest, host) in tiny {
+        let ours = embed(&guest, &host).unwrap().dilation();
+        let best = optimal_dilation_exhaustive(&guest, &host, Some(16)).unwrap();
+        println!(
+            "{:<12} {:<14} {:>8} {:>10}",
+            guest.to_string(),
+            host.to_string(),
+            ours,
+            best
+        );
+    }
+}
+
+fn appendix() {
+    println!("{:>4} {:>12} {:>14} {:>12}", "d", "epsilon_d", "harper(d+1)", "2^d*eps");
+    for d in 0..=20u32 {
+        let eps = epsilon(d);
+        let harper = optimal_hypercube_in_line(d + 1);
+        println!(
+            "{:>4} {:>12.6} {:>14} {:>12.1}",
+            d,
+            eps,
+            harper,
+            eps * (1u128 << d) as f64
+        );
+    }
+    println!("epsilon_0 = epsilon_1 = epsilon_2 = 1 and epsilon is strictly decreasing from d = 3.");
+}
+
+fn netsim_experiment() {
+    let ring = Grid::ring(64).unwrap();
+    let host = mesh(&[8, 8]);
+    let network = Network::new(host.clone());
+    let workload = Workload::from_task_graph(&ring);
+
+    let paper = Placement::from_embedding(&embed(&ring, &host).unwrap());
+    let naive = Placement::identity(64);
+    let paper_stats = simulate(&network, &workload, &paper, 4);
+    let naive_stats = simulate(&network, &workload, &naive, 4);
+
+    println!("ring(64) neighbor exchange on an (8,8)-mesh, 4 rounds");
+    println!(
+        "{:<22} {:>12} {:>10} {:>8}",
+        "placement", "total hops", "max hops", "cycles"
+    );
+    println!(
+        "{:<22} {:>12} {:>10} {:>8}",
+        "paper embedding", paper_stats.total_hops, paper_stats.max_hops, paper_stats.cycles
+    );
+    println!(
+        "{:<22} {:>12} {:>10} {:>8}",
+        "row-major placement", naive_stats.total_hops, naive_stats.max_hops, naive_stats.cycles
+    );
+
+    let verification = verify(&embed(&ring, &host).unwrap(), 0).unwrap();
+    println!(
+        "paper placement dilation {} == simulator max hops {}",
+        verification.dilation, paper_stats.max_hops
+    );
+}
+
+fn collective_experiment() {
+    use netsim::{simulate_ring_allreduce, RingOrder};
+
+    println!("ring allreduce scheduled over the paper's h_L Hamiltonian circuits");
+    println!(
+        "{:<22} {:>6} {:<18} {:>9} {:>7} {:>8} {:>9}",
+        "machine", "nodes", "ring order", "dilation", "phases", "cycles", "slowdown"
+    );
+    let machines: Vec<Grid> = vec![
+        torus(&[8, 8]),
+        mesh(&[8, 8]),
+        torus(&[4, 4, 4]),
+        mesh(&[4, 4, 4]),
+        Grid::hypercube(6).unwrap(),
+        torus(&[5, 5, 5]),
+    ];
+    for machine in &machines {
+        let network = Network::new(machine.clone());
+        let paper = RingOrder::from_paper_embedding(machine).unwrap();
+        let naive = RingOrder::natural(machine.size());
+        for (label, order) in [("paper h_L circuit", &paper), ("natural order", &naive)] {
+            let stats = simulate_ring_allreduce(&network, order);
+            println!(
+                "{:<22} {:>6} {:<18} {:>9} {:>7} {:>8} {:>8.2}x",
+                machine.to_string(),
+                machine.size(),
+                label,
+                stats.ring_dilation,
+                stats.phases,
+                stats.total_cycles,
+                stats.slowdown()
+            );
+        }
+    }
+    println!("the paper circuit always meets the textbook 2(n-1)-cycle bound (slowdown 1.00x).");
+}
+
+fn grid_metrics_experiment() {
+    use topology::metrics::GridMetrics;
+
+    println!("closed-form network figures of merit (validated against exhaustive oracles in tests)");
+    println!(
+        "{:<22} {:>6} {:>7} {:>9} {:>9} {:>10} {:>10}",
+        "graph", "nodes", "edges", "diameter", "mean dist", "bisection", "degrees"
+    );
+    let graphs: Vec<Grid> = vec![
+        torus(&[4, 2, 3]),
+        mesh(&[4, 2, 3]),
+        torus(&[8, 8]),
+        mesh(&[8, 8]),
+        Grid::hypercube(6).unwrap(),
+        Grid::ring(64).unwrap(),
+        Grid::line(64).unwrap(),
+    ];
+    for graph in &graphs {
+        let m = GridMetrics::measure(graph);
+        println!(
+            "{:<22} {:>6} {:>7} {:>9} {:>9.3} {:>10} {:>7}-{}",
+            graph.to_string(),
+            m.nodes,
+            m.edges,
+            m.diameter,
+            m.mean_distance,
+            m.bisection_width,
+            m.min_degree,
+            m.max_degree
+        );
+    }
+}

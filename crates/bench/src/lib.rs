@@ -1,0 +1,49 @@
+//! Shared helpers for the benchmark suite and the `repro` experiment harness.
+
+use topology::{GraphKind, Grid, Shape};
+
+/// Builds a shape from a slice, panicking on invalid input (benchmarks and
+/// the repro harness only use known-good shapes).
+pub fn shape(radices: &[u32]) -> Shape {
+    Shape::new(radices.to_vec()).expect("valid shape")
+}
+
+/// Builds a grid of the given kind and shape.
+pub fn grid(kind: GraphKind, radices: &[u32]) -> Grid {
+    Grid::new(kind, shape(radices))
+}
+
+/// A torus of the given shape.
+pub fn torus(radices: &[u32]) -> Grid {
+    grid(GraphKind::Torus, radices)
+}
+
+/// A mesh of the given shape.
+pub fn mesh(radices: &[u32]) -> Grid {
+    grid(GraphKind::Mesh, radices)
+}
+
+/// Formats a `(paper, measured)` pair with a pass/fail marker.
+pub fn check_mark(paper: u64, measured: u64) -> &'static str {
+    if paper == measured {
+        "ok"
+    } else if measured <= paper {
+        "ok (<=)"
+    } else {
+        "MISMATCH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_expected_graphs() {
+        assert_eq!(torus(&[4, 2, 3]).size(), 24);
+        assert!(mesh(&[4, 2, 3]).is_mesh());
+        assert_eq!(check_mark(2, 2), "ok");
+        assert_eq!(check_mark(2, 1), "ok (<=)");
+        assert_eq!(check_mark(1, 2), "MISMATCH");
+    }
+}

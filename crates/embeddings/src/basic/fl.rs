@@ -1,0 +1,214 @@
+//! The sequence `f_L` (Definition 9) — the mixed-radix reflected sequence.
+//!
+//! `f_L : [n] → Ω_L` generalizes the binary reflected Gray code: for every
+//! `x`, digit `i` of `f_L(x)` equals the `i`-th radix-`L` digit of `x` if the
+//! segment number `⌊x / w_{i−1}⌋` is even, and its reflection
+//! `l_i − x̂_i − 1` if the segment number is odd. The resulting sequence is a
+//! bijection (Lemma 10) with unit δ_m-spread (Lemma 11) and unit δ_t-spread
+//! (Lemma 12), and therefore embeds a line in a mesh or torus with unit
+//! dilation (Theorem 13).
+
+use mixedradix::{Digits, RadixBase};
+
+/// Evaluates `f_L(x)` (Definition 9).
+///
+/// # Panics
+///
+/// Panics if `x >= n` where `n` is the size of `base`.
+pub fn f_l(base: &RadixBase, x: u64) -> Digits {
+    assert!(x < base.size(), "f_L argument {x} out of range");
+    let d = base.dim();
+    let mut out = Digits::zero(d).expect("base dimension within bounds");
+    for j in 0..d {
+        let l = base.radix(j) as u64;
+        // The paper indexes digits from 1; digit i uses weights w_{i-1} (the
+        // segment) and w_i (the digit). With 0-based j these are weight(j)
+        // and weight(j + 1).
+        let digit = (x / base.weight(j + 1)) % l;
+        let segment = x / base.weight(j);
+        let value = if segment % 2 == 0 {
+            digit
+        } else {
+            l - digit - 1
+        };
+        out.set(j, value as u32);
+    }
+    out
+}
+
+/// Evaluates the inverse `f_L⁻¹(digits)`: the unique `x` with
+/// `f_L(x) = digits`.
+///
+/// # Panics
+///
+/// Panics if `digits` is not a valid radix-`L` number.
+pub fn f_l_inverse(base: &RadixBase, digits: &Digits) -> u64 {
+    assert!(
+        base.contains(digits),
+        "f_L⁻¹ argument {digits} is not a radix-{base} number"
+    );
+    // Reconstruct the radix-L digits x̂_j most-significant first. The segment
+    // number of digit j is the prefix value ⌊x / w_{j-1}⌋, which only depends
+    // on digits 1..j−1, so a single left-to-right pass suffices.
+    let mut prefix = 0u64; // ⌊x / w_j⌋ after processing digit j
+    for j in 0..base.dim() {
+        let l = base.radix(j) as u64;
+        let y = digits.get(j) as u64;
+        let segment = prefix; // ⌊x / w_{j-1}⌋
+        let xhat = if segment % 2 == 0 { y } else { l - y - 1 };
+        prefix = prefix * l + xhat;
+    }
+    prefix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixedradix::sequence::{FnSequence, RadixSequence};
+
+    fn base(radices: &[u32]) -> RadixBase {
+        RadixBase::new(radices.to_vec()).unwrap()
+    }
+
+    fn fl_sequence(b: &RadixBase) -> FnSequence<impl Fn(u64) -> Digits> {
+        let inner = b.clone();
+        FnSequence::new(b.clone(), b.size(), move |x| f_l(&inner, x))
+    }
+
+    #[test]
+    fn figure_4_prefix_for_l_423() {
+        // Figure 4 lists the first elements of P' = f_L for L = (4,2,3):
+        // the first segment of the innermost digit runs 0,1,2 then reflects.
+        let b = base(&[4, 2, 3]);
+        let expected_prefix: Vec<Vec<u32>> = vec![
+            vec![0, 0, 0],
+            vec![0, 0, 1],
+            vec![0, 0, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 1],
+            vec![0, 1, 0],
+            vec![1, 1, 0],
+            vec![1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 0, 2],
+            vec![1, 0, 1],
+            vec![1, 0, 0],
+        ];
+        for (x, want) in expected_prefix.iter().enumerate() {
+            assert_eq!(
+                f_l(&b, x as u64).as_slice(),
+                want.as_slice(),
+                "f_L({x}) for L=(4,2,3)"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_10_f_l_is_bijective() {
+        for radices in [
+            vec![4u32, 2, 3],
+            vec![2, 2, 2, 2],
+            vec![3, 5],
+            vec![7],
+            vec![2, 3, 2, 3],
+        ] {
+            let b = base(&radices);
+            assert!(fl_sequence(&b).is_bijection(), "f_L bijective for {b}");
+        }
+    }
+
+    #[test]
+    fn lemma_11_unit_mesh_spread() {
+        for radices in [vec![4u32, 2, 3], vec![3, 3, 3], vec![2, 5, 2], vec![6, 4]] {
+            let b = base(&radices);
+            assert_eq!(
+                fl_sequence(&b).acyclic_spread_mesh(),
+                1,
+                "δ_m-spread of f_L for {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_12_unit_torus_spread() {
+        for radices in [vec![4u32, 2, 3], vec![3, 3, 3], vec![2, 5, 2], vec![6, 4]] {
+            let b = base(&radices);
+            assert_eq!(
+                fl_sequence(&b).acyclic_spread_torus(),
+                1,
+                "δ_t-spread of f_L for {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_19_last_element_when_l1_even() {
+        // If l_1 is even, f_L(n−1) = (l_1 − 1, 0, …, 0).
+        for radices in [vec![4u32, 2, 3], vec![2, 3, 3], vec![6, 5], vec![4, 4, 4]] {
+            let b = base(&radices);
+            let last = f_l(&b, b.size() - 1);
+            assert_eq!(last.get(0), b.radix(0) - 1);
+            for j in 1..b.dim() {
+                assert_eq!(last.get(j), 0, "digit {j} of f_L(n-1) for {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_l1_last_element_keeps_second_digit_high() {
+        // Section 3.2.2: if l_1 is odd the leftmost two components of
+        // f_L(n−1) are (l_1 − 1, l_2 − 1).
+        for radices in [vec![3u32, 2, 3], vec![5, 4], vec![3, 3, 3]] {
+            let b = base(&radices);
+            let last = f_l(&b, b.size() - 1);
+            assert_eq!(last.get(0), b.radix(0) - 1);
+            assert_eq!(last.get(1), b.radix(1) - 1);
+        }
+    }
+
+    #[test]
+    fn reduces_to_binary_reflected_gray_code() {
+        // On L = (2, …, 2) the sequence f_L is exactly the binary reflected
+        // Gray code.
+        use mixedradix::gray::BinaryGraySequence;
+        for bits in 1..=8usize {
+            let b = RadixBase::binary(bits).unwrap();
+            let gray = BinaryGraySequence::new(bits).unwrap();
+            for x in 0..b.size() {
+                assert_eq!(f_l(&b, x), gray.at(x), "f_L vs Gray code at {x}, {bits} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for radices in [vec![4u32, 2, 3], vec![3, 3, 3], vec![2, 2, 2, 2], vec![7]] {
+            let b = base(&radices);
+            for x in 0..b.size() {
+                assert_eq!(f_l_inverse(&b, &f_l(&b, x)), x, "round trip at {x} for {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_dimension_is_the_identity() {
+        let b = base(&[9]);
+        for x in 0..9 {
+            assert_eq!(f_l(&b, x).as_slice(), &[x as u32]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_argument_panics() {
+        let b = base(&[2, 2]);
+        let _ = f_l(&b, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a radix")]
+    fn inverse_rejects_invalid_digits() {
+        let b = base(&[2, 2]);
+        let _ = f_l_inverse(&b, &Digits::from_slice(&[3, 0]).unwrap());
+    }
+}

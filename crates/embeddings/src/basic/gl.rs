@@ -1,0 +1,94 @@
+//! The cyclic sequence `g_L = f_L ∘ t_n` (Definition 15).
+//!
+//! `g_L` embeds a ring in a mesh with dilation cost 2 (Theorem 17). It is
+//! optimal whenever the host is a line of size > 2 or has odd size: a ring
+//! cannot be embedded with unit dilation in a line (boundary nodes have a
+//! single neighbor) nor in a mesh of odd size (no Hamiltonian circuit,
+//! Corollary 18).
+
+use mixedradix::{Digits, RadixBase};
+
+use super::fl::f_l;
+use super::tn::t_n;
+
+/// Evaluates `g_L(x) = f_L(t_n(x))` (Definition 15).
+///
+/// # Panics
+///
+/// Panics if `x >= n`.
+pub fn g_l(base: &RadixBase, x: u64) -> Digits {
+    f_l(base, t_n(base.size(), x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixedradix::sequence::{FnSequence, RadixSequence};
+
+    fn base(radices: &[u32]) -> RadixBase {
+        RadixBase::new(radices.to_vec()).unwrap()
+    }
+
+    fn gl_sequence(b: &RadixBase) -> FnSequence<impl Fn(u64) -> Digits> {
+        let inner = b.clone();
+        FnSequence::new(b.clone(), b.size(), move |x| g_l(&inner, x))
+    }
+
+    #[test]
+    fn g_l_is_bijective() {
+        for radices in [vec![4u32, 2, 3], vec![3, 3], vec![3, 5, 3], vec![2, 2, 2]] {
+            let b = base(&radices);
+            assert!(gl_sequence(&b).is_bijection(), "g_L bijective for {b}");
+        }
+    }
+
+    #[test]
+    fn lemma_16_cyclic_mesh_spread_at_most_two() {
+        for radices in [
+            vec![4u32, 2, 3],
+            vec![3, 3],
+            vec![3, 5, 3],
+            vec![2, 2, 2],
+            vec![5, 5],
+            vec![7],
+        ] {
+            let b = base(&radices);
+            let spread = gl_sequence(&b).cyclic_spread_mesh();
+            assert!(spread <= 2, "cyclic δ_m-spread of g_L for {b} is {spread}");
+        }
+    }
+
+    #[test]
+    fn cyclic_spread_is_exactly_two_for_odd_sizes() {
+        // For odd-size meshes no unit-spread cyclic sequence exists
+        // (Corollary 18), so g_L's spread of 2 is optimal.
+        for radices in [vec![3u32, 3], vec![3, 5, 3], vec![5, 5], vec![9]] {
+            let b = base(&radices);
+            assert_eq!(gl_sequence(&b).cyclic_spread_mesh(), 2);
+        }
+    }
+
+    #[test]
+    fn first_rows_for_paper_example() {
+        // Figure 9 tabulates g_L for L = (4,2,3): g_L(x) = f_L(t_24(x)), so
+        // g_L(0) = f_L(0) = (0,0,0), g_L(1) = f_L(2) = (0,0,2),
+        // g_L(23) = f_L(1) = (0,0,1).
+        let b = base(&[4, 2, 3]);
+        assert_eq!(g_l(&b, 0).as_slice(), &[0, 0, 0]);
+        assert_eq!(g_l(&b, 1).as_slice(), &[0, 0, 2]);
+        assert_eq!(g_l(&b, 23).as_slice(), &[0, 0, 1]);
+        assert_eq!(g_l(&b, 12).as_slice(), f_l(&b, 23).as_slice());
+    }
+
+    #[test]
+    fn wrap_around_pair_is_close() {
+        // The cyclic closure g_L(n−1) → g_L(0) corresponds to f_L(1) → f_L(0),
+        // successive elements of f_L, hence at distance 1.
+        for radices in [vec![4u32, 2, 3], vec![3, 3, 3], vec![5, 2]] {
+            let b = base(&radices);
+            let n = b.size();
+            let dist = mixedradix::distance::delta_m(&b, &g_l(&b, n - 1), &g_l(&b, 0)).unwrap();
+            assert_eq!(dist, 1);
+        }
+    }
+}

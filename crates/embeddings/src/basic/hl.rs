@@ -1,0 +1,186 @@
+//! The cyclic sequence `h_L` (Definition 22).
+//!
+//! `h_L` marches through the `(l_1, l_2)`-planes of an `(l_1, …, l_d)`-mesh in
+//! a forward pass (filling `l_1·l_2 − 1` nodes of each plane with `r_{L'}`)
+//! followed by a backward pass (filling the last node of each plane). Its
+//! cyclic sequence has unit δ_m-spread whenever `l_1` is even (Lemma 23) —
+//! the Hamiltonian circuit of Corollary 25 — and unit δ_t-spread always
+//! (Lemma 27), the Hamiltonian circuit of every torus (Corollary 29).
+
+use mixedradix::{Digits, RadixBase};
+
+use super::fl::f_l;
+use super::rl::r_l;
+
+/// Evaluates `h_L(x)` (Definition 22).
+///
+/// # Panics
+///
+/// Panics if `x >= n`.
+pub fn h_l(base: &RadixBase, x: u64) -> Digits {
+    let n = base.size();
+    assert!(x < n, "h_L argument {x} out of range");
+    let d = base.dim();
+    match d {
+        1 => {
+            // h_L is the identity on rings.
+            let mut out = Digits::zero(1).expect("dimension 1");
+            out.set(0, x as u32);
+            out
+        }
+        2 => r_l(base, x),
+        _ => {
+            let l_prime = RadixBase::new(vec![base.radix(0), base.radix(1)])
+                .expect("two leading radices");
+            let l_double = RadixBase::new(base.radices()[2..].to_vec())
+                .expect("at least one trailing radix");
+            let plane = l_prime.size(); // l_1 · l_2
+            let m = l_double.size();
+            let a = x / (plane - 1);
+            let b = x % (plane - 1);
+            if x < m * (plane - 1) {
+                let head = if a % 2 == 0 {
+                    r_l(&l_prime, b)
+                } else {
+                    r_l(&l_prime, plane - b - 2)
+                };
+                head.concat(&f_l(&l_double, a)).expect("dimensions add up")
+            } else {
+                // Backward pass: the last node of each plane, planes visited
+                // in reverse f_{L''} order.
+                r_l(&l_prime, plane - 1)
+                    .concat(&f_l(&l_double, n - x - 1))
+                    .expect("dimensions add up")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixedradix::sequence::{FnSequence, RadixSequence};
+
+    fn base(radices: &[u32]) -> RadixBase {
+        RadixBase::new(radices.to_vec()).unwrap()
+    }
+
+    fn hl_sequence(b: &RadixBase) -> FnSequence<impl Fn(u64) -> Digits> {
+        let inner = b.clone();
+        FnSequence::new(b.clone(), b.size(), move |x| h_l(&inner, x))
+    }
+
+    #[test]
+    fn h_l_is_bijective() {
+        for radices in [
+            vec![4u32, 2, 3],
+            vec![2, 3, 3],
+            vec![3, 3, 3],
+            vec![2, 2, 2, 2],
+            vec![4, 3],
+            vec![5],
+            vec![3, 2, 2, 3],
+        ] {
+            let b = base(&radices);
+            assert!(hl_sequence(&b).is_bijection(), "h_L bijective for {b}");
+        }
+    }
+
+    #[test]
+    fn lemma_23_unit_cyclic_mesh_spread_when_l1_even() {
+        for radices in [
+            vec![4u32, 2, 3],
+            vec![2, 3, 3],
+            vec![2, 2, 2, 2],
+            vec![4, 3],
+            vec![6, 2, 2],
+            vec![2, 5, 3],
+            vec![4, 3, 2, 2],
+        ] {
+            let b = base(&radices);
+            assert_eq!(
+                hl_sequence(&b).cyclic_spread_mesh(),
+                1,
+                "cyclic δ_m-spread of h_L for {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_27_unit_cyclic_torus_spread_always() {
+        for radices in [
+            vec![4u32, 2, 3],
+            vec![3, 3, 3],
+            vec![5, 3],
+            vec![3, 5, 7],
+            vec![2, 2, 2],
+            vec![9],
+            vec![3, 3, 3, 3],
+            vec![7, 2, 3],
+        ] {
+            let b = base(&radices);
+            assert_eq!(
+                hl_sequence(&b).cyclic_spread_torus(),
+                1,
+                "cyclic δ_t-spread of h_L for {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dimension_one_is_the_identity() {
+        let b = base(&[8]);
+        for x in 0..8 {
+            assert_eq!(h_l(&b, x).as_slice(), &[x as u32]);
+        }
+    }
+
+    #[test]
+    fn dimension_two_matches_r_l() {
+        let b = base(&[4, 5]);
+        for x in 0..b.size() {
+            assert_eq!(h_l(&b, x), r_l(&b, x));
+        }
+    }
+
+    #[test]
+    fn forward_pass_then_backward_pass() {
+        // For L = (4,2,3): planes of size 8, m = 3 planes; the forward pass
+        // fills 7 nodes per plane (x < 21), the backward pass the last node of
+        // each plane in reverse plane order (x = 21, 22, 23).
+        let b = base(&[4, 2, 3]);
+        // First forward element: plane 0, r_{(4,2)}(0) = (3,0), plane digit 0.
+        assert_eq!(h_l(&b, 0).as_slice(), &[3, 0, 0]);
+        // Last forward element of plane 0: r_{(4,2)}(6) = (2,1).
+        assert_eq!(h_l(&b, 6).as_slice(), &[2, 1, 0]);
+        // First element of plane 1 (odd plane: reversed inner order):
+        // r_{(4,2)}(8 - 0 - 2) = r(6) = (2,1); plane f_{(3)}(1) = 1.
+        assert_eq!(h_l(&b, 7).as_slice(), &[2, 1, 1]);
+        // Backward pass: x = 21, 22, 23 fill r_{(4,2)}(7) = (3,1) in planes
+        // f_{(3)}(2), f_{(3)}(1), f_{(3)}(0) = planes 2, 1, 0.
+        assert_eq!(h_l(&b, 21).as_slice(), &[3, 1, 2]);
+        assert_eq!(h_l(&b, 22).as_slice(), &[3, 1, 1]);
+        assert_eq!(h_l(&b, 23).as_slice(), &[3, 1, 0]);
+    }
+
+    #[test]
+    fn consecutive_images_are_mesh_neighbors_when_l1_even() {
+        let b = base(&[4, 2, 3]);
+        for x in 0..b.size() {
+            let d = mixedradix::distance::delta_m(
+                &b,
+                &h_l(&b, x),
+                &h_l(&b, (x + 1) % b.size()),
+            )
+            .unwrap();
+            assert_eq!(d, 1, "step {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let b = base(&[2, 2, 2]);
+        let _ = h_l(&b, 8);
+    }
+}

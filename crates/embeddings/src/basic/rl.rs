@@ -1,0 +1,154 @@
+//! The cyclic sequence `r_L` for 2-dimensional shapes (Definition 20).
+//!
+//! `r_L` walks down the first column of an `(l_1, l_2)`-mesh and then covers
+//! the remaining `(l_1, l_2 − 1)`-mesh with `f_{(l_1, l_2−1)}`. When `l_1` is
+//! even the resulting cyclic sequence has unit δ_m-spread (Lemma 21), giving a
+//! unit-dilation embedding of a ring in the mesh; whatever the parity of
+//! `l_1`, the cyclic sequence always has unit δ_t-spread (Lemma 26), giving a
+//! unit-dilation embedding of a ring in the torus.
+
+use mixedradix::{Digits, RadixBase};
+
+use super::fl::f_l;
+
+/// Evaluates `r_L(x)` for a 2-dimensional radix base `L = (l_1, l_2)`
+/// (Definition 20).
+///
+/// # Panics
+///
+/// Panics if `base` is not 2-dimensional or `x >= n`.
+pub fn r_l(base: &RadixBase, x: u64) -> Digits {
+    assert_eq!(base.dim(), 2, "r_L is defined for 2-dimensional bases only");
+    let n = base.size();
+    assert!(x < n, "r_L argument {x} out of range");
+    let l1 = base.radix(0) as u64;
+    let l2 = base.radix(1) as u64;
+    let mut out = Digits::zero(2).expect("dimension 2");
+    if x < l1 {
+        // First column, walked from the top (l_1 − 1, 0) down to (0, 0).
+        out.set(0, (l1 - 1 - x) as u32);
+        out.set(1, 0);
+        return out;
+    }
+    if l2 > 2 {
+        // Remaining columns form an (l_1, l_2 − 1)-mesh covered by f.
+        let sub = RadixBase::new(vec![l1 as u32, (l2 - 1) as u32])
+            .expect("l_2 - 1 >= 2 because l_2 > 2");
+        let inner = f_l(&sub, x - l1);
+        out.set(0, inner.get(0));
+        out.set(1, inner.get(1) + 1);
+    } else {
+        // l_2 = 2: walk the second column bottom-up.
+        out.set(0, (x - l1) as u32);
+        out.set(1, 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixedradix::sequence::{FnSequence, RadixSequence};
+
+    fn base(l1: u32, l2: u32) -> RadixBase {
+        RadixBase::new(vec![l1, l2]).unwrap()
+    }
+
+    fn rl_sequence(b: &RadixBase) -> FnSequence<impl Fn(u64) -> Digits> {
+        let inner = b.clone();
+        FnSequence::new(b.clone(), b.size(), move |x| r_l(&inner, x))
+    }
+
+    #[test]
+    fn figure_5_shape_even_l1() {
+        // For l_1 = 4, l_2 = 3 the first column is walked top-down …
+        let b = base(4, 3);
+        assert_eq!(r_l(&b, 0).as_slice(), &[3, 0]);
+        assert_eq!(r_l(&b, 1).as_slice(), &[2, 0]);
+        assert_eq!(r_l(&b, 2).as_slice(), &[1, 0]);
+        assert_eq!(r_l(&b, 3).as_slice(), &[0, 0]);
+        // … and the remaining (4,2)-mesh is covered by f_{(4,2)} shifted one
+        // column to the right.
+        assert_eq!(r_l(&b, 4).as_slice(), &[0, 1]);
+        assert_eq!(r_l(&b, 5).as_slice(), &[0, 2]);
+        assert_eq!(r_l(&b, 11).as_slice(), &[3, 1]);
+    }
+
+    #[test]
+    fn r_l_is_bijective() {
+        for (l1, l2) in [(4u32, 3u32), (3, 3), (2, 2), (5, 2), (6, 4), (3, 2), (2, 5)] {
+            let b = base(l1, l2);
+            assert!(rl_sequence(&b).is_bijection(), "r_L bijective for {b}");
+        }
+    }
+
+    #[test]
+    fn lemma_21_unit_cyclic_mesh_spread_for_even_l1() {
+        for (l1, l2) in [(4u32, 3u32), (2, 2), (6, 4), (2, 5), (4, 2), (8, 3)] {
+            let b = base(l1, l2);
+            assert_eq!(
+                rl_sequence(&b).cyclic_spread_mesh(),
+                1,
+                "cyclic δ_m-spread of r_L for {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_26_unit_cyclic_torus_spread_for_any_l1() {
+        for (l1, l2) in [
+            (4u32, 3u32),
+            (3, 3),
+            (5, 2),
+            (3, 2),
+            (7, 5),
+            (2, 2),
+            (6, 4),
+            (5, 7),
+        ] {
+            let b = base(l1, l2);
+            assert_eq!(
+                rl_sequence(&b).cyclic_spread_torus(),
+                1,
+                "cyclic δ_t-spread of r_L for {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_8_last_element_for_odd_l1() {
+        // When l_1 is odd, r_L(n−1) = (l_1 − 1, l_2 − 1): the top node of the
+        // last column, a torus neighbor of r_L(0) = (l_1 − 1, 0).
+        for (l1, l2) in [(3u32, 3u32), (5, 2), (7, 4), (3, 2)] {
+            let b = base(l1, l2);
+            let last = r_l(&b, b.size() - 1);
+            assert_eq!(last.as_slice(), &[l1 - 1, l2 - 1]);
+            assert_eq!(r_l(&b, 0).as_slice(), &[l1 - 1, 0]);
+        }
+    }
+
+    #[test]
+    fn odd_l1_mesh_spread_exceeds_one() {
+        // With odd l_1 the cyclic δ_m-spread cannot be 1 (Corollary 18 for
+        // odd sizes; for odd l_1 and even l_2 the sequence closes across the
+        // full column height instead).
+        let b = base(3, 3);
+        assert!(rl_sequence(&b).cyclic_spread_mesh() > 1);
+    }
+
+    #[test]
+    fn l2_equal_two_special_case() {
+        let b = base(5, 2);
+        // Second column is walked bottom-up after the first column top-down.
+        assert_eq!(r_l(&b, 5).as_slice(), &[0, 1]);
+        assert_eq!(r_l(&b, 9).as_slice(), &[4, 1]);
+        assert!(rl_sequence(&b).is_bijection());
+    }
+
+    #[test]
+    #[should_panic(expected = "2-dimensional")]
+    fn non_two_dimensional_base_panics() {
+        let b = RadixBase::new(vec![2, 2, 2]).unwrap();
+        let _ = r_l(&b, 0);
+    }
+}

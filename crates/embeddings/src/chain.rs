@@ -1,0 +1,227 @@
+//! Multi-step embedding chains with per-step reporting.
+//!
+//! The paper repeatedly builds an embedding of `G` in `H` as a chain of
+//! simpler embeddings through intermediate graphs — `G → H′ → H` for
+//! increasing dimension (Section 4.1), `G → G′ → H′ → H` for general
+//! reduction (Section 4.2.2), and `G = I₀ → I₁ → … → I_{u−v} = H` for square
+//! graphs whose dimensions are not divisible (Theorem 51). The composed
+//! [`Embedding`] hides the intermediates; an [`EmbeddingChain`] keeps them,
+//! so that examples, benchmarks and EXPERIMENTS.md can report the dilation
+//! paid at every step and check it against the multiplicative bound
+//! `dilation(chain) ≤ Π dilation(step)`.
+
+use topology::Grid;
+
+use crate::auto::embed;
+use crate::embedding::Embedding;
+use crate::error::{EmbeddingError, Result};
+
+/// One step of a chain, with the measurements the reports need.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainStep {
+    /// The construction name of the step (e.g. `"π ∘ H_V"`).
+    pub name: String,
+    /// The step's guest graph, rendered (e.g. `"(4,2,3)-torus"`).
+    pub guest: String,
+    /// The step's host graph, rendered.
+    pub host: String,
+    /// The measured dilation of the step on its own.
+    pub dilation: u64,
+}
+
+/// A chain of embeddings `G = G₀ → G₁ → … → G_k = H` whose composition is an
+/// embedding of `G` in `H`.
+#[derive(Clone, Debug)]
+pub struct EmbeddingChain {
+    steps: Vec<Embedding>,
+}
+
+impl EmbeddingChain {
+    /// Builds a chain from explicit steps, checking that each step's host is
+    /// the next step's guest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::Unsupported`] if the chain is empty or the
+    /// intermediate graphs do not line up.
+    pub fn new(steps: Vec<Embedding>) -> Result<Self> {
+        if steps.is_empty() {
+            return Err(EmbeddingError::Unsupported {
+                details: "an embedding chain needs at least one step".to_string(),
+            });
+        }
+        for window in steps.windows(2) {
+            if window[0].host() != window[1].guest() {
+                return Err(EmbeddingError::Unsupported {
+                    details: format!(
+                        "chain steps do not line up: {} is followed by a step from {}",
+                        window[0].host(),
+                        window[1].guest()
+                    ),
+                });
+            }
+        }
+        Ok(EmbeddingChain { steps })
+    }
+
+    /// Builds a chain from `guest`, through the listed intermediate graphs,
+    /// to `host`, planning each leg with [`crate::auto::embed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the planner's error for any leg the paper's constructions
+    /// do not cover, and [`EmbeddingError::SizeMismatch`] if any graph in the
+    /// chain differs in size.
+    pub fn through(guest: &Grid, waypoints: &[Grid], host: &Grid) -> Result<Self> {
+        let mut steps = Vec::with_capacity(waypoints.len() + 1);
+        let mut current = guest.clone();
+        for next in waypoints.iter().chain(std::iter::once(host)) {
+            steps.push(embed(&current, next)?);
+            current = next.clone();
+        }
+        EmbeddingChain::new(steps)
+    }
+
+    /// The steps of the chain, in order.
+    pub fn steps(&self) -> &[Embedding] {
+        &self.steps
+    }
+
+    /// The number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the chain has no steps (never true for a constructed chain).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The overall guest graph `G`.
+    pub fn guest(&self) -> &Grid {
+        self.steps.first().expect("chain is non-empty").guest()
+    }
+
+    /// The overall host graph `H`.
+    pub fn host(&self) -> &Grid {
+        self.steps.last().expect("chain is non-empty").host()
+    }
+
+    /// Composes the chain into a single embedding of [`Self::guest`] in
+    /// [`Self::host`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a chain constructed by [`EmbeddingChain::new`] or
+    /// [`EmbeddingChain::through`]; the `Result` mirrors
+    /// [`Embedding::compose`].
+    pub fn compose(&self) -> Result<Embedding> {
+        let mut composed = self.steps[0].clone();
+        for step in &self.steps[1..] {
+            composed = composed.compose(step)?;
+        }
+        Ok(composed)
+    }
+
+    /// The product of the per-step dilations — an upper bound on the dilation
+    /// of the composed embedding, since a path of length `k` in an
+    /// intermediate graph maps to a path of length at most `k · dilation` in
+    /// the next graph.
+    pub fn dilation_product_bound(&self) -> u64 {
+        self.steps.iter().map(|step| step.dilation()).product()
+    }
+
+    /// Measures each step and returns the per-step report.
+    pub fn report(&self) -> Vec<ChainStep> {
+        self.steps
+            .iter()
+            .map(|step| ChainStep {
+                name: step.name().to_string(),
+                guest: step.guest().to_string(),
+                host: step.host().to_string(),
+                dilation: step.dilation(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn ring_to_mesh_to_higher_mesh_chain_composes_with_unit_dilation() {
+        // ring(24) → (4,6)-mesh → (4,2,3)-mesh: both legs have unit dilation
+        // and so does the composition.
+        let ring = Grid::ring(24).unwrap();
+        let mid = Grid::mesh(shape(&[4, 6]));
+        let host = Grid::mesh(shape(&[4, 2, 3]));
+        let chain = EmbeddingChain::through(&ring, &[mid], &host).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.guest().size(), 24);
+        assert_eq!(chain.host().shape().radices(), &[4, 2, 3]);
+
+        let report = chain.report();
+        assert_eq!(report.len(), 2);
+        assert!(report.iter().all(|step| step.dilation == 1));
+
+        let composed = chain.compose().unwrap();
+        assert!(composed.is_injective());
+        assert_eq!(composed.dilation(), 1);
+        assert_eq!(chain.dilation_product_bound(), 1);
+    }
+
+    #[test]
+    fn composed_dilation_respects_the_product_bound() {
+        // hypercube(16) → (4,4)-mesh → line(16): the second leg dominates.
+        let guest = Grid::hypercube(4).unwrap();
+        let mid = Grid::mesh(shape(&[4, 4]));
+        let host = Grid::line(16).unwrap();
+        let chain = EmbeddingChain::through(&guest, &[mid], &host).unwrap();
+        let composed = chain.compose().unwrap();
+        assert!(composed.is_injective());
+        assert!(composed.dilation() <= chain.dilation_product_bound());
+        assert!(chain.report().iter().any(|step| step.dilation > 1));
+    }
+
+    #[test]
+    fn direct_and_chained_square_lowering_agree_on_the_guarantee() {
+        // (4,4,4)-mesh → (8,8)-mesh directly, and via the same planner in a
+        // one-step chain: the chain machinery must not change the measured
+        // dilation.
+        let guest = Grid::mesh(shape(&[4, 4, 4]));
+        let host = Grid::mesh(shape(&[8, 8]));
+        let direct = embed(&guest, &host).unwrap();
+        let chain = EmbeddingChain::through(&guest, &[], &host).unwrap();
+        let composed = chain.compose().unwrap();
+        assert_eq!(composed.dilation(), direct.dilation());
+        assert_eq!(chain.len(), 1);
+    }
+
+    #[test]
+    fn empty_chains_are_rejected() {
+        assert!(EmbeddingChain::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn misaligned_chains_are_rejected() {
+        let a = Embedding::identity(Grid::ring(6).unwrap(), Grid::ring(6).unwrap()).unwrap();
+        let b = Embedding::identity(Grid::line(6).unwrap(), Grid::line(6).unwrap()).unwrap();
+        let err = EmbeddingChain::new(vec![a, b]).unwrap_err();
+        assert!(matches!(err, EmbeddingError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn through_propagates_planner_errors() {
+        // Mismatched sizes on the second leg.
+        let guest = Grid::ring(8).unwrap();
+        let waypoint = Grid::ring(8).unwrap();
+        let host = Grid::line(9).unwrap();
+        assert!(EmbeddingChain::through(&guest, &[waypoint], &host).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Edge congestion of an embedding.
+//!
+//! The paper optimizes dilation only, but a downstream user placing a task
+//! graph on a network usually also cares about **congestion**: when every
+//! guest edge is routed along a shortest path in the host, how many routed
+//! paths share the busiest host link? This module measures congestion under
+//! deterministic dimension-ordered routing (the same discipline the `netsim`
+//! crate simulates), as a library-level extension of the paper's cost model.
+
+use std::collections::HashMap;
+
+use topology::{Coord, Grid};
+
+use crate::embedding::Embedding;
+use crate::error::{EmbeddingError, Result};
+
+/// Aggregate congestion statistics for an embedding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CongestionReport {
+    /// The number of routed guest edges.
+    pub guest_edges: u64,
+    /// The maximum number of routed paths sharing a single host edge.
+    pub max_congestion: u64,
+    /// The mean load over host edges that carry at least one path.
+    pub average_congestion: f64,
+    /// The number of distinct host edges used by at least one path.
+    pub used_host_edges: u64,
+    /// The total routed path length (equals the sum of host distances between
+    /// images of adjacent guest nodes).
+    pub total_path_length: u64,
+}
+
+/// The next hop from `from` toward `to` under dimension-ordered routing
+/// (lowest-index differing dimension first, shorter arc on toruses).
+fn next_hop(host: &Grid, from: &Coord, to: &Coord) -> Option<Coord> {
+    for j in 0..host.dim() {
+        let (x, y) = (from.get(j), to.get(j));
+        if x == y {
+            continue;
+        }
+        let l = host.shape().radix(j);
+        let step: i64 = if host.is_torus() {
+            let forward = (y as i64 - x as i64).rem_euclid(l as i64);
+            let backward = (x as i64 - y as i64).rem_euclid(l as i64);
+            if forward <= backward {
+                1
+            } else {
+                -1
+            }
+        } else if y > x {
+            1
+        } else {
+            -1
+        };
+        let mut next = *from;
+        next.set(j, (x as i64 + step).rem_euclid(l as i64) as u32);
+        return Some(next);
+    }
+    None
+}
+
+/// Measures the congestion of `embedding` under dimension-ordered shortest
+/// path routing of every guest edge.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::TooLarge`] for guests above 2²⁶ nodes (the
+/// per-edge hash map would dominate memory).
+pub fn congestion(embedding: &Embedding) -> Result<CongestionReport> {
+    const LIMIT: u64 = 1 << 26;
+    if embedding.size() > LIMIT {
+        return Err(EmbeddingError::TooLarge {
+            size: embedding.size(),
+            limit: LIMIT,
+        });
+    }
+    let host = embedding.host();
+    let mut loads: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut guest_edges = 0u64;
+    let mut total_path_length = 0u64;
+    for (a, b) in embedding.guest().edges() {
+        guest_edges += 1;
+        let mut current = embedding.map(a);
+        let target = embedding.map(b);
+        let mut current_index = host.index(&current).expect("valid host node");
+        while let Some(next) = next_hop(host, &current, &target) {
+            let next_index = host.index(&next).expect("valid host node");
+            let key = (
+                current_index.min(next_index),
+                current_index.max(next_index),
+            );
+            *loads.entry(key).or_insert(0) += 1;
+            total_path_length += 1;
+            current = next;
+            current_index = next_index;
+        }
+    }
+    let used_host_edges = loads.len() as u64;
+    let max_congestion = loads.values().copied().max().unwrap_or(0);
+    let average_congestion = if used_host_edges == 0 {
+        0.0
+    } else {
+        total_path_length as f64 / used_host_edges as f64
+    };
+    Ok(CongestionReport {
+        guest_edges,
+        max_congestion,
+        average_congestion,
+        used_host_edges,
+        total_path_length,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auto::embed;
+    use crate::basic::{embed_line_in, embed_ring_in};
+    use crate::same_shape::embed_same_shape;
+    use topology::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn unit_dilation_ring_embeddings_have_unit_congestion() {
+        // A Hamiltonian-circuit embedding maps distinct guest edges to
+        // distinct host edges, so no link is shared.
+        for host in [
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[3, 3, 3])),
+            Grid::hypercube(4).unwrap(),
+        ] {
+            let e = embed_ring_in(&host).unwrap();
+            assert_eq!(e.dilation(), 1);
+            let report = congestion(&e).unwrap();
+            assert_eq!(report.max_congestion, 1, "host {host}");
+            assert_eq!(report.guest_edges, host.size());
+            assert_eq!(report.used_host_edges, host.size());
+            assert_eq!(report.total_path_length, host.size());
+        }
+    }
+
+    #[test]
+    fn line_embeddings_have_unit_congestion() {
+        let host = Grid::mesh(shape(&[3, 5]));
+        let e = embed_line_in(&host).unwrap();
+        let report = congestion(&e).unwrap();
+        assert_eq!(report.max_congestion, 1);
+        assert_eq!(report.guest_edges, host.size() - 1);
+        assert!((report.average_congestion - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_embedding_congestion_is_one() {
+        let mesh = Grid::mesh(shape(&[4, 4]));
+        let torus = Grid::torus(shape(&[4, 4]));
+        let e = Embedding::identity(mesh.clone(), torus).unwrap();
+        let report = congestion(&e).unwrap();
+        assert_eq!(report.max_congestion, 1);
+        assert_eq!(report.guest_edges, mesh.num_edges());
+    }
+
+    #[test]
+    fn total_path_length_matches_sum_of_distances() {
+        let guest = Grid::torus(shape(&[3, 3]));
+        let host = Grid::mesh(shape(&[3, 3]));
+        let e = embed_same_shape(&guest, &host).unwrap();
+        let report = congestion(&e).unwrap();
+        let expected: u64 = guest
+            .edges()
+            .map(|(a, b)| host.distance(&e.map(a), &e.map(b)))
+            .sum();
+        assert_eq!(report.total_path_length, expected);
+        assert!(report.max_congestion >= 1);
+    }
+
+    #[test]
+    fn lowering_dimension_concentrates_load() {
+        // Collapsing a 2-D mesh onto a line funnels many guest edges through
+        // the middle links: congestion must exceed 1.
+        let guest = Grid::mesh(shape(&[4, 4]));
+        let host = Grid::line(16).unwrap();
+        let e = embed(&guest, &host).unwrap();
+        let report = congestion(&e).unwrap();
+        assert!(report.max_congestion > 1);
+        assert!(report.average_congestion >= 1.0);
+        assert!(report.used_host_edges <= host.num_edges());
+    }
+
+    #[test]
+    fn congestion_routes_respect_host_adjacency_lengths() {
+        // Dimension-ordered routes are shortest routes, so the total path
+        // length equals the total dilation mass for any embedding.
+        let guest = Grid::hypercube(4).unwrap();
+        let host = Grid::mesh(shape(&[4, 4]));
+        let e = embed(&guest, &host).unwrap();
+        let report = congestion(&e).unwrap();
+        let (avg, edges) = e.average_dilation();
+        assert_eq!(report.guest_edges, edges);
+        assert!((report.total_path_length as f64 - avg * edges as f64).abs() < 1e-9);
+    }
+}

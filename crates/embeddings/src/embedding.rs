@@ -1,0 +1,415 @@
+//! The [`Embedding`] type: an injection of the nodes of a guest graph `G`
+//! into the nodes of a host graph `H`, together with its dilation cost
+//! (Definition 1 of the paper).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use topology::parallel::{parallel_map_reduce, recommended_threads};
+use topology::{Coord, Grid};
+
+use crate::error::{EmbeddingError, Result};
+
+/// The mapping function of an embedding: guest node index → host coordinate.
+pub type MapFn = Arc<dyn Fn(u64) -> Coord + Send + Sync>;
+
+/// An embedding `f : V_G → V_H` of a guest torus/mesh `G` in a host
+/// torus/mesh `H` of the same size.
+///
+/// The mapping is stored as a function of the guest node *index*, returning a
+/// host *coordinate*; every construction in the paper evaluates in
+/// `O(dimension of H)` time per node, so embeddings of multi-million-node
+/// graphs never need to be materialized. Use [`Embedding::to_table`] when an
+/// explicit table is wanted.
+#[derive(Clone)]
+pub struct Embedding {
+    guest: Grid,
+    host: Grid,
+    name: String,
+    map: MapFn,
+}
+
+impl Embedding {
+    /// Creates an embedding from a mapping function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SizeMismatch`] if the graphs differ in size.
+    /// The injectivity of `map` is *not* checked here (use
+    /// [`Embedding::is_injective`] or [`crate::verify::verify`]).
+    pub fn new(
+        guest: Grid,
+        host: Grid,
+        name: impl Into<String>,
+        map: MapFn,
+    ) -> Result<Self> {
+        if guest.size() != host.size() {
+            return Err(EmbeddingError::SizeMismatch {
+                guest: guest.size(),
+                host: host.size(),
+            });
+        }
+        Ok(Embedding {
+            guest,
+            host,
+            name: name.into(),
+            map,
+        })
+    }
+
+    /// Creates the identity embedding between two graphs of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes differ.
+    pub fn identity(guest: Grid, host: Grid) -> Result<Self> {
+        if guest.shape() != host.shape() {
+            return Err(EmbeddingError::Unsupported {
+                details: format!(
+                    "identity embedding requires equal shapes, got {} and {}",
+                    guest.shape(),
+                    host.shape()
+                ),
+            });
+        }
+        let shape = host.shape().clone();
+        Embedding::new(
+            guest,
+            host,
+            "identity",
+            Arc::new(move |x| shape.to_digits(x).expect("index in range")),
+        )
+    }
+
+    /// The guest graph `G`.
+    pub fn guest(&self) -> &Grid {
+        &self.guest
+    }
+
+    /// The host graph `H`.
+    pub fn host(&self) -> &Grid {
+        &self.host
+    }
+
+    /// A human-readable name of the construction (e.g. `"f_L"`, `"π∘H_V"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of nodes of either graph.
+    pub fn size(&self) -> u64 {
+        self.guest.size()
+    }
+
+    /// The image of guest node `x` as a host coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range (constructions map exactly `[0, n)`).
+    pub fn map(&self, x: u64) -> Coord {
+        (self.map)(x)
+    }
+
+    /// The image of guest node `x` as a host linear index.
+    pub fn map_index(&self, x: u64) -> u64 {
+        self.host
+            .index(&self.map(x))
+            .expect("embedding images must be valid host nodes")
+    }
+
+    /// The images of all guest nodes, as host linear indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::TooLarge`] for graphs with more than
+    /// 2³⁰ nodes.
+    pub fn to_table(&self) -> Result<Vec<u64>> {
+        const LIMIT: u64 = 1 << 30;
+        if self.size() > LIMIT {
+            return Err(EmbeddingError::TooLarge {
+                size: self.size(),
+                limit: LIMIT,
+            });
+        }
+        Ok((0..self.size()).map(|x| self.map_index(x)).collect())
+    }
+
+    /// Whether the mapping is injective (and therefore bijective, since the
+    /// graphs have equal size).
+    pub fn is_injective(&self) -> bool {
+        let n = self.size();
+        let words = n.div_ceil(64) as usize;
+        let mut seen = vec![0u64; words];
+        for x in 0..n {
+            let y = self.map_index(x);
+            if y >= n {
+                return false;
+            }
+            let (w, b) = ((y / 64) as usize, y % 64);
+            if seen[w] >> b & 1 == 1 {
+                return false;
+            }
+            seen[w] |= 1 << b;
+        }
+        true
+    }
+
+    /// The dilation cost: the maximum host distance between the images of
+    /// adjacent guest nodes (Definition 1), computed sequentially.
+    pub fn dilation(&self) -> u64 {
+        self.guest
+            .edges()
+            .map(|(a, b)| self.host.distance(&self.map(a), &self.map(b)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The dilation cost, computed with a crossbeam fork–join sweep over the
+    /// guest's nodes (each worker enumerates the edges incident to its node
+    /// range). `threads = 0` selects [`recommended_threads`].
+    pub fn dilation_parallel(&self, threads: usize) -> u64 {
+        let threads = if threads == 0 {
+            recommended_threads()
+        } else {
+            threads
+        };
+        parallel_map_reduce(
+            self.size(),
+            threads,
+            0u64,
+            |range| {
+                let mut worst = 0u64;
+                for x in range {
+                    let fx = self.map(x);
+                    // Enumerate each incident edge from its lower endpoint the
+                    // same way EdgeIter does: neighbors with a larger index,
+                    // plus wrap-around edges pointing back to index 0 of a
+                    // dimension.
+                    for y in self
+                        .guest
+                        .neighbors(x)
+                        .expect("node in range")
+                    {
+                        if y > x {
+                            let fy = self.map(y);
+                            worst = worst.max(self.host.distance(&fx, &fy));
+                        }
+                    }
+                }
+                worst
+            },
+            u64::max,
+        )
+    }
+
+    /// The average host distance over all guest edges (a secondary measure
+    /// sometimes reported alongside dilation), together with the edge count.
+    pub fn average_dilation(&self) -> (f64, u64) {
+        let mut total = 0u64;
+        let mut edges = 0u64;
+        for (a, b) in self.guest.edges() {
+            total += self.host.distance(&self.map(a), &self.map(b));
+            edges += 1;
+        }
+        if edges == 0 {
+            (0.0, 0)
+        } else {
+            (total as f64 / edges as f64, edges)
+        }
+    }
+
+    /// Histogram of host distances over all guest edges: distance → number of
+    /// guest edges dilated to that distance.
+    pub fn dilation_histogram(&self) -> BTreeMap<u64, u64> {
+        let mut histogram = BTreeMap::new();
+        for (a, b) in self.guest.edges() {
+            let d = self.host.distance(&self.map(a), &self.map(b));
+            *histogram.entry(d).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Composes two embeddings: `self : G → I` followed by `other : I → H`,
+    /// giving an embedding `G → H` (the paper repeatedly builds embeddings as
+    /// such chains, e.g. `G → G′ → H′ → H`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `other`'s guest is not the same graph as `self`'s
+    /// host.
+    pub fn compose(&self, other: &Embedding) -> Result<Embedding> {
+        if self.host != *other.guest() {
+            return Err(EmbeddingError::Unsupported {
+                details: format!(
+                    "cannot compose: intermediate graphs differ ({} vs {})",
+                    self.host,
+                    other.guest()
+                ),
+            });
+        }
+        let first = self.clone();
+        let second = other.clone();
+        let name = format!("{} ∘ {}", other.name(), self.name());
+        Embedding::new(
+            self.guest.clone(),
+            other.host().clone(),
+            name,
+            Arc::new(move |x| second.map(first.map_index(x))),
+        )
+    }
+
+    /// Renames the embedding (used by higher-level constructions to attach
+    /// the paper's function names to composed maps).
+    pub fn with_name(mut self, name: impl Into<String>) -> Embedding {
+        self.name = name.into();
+        self
+    }
+}
+
+impl core::fmt::Debug for Embedding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Embedding({} : {} -> {})",
+            self.name, self.guest, self.host
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    /// Row-major (natural order) embedding of a line in a mesh — not optimal,
+    /// but a convenient fixture.
+    fn row_major(line_size: u64, host: Grid) -> Embedding {
+        let line = Grid::line(line_size).unwrap();
+        let host_shape = host.shape().clone();
+        Embedding::new(
+            line,
+            host,
+            "row-major",
+            Arc::new(move |x| host_shape.to_digits(x).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let line = Grid::line(6).unwrap();
+        let mesh = Grid::mesh(shape(&[2, 2]));
+        let result = Embedding::new(line, mesh, "bad", Arc::new(|_| Coord::empty()));
+        assert!(matches!(result, Err(EmbeddingError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn row_major_line_in_mesh_has_dilation_four() {
+        // The natural-order sequence P is not a good embedding: the jump from
+        // (0,3) to (1,0) on a (3,4)-mesh costs 1 + 3 = 4.
+        let e = row_major(12, Grid::mesh(shape(&[3, 4])));
+        assert!(e.is_injective());
+        assert_eq!(e.dilation(), 4);
+        assert_eq!(e.dilation_parallel(4), e.dilation());
+        let (avg, edges) = e.average_dilation();
+        assert_eq!(edges, 11);
+        assert!(avg >= 1.0);
+    }
+
+    #[test]
+    fn identity_embedding_has_unit_dilation_mesh_to_torus() {
+        let mesh = Grid::mesh(shape(&[3, 4]));
+        let torus = Grid::torus(shape(&[3, 4]));
+        let e = Embedding::identity(mesh, torus).unwrap();
+        assert!(e.is_injective());
+        assert_eq!(e.dilation(), 1);
+        assert_eq!(e.name(), "identity");
+    }
+
+    #[test]
+    fn identity_requires_equal_shapes() {
+        let mesh = Grid::mesh(shape(&[3, 4]));
+        let other = Grid::mesh(shape(&[4, 3]));
+        assert!(Embedding::identity(mesh, other).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_every_edge() {
+        let e = row_major(12, Grid::mesh(shape(&[3, 4])));
+        let histogram = e.dilation_histogram();
+        let total: u64 = histogram.values().sum();
+        assert_eq!(total, e.guest().num_edges());
+        assert_eq!(*histogram.keys().max().unwrap(), e.dilation());
+    }
+
+    #[test]
+    fn non_injective_mapping_is_detected() {
+        let line = Grid::line(4).unwrap();
+        let host = Grid::line(4).unwrap();
+        let e = Embedding::new(
+            line,
+            host,
+            "constant",
+            Arc::new(|_| Coord::from_slice(&[0]).unwrap()),
+        )
+        .unwrap();
+        assert!(!e.is_injective());
+    }
+
+    #[test]
+    fn table_matches_map_index() {
+        let e = row_major(6, Grid::mesh(shape(&[2, 3])));
+        let table = e.to_table().unwrap();
+        assert_eq!(table.len(), 6);
+        for (x, &y) in table.iter().enumerate() {
+            assert_eq!(e.map_index(x as u64), y);
+        }
+    }
+
+    #[test]
+    fn compose_chains_mappings() {
+        let mesh = Grid::mesh(shape(&[2, 3]));
+        let torus = Grid::torus(shape(&[2, 3]));
+        let a = Embedding::identity(Grid::mesh(shape(&[2, 3])), mesh.clone()).unwrap();
+        let b = Embedding::identity(mesh, torus).unwrap();
+        let c = a.compose(&b).unwrap();
+        assert_eq!(c.guest().kind(), topology::GraphKind::Mesh);
+        assert_eq!(c.host().kind(), topology::GraphKind::Torus);
+        assert_eq!(c.dilation(), 1);
+        assert!(c.name().contains("identity"));
+    }
+
+    #[test]
+    fn compose_rejects_mismatched_intermediates() {
+        let a = Embedding::identity(Grid::line(4).unwrap(), Grid::line(4).unwrap()).unwrap();
+        let b = Embedding::identity(Grid::ring(4).unwrap(), Grid::ring(4).unwrap()).unwrap();
+        assert!(a.compose(&b).is_err());
+    }
+
+    #[test]
+    fn with_name_renames() {
+        let e = Embedding::identity(Grid::line(4).unwrap(), Grid::line(4).unwrap())
+            .unwrap()
+            .with_name("custom");
+        assert_eq!(e.name(), "custom");
+        assert!(format!("{e:?}").contains("custom"));
+    }
+
+    #[test]
+    fn parallel_dilation_matches_sequential_on_various_hosts() {
+        for host in [
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[4, 2, 3])),
+        ] {
+            let e = row_major(24, host);
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(e.dilation_parallel(threads), e.dilation());
+            }
+            assert_eq!(e.dilation_parallel(0), e.dilation());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Error types for the `embeddings` crate.
+
+use core::fmt;
+
+use mixedradix::MixedRadixError;
+use topology::TopologyError;
+
+/// Errors produced when constructing embeddings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbeddingError {
+    /// An underlying mixed-radix error.
+    Radix(MixedRadixError),
+    /// An underlying topology error.
+    Topology(TopologyError),
+    /// The two graphs must have the same number of nodes (all embeddings in
+    /// the paper are between graphs of equal size).
+    SizeMismatch {
+        /// Size of the guest graph `G`.
+        guest: u64,
+        /// Size of the host graph `H`.
+        host: u64,
+    },
+    /// The shapes do not satisfy the condition required by the requested
+    /// construction (expansion, simple reduction, or general reduction).
+    ConditionNotSatisfied {
+        /// Which condition failed.
+        condition: &'static str,
+        /// Human-readable details.
+        details: String,
+    },
+    /// The pair of graphs falls outside the cases covered by the paper's
+    /// constructions.
+    Unsupported {
+        /// Human-readable description of the unsupported case.
+        details: String,
+    },
+    /// A provided factor (expansion or reduction) is not valid for the given
+    /// shapes.
+    InvalidFactor {
+        /// Human-readable description of the problem.
+        details: String,
+    },
+    /// The requested graph is too large for the requested operation (e.g.
+    /// materializing a table or running an exhaustive search).
+    TooLarge {
+        /// The offending size.
+        size: u64,
+        /// The limit for this operation.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbeddingError::Radix(e) => write!(f, "radix error: {e}"),
+            EmbeddingError::Topology(e) => write!(f, "topology error: {e}"),
+            EmbeddingError::SizeMismatch { guest, host } => write!(
+                f,
+                "guest and host must have the same size, got {guest} and {host}"
+            ),
+            EmbeddingError::ConditionNotSatisfied { condition, details } => {
+                write!(f, "the condition of {condition} is not satisfied: {details}")
+            }
+            EmbeddingError::Unsupported { details } => {
+                write!(f, "unsupported embedding case: {details}")
+            }
+            EmbeddingError::InvalidFactor { details } => {
+                write!(f, "invalid factor: {details}")
+            }
+            EmbeddingError::TooLarge { size, limit } => {
+                write!(f, "graph of size {size} exceeds the limit {limit} for this operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmbeddingError::Radix(e) => Some(e),
+            EmbeddingError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MixedRadixError> for EmbeddingError {
+    fn from(value: MixedRadixError) -> Self {
+        EmbeddingError::Radix(value)
+    }
+}
+
+impl From<TopologyError> for EmbeddingError {
+    fn from(value: TopologyError) -> Self {
+        EmbeddingError::Topology(value)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EmbeddingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EmbeddingError::SizeMismatch { guest: 8, host: 9 };
+        assert!(e.to_string().contains("same size"));
+        let e = EmbeddingError::ConditionNotSatisfied {
+            condition: "expansion",
+            details: "no factor".into(),
+        };
+        assert!(e.to_string().contains("expansion"));
+        let e: EmbeddingError = MixedRadixError::EmptyBase.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: EmbeddingError = TopologyError::GraphTooSmall { size: 1 }.into();
+        assert!(e.to_string().contains("topology"));
+        let e = EmbeddingError::TooLarge { size: 100, limit: 10 };
+        assert!(e.to_string().contains("exceeds"));
+        let e = EmbeddingError::Unsupported { details: "d=c".into() };
+        assert!(e.to_string().contains("unsupported"));
+        let e = EmbeddingError::InvalidFactor { details: "bad".into() };
+        assert!(e.to_string().contains("invalid factor"));
+    }
+}

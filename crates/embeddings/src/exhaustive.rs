@@ -1,0 +1,267 @@
+//! Exhaustive optimal-dilation search for tiny instances.
+//!
+//! The paper's optimality claims (e.g. a ring cannot be embedded in an
+//! odd-size mesh with unit dilation; a torus of odd size cannot be embedded
+//! in a mesh with unit dilation) are proved combinatorially. This module
+//! provides a branch-and-bound search over all embeddings of tiny graphs so
+//! the test-suite can cross-check those claims — and the optimality of the
+//! constructions themselves — without trusting the proofs.
+
+use topology::Grid;
+
+use crate::error::{EmbeddingError, Result};
+
+/// The default node-count limit for exhaustive searches.
+pub const DEFAULT_LIMIT: u64 = 16;
+
+/// Decides whether `guest` can be embedded in `host` with dilation at most
+/// `bound`, by branch-and-bound over all injections.
+///
+/// Guest nodes are assigned in a BFS order from node 0, so every new
+/// assignment is adjacent to an already-assigned node and can be pruned
+/// against `bound` immediately.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::TooLarge`] if either graph exceeds `limit` nodes
+/// (default [`DEFAULT_LIMIT`]), or [`EmbeddingError::SizeMismatch`] if the
+/// sizes differ.
+pub fn embedding_exists_with_dilation(
+    guest: &Grid,
+    host: &Grid,
+    bound: u64,
+    limit: Option<u64>,
+) -> Result<bool> {
+    let limit = limit.unwrap_or(DEFAULT_LIMIT);
+    if guest.size() != host.size() {
+        return Err(EmbeddingError::SizeMismatch {
+            guest: guest.size(),
+            host: host.size(),
+        });
+    }
+    if guest.size() > limit {
+        return Err(EmbeddingError::TooLarge {
+            size: guest.size(),
+            limit,
+        });
+    }
+    let n = guest.size() as usize;
+
+    // Assignment order: BFS from node 0 so each node (after the first) has at
+    // least one previously assigned neighbor.
+    let order = bfs_order(guest);
+    // For each node in `order`, the already-assigned neighbors (as positions
+    // in `order`).
+    let mut earlier_neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut position = vec![usize::MAX; n];
+    for (pos, &node) in order.iter().enumerate() {
+        position[node as usize] = pos;
+    }
+    for (pos, &node) in order.iter().enumerate() {
+        for neighbor in guest.neighbors(node).expect("node in range") {
+            let npos = position[neighbor as usize];
+            if npos < pos {
+                earlier_neighbors[pos].push(npos);
+            }
+        }
+    }
+
+    // Precompute host distances.
+    let mut host_distance = vec![vec![0u64; n]; n];
+    for (a, row) in host_distance.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
+            *cell = host.distance_index(a as u64, b as u64).expect("in range");
+        }
+    }
+
+    let mut assignment: Vec<usize> = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+
+    fn backtrack(
+        pos: usize,
+        n: usize,
+        bound: u64,
+        earlier_neighbors: &[Vec<usize>],
+        host_distance: &[Vec<u64>],
+        assignment: &mut [usize],
+        used: &mut [bool],
+    ) -> bool {
+        if pos == n {
+            return true;
+        }
+        for candidate in 0..n {
+            if used[candidate] {
+                continue;
+            }
+            // Symmetry breaking: the first node can go anywhere, but trying
+            // every host node is wasteful only for large hosts; keep it exact.
+            let ok = earlier_neighbors[pos]
+                .iter()
+                .all(|&e| host_distance[assignment[e]][candidate] <= bound);
+            if !ok {
+                continue;
+            }
+            used[candidate] = true;
+            assignment[pos] = candidate;
+            if backtrack(
+                pos + 1,
+                n,
+                bound,
+                earlier_neighbors,
+                host_distance,
+                assignment,
+                used,
+            ) {
+                return true;
+            }
+            used[candidate] = false;
+            assignment[pos] = usize::MAX;
+        }
+        false
+    }
+
+    Ok(backtrack(
+        0,
+        n,
+        bound,
+        &earlier_neighbors,
+        &host_distance,
+        &mut assignment,
+        &mut used,
+    ))
+}
+
+/// The optimal (minimum) dilation over all embeddings of `guest` in `host`,
+/// found by increasing the bound until an embedding exists.
+///
+/// # Errors
+///
+/// Propagates the size and limit errors of [`embedding_exists_with_dilation`].
+pub fn optimal_dilation_exhaustive(
+    guest: &Grid,
+    host: &Grid,
+    limit: Option<u64>,
+) -> Result<u64> {
+    let max_bound = host.diameter().max(1);
+    for bound in 1..=max_bound {
+        if embedding_exists_with_dilation(guest, host, bound, limit)? {
+            return Ok(bound);
+        }
+    }
+    Ok(max_bound)
+}
+
+fn bfs_order(grid: &Grid) -> Vec<u64> {
+    let n = grid.size() as usize;
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0u64);
+    seen[0] = true;
+    while let Some(x) = queue.pop_front() {
+        order.push(x);
+        for y in grid.neighbors(x).expect("node in range") {
+            if !seen[y as usize] {
+                seen[y as usize] = true;
+                queue.push_back(y);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::embed_ring_in;
+    use crate::same_shape::embed_same_shape;
+    use topology::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn ring_in_odd_mesh_needs_dilation_two() {
+        // Theorem 17's optimality: a ring cannot be embedded in a mesh of odd
+        // size with unit dilation.
+        let host = Grid::mesh(shape(&[3, 3]));
+        let guest = Grid::ring(9).unwrap();
+        assert_eq!(optimal_dilation_exhaustive(&guest, &host, None).unwrap(), 2);
+        // And our construction achieves exactly that optimum.
+        assert_eq!(embed_ring_in(&host).unwrap().dilation(), 2);
+    }
+
+    #[test]
+    fn ring_in_line_needs_dilation_two() {
+        let host = Grid::line(6).unwrap();
+        let guest = Grid::ring(6).unwrap();
+        assert_eq!(optimal_dilation_exhaustive(&guest, &host, None).unwrap(), 2);
+    }
+
+    #[test]
+    fn ring_in_even_mesh_admits_unit_dilation() {
+        let host = Grid::mesh(shape(&[4, 3]));
+        let guest = Grid::ring(12).unwrap();
+        assert_eq!(optimal_dilation_exhaustive(&guest, &host, None).unwrap(), 1);
+    }
+
+    #[test]
+    fn odd_torus_in_same_shape_mesh_needs_dilation_two() {
+        // Lemma 36 / Theorem 32(iii) optimality on a tiny case.
+        let guest = Grid::torus(shape(&[3, 3]));
+        let host = Grid::mesh(shape(&[3, 3]));
+        assert_eq!(optimal_dilation_exhaustive(&guest, &host, None).unwrap(), 2);
+        assert_eq!(embed_same_shape(&guest, &host).unwrap().dilation(), 2);
+    }
+
+    #[test]
+    fn line_in_anything_admits_unit_dilation() {
+        for host in [
+            Grid::mesh(shape(&[3, 4])),
+            Grid::torus(shape(&[2, 2, 3])),
+            Grid::hypercube(3).unwrap(),
+        ] {
+            let guest = Grid::line(host.size()).unwrap();
+            assert_eq!(
+                optimal_dilation_exhaustive(&guest, &host, None).unwrap(),
+                1,
+                "host {host}"
+            );
+        }
+    }
+
+    #[test]
+    fn torus_of_even_size_in_mesh_of_same_shape_sometimes_needs_two() {
+        // A (2,4)-torus in a (2,4)-mesh: the wrap edge of length 4 forces
+        // dilation 2 even though the size is even.
+        let guest = Grid::torus(shape(&[2, 4]));
+        let host = Grid::mesh(shape(&[2, 4]));
+        assert_eq!(optimal_dilation_exhaustive(&guest, &host, None).unwrap(), 2);
+    }
+
+    #[test]
+    fn errors_on_large_or_mismatched_graphs() {
+        let guest = Grid::ring(32).unwrap();
+        let host = Grid::mesh(shape(&[4, 8]));
+        assert!(matches!(
+            optimal_dilation_exhaustive(&guest, &host, None),
+            Err(EmbeddingError::TooLarge { .. })
+        ));
+        assert!(optimal_dilation_exhaustive(&guest, &host, Some(64)).is_ok());
+        let mismatched = Grid::ring(6).unwrap();
+        assert!(embedding_exists_with_dilation(&mismatched, &host, 1, None).is_err());
+    }
+
+    #[test]
+    fn hypercube_into_ring_matches_corollary_40_on_a_tiny_case() {
+        // A hypercube of size 8 into a ring of size 8: our bound is
+        // max(m)/2 = 4; the true optimum on this tiny case is smaller, which
+        // is consistent with Theorem 39 not being optimal in general.
+        let guest = Grid::hypercube(3).unwrap();
+        let host = Grid::ring(8).unwrap();
+        let optimum = optimal_dilation_exhaustive(&guest, &host, None).unwrap();
+        assert!(optimum <= 4);
+        assert!(optimum >= 2);
+    }
+}

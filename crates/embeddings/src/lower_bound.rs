@@ -1,0 +1,210 @@
+//! Lower bounds on dilation cost for lowering-dimension embeddings
+//! (Section 5, Lemmas 44–46, Theorem 47).
+//!
+//! The argument follows Rosenberg: a ball of radius `k` in a `d`-dimensional
+//! mesh contains at least `C(k + d, d)` nodes (take the corner node as the
+//! center), while the image of that ball under an embedding of dilation `ρ`
+//! must fit in a `c`-dimensional interval of side `2kρ + 1` (Lemma 45).
+//! Hence `(2kρ + 1)^c ≥ C(k + d, d)` for every `k < p`, where `p` is the
+//! shortest dimension of the guest, which rearranges into a lower bound on
+//! `ρ` of order `p^{(d−c)/c}`. Lemma 46 transfers the bound (up to a factor
+//! of 2) to the remaining torus/mesh type combinations.
+
+use topology::Grid;
+
+use crate::error::{EmbeddingError, Result};
+
+/// Binomial coefficient `C(n, k)` as `f64` (used only for bound evaluation,
+/// where modest rounding is irrelevant).
+fn binomial_f64(n: u64, k: u64) -> f64 {
+    let k = k.min(n - k.min(n));
+    let mut result = 1f64;
+    for i in 0..k {
+        result *= (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+/// A lower bound on the number of nodes within distance `k` of some node of a
+/// `d`-dimensional mesh whose shortest dimension has length `p > k`
+/// (Lemma 44): the ball around a corner contains every offset vector with
+/// non-negative entries summing to at most `k`, i.e. `C(k + d, d)` nodes.
+pub fn ball_size_lower_bound(d: usize, k: u64) -> f64 {
+    binomial_f64(k + d as u64, d as u64)
+}
+
+/// The largest number of nodes an embedding of dilation `rho` can place
+/// within distance `k·rho` of a fixed host node in a `c`-dimensional mesh
+/// (Lemma 45): `(2·k·rho + 1)^c`.
+pub fn interval_capacity(c: usize, k: u64, rho: u64) -> f64 {
+    ((2 * k * rho + 1) as f64).powi(c as i32)
+}
+
+/// A lower bound on the dilation cost of **any** embedding of a
+/// `d`-dimensional mesh guest in a `c`-dimensional mesh host of the same size
+/// (`c < d`), derived from Lemmas 44 and 45: the smallest `ρ` such that
+/// `(2kρ + 1)^c ≥ C(k + d, d)` for every radius `k < p`.
+pub fn mesh_to_mesh_lower_bound(d: usize, c: usize, p: u64) -> u64 {
+    if c >= d || p < 2 {
+        return 1;
+    }
+    let mut best = 1u64;
+    for k in 1..p {
+        // Smallest rho satisfying (2 k rho + 1)^c >= C(k + d, d).
+        let target = ball_size_lower_bound(d, k);
+        let needed = (target.powf(1.0 / c as f64) - 1.0) / (2.0 * k as f64);
+        let rho = needed.ceil().max(1.0) as u64;
+        best = best.max(rho);
+    }
+    best
+}
+
+/// The Theorem 47 lower bound for an arbitrary guest/host pair with
+/// `dim G > dim H` and equal sizes, including the constant-factor adjustments
+/// of Lemma 46 for torus guests or hosts:
+///
+/// * mesh → mesh: the bound itself;
+/// * torus → mesh: the same bound (a mesh embeds in the torus of its shape
+///   with unit dilation);
+/// * anything → torus: half the bound (the host torus embeds in the mesh of
+///   its shape with dilation 2).
+///
+/// # Errors
+///
+/// Returns an error if the sizes differ or the guest's dimension does not
+/// exceed the host's.
+pub fn dilation_lower_bound(guest: &Grid, host: &Grid) -> Result<u64> {
+    if guest.size() != host.size() {
+        return Err(EmbeddingError::SizeMismatch {
+            guest: guest.size(),
+            host: host.size(),
+        });
+    }
+    if guest.dim() <= host.dim() {
+        return Err(EmbeddingError::Unsupported {
+            details: "the Theorem 47 bound applies to lowering-dimension embeddings".into(),
+        });
+    }
+    let base = mesh_to_mesh_lower_bound(
+        guest.dim(),
+        host.dim(),
+        guest.shape().min_radix() as u64,
+    );
+    Ok(if host.is_torus() {
+        (base / 2).max(1)
+    } else {
+        base
+    })
+}
+
+/// The asymptotic form of the Theorem 47 bound, `p^{(d−c)/c}`, as a floating
+/// point number — used for reporting the ratio achieved by the paper's
+/// constructions.
+pub fn asymptotic_lower_bound(d: usize, c: usize, p: u64) -> f64 {
+    (p as f64).powf((d as f64 - c as f64) / c as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{GraphKind, Shape};
+
+    fn square_grid(kind: GraphKind, ell: u32, dim: usize) -> Grid {
+        Grid::new(kind, Shape::square(ell, dim).unwrap())
+    }
+
+    #[test]
+    fn binomials_are_exact_for_small_inputs() {
+        assert_eq!(binomial_f64(5, 2), 10.0);
+        assert_eq!(binomial_f64(6, 3), 20.0);
+        assert_eq!(binomial_f64(4, 0), 1.0);
+        assert_eq!(ball_size_lower_bound(2, 3), 10.0);
+    }
+
+    #[test]
+    fn lemma_45_capacity_grows_with_every_parameter() {
+        assert!(interval_capacity(2, 1, 1) < interval_capacity(2, 1, 2));
+        assert!(interval_capacity(2, 1, 2) < interval_capacity(2, 2, 2));
+        assert!(interval_capacity(2, 2, 2) < interval_capacity(3, 2, 2));
+        assert_eq!(interval_capacity(1, 1, 1), 3.0);
+    }
+
+    #[test]
+    fn ball_bound_is_actually_a_lower_bound_on_real_meshes() {
+        // Count the ball around the corner of a (5,5)-mesh and a (4,4,4)-mesh
+        // and compare with C(k + d, d).
+        for (shape, d) in [(Shape::square(5, 2).unwrap(), 2), (Shape::square(4, 3).unwrap(), 3)] {
+            let mesh = Grid::mesh(shape);
+            for k in 1..4u64 {
+                let count = mesh
+                    .nodes()
+                    .filter(|&x| mesh.distance_index(0, x).unwrap() <= k)
+                    .count() as f64;
+                assert!(
+                    count >= ball_size_lower_bound(d, k),
+                    "ball of radius {k} in {mesh}: {count} nodes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_47_bound_never_exceeds_achieved_dilation() {
+        use crate::square::{embed_square, predicted_dilation_square};
+        // For square lowering cases our embeddings must respect the bound.
+        let cases = vec![
+            (square_grid(GraphKind::Mesh, 4, 2), Grid::line(16).unwrap()),
+            (square_grid(GraphKind::Mesh, 3, 3), Grid::line(27).unwrap()),
+            (
+                square_grid(GraphKind::Mesh, 4, 3),
+                square_grid(GraphKind::Mesh, 8, 2),
+            ),
+            (
+                square_grid(GraphKind::Torus, 4, 2),
+                Grid::ring(16).unwrap(),
+            ),
+        ];
+        for (guest, host) in cases {
+            let bound = dilation_lower_bound(&guest, &host).unwrap();
+            let achieved = embed_square(&guest, &host).unwrap().dilation();
+            assert!(
+                bound <= achieved,
+                "bound {bound} exceeds achieved dilation {achieved} for {guest} -> {host}"
+            );
+            let predicted = predicted_dilation_square(&guest, &host).unwrap();
+            assert!(bound <= predicted);
+        }
+    }
+
+    #[test]
+    fn bound_grows_with_the_guest_side() {
+        let b4 = mesh_to_mesh_lower_bound(2, 1, 4);
+        let b16 = mesh_to_mesh_lower_bound(2, 1, 16);
+        let b64 = mesh_to_mesh_lower_bound(2, 1, 64);
+        assert!(b4 <= b16 && b16 <= b64);
+        assert!(b64 > 1);
+        // The asymptotic form grows like p for d = 2, c = 1.
+        assert!(asymptotic_lower_bound(2, 1, 64) == 64.0);
+        assert!((asymptotic_lower_bound(3, 2, 64) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn torus_hosts_halve_the_bound() {
+        let mesh_host = Grid::line(256).unwrap();
+        let ring_host = Grid::ring(256).unwrap();
+        let guest = square_grid(GraphKind::Mesh, 16, 2);
+        let to_mesh = dilation_lower_bound(&guest, &mesh_host).unwrap();
+        let to_ring = dilation_lower_bound(&guest, &ring_host).unwrap();
+        assert!(to_ring <= to_mesh);
+        assert!(to_ring >= to_mesh / 2);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let guest = square_grid(GraphKind::Mesh, 4, 2);
+        let host = Grid::line(15).unwrap();
+        assert!(dilation_lower_bound(&guest, &host).is_err());
+        let increasing = Grid::hypercube(4).unwrap();
+        assert!(dilation_lower_bound(&guest, &increasing).is_err());
+    }
+}

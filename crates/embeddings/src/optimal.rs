@@ -1,0 +1,207 @@
+//! Known optimal dilation costs from the literature, used in Section 5 of the
+//! paper to calibrate the square-graph embeddings, plus the appendix's
+//! analysis of Harper's hypercube-in-line bound.
+//!
+//! | Instance | Optimal dilation | Source |
+//! |---|---|---|
+//! | `(ℓ,ℓ)`-mesh in a line | `ℓ` | FitzGerald 1974 |
+//! | `(ℓ,ℓ)`-torus in a ring | `ℓ` | Ma & Narahari 1986 |
+//! | `(ℓ,ℓ,ℓ)`-mesh in a line | `⌊3ℓ²/4 + ℓ/2⌋` | FitzGerald 1974 |
+//! | hypercube of size `2^d` in a line | `Σ_{k=0}^{d−1} C(k, ⌊k/2⌋)` | Harper 1966 |
+//!
+//! The appendix shows that Harper's sum equals `ε_{d−1}·2^{d−1}` with
+//! `ε_0 = ε_1 = ε_2 = 1` and `ε` strictly decreasing from `d ≥ 3`, so the
+//! paper's hypercube-in-line dilation `2^{d−1}` is optimal only up to the
+//! (slowly growing) factor `1/ε_{d−1}`.
+
+/// Exact binomial coefficient `C(n, k)` in `u128` (panics on overflow, which
+/// does not occur for the `n ≤ 128` used here).
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    result
+}
+
+/// Optimal dilation of embedding an `(ℓ,ℓ)`-mesh in a line of the same size
+/// (FitzGerald 1974): `ℓ`.
+pub fn optimal_square_mesh_in_line(ell: u64) -> u64 {
+    ell
+}
+
+/// Optimal dilation of embedding an `(ℓ,ℓ)`-torus in a ring of the same size
+/// (Ma & Narahari 1986): `ℓ`.
+pub fn optimal_square_torus_in_ring(ell: u64) -> u64 {
+    ell
+}
+
+/// Optimal dilation of embedding an `(ℓ,ℓ,ℓ)`-mesh in a line of the same size
+/// (FitzGerald 1974): `⌊3ℓ²/4 + ℓ/2⌋`.
+pub fn optimal_cube_mesh_in_line(ell: u64) -> u64 {
+    (3 * ell * ell) / 4 + ell / 2
+}
+
+/// Optimal dilation of embedding a hypercube of size `2^d` in a line of the
+/// same size (Harper 1966): `Σ_{k=0}^{d−1} C(k, ⌊k/2⌋)`.
+pub fn optimal_hypercube_in_line(d: u32) -> u128 {
+    (0..d as u64).map(|k| binomial(k, k / 2)).sum()
+}
+
+/// The dilation of the paper's embedding of a hypercube of size `2^d` in a
+/// line: `2^{d−1}` (Corollary 49 with `m = 2^{d−1}`… i.e. `max m_i / 2`).
+pub fn paper_hypercube_in_line(d: u32) -> u128 {
+    1u128 << (d - 1)
+}
+
+/// The appendix's `ε_d` sequence: `ε_d = (Σ_{k=0}^{d} C(k, ⌊k/2⌋)) / 2^d`,
+/// so Harper's optimum equals `ε_{d−1}·2^{d−1}`.
+pub fn epsilon(d: u32) -> f64 {
+    let sum: u128 = (0..=d as u64).map(|k| binomial(k, k / 2)).sum();
+    sum as f64 / (1u128 << d) as f64
+}
+
+/// The appendix's `C_k` product: `Π (1 − 1/(2j+2))` over the first
+/// `⌊(k)/2⌋`-ish terms (even/odd split as in the appendix). Used to verify the
+/// recurrence `ε_m = (ε_{m−1} + C_{m−1})/2`.
+pub fn c_k(k: u32) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k % 2 == 0 {
+        // k even: C_k = Π_{j=1}^{k/2} (1 − 1/(2j + 2)).
+        (1..=k / 2).map(|j| 1.0 - 1.0 / (2.0 * j as f64 + 2.0)).product()
+    } else {
+        // k odd: C_k = Π_{j=2}^{(k+1)/2} (1 − 1/(2j)).
+        (2..=k.div_ceil(2)).map(|j| 1.0 - 1.0 / (2.0 * j as f64)).product()
+    }
+}
+
+/// The ratio between the paper's hypercube-in-line dilation and Harper's
+/// optimum, `1/ε_{d−1}`.
+pub fn hypercube_in_line_ratio(d: u32) -> f64 {
+    paper_hypercube_in_line(d) as f64 / optimal_hypercube_in_line(d) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(3, 7), 0);
+        assert_eq!(binomial(64, 32), 1_832_624_140_942_590_534);
+    }
+
+    #[test]
+    fn harper_small_values() {
+        // d = 1: C(0,0) = 1. d = 2: 1 + 1 = 2. d = 3: 1 + 1 + 2 = 4.
+        // d = 4: + C(3,1) = 3 -> 7. d = 5: + C(4,2) = 6 -> 13.
+        assert_eq!(optimal_hypercube_in_line(1), 1);
+        assert_eq!(optimal_hypercube_in_line(2), 2);
+        assert_eq!(optimal_hypercube_in_line(3), 4);
+        assert_eq!(optimal_hypercube_in_line(4), 7);
+        assert_eq!(optimal_hypercube_in_line(5), 13);
+    }
+
+    #[test]
+    fn paper_matches_harper_exactly_up_to_dimension_three() {
+        // "our embedding is truly optimal for 1 ≤ d ≤ 3."
+        for d in 1..=3 {
+            assert_eq!(
+                paper_hypercube_in_line(d),
+                optimal_hypercube_in_line(d),
+                "dimension {d}"
+            );
+        }
+        // Strictly worse afterwards.
+        for d in 4..=20 {
+            assert!(paper_hypercube_in_line(d) > optimal_hypercube_in_line(d));
+        }
+    }
+
+    #[test]
+    fn epsilon_is_one_up_to_two_then_strictly_decreasing() {
+        assert_eq!(epsilon(0), 1.0);
+        assert_eq!(epsilon(1), 1.0);
+        assert_eq!(epsilon(2), 1.0);
+        let mut previous = epsilon(2);
+        for d in 3..=30 {
+            let value = epsilon(d);
+            assert!(
+                value < previous,
+                "ε_{d} = {value} is not smaller than ε_{} = {previous}",
+                d - 1
+            );
+            assert!(value > 0.0);
+            previous = value;
+        }
+    }
+
+    #[test]
+    fn harper_sum_equals_epsilon_times_power_of_two() {
+        for d in 1..=25u32 {
+            let lhs = optimal_hypercube_in_line(d) as f64;
+            let rhs = epsilon(d - 1) * (1u128 << (d - 1)) as f64;
+            assert!((lhs - rhs).abs() < 1e-6 * lhs.max(1.0), "dimension {d}");
+        }
+    }
+
+    #[test]
+    fn ratio_grows_with_dimension_and_is_unbounded_in_spirit() {
+        // The ratio 1/ε_{d−1} is increasing in d for d > 3.
+        let mut previous = hypercube_in_line_ratio(4);
+        assert!(previous > 1.0);
+        for d in 5..=25 {
+            let ratio = hypercube_in_line_ratio(d);
+            assert!(ratio > previous, "ratio at dimension {d}");
+            previous = ratio;
+        }
+        // For d <= 3 the ratio is exactly 1.
+        for d in 1..=3 {
+            assert!((hypercube_in_line_ratio(d) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fitzgerald_and_ma_narahari_values() {
+        assert_eq!(optimal_square_mesh_in_line(5), 5);
+        assert_eq!(optimal_square_torus_in_ring(8), 8);
+        // ⌊3·16/4 + 4/2⌋ = 12 + 2 = 14 for ℓ = 4.
+        assert_eq!(optimal_cube_mesh_in_line(4), 14);
+        // ℓ = 3: ⌊27/4⌋ + 1 = 6 + 1 = 7.
+        assert_eq!(optimal_cube_mesh_in_line(3), 7);
+    }
+
+    #[test]
+    fn c_k_products_are_in_unit_interval_and_decreasing() {
+        let mut previous = c_k(0);
+        assert_eq!(previous, 1.0);
+        for k in 1..=20 {
+            let value = c_k(k);
+            assert!(value > 0.0 && value <= 1.0);
+            assert!(value <= previous + 1e-12, "C_{k} increased");
+            previous = value;
+        }
+    }
+
+    #[test]
+    fn appendix_recurrence_holds() {
+        // ε_m = (ε_{m−1} + C_{m−1}) / 2 for m ≥ 3.
+        for m in 3..=20u32 {
+            let lhs = epsilon(m);
+            let rhs = (epsilon(m - 1) + c_k(m - 1)) / 2.0;
+            assert!(
+                (lhs - rhs).abs() < 1e-9,
+                "recurrence fails at m = {m}: {lhs} vs {rhs}"
+            );
+        }
+    }
+}

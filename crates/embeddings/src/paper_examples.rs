@@ -1,0 +1,179 @@
+//! The worked examples of the paper, as reusable constructors.
+//!
+//! Ma & Tao develop every construction around a handful of concrete
+//! instances: the `(4,2,3)`-torus and `(4,2,3)`-mesh of Figures 1–2, the
+//! `[9] → Ω_(3,3)` bijection of Figure 3, the `f_L`/`g_L`/`h_L` tables of
+//! Figure 9, the `(4,6) → (2,2,2,3)` expansion of Figure 11, the
+//! `(3,3,6)-mesh → (6,9)-mesh` supernode example of Figure 12, and the
+//! expansion/reduction examples of Definitions 30 and 41. Tests, benchmarks
+//! and examples all want these instances; this module names them once so the
+//! paper reference lives next to the data.
+
+use topology::{Grid, Shape};
+
+use crate::error::Result;
+use crate::expansion::ExpansionFactor;
+
+/// The shape `(4, 2, 3)` used by the paper's running example (Figures 1, 2,
+/// 4, 9 and 10).
+pub fn running_example_shape() -> Shape {
+    Shape::new(vec![4, 2, 3]).expect("static shape is valid")
+}
+
+/// The `(4,2,3)`-torus of Figure 1.
+pub fn fig1_torus() -> Grid {
+    Grid::torus(running_example_shape())
+}
+
+/// The `(4,2,3)`-mesh of Figure 2.
+pub fn fig2_mesh() -> Grid {
+    Grid::mesh(running_example_shape())
+}
+
+/// The node pair quoted below Figures 1–2: `(0,0,1)` and `(3,0,0)`, whose
+/// distance is 2 in the torus and 4 in the mesh. Returned as linear indices
+/// into the `(4,2,3)` shape.
+pub fn fig1_quoted_pair() -> (u64, u64) {
+    let shape = running_example_shape();
+    let a = shape
+        .to_index(&topology::Coord::from_slice(&[0, 0, 1]).expect("valid coord"))
+        .expect("coord in range");
+    let b = shape
+        .to_index(&topology::Coord::from_slice(&[3, 0, 0]).expect("valid coord"))
+        .expect("coord in range");
+    (a, b)
+}
+
+/// The radix base `(3, 3)` of Figure 3's example function `f : [9] → Ω_(3,3)`.
+pub fn fig3_base() -> Shape {
+    Shape::new(vec![3, 3]).expect("static shape is valid")
+}
+
+/// The guest and host of Figure 11: a 24-node graph of shape `(4, 6)`
+/// embedded in one of shape `(2, 2, 2, 3)`.
+pub fn fig11_shapes() -> (Shape, Shape) {
+    (
+        Shape::new(vec![4, 6]).expect("static shape is valid"),
+        Shape::new(vec![2, 2, 2, 3]).expect("static shape is valid"),
+    )
+}
+
+/// The expansion factor `V = ((2,2), (2,3))` the paper uses in Figure 11.
+pub fn fig11_expansion_factor() -> Result<ExpansionFactor> {
+    ExpansionFactor::new(vec![vec![2, 2], vec![2, 3]])
+}
+
+/// The guest and host of Figure 12's supernode illustration: a
+/// `(3,3,6)`-mesh embedded in a `(6,9)`-mesh with dilation 3.
+pub fn fig12_grids() -> (Grid, Grid) {
+    (
+        Grid::mesh(Shape::new(vec![3, 3, 6]).expect("static shape is valid")),
+        Grid::mesh(Shape::new(vec![6, 9]).expect("static shape is valid")),
+    )
+}
+
+/// Definition 30's expansion example: `M = (2,4,3,8,5,4)` is an expansion of
+/// `L = (6,8,80)` with factor `V = ((2,3), (8), (4,5,4))`. Returns
+/// `(L, M, V)`.
+pub fn definition30_example() -> Result<(Shape, Shape, ExpansionFactor)> {
+    Ok((
+        Shape::new(vec![6, 8, 80])?,
+        Shape::new(vec![2, 4, 3, 8, 5, 4])?,
+        ExpansionFactor::new(vec![vec![2, 3], vec![8], vec![4, 5, 4]])?,
+    ))
+}
+
+/// Definition 41's general-reduction example: `M = (4,3,5,28,10,18)` is a
+/// general reduction of `L = (2,3,2,10,6,21,5,4)`. Returns `(L, M)`.
+pub fn definition41_example() -> Result<(Shape, Shape)> {
+    Ok((
+        Shape::new(vec![2, 3, 2, 10, 6, 21, 5, 4])?,
+        Shape::new(vec![4, 3, 5, 28, 10, 18])?,
+    ))
+}
+
+/// The Theorem 32 discussion example: a `(6,12)`-torus embedded in a
+/// `(6,3,2,2)`-mesh reaches dilation 1 with the expansion factor
+/// `((2,3), (6,2))` but only dilation 2 with `((6), (3,2,2))`. Returns
+/// `(guest shape, host shape, good factor, weak factor)`.
+pub fn theorem32_even_first_example(
+) -> Result<(Shape, Shape, ExpansionFactor, ExpansionFactor)> {
+    Ok((
+        Shape::new(vec![6, 12])?,
+        Shape::new(vec![6, 3, 2, 2])?,
+        ExpansionFactor::new(vec![vec![2, 3], vec![6, 2]])?,
+        ExpansionFactor::new(vec![vec![6], vec![3, 2, 2]])?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::is_expansion;
+    use crate::general_reduction::is_general_reduction;
+    use crate::increase::embed_increasing_with;
+    use crate::increase::IncreaseFunction;
+    use crate::auto::embed;
+
+    #[test]
+    fn running_example_matches_the_figures() {
+        let torus = fig1_torus();
+        let mesh = fig2_mesh();
+        assert_eq!(torus.size(), 24);
+        assert_eq!(mesh.size(), 24);
+        let (a, b) = fig1_quoted_pair();
+        assert_eq!(torus.distance_index(a, b).unwrap(), 2);
+        assert_eq!(mesh.distance_index(a, b).unwrap(), 4);
+    }
+
+    #[test]
+    fn fig3_base_has_nine_numbers() {
+        assert_eq!(fig3_base().size(), 9);
+    }
+
+    #[test]
+    fn fig11_factor_expands_the_guest_into_the_host() {
+        let (l, m) = fig11_shapes();
+        assert_eq!(l.size(), m.size());
+        assert!(is_expansion(&l, &m));
+        let v = fig11_expansion_factor().unwrap();
+        assert!(v.validate(&l, &m).is_ok());
+    }
+
+    #[test]
+    fn fig12_embedding_has_dilation_three() {
+        let (guest, host) = fig12_grids();
+        assert_eq!(guest.size(), host.size());
+        let e = embed(&guest, &host).unwrap();
+        assert_eq!(e.dilation(), 3);
+    }
+
+    #[test]
+    fn definition30_factor_is_valid() {
+        let (l, m, v) = definition30_example().unwrap();
+        assert!(is_expansion(&l, &m));
+        assert!(v.validate(&l, &m).is_ok());
+    }
+
+    #[test]
+    fn definition41_is_a_general_reduction() {
+        let (l, m) = definition41_example().unwrap();
+        assert_eq!(l.size(), m.size());
+        assert!(is_general_reduction(&l, &m));
+    }
+
+    #[test]
+    fn theorem32_example_reaches_dilation_one_with_the_even_first_factor() {
+        let (l, m, good, weak) = theorem32_even_first_example().unwrap();
+        let guest = Grid::torus(l);
+        let host = Grid::mesh(m);
+        assert!(good.validate(guest.shape(), host.shape()).is_ok());
+        assert!(weak.validate(guest.shape(), host.shape()).is_ok());
+        let with_good =
+            embed_increasing_with(&guest, &host, &good, IncreaseFunction::H).unwrap();
+        assert_eq!(with_good.dilation(), 1);
+        let with_weak =
+            embed_increasing_with(&guest, &host, &weak, IncreaseFunction::G).unwrap();
+        assert_eq!(with_weak.dilation(), 2);
+    }
+}

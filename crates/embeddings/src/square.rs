@@ -1,0 +1,508 @@
+//! Embeddings among square toruses and square meshes (Section 5,
+//! Theorems 48, 51, 52 and 53).
+//!
+//! When both graphs are square (all dimensions of equal length) an embedding
+//! can always be built from the Section 4 constructions:
+//!
+//! * **Lowering dimension** (`c < d`): simple reduction when `c | d`
+//!   (Theorem 48), otherwise a chain of general reductions through
+//!   intermediate graphs whose shapes interpolate between the two
+//!   (Theorem 51). Dilation `ℓ^{(d−c)/c}`, doubled for a (non-hypercube)
+//!   torus into a mesh; optimal to within a constant for fixed `d`, `c`
+//!   (Theorem 47).
+//! * **Increasing dimension** (`d < c`): a single expansion when `d | c`
+//!   (Theorem 52, optimal), otherwise an expansion into an intermediate
+//!   square mesh followed by a square lowering chain (Theorem 53), with
+//!   dilation `ℓ^{(d−a)/c}` (`a = gcd(d, c)`), doubled for an odd-size torus
+//!   into a mesh.
+
+use topology::{GraphKind, Grid, Shape};
+
+use crate::embedding::Embedding;
+use crate::error::{EmbeddingError, Result};
+use crate::general_reduction::{embed_general_reduction_with, GeneralReduction};
+use crate::increase::embed_increasing;
+use crate::reduction::embed_simple_reduction;
+use crate::same_shape::{embed_same_shape, predicted_dilation_same_shape};
+
+/// Greatest common divisor.
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The exact integer `v`-th root of `x`, if `x` is a perfect `v`-th power.
+fn integer_root(x: u64, v: u32) -> Option<u64> {
+    if v == 0 {
+        return None;
+    }
+    if v == 1 || x <= 1 {
+        return Some(x);
+    }
+    let mut r = (x as f64).powf(1.0 / v as f64).round() as u64;
+    // Correct floating-point error by scanning the neighborhood.
+    while r > 1 && !matches!(r.checked_pow(v), Some(p) if p <= x) {
+        r -= 1;
+    }
+    while matches!(r.checked_pow(v), Some(p) if p < x) {
+        r += 1;
+    }
+    if r.checked_pow(v) == Some(x) {
+        Some(r)
+    } else {
+        None
+    }
+}
+
+/// Integer power with overflow checking.
+fn checked_pow(base: u64, exp: u32) -> Result<u64> {
+    base.checked_pow(exp).ok_or(EmbeddingError::TooLarge {
+        size: base,
+        limit: u64::MAX,
+    })
+}
+
+fn require_square_pair(guest: &Grid, host: &Grid) -> Result<()> {
+    if guest.size() != host.size() {
+        return Err(EmbeddingError::SizeMismatch {
+            guest: guest.size(),
+            host: host.size(),
+        });
+    }
+    if !guest.is_square() || !host.is_square() {
+        return Err(EmbeddingError::ConditionNotSatisfied {
+            condition: "square shapes",
+            details: format!(
+                "both graphs must be square, got {} and {}",
+                guest.shape(),
+                host.shape()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The dilation cost guaranteed by Theorems 48, 51, 52 and 53 for
+/// [`embed_square`].
+///
+/// # Errors
+///
+/// Returns an error if the graphs are not square or not of the same size.
+pub fn predicted_dilation_square(guest: &Grid, host: &Grid) -> Result<u64> {
+    require_square_pair(guest, host)?;
+    let d = guest.dim();
+    let c = host.dim();
+    let ell = guest.shape().radix(0) as u64;
+    let torus_into_mesh = guest.is_torus() && host.is_mesh() && !guest.is_hypercube();
+    if d == c {
+        return Ok(predicted_dilation_same_shape(guest, host));
+    }
+    if d > c {
+        // Lowering: ℓ^{(d−c)/c}, doubled for torus → mesh.
+        let a = gcd(d, c);
+        let (u, v) = (d / a, c / a);
+        let r = integer_root(ell, v as u32).ok_or(EmbeddingError::ConditionNotSatisfied {
+            condition: "square sizes",
+            details: format!("{ell} is not a perfect {v}-th power"),
+        })?;
+        let base = checked_pow(r, (u - v) as u32)?;
+        return Ok(if torus_into_mesh { 2 * base } else { base });
+    }
+    // Increasing dimension.
+    if c % d == 0 {
+        // Theorem 52.
+        return Ok(if torus_into_mesh && guest.size() % 2 == 1 {
+            2
+        } else {
+            1
+        });
+    }
+    // Theorem 53: ℓ^{(d−a)/c} = r^{u−1}, doubled for an odd-size torus into a
+    // mesh.
+    let a = gcd(d, c);
+    let (u, v) = (d / a, c / a);
+    let r = integer_root(ell, v as u32).ok_or(EmbeddingError::ConditionNotSatisfied {
+        condition: "square sizes",
+        details: format!("{ell} is not a perfect {v}-th power"),
+    })?;
+    let base = checked_pow(r, (u - 1) as u32)?;
+    Ok(if torus_into_mesh && guest.size() % 2 == 1 {
+        2 * base
+    } else {
+        base
+    })
+}
+
+/// Embeds a square `guest` in a square `host` of the same size
+/// (Theorems 48, 51, 52, 53).
+///
+/// # Errors
+///
+/// Returns an error if the graphs are not square, not of the same size, or a
+/// needed integer root does not exist (impossible for genuinely equal sizes).
+pub fn embed_square(guest: &Grid, host: &Grid) -> Result<Embedding> {
+    require_square_pair(guest, host)?;
+    let d = guest.dim();
+    let c = host.dim();
+    if d == c {
+        return embed_same_shape(guest, host);
+    }
+    if d > c {
+        if d % c == 0 {
+            // Theorem 48: the square host shape is a simple reduction of the
+            // square guest shape.
+            return embed_simple_reduction(guest, host);
+        }
+        return embed_square_lowering_chain(guest, host);
+    }
+    // Increasing dimension.
+    if c % d == 0 {
+        // Theorem 52: the host shape is an expansion of the guest shape.
+        return embed_increasing(guest, host);
+    }
+    embed_square_increasing_via_intermediate(guest, host)
+}
+
+/// Theorem 51: a chain of general reductions through intermediate square-ish
+/// graphs, each step lowering the dimension by `a = gcd(d, c)` and multiplying
+/// `a·v` of the dimension lengths by `ℓ^{1/v}`.
+fn embed_square_lowering_chain(guest: &Grid, host: &Grid) -> Result<Embedding> {
+    let d = guest.dim();
+    let c = host.dim();
+    let ell = guest.shape().radix(0);
+    let a = gcd(d, c);
+    let (u, v) = (d / a, c / a);
+    let r = integer_root(ell as u64, v as u32).ok_or(EmbeddingError::ConditionNotSatisfied {
+        condition: "square sizes",
+        details: format!("{ell} is not a perfect {v}-th power"),
+    })? as u32;
+
+    // Shape of the intermediate graph I_k: a·v components of ℓ·r^k and
+    // a·(u−v−k) components of ℓ.
+    let intermediate_shape = |k: usize| -> Result<Shape> {
+        let big = (ell as u64) * checked_pow(r as u64, k as u32)?;
+        let big = u32::try_from(big).map_err(|_| EmbeddingError::TooLarge {
+            size: big,
+            limit: u32::MAX as u64,
+        })?;
+        let mut radices = vec![big; a * v];
+        radices.extend(std::iter::repeat(ell).take(a * (u - v - k)));
+        Ok(Shape::new(radices)?)
+    };
+
+    // Graph kinds along the chain: all meshes for a mesh guest; all toruses
+    // for a torus guest with a torus host; toruses with a final mesh for a
+    // torus guest with a mesh host.
+    let kind_of = |k: usize| -> GraphKind {
+        if guest.is_mesh() || guest.is_hypercube() {
+            GraphKind::Mesh
+        } else if host.is_torus() {
+            GraphKind::Torus
+        } else if k == u - v {
+            GraphKind::Mesh
+        } else {
+            GraphKind::Torus
+        }
+    };
+
+    let mut chain: Option<Embedding> = None;
+    let mut current = guest.clone();
+    for k in 0..(u - v) {
+        let next_shape = intermediate_shape(k + 1)?;
+        let next = if k + 1 == u - v {
+            host.clone()
+        } else {
+            Grid::new(kind_of(k + 1), next_shape)
+        };
+        // The general-reduction witness for I_k → I_{k+1}: the multiplier
+        // sublist is `a` of the length-ℓ dimensions, each factored into `v`
+        // factors of r; the multiplicant sublist is everything else, with the
+        // a·v large components first (they are the ones multiplied).
+        let big = current.shape().max_radix();
+        let mut multiplicant = vec![big; a * v];
+        multiplicant.extend(std::iter::repeat(ell).take(a * (u - v - k - 1)));
+        let multiplier = vec![ell; a];
+        let s_lists = vec![vec![r; v]; a];
+        let witness = GeneralReduction::new(multiplicant, multiplier, s_lists)?;
+        let step = embed_general_reduction_with(&current, &next, &witness)?;
+        chain = Some(match chain {
+            None => step,
+            Some(prev) => prev.compose(&step)?,
+        });
+        current = next;
+    }
+    let chain = chain.ok_or(EmbeddingError::Unsupported {
+        details: "empty lowering chain".into(),
+    })?;
+    Ok(chain.with_name(format!("Theorem 51 chain ({} steps)", u - v)))
+}
+
+/// Theorem 53: expand into an intermediate square mesh of dimension `v·d` and
+/// side `ℓ^{1/v}`, then lower it into the host with the Theorem 48/51
+/// machinery.
+fn embed_square_increasing_via_intermediate(guest: &Grid, host: &Grid) -> Result<Embedding> {
+    let d = guest.dim();
+    let c = host.dim();
+    let ell = guest.shape().radix(0);
+    let a = gcd(d, c);
+    let v = c / a;
+    let r = integer_root(ell as u64, v as u32).ok_or(EmbeddingError::ConditionNotSatisfied {
+        condition: "square sizes",
+        details: format!("{ell} is not a perfect {v}-th power"),
+    })? as u32;
+    // The intermediate graph G′ is a mesh in the paper's exposition, but for
+    // a torus guest with a torus host it must stay a torus: the expansion
+    // G → G′ then has unit dilation for any parity (Theorem 32(ii)) and the
+    // square lowering G′ → H pays no torus-into-mesh doubling, matching the
+    // `ℓ^{(d−a)/c}` cost the theorem claims for that case.
+    let intermediate_shape = Shape::square(r, v * d)?;
+    let intermediate = if guest.is_torus() && host.is_torus() && !guest.is_hypercube() {
+        Grid::torus(intermediate_shape)
+    } else {
+        Grid::mesh(intermediate_shape)
+    };
+    let first = embed_increasing(guest, &intermediate)?;
+    let second = embed_square(&intermediate, host)?;
+    let composed = first.compose(&second)?;
+    Ok(composed.with_name("Theorem 53 (expand, then reduce)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_grid(kind: GraphKind, ell: u32, dim: usize) -> Grid {
+        Grid::new(kind, Shape::square(ell, dim).unwrap())
+    }
+
+    fn check(guest: Grid, host: Grid, expected: u64, exact: bool) {
+        let predicted = predicted_dilation_square(&guest, &host).unwrap();
+        assert_eq!(predicted, expected, "prediction for {guest} -> {host}");
+        let e = embed_square(&guest, &host).unwrap();
+        assert!(e.is_injective(), "injective for {guest} -> {host}");
+        let measured = e.dilation();
+        if exact {
+            assert_eq!(measured, expected, "dilation for {guest} -> {host}");
+        } else {
+            assert!(
+                measured <= expected,
+                "dilation {measured} exceeds bound {expected} for {guest} -> {host}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_root_handles_exact_and_inexact_cases() {
+        assert_eq!(integer_root(27, 3), Some(3));
+        assert_eq!(integer_root(64, 2), Some(8));
+        assert_eq!(integer_root(64, 3), Some(4));
+        assert_eq!(integer_root(10, 2), None);
+        assert_eq!(integer_root(1, 5), Some(1));
+        assert_eq!(integer_root(7, 1), Some(7));
+        assert_eq!(integer_root(5, 0), None);
+        // Large perfect powers near floating-point rounding territory.
+        assert_eq!(integer_root(10_000_000_000_000_000, 2), Some(100_000_000));
+    }
+
+    #[test]
+    fn theorem_48_divisible_lowering() {
+        // (4,4)-mesh into a 16-node line: dilation 4^{(2-1)/1} = 4.
+        check(
+            square_grid(GraphKind::Mesh, 4, 2),
+            Grid::line(16).unwrap(),
+            4,
+            false,
+        );
+        // (4,4)-torus into a 16-node ring: dilation 4.
+        check(
+            square_grid(GraphKind::Torus, 4, 2),
+            Grid::ring(16).unwrap(),
+            4,
+            false,
+        );
+        // (4,4)-torus into a 16-node line: dilation 8.
+        check(
+            square_grid(GraphKind::Torus, 4, 2),
+            Grid::line(16).unwrap(),
+            8,
+            false,
+        );
+        // (2,2,2,2)-mesh into a (4,4)-mesh: dilation 2.
+        check(
+            square_grid(GraphKind::Mesh, 2, 4),
+            square_grid(GraphKind::Mesh, 4, 2),
+            2,
+            false,
+        );
+        // (3,3,3,3)-mesh into a (9,9)-mesh: dilation 3.
+        check(
+            square_grid(GraphKind::Mesh, 3, 4),
+            square_grid(GraphKind::Mesh, 9, 2),
+            3,
+            false,
+        );
+    }
+
+    #[test]
+    fn theorem_51_non_divisible_lowering() {
+        // d = 3, c = 2, ℓ = 4: dilation 4^{1/2} = 2 per step, one step, total 2.
+        check(
+            square_grid(GraphKind::Mesh, 4, 3),
+            square_grid(GraphKind::Mesh, 8, 2),
+            2,
+            false,
+        );
+        // Torus guest into torus host: same bound.
+        check(
+            square_grid(GraphKind::Torus, 4, 3),
+            square_grid(GraphKind::Torus, 8, 2),
+            2,
+            false,
+        );
+        // Torus guest into mesh host: doubled bound.
+        check(
+            square_grid(GraphKind::Torus, 4, 3),
+            square_grid(GraphKind::Mesh, 8, 2),
+            4,
+            false,
+        );
+        // d = 5, c = 3, ℓ = 8: r = 2, dilation 2^{5-3} = 4.
+        check(
+            square_grid(GraphKind::Mesh, 8, 5),
+            square_grid(GraphKind::Mesh, 32, 3),
+            4,
+            false,
+        );
+        // d = 5, c = 2, ℓ = 4: r = 2, dilation 2^3 = 8.
+        check(
+            square_grid(GraphKind::Mesh, 4, 5),
+            square_grid(GraphKind::Mesh, 32, 2),
+            8,
+            false,
+        );
+    }
+
+    #[test]
+    fn theorem_52_divisible_increasing() {
+        // (4,4)-mesh into (2,2,2,2)-hypercube: unit dilation.
+        check(
+            square_grid(GraphKind::Mesh, 4, 2),
+            Grid::hypercube(4).unwrap(),
+            1,
+            true,
+        );
+        // (4,4)-torus into (2,2,2,2)-mesh: even size, unit dilation.
+        check(
+            square_grid(GraphKind::Torus, 4, 2),
+            square_grid(GraphKind::Mesh, 2, 4),
+            1,
+            true,
+        );
+        // (9,9)-torus into (3,3,3,3)-mesh: odd size, dilation 2 (optimal).
+        check(
+            square_grid(GraphKind::Torus, 9, 2),
+            square_grid(GraphKind::Mesh, 3, 4),
+            2,
+            true,
+        );
+        // (9,9)-torus into (3,3,3,3)-torus: unit dilation.
+        check(
+            square_grid(GraphKind::Torus, 9, 2),
+            square_grid(GraphKind::Torus, 3, 4),
+            1,
+            true,
+        );
+        // A 64-node line into a (4,4,4)-mesh: unit dilation.
+        check(
+            Grid::line(64).unwrap(),
+            square_grid(GraphKind::Mesh, 4, 3),
+            1,
+            true,
+        );
+    }
+
+    #[test]
+    fn theorem_53_non_divisible_increasing() {
+        // d = 2, c = 3, ℓ = 8 (a = 1, v = 3, r = 2): dilation 8^{(2-1)/3} = 2.
+        check(
+            square_grid(GraphKind::Mesh, 8, 2),
+            square_grid(GraphKind::Mesh, 4, 3),
+            2,
+            false,
+        );
+        // Same shapes, torus into torus.
+        check(
+            square_grid(GraphKind::Torus, 8, 2),
+            square_grid(GraphKind::Torus, 4, 3),
+            2,
+            false,
+        );
+        // d = 3, c = 4, ℓ = 16 (a = 1, v = 4, r = 2): dilation 16^{2/4} = 4.
+        check(
+            square_grid(GraphKind::Mesh, 16, 3),
+            square_grid(GraphKind::Mesh, 8, 4),
+            4,
+            false,
+        );
+        // Odd-size torus into a mesh doubles: ℓ = 27, d = 2, c = 3, r = 3,
+        // dilation 2·27^{1/3} = 6.
+        check(
+            square_grid(GraphKind::Torus, 27, 2),
+            square_grid(GraphKind::Mesh, 9, 3),
+            6,
+            false,
+        );
+        // But an odd-size torus into a *torus* host pays no doubling: the
+        // intermediate graph stays a torus (regression test for the
+        // Theorem 53 torus-to-torus case).
+        check(
+            square_grid(GraphKind::Torus, 27, 2),
+            square_grid(GraphKind::Torus, 9, 3),
+            3,
+            false,
+        );
+    }
+
+    #[test]
+    fn equal_dimension_square_graphs_use_same_shape_embeddings() {
+        check(
+            square_grid(GraphKind::Torus, 3, 2),
+            square_grid(GraphKind::Mesh, 3, 2),
+            2,
+            true,
+        );
+        check(
+            square_grid(GraphKind::Mesh, 3, 2),
+            square_grid(GraphKind::Torus, 3, 2),
+            1,
+            true,
+        );
+    }
+
+    #[test]
+    fn non_square_or_mismatched_inputs_are_rejected() {
+        let square = square_grid(GraphKind::Mesh, 4, 2);
+        let rectangular = Grid::mesh(Shape::new(vec![8, 2]).unwrap());
+        assert!(matches!(
+            embed_square(&square, &rectangular),
+            Err(EmbeddingError::ConditionNotSatisfied { .. })
+        ));
+        let other_size = square_grid(GraphKind::Mesh, 5, 2);
+        assert!(matches!(
+            embed_square(&square, &other_size),
+            Err(EmbeddingError::SizeMismatch { .. })
+        ));
+        assert!(predicted_dilation_square(&square, &rectangular).is_err());
+    }
+
+    #[test]
+    fn corollary_49_hypercube_into_square_grids() {
+        // A hypercube of size 2^6 into an (8,8)-mesh or torus: dilation 8/2 = 4.
+        let hypercube = Grid::hypercube(6).unwrap();
+        check(hypercube.clone(), square_grid(GraphKind::Mesh, 8, 2), 4, false);
+        check(hypercube, square_grid(GraphKind::Torus, 8, 2), 4, false);
+    }
+}

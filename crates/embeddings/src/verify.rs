@@ -1,0 +1,207 @@
+//! Independent verification of embeddings.
+//!
+//! [`verify`] measures an embedding from first principles — injectivity by
+//! marking images, dilation by sweeping every guest edge — without trusting
+//! the construction that produced it. The sweep runs on a crossbeam fork–join
+//! pool; [`verify_sequential`] is the single-threaded reference used to test
+//! the parallel path itself.
+
+use std::collections::BTreeMap;
+
+use topology::parallel::{parallel_map_reduce, recommended_threads};
+
+use crate::embedding::Embedding;
+use crate::error::{EmbeddingError, Result};
+
+/// The outcome of verifying an embedding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerificationReport {
+    /// Whether the mapping is injective (and hence bijective for equal sizes).
+    pub injective: bool,
+    /// The measured dilation cost (maximum host distance over guest edges).
+    pub dilation: u64,
+    /// The mean host distance over guest edges.
+    pub average_dilation: f64,
+    /// The number of guest edges examined.
+    pub edges: u64,
+    /// Host distance → number of guest edges mapped to that distance.
+    pub histogram: BTreeMap<u64, u64>,
+}
+
+impl VerificationReport {
+    /// Whether the embedding is a valid embedding (injective) with dilation
+    /// no larger than `bound`.
+    pub fn satisfies(&self, bound: u64) -> bool {
+        self.injective && self.dilation <= bound
+    }
+}
+
+/// Verifies `embedding` sequentially.
+pub fn verify_sequential(embedding: &Embedding) -> VerificationReport {
+    let mut histogram = BTreeMap::new();
+    let mut total = 0u64;
+    let mut edges = 0u64;
+    let mut dilation = 0u64;
+    for (a, b) in embedding.guest().edges() {
+        let d = embedding
+            .host()
+            .distance(&embedding.map(a), &embedding.map(b));
+        *histogram.entry(d).or_insert(0) += 1;
+        total += d;
+        edges += 1;
+        dilation = dilation.max(d);
+    }
+    VerificationReport {
+        injective: embedding.is_injective(),
+        dilation,
+        average_dilation: if edges == 0 {
+            0.0
+        } else {
+            total as f64 / edges as f64
+        },
+        edges,
+        histogram,
+    }
+}
+
+/// Verifies `embedding` using `threads` workers (`0` = automatic).
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::TooLarge`] if the guest has more than 2³⁴ nodes
+/// (the injectivity bitmap would not fit comfortably in memory).
+pub fn verify(embedding: &Embedding, threads: usize) -> Result<VerificationReport> {
+    const LIMIT: u64 = 1 << 34;
+    if embedding.size() > LIMIT {
+        return Err(EmbeddingError::TooLarge {
+            size: embedding.size(),
+            limit: LIMIT,
+        });
+    }
+    let threads = if threads == 0 {
+        recommended_threads()
+    } else {
+        threads
+    };
+
+    #[derive(Clone)]
+    struct Partial {
+        histogram: BTreeMap<u64, u64>,
+        total: u64,
+        edges: u64,
+        dilation: u64,
+    }
+
+    let identity = Partial {
+        histogram: BTreeMap::new(),
+        total: 0,
+        edges: 0,
+        dilation: 0,
+    };
+
+    let partial = parallel_map_reduce(
+        embedding.size(),
+        threads,
+        identity,
+        |range| {
+            let mut p = Partial {
+                histogram: BTreeMap::new(),
+                total: 0,
+                edges: 0,
+                dilation: 0,
+            };
+            for x in range {
+                let fx = embedding.map(x);
+                for y in embedding.guest().neighbors(x).expect("node in range") {
+                    if y > x {
+                        let fy = embedding.map(y);
+                        let d = embedding.host().distance(&fx, &fy);
+                        *p.histogram.entry(d).or_insert(0) += 1;
+                        p.total += d;
+                        p.edges += 1;
+                        p.dilation = p.dilation.max(d);
+                    }
+                }
+            }
+            p
+        },
+        |mut a, b| {
+            for (k, v) in b.histogram {
+                *a.histogram.entry(k).or_insert(0) += v;
+            }
+            a.total += b.total;
+            a.edges += b.edges;
+            a.dilation = a.dilation.max(b.dilation);
+            a
+        },
+    );
+
+    Ok(VerificationReport {
+        injective: embedding.is_injective(),
+        dilation: partial.dilation,
+        average_dilation: if partial.edges == 0 {
+            0.0
+        } else {
+            partial.total as f64 / partial.edges as f64
+        },
+        edges: partial.edges,
+        histogram: partial.histogram,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{embed_line_in, embed_ring_in};
+    use crate::same_shape::embed_same_shape;
+    use topology::{Grid, Shape};
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn parallel_and_sequential_reports_agree() {
+        let hosts = vec![
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[5, 5])),
+            Grid::mesh(shape(&[3, 3, 3])),
+            Grid::hypercube(6).unwrap(),
+        ];
+        for host in hosts {
+            for embedding in [embed_line_in(&host).unwrap(), embed_ring_in(&host).unwrap()] {
+                let sequential = verify_sequential(&embedding);
+                for threads in [1, 2, 4, 0] {
+                    let parallel = verify(&embedding, threads).unwrap();
+                    assert_eq!(parallel, sequential, "threads={threads} for {host}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_matches_embedding_methods() {
+        let host = Grid::mesh(shape(&[4, 6]));
+        let guest = Grid::torus(shape(&[4, 6]));
+        let e = embed_same_shape(&guest, &host).unwrap();
+        let report = verify(&e, 2).unwrap();
+        assert_eq!(report.dilation, e.dilation());
+        assert_eq!(report.edges, guest.num_edges());
+        assert!(report.injective);
+        assert!(report.satisfies(2));
+        assert!(!report.satisfies(1));
+        let total: u64 = report.histogram.values().sum();
+        assert_eq!(total, report.edges);
+        let (avg, _) = e.average_dilation();
+        assert!((report.average_dilation - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_keys_are_bounded_by_dilation() {
+        let host = Grid::mesh(shape(&[3, 5]));
+        let e = embed_ring_in(&host).unwrap();
+        let report = verify(&e, 3).unwrap();
+        assert_eq!(*report.histogram.keys().max().unwrap(), report.dilation);
+        assert!(report.histogram.keys().all(|&k| k >= 1));
+    }
+}

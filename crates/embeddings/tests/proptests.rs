@@ -1,0 +1,197 @@
+//! Property-based tests for the embedding constructions.
+//!
+//! Every property here is a theorem of the paper, checked on randomly drawn
+//! shapes rather than hand-picked examples.
+
+use embeddings::auto::{embed, predicted_dilation};
+use embeddings::basic::{embed_line_in, embed_ring_in, f_l, f_l_inverse, g_l, h_l, t_n};
+use embeddings::verify::{verify, verify_sequential};
+use mixedradix::sequence::{FnSequence, RadixSequence};
+use proptest::prelude::*;
+use topology::{Grid, Shape};
+
+/// A small random shape (dimension 1–4, radices 2–6, size ≤ 400).
+fn small_shape() -> impl Strategy<Value = Shape> {
+    proptest::collection::vec(2u32..=6, 1..=4)
+        .prop_filter("bounded size", |radices| {
+            radices.iter().map(|&l| l as u64).product::<u64>() <= 400
+        })
+        .prop_map(|radices| Shape::new(radices).unwrap())
+}
+
+/// A small random grid.
+fn small_grid() -> impl Strategy<Value = Grid> {
+    (small_shape(), proptest::bool::ANY).prop_map(|(shape, torus)| {
+        if torus {
+            Grid::torus(shape)
+        } else {
+            Grid::mesh(shape)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f_l_is_a_unit_spread_bijection(shape in small_shape()) {
+        let inner = shape.clone();
+        let seq = FnSequence::new(shape.clone(), shape.size(), move |x| f_l(&inner, x));
+        prop_assert!(seq.is_bijection());
+        prop_assert_eq!(seq.acyclic_spread_mesh(), 1);
+        prop_assert_eq!(seq.acyclic_spread_torus(), 1);
+    }
+
+    #[test]
+    fn f_l_inverse_round_trips(shape in small_shape(), x in 0u64..400) {
+        let x = x % shape.size();
+        prop_assert_eq!(f_l_inverse(&shape, &f_l(&shape, x)), x);
+    }
+
+    #[test]
+    fn g_l_cyclic_mesh_spread_at_most_two(shape in small_shape()) {
+        let inner = shape.clone();
+        let seq = FnSequence::new(shape.clone(), shape.size(), move |x| g_l(&inner, x));
+        prop_assert!(seq.is_bijection());
+        prop_assert!(seq.cyclic_spread_mesh() <= 2);
+    }
+
+    #[test]
+    fn h_l_cyclic_torus_spread_is_one(shape in small_shape()) {
+        let inner = shape.clone();
+        let seq = FnSequence::new(shape.clone(), shape.size(), move |x| h_l(&inner, x));
+        prop_assert!(seq.is_bijection());
+        prop_assert_eq!(seq.cyclic_spread_torus(), 1);
+    }
+
+    #[test]
+    fn h_l_cyclic_mesh_spread_is_one_when_l1_even(shape in small_shape()) {
+        if shape.radix(0) % 2 == 0 && shape.dim() >= 2 {
+            let inner = shape.clone();
+            let seq = FnSequence::new(shape.clone(), shape.size(), move |x| h_l(&inner, x));
+            prop_assert_eq!(seq.cyclic_spread_mesh(), 1);
+        }
+    }
+
+    #[test]
+    fn t_n_is_an_involution_free_bijection_with_small_steps(n in 2u64..500) {
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = t_n(n, x);
+            prop_assert!(y < n);
+            prop_assert!(!seen[y as usize]);
+            seen[y as usize] = true;
+            let next = t_n(n, (x + 1) % n);
+            let diff = (y as i64 - next as i64).unsigned_abs();
+            prop_assert!(diff <= 2);
+        }
+    }
+
+    #[test]
+    fn line_embeddings_always_have_unit_dilation(host in small_grid()) {
+        let e = embed_line_in(&host).unwrap();
+        prop_assert!(e.is_injective());
+        prop_assert_eq!(e.dilation(), 1);
+    }
+
+    #[test]
+    fn ring_embeddings_match_the_paper_dilation(host in small_grid()) {
+        let e = embed_ring_in(&host).unwrap();
+        prop_assert!(e.is_injective());
+        let unit = host.is_torus()
+            || (host.dim() >= 2 && host.size() % 2 == 0)
+            || host.size() == 2;
+        let expected = if unit { 1 } else { 2 };
+        prop_assert_eq!(e.dilation(), expected, "host {}", host);
+    }
+
+    #[test]
+    fn planner_respects_its_own_prediction(guest in small_grid(), host_kind in proptest::bool::ANY) {
+        // Build a host by regrouping the guest's prime factorization into a
+        // host of different dimension but equal size: here simply collapse
+        // the guest to one dimension (d > 1) or split nothing (d = 1).
+        let host_shape = if guest.dim() > 1 && guest.size() <= u32::MAX as u64 {
+            Shape::new(vec![guest.size() as u32]).unwrap()
+        } else {
+            guest.shape().clone()
+        };
+        let host = if host_kind {
+            Grid::torus(host_shape)
+        } else {
+            Grid::mesh(host_shape)
+        };
+        match (embed(&guest, &host), predicted_dilation(&guest, &host)) {
+            (Ok(e), Ok(bound)) => {
+                prop_assert!(e.is_injective());
+                prop_assert!(e.dilation() <= bound,
+                    "dilation {} > bound {} for {} -> {}", e.dilation(), bound, guest, host);
+            }
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(err)) => {
+                return Err(TestCaseError::fail(format!(
+                    "embed succeeded but prediction failed for {guest} -> {host}: {err}"
+                )));
+            }
+            (Err(err), Ok(_)) => {
+                return Err(TestCaseError::fail(format!(
+                    "prediction succeeded but embed failed for {guest} -> {host}: {err}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn increasing_dimension_into_hypercubes(exponents in proptest::collection::vec(1u32..=3, 1..=3), torus in proptest::bool::ANY) {
+        // Any power-of-two-size torus or mesh embeds in the hypercube of the
+        // same size with dilation at most 2, and exactly 1 for meshes
+        // (Corollary 34).
+        let radices: Vec<u32> = exponents.iter().map(|&e| 1u32 << e).collect();
+        let shape = Shape::new(radices).unwrap();
+        let bits = shape.size().trailing_zeros() as usize;
+        if bits >= 1 && shape.size() <= 256 {
+            let guest = if torus { Grid::torus(shape) } else { Grid::mesh(shape) };
+            let host = Grid::hypercube(bits).unwrap();
+            let e = embed(&guest, &host).unwrap();
+            prop_assert!(e.is_injective());
+            if guest.is_mesh() {
+                prop_assert_eq!(e.dilation(), 1);
+            } else {
+                prop_assert!(e.dilation() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_verification_agrees_with_sequential(host in small_grid(), threads in 1usize..6) {
+        let e = embed_ring_in(&host).unwrap();
+        let sequential = verify_sequential(&e);
+        let parallel = verify(&e, threads).unwrap();
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn square_lowering_respects_the_formula(ell in 2u32..=4, d in 2usize..=3, torus in proptest::bool::ANY) {
+        // Square guest of dimension d and side ℓ into a line/ring of the same
+        // size: dilation ℓ^{d-1} (×2 for torus into line).
+        let size = (ell as u64).pow(d as u32);
+        if size <= 128 {
+            let guest = if torus {
+                Grid::torus(Shape::square(ell, d).unwrap())
+            } else {
+                Grid::mesh(Shape::square(ell, d).unwrap())
+            };
+            for host in [Grid::line(size).unwrap(), Grid::ring(size).unwrap()] {
+                let bound = predicted_dilation(&guest, &host).unwrap();
+                let e = embed(&guest, &host).unwrap();
+                prop_assert!(e.is_injective());
+                prop_assert!(e.dilation() <= bound);
+                let base = (ell as u64).pow((d - 1) as u32);
+                if guest.is_torus() && host.is_mesh() && !guest.is_hypercube() {
+                    prop_assert_eq!(bound, 2 * base);
+                } else {
+                    prop_assert_eq!(bound, base);
+                }
+            }
+        }
+    }
+}

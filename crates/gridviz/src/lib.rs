@@ -1,0 +1,42 @@
+//! Text rendering for torus/mesh embeddings: aligned tables and ASCII
+//! pictures of where guest nodes land in the host.
+//!
+//! The paper communicates its constructions through figures — the
+//! `f_L`/`g_L`/`h_L` tables of Figure 9, the line/ring-in-mesh pictures of
+//! Figure 10, the supernode view of Figure 12. This crate regenerates those
+//! artifacts as plain text so the examples and the `repro` harness can show
+//! an embedding rather than just its dilation number:
+//!
+//! * [`table`] — a small column-aligned table builder with plain-text,
+//!   Markdown and CSV output;
+//! * [`render`] — ASCII pictures of a host grid with each cell labeled by the
+//!   guest node mapped onto it (2-D hosts as one block, higher-dimensional
+//!   hosts as a series of 2-D slices).
+//!
+//! # Example
+//!
+//! ```
+//! use embeddings::basic::embed_ring_in;
+//! use gridviz::render::render_embedding;
+//! use topology::{Grid, Shape};
+//!
+//! let host = Grid::mesh(Shape::new(vec![4, 6]).unwrap());
+//! let embedding = embed_ring_in(&host).unwrap();
+//! let picture = render_embedding(&embedding).unwrap();
+//! assert!(picture.contains("23"));  // every guest label appears
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod render;
+pub mod table;
+
+pub use render::{render_embedding, render_grid_indices};
+pub use table::{Alignment, Table};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::render::{render_embedding, render_grid_indices};
+    pub use crate::table::{Alignment, Table};
+}

@@ -1,0 +1,259 @@
+//! ASCII pictures of embeddings: the host grid with every cell labeled by
+//! the guest node placed there.
+//!
+//! This is the textual equivalent of the paper's Figure 10 (a line and a
+//! ring of size 24 drawn inside a `(4,2,3)`-mesh) and Figure 12 (supernodes
+//! of a `(6,9)`-mesh). The first host dimension runs vertically (top row =
+//! coordinate 0), the second horizontally; hosts of dimension three or more
+//! are rendered as a series of 2-D slices, one per combination of the
+//! remaining coordinates — exactly how the paper draws its 3-dimensional
+//! examples.
+
+use embeddings::error::Result;
+use embeddings::Embedding;
+use topology::Grid;
+
+/// Renders a 2-D block of labels. `label(r, c)` supplies the text for the
+/// cell at vertical coordinate `r` and horizontal coordinate `c`.
+fn render_block(rows: u32, cols: u32, label: impl Fn(u32, u32) -> String) -> String {
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(rows as usize);
+    let mut width = 1;
+    for r in 0..rows {
+        let mut row = Vec::with_capacity(cols as usize);
+        for c in 0..cols {
+            let cell = label(r, c);
+            width = width.max(cell.chars().count());
+            row.push(cell);
+        }
+        cells.push(row);
+    }
+    let mut out = String::new();
+    for row in &cells {
+        let line: Vec<String> = row
+            .iter()
+            .map(|cell| format!("{cell:>width$}", width = width))
+            .collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the host grid of `embedding` with every host node labeled by the
+/// guest node mapped onto it (the inverse image), one 2-D slice per
+/// combination of the third and higher host coordinates.
+///
+/// # Errors
+///
+/// Returns [`embeddings::error::EmbeddingError::TooLarge`] for hosts too
+/// large to materialize, and `Unsupported` if the mapping is not injective
+/// (some host cell would need two labels).
+pub fn render_embedding(embedding: &Embedding) -> Result<String> {
+    let host = embedding.host();
+    let n = embedding.size();
+    // Invert the guest → host table.
+    let table = embedding.to_table()?;
+    let mut inverse: Vec<Option<u64>> = vec![None; n as usize];
+    for (guest, &host_index) in table.iter().enumerate() {
+        let slot = &mut inverse[host_index as usize];
+        if slot.is_some() {
+            return Err(embeddings::error::EmbeddingError::Unsupported {
+                details: format!(
+                    "cannot render a non-injective mapping: host node {host_index} has two preimages"
+                ),
+            });
+        }
+        *slot = Some(guest as u64);
+    }
+    let label_of = |host_index: u64| -> String {
+        match inverse[host_index as usize] {
+            Some(guest) => guest.to_string(),
+            None => ".".to_string(),
+        }
+    };
+
+    let shape = host.shape();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} of {} under {}\n",
+        host,
+        embedding.guest(),
+        embedding.name()
+    ));
+    match host.dim() {
+        1 => {
+            let l = shape.radix(0);
+            out.push_str(&render_block(1, l, |_, c| label_of(c as u64)));
+        }
+        2 => {
+            let (l1, l2) = (shape.radix(0), shape.radix(1));
+            out.push_str(&render_block(l1, l2, |r, c| {
+                label_of(r as u64 * l2 as u64 + c as u64)
+            }));
+        }
+        _ => {
+            let (l1, l2) = (shape.radix(0), shape.radix(1));
+            // Iterate over the trailing coordinates (dimensions 3, …, d).
+            let trailing: u64 = (2..host.dim()).map(|j| shape.radix(j) as u64).product();
+            for slice in 0..trailing {
+                // Reconstruct the trailing coordinate values for the header.
+                let mut rest = slice;
+                let mut suffix = Vec::with_capacity(host.dim() - 2);
+                for j in (2..host.dim()).rev() {
+                    let l = shape.radix(j) as u64;
+                    suffix.push(rest % l);
+                    rest /= l;
+                }
+                suffix.reverse();
+                let labels: Vec<String> = suffix.iter().map(|v| v.to_string()).collect();
+                out.push_str(&format!("slice (·,·,{}):\n", labels.join(",")));
+                out.push_str(&render_block(l1, l2, |r, c| {
+                    let within = r as u64 * l2 as u64 + c as u64;
+                    // Host linear index: the first two coordinates are the
+                    // most significant digits, the trailing coordinates the
+                    // least significant ones (row-major radix-L order).
+                    label_of(within * trailing + slice)
+                }));
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a grid with every node labeled by its own linear index — a
+/// legend for the coordinate system used by [`render_embedding`].
+pub fn render_grid_indices(grid: &Grid) -> String {
+    let shape = grid.shape();
+    let mut out = String::new();
+    out.push_str(&format!("{grid}\n"));
+    match grid.dim() {
+        1 => {
+            let l = shape.radix(0);
+            out.push_str(&render_block(1, l, |_, c| c.to_string()));
+        }
+        2 => {
+            let (l1, l2) = (shape.radix(0), shape.radix(1));
+            out.push_str(&render_block(l1, l2, |r, c| {
+                (r as u64 * l2 as u64 + c as u64).to_string()
+            }));
+        }
+        _ => {
+            let (l1, l2) = (shape.radix(0), shape.radix(1));
+            let trailing: u64 = (2..grid.dim()).map(|j| shape.radix(j) as u64).product();
+            for slice in 0..trailing {
+                out.push_str(&format!("slice {slice}:\n"));
+                out.push_str(&render_block(l1, l2, |r, c| {
+                    ((r as u64 * l2 as u64 + c as u64) * trailing + slice).to_string()
+                }));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embeddings::basic::{embed_line_in, embed_ring_in};
+    use embeddings::Embedding;
+    use std::sync::Arc;
+    use topology::{Coord, Shape};
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    fn labels_in(picture: &str) -> Vec<u64> {
+        picture
+            .split_whitespace()
+            .filter_map(|token| token.parse::<u64>().ok())
+            .collect()
+    }
+
+    #[test]
+    fn two_dimensional_rendering_contains_every_guest_label_once() {
+        let host = Grid::mesh(shape(&[4, 6]));
+        let e = embed_ring_in(&host).unwrap();
+        let picture = render_embedding(&e).unwrap();
+        let mut labels = labels_in(&picture);
+        labels.sort_unstable();
+        assert_eq!(labels, (0..24).collect::<Vec<u64>>());
+        // 4 rows of labels plus the title line.
+        assert_eq!(picture.lines().count(), 5);
+    }
+
+    #[test]
+    fn line_host_renders_on_a_single_row() {
+        let host = Grid::line(8).unwrap();
+        let e = embed_line_in(&host).unwrap();
+        let picture = render_embedding(&e).unwrap();
+        assert_eq!(picture.lines().count(), 2);
+        assert_eq!(labels_in(&picture).len(), 8);
+    }
+
+    #[test]
+    fn three_dimensional_hosts_render_one_slice_per_trailing_coordinate() {
+        let host = Grid::mesh(shape(&[4, 2, 3]));
+        let e = embed_ring_in(&host).unwrap();
+        let picture = render_embedding(&e).unwrap();
+        assert_eq!(picture.matches("slice").count(), 3);
+        // Slice headers carry no bare numeric tokens, so the numeric labels
+        // are exactly the 3 slices × 8 cells = 24 guest nodes.
+        let mut labels = labels_in(&picture);
+        labels.sort_unstable();
+        assert_eq!(labels, (0..24).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn placement_of_the_figure_10_ring_matches_the_map() {
+        // Spot-check that the label printed at host node f(x) is x.
+        let host = Grid::mesh(shape(&[4, 6]));
+        let e = embed_ring_in(&host).unwrap();
+        let picture = render_embedding(&e).unwrap();
+        let rows: Vec<Vec<u64>> = picture
+            .lines()
+            .skip(1)
+            .map(|line| {
+                line.split_whitespace()
+                    .map(|token| token.parse::<u64>().unwrap())
+                    .collect()
+            })
+            .collect();
+        for x in 0..e.size() {
+            let coord = e.map(x);
+            assert_eq!(rows[coord.get(0) as usize][coord.get(1) as usize], x);
+        }
+    }
+
+    #[test]
+    fn non_injective_mappings_are_rejected() {
+        let line = Grid::line(4).unwrap();
+        let host = Grid::line(4).unwrap();
+        let broken = Embedding::new(
+            line,
+            host,
+            "constant",
+            Arc::new(|_| Coord::from_slice(&[0]).unwrap()),
+        )
+        .unwrap();
+        assert!(render_embedding(&broken).is_err());
+    }
+
+    #[test]
+    fn grid_index_legend_counts_every_node() {
+        for grid in [
+            Grid::line(6).unwrap(),
+            Grid::mesh(shape(&[3, 4])),
+            Grid::torus(shape(&[3, 2, 2])),
+        ] {
+            let legend = render_grid_indices(&grid);
+            let labels: Vec<u64> = labels_in(&legend);
+            // Index labels dominate; every node index appears at least once.
+            for x in 0..grid.size() {
+                assert!(labels.contains(&x), "{grid}: missing {x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the rendering layer: every table format keeps
+//! every row, and every grid rendering shows every guest label exactly once.
+
+use embeddings::auto::embed;
+use gridviz::render::{render_embedding, render_grid_indices};
+use gridviz::table::{Alignment, Table};
+use proptest::prelude::*;
+use topology::{Grid, Shape};
+
+/// Strategy producing a small host grid of dimension 1–4.
+fn small_host() -> impl Strategy<Value = Grid> {
+    let shape = proptest::collection::vec(2u32..=5, 1..=4).prop_filter(
+        "keep sizes manageable",
+        |radices| radices.iter().map(|&l| l as u64).product::<u64>() <= 200,
+    );
+    (shape, proptest::bool::ANY).prop_map(|(radices, torus)| {
+        let shape = Shape::new(radices).unwrap();
+        if torus {
+            Grid::torus(shape)
+        } else {
+            Grid::mesh(shape)
+        }
+    })
+}
+
+/// Cell strategy: printable text without newlines.
+fn cell() -> impl Strategy<Value = String> {
+    "[ -~]{0,12}".prop_map(|s| s.replace('\r', ""))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_embedding_renderings_label_every_node_exactly_once(host in small_host()) {
+        let ring = Grid::ring(host.size()).unwrap();
+        let embedding = embed(&ring, &host).unwrap();
+        let picture = render_embedding(&embedding).unwrap();
+        let mut labels: Vec<u64> = picture
+            .split_whitespace()
+            .filter_map(|token| token.parse().ok())
+            .collect();
+        labels.sort_unstable();
+        prop_assert_eq!(labels, (0..host.size()).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn index_legends_show_every_node(host in small_host()) {
+        let legend = render_grid_indices(&host);
+        for x in 0..host.size() {
+            let label = x.to_string();
+            prop_assert!(
+                legend.split_whitespace().any(|token| token == label),
+                "missing node {x} in legend of {host}"
+            );
+        }
+    }
+
+    #[test]
+    fn tables_keep_every_row_in_every_format(
+        header in proptest::collection::vec("[a-z]{1,8}", 1..5),
+        rows in proptest::collection::vec(proptest::collection::vec(cell(), 0..6), 0..10),
+        right_align in proptest::bool::ANY,
+    ) {
+        let columns = header.len();
+        let mut table = Table::new(header);
+        if right_align {
+            table = table.with_alignments(vec![Alignment::Right; columns]);
+        }
+        for row in &rows {
+            table.push_row(row.clone());
+        }
+        prop_assert_eq!(table.len(), rows.len());
+        prop_assert_eq!(table.columns(), columns);
+
+        let text = table.to_text();
+        let markdown = table.to_markdown();
+        let csv = table.to_csv();
+        // Text and Markdown add a header and a separator; CSV adds only a
+        // header. Cells may contain no newlines, so line counts are exact.
+        prop_assert_eq!(text.lines().count(), rows.len() + 2);
+        prop_assert_eq!(markdown.lines().count(), rows.len() + 2);
+        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+        // Markdown keeps every cell verbatim.
+        for row in &rows {
+            for cell in row.iter().take(columns) {
+                if !cell.is_empty() {
+                    prop_assert!(markdown.contains(cell.as_str()));
+                }
+            }
+        }
+    }
+}

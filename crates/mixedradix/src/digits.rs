@@ -1,0 +1,360 @@
+//! Fixed-capacity digit vectors.
+//!
+//! A [`Digits`] value is the radix-`L` representation of a number — the list
+//! `(x_1, x_2, …, x_d)` of Definition 7 of the paper — or, equivalently, the
+//! coordinate list of a node in an `(l_1, …, l_d)`-torus or mesh. It is stored
+//! inline (no heap allocation) so that embedding functions can be evaluated in
+//! hot loops without touching the allocator.
+
+use core::fmt;
+
+use crate::error::{MixedRadixError, Result};
+
+/// Maximum number of dimensions (digits) supported by this crate.
+///
+/// A 32-dimensional graph in which every dimension has the minimum length 2
+/// already has 2³² nodes, which is beyond anything this library enumerates, so
+/// the cap is not a practical restriction.
+pub const MAX_DIM: usize = 32;
+
+/// An inline, fixed-capacity list of digits `(x_1, …, x_d)` with `d ≤ MAX_DIM`.
+///
+/// `Digits` is `Copy` and never allocates. Digits are stored in paper order:
+/// index `0` holds `x_1` (the most significant digit of the mixed-radix
+/// representation, i.e. the digit with the largest weight).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digits {
+    len: u8,
+    d: [u32; MAX_DIM],
+}
+
+impl Digits {
+    /// Creates an empty digit list (dimension 0).
+    ///
+    /// Mostly useful as the starting point for [`Digits::push`] or
+    /// [`Digits::concat`].
+    #[inline]
+    pub const fn empty() -> Self {
+        Digits {
+            len: 0,
+            d: [0; MAX_DIM],
+        }
+    }
+
+    /// Creates a digit list from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedRadixError::DimensionTooLarge`] if the slice has more
+    /// than [`MAX_DIM`] entries.
+    pub fn from_slice(digits: &[u32]) -> Result<Self> {
+        if digits.len() > MAX_DIM {
+            return Err(MixedRadixError::DimensionTooLarge {
+                requested: digits.len(),
+                max: MAX_DIM,
+            });
+        }
+        let mut d = [0u32; MAX_DIM];
+        d[..digits.len()].copy_from_slice(digits);
+        Ok(Digits {
+            len: digits.len() as u8,
+            d,
+        })
+    }
+
+    /// Creates a digit list of dimension `dim` with every digit equal to
+    /// `value`.
+    pub fn repeat(value: u32, dim: usize) -> Result<Self> {
+        if dim > MAX_DIM {
+            return Err(MixedRadixError::DimensionTooLarge {
+                requested: dim,
+                max: MAX_DIM,
+            });
+        }
+        let mut d = [0u32; MAX_DIM];
+        d[..dim].fill(value);
+        Ok(Digits {
+            len: dim as u8,
+            d,
+        })
+    }
+
+    /// Creates the all-zero digit list of dimension `dim` (the origin node).
+    pub fn zero(dim: usize) -> Result<Self> {
+        Self::repeat(0, dim)
+    }
+
+    /// The number of digits (the dimension `d`).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list has no digits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The digits as a slice, most significant first.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.d[..self.len as usize]
+    }
+
+    /// Returns digit `i` (0-based; the paper's `x_{i+1}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.dim(), "digit index {i} out of range");
+        self.d[i]
+    }
+
+    /// Sets digit `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u32) {
+        assert!(i < self.dim(), "digit index {i} out of range");
+        self.d[i] = value;
+    }
+
+    /// Appends a digit at the least-significant end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedRadixError::DimensionTooLarge`] if the list is already at
+    /// capacity.
+    pub fn push(&mut self, value: u32) -> Result<()> {
+        if self.dim() == MAX_DIM {
+            return Err(MixedRadixError::DimensionTooLarge {
+                requested: MAX_DIM + 1,
+                max: MAX_DIM,
+            });
+        }
+        self.d[self.len as usize] = value;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// List concatenation — the paper's `∘` operator on lists
+    /// (Section 2): `(x_1,…,x_p) ∘ (y_1,…,y_q) = (x_1,…,x_p,y_1,…,y_q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedRadixError::DimensionTooLarge`] if the result would have
+    /// more than [`MAX_DIM`] digits.
+    pub fn concat(&self, other: &Digits) -> Result<Digits> {
+        let total = self.dim() + other.dim();
+        if total > MAX_DIM {
+            return Err(MixedRadixError::DimensionTooLarge {
+                requested: total,
+                max: MAX_DIM,
+            });
+        }
+        let mut out = *self;
+        out.d[self.dim()..total].copy_from_slice(other.as_slice());
+        out.len = total as u8;
+        Ok(out)
+    }
+
+    /// Returns the sub-list of digits in positions `range` (0-based,
+    /// half-open), as its own `Digits` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> Digits {
+        assert!(start <= end && end <= self.dim(), "slice out of bounds");
+        // Infallible: end - start <= self.dim() <= MAX_DIM.
+        Digits::from_slice(&self.as_slice()[start..end]).expect("sub-slice fits")
+    }
+
+    /// An iterator over the digits, most significant first.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl fmt::Debug for Digits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digits{self}")
+    }
+}
+
+impl fmt::Display for Digits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, digit) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{digit}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<'a> IntoIterator for &'a Digits {
+    type Item = u32;
+    type IntoIter = core::iter::Copied<core::slice::Iter<'a, u32>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl TryFrom<&[u32]> for Digits {
+    type Error = MixedRadixError;
+
+    fn try_from(value: &[u32]) -> Result<Self> {
+        Digits::from_slice(value)
+    }
+}
+
+impl TryFrom<Vec<u32>> for Digits {
+    type Error = MixedRadixError;
+
+    fn try_from(value: Vec<u32>) -> Result<Self> {
+        Digits::from_slice(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_round_trips() {
+        let d = Digits::from_slice(&[3, 0, 2]).unwrap();
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.as_slice(), &[3, 0, 2]);
+        assert_eq!(d.get(0), 3);
+        assert_eq!(d.get(2), 2);
+    }
+
+    #[test]
+    fn from_slice_rejects_too_many_digits() {
+        let big = vec![0u32; MAX_DIM + 1];
+        assert!(matches!(
+            Digits::from_slice(&big),
+            Err(MixedRadixError::DimensionTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert_eq!(Digits::empty().dim(), 0);
+        assert!(Digits::empty().is_empty());
+        let z = Digits::zero(4).unwrap();
+        assert_eq!(z.as_slice(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn repeat_fills_all_digits() {
+        let d = Digits::repeat(7, 5).unwrap();
+        assert_eq!(d.as_slice(), &[7, 7, 7, 7, 7]);
+        assert!(Digits::repeat(1, MAX_DIM + 1).is_err());
+    }
+
+    #[test]
+    fn push_appends_at_least_significant_end() {
+        let mut d = Digits::empty();
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        d.push(3).unwrap();
+        assert_eq!(d.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn push_fails_at_capacity() {
+        let mut d = Digits::repeat(0, MAX_DIM).unwrap();
+        assert!(d.push(0).is_err());
+    }
+
+    #[test]
+    fn concat_matches_paper_operator() {
+        let a = Digits::from_slice(&[1, 2]).unwrap();
+        let b = Digits::from_slice(&[3, 4, 5]).unwrap();
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4, 5]);
+        // Concatenating with the empty list is the identity.
+        assert_eq!(a.concat(&Digits::empty()).unwrap(), a);
+        assert_eq!(Digits::empty().concat(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn concat_overflow_is_an_error() {
+        let a = Digits::repeat(0, 20).unwrap();
+        let b = Digits::repeat(0, 20).unwrap();
+        assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn slice_extracts_sub_lists() {
+        let d = Digits::from_slice(&[9, 8, 7, 6]).unwrap();
+        assert_eq!(d.slice(1, 3).as_slice(), &[8, 7]);
+        assert_eq!(d.slice(0, 0).dim(), 0);
+        assert_eq!(d.slice(0, 4), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let d = Digits::from_slice(&[1, 2]).unwrap();
+        let _ = d.slice(1, 3);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut d = Digits::zero(3).unwrap();
+        d.set(1, 42);
+        assert_eq!(d.as_slice(), &[0, 42, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let d = Digits::zero(2).unwrap();
+        let _ = d.get(2);
+    }
+
+    #[test]
+    fn display_is_paper_style_tuple() {
+        let d = Digits::from_slice(&[0, 0, 1]).unwrap();
+        assert_eq!(d.to_string(), "(0, 0, 1)");
+        assert_eq!(Digits::empty().to_string(), "()");
+        assert_eq!(format!("{d:?}"), "Digits(0, 0, 1)");
+    }
+
+    #[test]
+    fn equality_ignores_unused_capacity() {
+        let mut a = Digits::from_slice(&[1, 2, 3]).unwrap();
+        let b = Digits::from_slice(&[1, 2]).unwrap();
+        assert_ne!(a, b);
+        a = a.slice(0, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iterator_yields_digits_in_order() {
+        let d = Digits::from_slice(&[5, 6, 7]).unwrap();
+        let collected: Vec<u32> = d.iter().collect();
+        assert_eq!(collected, vec![5, 6, 7]);
+        let collected2: Vec<u32> = (&d).into_iter().collect();
+        assert_eq!(collected2, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn try_from_conversions() {
+        let d: Digits = vec![1u32, 2, 3].try_into().unwrap();
+        assert_eq!(d.as_slice(), &[1, 2, 3]);
+        let d2: Digits = (&[4u32, 5][..]).try_into().unwrap();
+        assert_eq!(d2.as_slice(), &[4, 5]);
+    }
+}

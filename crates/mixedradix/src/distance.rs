@@ -1,0 +1,268 @@
+//! The two distance measures on radix-`L` numbers (Lemmas 5 and 6).
+//!
+//! Viewing the numbers in `Ω_L` as the nodes of an `(l_1, …, l_d)`-torus or an
+//! `(l_1, …, l_d)`-mesh gives two distances between any pair of numbers:
+//!
+//! * the **torus distance** `δ_t(A, B) = Σ_k min{|i_k − i'_k|, l_k − |i_k − i'_k|}`
+//!   (Lemma 5), and
+//! * the **mesh distance** `δ_m(A, B) = Σ_k |i_k − i'_k|` (Lemma 6).
+//!
+//! The mesh distance is never smaller than the torus distance.
+
+use crate::base::RadixBase;
+use crate::digits::Digits;
+use crate::error::{MixedRadixError, Result};
+
+/// Per-dimension mesh distance `|a − b|`.
+#[inline]
+pub fn digit_distance_mesh(a: u32, b: u32) -> u64 {
+    (a as i64 - b as i64).unsigned_abs()
+}
+
+/// Per-dimension torus (cyclic) distance `min{|a − b|, l − |a − b|}`.
+#[inline]
+pub fn digit_distance_torus(a: u32, b: u32, l: u32) -> u64 {
+    let diff = digit_distance_mesh(a, b);
+    diff.min(l as u64 - diff)
+}
+
+fn check_pair(base: &RadixBase, a: &Digits, b: &Digits) -> Result<()> {
+    for (name, digits) in [("left", a), ("right", b)] {
+        if digits.dim() != base.dim() {
+            return Err(MixedRadixError::DimensionMismatch {
+                left: base.dim(),
+                right: digits.dim(),
+            });
+        }
+        for j in 0..base.dim() {
+            if digits.get(j) >= base.radix(j) {
+                let _ = name;
+                return Err(MixedRadixError::DigitOutOfRange {
+                    position: j,
+                    digit: digits.get(j) as u64,
+                    radix: base.radix(j) as u64,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The mesh distance `δ_m(a, b)` of Lemma 6.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not a valid radix-`L` number.
+pub fn delta_m(base: &RadixBase, a: &Digits, b: &Digits) -> Result<u64> {
+    check_pair(base, a, b)?;
+    Ok(delta_m_unchecked(a, b))
+}
+
+/// The torus distance `δ_t(a, b)` of Lemma 5.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not a valid radix-`L` number.
+pub fn delta_t(base: &RadixBase, a: &Digits, b: &Digits) -> Result<u64> {
+    check_pair(base, a, b)?;
+    Ok(delta_t_unchecked(base, a, b))
+}
+
+/// The mesh distance without validating the operands.
+///
+/// # Panics
+///
+/// Panics if the operands have different dimensions.
+#[inline]
+pub fn delta_m_unchecked(a: &Digits, b: &Digits) -> u64 {
+    assert_eq!(a.dim(), b.dim(), "operands must have equal dimension");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| digit_distance_mesh(x, y))
+        .sum()
+}
+
+/// The torus distance without validating that digits are within their radix.
+///
+/// # Panics
+///
+/// Panics if the operands' dimensions differ from the base's.
+#[inline]
+pub fn delta_t_unchecked(base: &RadixBase, a: &Digits, b: &Digits) -> u64 {
+    assert_eq!(a.dim(), base.dim(), "left operand dimension mismatch");
+    assert_eq!(b.dim(), base.dim(), "right operand dimension mismatch");
+    (0..base.dim())
+        .map(|j| digit_distance_torus(a.get(j), b.get(j), base.radix(j)))
+        .sum()
+}
+
+/// Mesh distance between two numbers given by their integer values.
+///
+/// # Errors
+///
+/// Returns an error if either index is out of range.
+pub fn delta_m_index(base: &RadixBase, x: u64, y: u64) -> Result<u64> {
+    let a = base.to_digits(x)?;
+    let b = base.to_digits(y)?;
+    Ok(delta_m_unchecked(&a, &b))
+}
+
+/// Torus distance between two numbers given by their integer values.
+///
+/// # Errors
+///
+/// Returns an error if either index is out of range.
+pub fn delta_t_index(base: &RadixBase, x: u64, y: u64) -> Result<u64> {
+    let a = base.to_digits(x)?;
+    let b = base.to_digits(y)?;
+    Ok(delta_t_unchecked(base, &a, &b))
+}
+
+/// The largest possible mesh distance in `Ω_L` — the diameter of the
+/// `L`-mesh, `Σ_j (l_j − 1)`.
+pub fn mesh_diameter(base: &RadixBase) -> u64 {
+    base.radices().iter().map(|&l| (l - 1) as u64).sum()
+}
+
+/// The largest possible torus distance in `Ω_L` — the diameter of the
+/// `L`-torus, `Σ_j ⌊l_j / 2⌋`.
+pub fn torus_diameter(base: &RadixBase) -> u64 {
+    base.radices().iter().map(|&l| (l / 2) as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base423() -> RadixBase {
+        RadixBase::new(vec![4, 2, 3]).unwrap()
+    }
+
+    fn d(slice: &[u32]) -> Digits {
+        Digits::from_slice(slice).unwrap()
+    }
+
+    #[test]
+    fn paper_page_7_example() {
+        // "In the torus given in Figure 1, the distance between the nodes
+        // (0,0,1) and (3,0,0) is 2, and in the mesh given in Figure 2, the
+        // distance between the nodes (0,0,1) and (3,0,0) is 4."
+        let base = base423();
+        let a = d(&[0, 0, 1]);
+        let b = d(&[3, 0, 0]);
+        assert_eq!(delta_t(&base, &a, &b).unwrap(), 2);
+        assert_eq!(delta_m(&base, &a, &b).unwrap(), 4);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let base = base423();
+        for x in 0..base.size() {
+            assert_eq!(delta_m_index(&base, x, x).unwrap(), 0);
+            assert_eq!(delta_t_index(&base, x, x).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let base = base423();
+        for x in 0..base.size() {
+            for y in 0..base.size() {
+                assert_eq!(
+                    delta_m_index(&base, x, y).unwrap(),
+                    delta_m_index(&base, y, x).unwrap()
+                );
+                assert_eq!(
+                    delta_t_index(&base, x, y).unwrap(),
+                    delta_t_index(&base, y, x).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_distance_dominates_torus_distance() {
+        // "the δ_m-distance between any two numbers in R_L is always greater
+        // than or equal to their δ_t-distance."
+        let base = base423();
+        for x in 0..base.size() {
+            for y in 0..base.size() {
+                assert!(
+                    delta_m_index(&base, x, y).unwrap() >= delta_t_index(&base, x, y).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_small_base() {
+        let base = RadixBase::new(vec![3, 4]).unwrap();
+        let n = base.size();
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    let dm = |a, b| delta_m_index(&base, a, b).unwrap();
+                    let dt = |a, b| delta_t_index(&base, a, b).unwrap();
+                    assert!(dm(x, z) <= dm(x, y) + dm(y, z));
+                    assert!(dt(x, z) <= dt(x, y) + dt(y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digit_distances() {
+        assert_eq!(digit_distance_mesh(5, 2), 3);
+        assert_eq!(digit_distance_mesh(2, 5), 3);
+        assert_eq!(digit_distance_torus(0, 3, 4), 1);
+        assert_eq!(digit_distance_torus(0, 2, 4), 2);
+        assert_eq!(digit_distance_torus(1, 1, 4), 0);
+    }
+
+    #[test]
+    fn torus_distance_wraps_around() {
+        let base = RadixBase::new(vec![10]).unwrap();
+        let a = d(&[0]);
+        let b = d(&[9]);
+        assert_eq!(delta_t(&base, &a, &b).unwrap(), 1);
+        assert_eq!(delta_m(&base, &a, &b).unwrap(), 9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let base = base423();
+        let wrong_dim = d(&[0, 0]);
+        let ok = d(&[0, 0, 0]);
+        assert!(delta_m(&base, &wrong_dim, &ok).is_err());
+        assert!(delta_t(&base, &ok, &wrong_dim).is_err());
+        let bad_digit = d(&[0, 5, 0]);
+        assert!(delta_m(&base, &ok, &bad_digit).is_err());
+        assert!(delta_t_index(&base, 0, 24).is_err());
+        assert!(delta_m_index(&base, 24, 0).is_err());
+    }
+
+    #[test]
+    fn diameters() {
+        let base = base423();
+        assert_eq!(mesh_diameter(&base), 3 + 1 + 2);
+        assert_eq!(torus_diameter(&base), 2 + 1 + 1);
+        // Diameters are attained.
+        let mut max_m = 0;
+        let mut max_t = 0;
+        for x in 0..base.size() {
+            for y in 0..base.size() {
+                max_m = max_m.max(delta_m_index(&base, x, y).unwrap());
+                max_t = max_t.max(delta_t_index(&base, x, y).unwrap());
+            }
+        }
+        assert_eq!(max_m, mesh_diameter(&base));
+        assert_eq!(max_t, torus_diameter(&base));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn unchecked_mesh_distance_panics_on_dim_mismatch() {
+        let _ = delta_m_unchecked(&d(&[1, 2]), &d(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,152 @@
+//! Error types for the `mixedradix` crate.
+
+use core::fmt;
+
+/// Errors produced when constructing or manipulating mixed-radix numbering
+/// systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedRadixError {
+    /// A radix base must have at least one component.
+    EmptyBase,
+    /// Every component of a radix base must be an integer greater than 1
+    /// (Definition 7 of the paper requires `l_j > 1`).
+    RadixTooSmall {
+        /// Zero-based position of the offending component.
+        position: usize,
+        /// The offending value.
+        value: u64,
+    },
+    /// The base has more components than this implementation supports
+    /// (see [`crate::MAX_DIM`]).
+    DimensionTooLarge {
+        /// Requested dimension.
+        requested: usize,
+        /// Maximum supported dimension.
+        max: usize,
+    },
+    /// The product of the radices does not fit in a `u64`.
+    SizeOverflow,
+    /// An integer was outside the range `[0, n)` of the numbering system.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// The size `n` of the numbering system.
+        size: u64,
+    },
+    /// A digit exceeded its radix.
+    DigitOutOfRange {
+        /// Zero-based position of the offending digit.
+        position: usize,
+        /// The offending digit.
+        digit: u64,
+        /// The radix at that position.
+        radix: u64,
+    },
+    /// Two objects that must share a radix base (or at least a dimension) did
+    /// not.
+    DimensionMismatch {
+        /// Dimension of the left-hand operand.
+        left: usize,
+        /// Dimension of the right-hand operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for MixedRadixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixedRadixError::EmptyBase => {
+                write!(f, "a radix base must have at least one component")
+            }
+            MixedRadixError::RadixTooSmall { position, value } => write!(
+                f,
+                "radix component at position {position} is {value}, but every component must be > 1"
+            ),
+            MixedRadixError::DimensionTooLarge { requested, max } => write!(
+                f,
+                "radix base has {requested} components, but at most {max} are supported"
+            ),
+            MixedRadixError::SizeOverflow => {
+                write!(f, "the product of the radices does not fit in a u64")
+            }
+            MixedRadixError::IndexOutOfRange { index, size } => {
+                write!(f, "index {index} is outside the range [0, {size})")
+            }
+            MixedRadixError::DigitOutOfRange {
+                position,
+                digit,
+                radix,
+            } => write!(
+                f,
+                "digit {digit} at position {position} exceeds its radix {radix}"
+            ),
+            MixedRadixError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: left operand has {left} components, right has {right}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MixedRadixError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MixedRadixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(MixedRadixError, &str)> = vec![
+            (MixedRadixError::EmptyBase, "at least one component"),
+            (
+                MixedRadixError::RadixTooSmall {
+                    position: 2,
+                    value: 1,
+                },
+                "position 2",
+            ),
+            (
+                MixedRadixError::DimensionTooLarge {
+                    requested: 64,
+                    max: 32,
+                },
+                "64 components",
+            ),
+            (MixedRadixError::SizeOverflow, "does not fit"),
+            (
+                MixedRadixError::IndexOutOfRange { index: 7, size: 6 },
+                "index 7",
+            ),
+            (
+                MixedRadixError::DigitOutOfRange {
+                    position: 0,
+                    digit: 9,
+                    radix: 3,
+                },
+                "digit 9",
+            ),
+            (
+                MixedRadixError::DimensionMismatch { left: 2, right: 3 },
+                "dimension mismatch",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "message {msg:?} should contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = MixedRadixError::SizeOverflow;
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, MixedRadixError::EmptyBase);
+    }
+}

@@ -1,0 +1,144 @@
+//! Iterators over mixed-radix numbering systems.
+
+use crate::base::RadixBase;
+use crate::digits::Digits;
+
+/// Iterates over all radix-`L` numbers in natural (numeric) order, yielding
+/// [`Digits`] values — the sequence the paper calls `P` (Section 3.1).
+///
+/// The iterator increments digits in place (odometer style) rather than
+/// dividing on every step, so iterating over all `n` numbers costs `O(n)`
+/// amortized digit operations.
+pub struct DigitsIter<'a> {
+    base: &'a RadixBase,
+    next: Option<Digits>,
+    remaining: u64,
+}
+
+impl<'a> DigitsIter<'a> {
+    /// Creates an iterator over all numbers of `base` in natural order.
+    pub fn new(base: &'a RadixBase) -> Self {
+        DigitsIter {
+            base,
+            next: Some(Digits::zero(base.dim()).expect("base dim within bounds")),
+            remaining: base.size(),
+        }
+    }
+
+    fn advance(&mut self, mut current: Digits) -> Option<Digits> {
+        // Odometer increment from the least-significant digit.
+        for j in (0..self.base.dim()).rev() {
+            let digit = current.get(j) + 1;
+            if digit < self.base.radix(j) {
+                current.set(j, digit);
+                return Some(current);
+            }
+            current.set(j, 0);
+        }
+        None
+    }
+}
+
+impl<'a> Iterator for DigitsIter<'a> {
+    type Item = Digits;
+
+    fn next(&mut self) -> Option<Digits> {
+        let current = self.next?;
+        self.remaining -= 1;
+        self.next = self.advance(current);
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (r, Some(r))
+    }
+}
+
+impl<'a> ExactSizeIterator for DigitsIter<'a> {}
+
+/// Iterates over the index/digits pairs `(x, u_L(x))` in natural order.
+pub struct EnumeratedDigitsIter<'a> {
+    inner: DigitsIter<'a>,
+    index: u64,
+}
+
+impl<'a> EnumeratedDigitsIter<'a> {
+    /// Creates an iterator over `(x, u_L(x))` for all `x ∈ [n]`.
+    pub fn new(base: &'a RadixBase) -> Self {
+        EnumeratedDigitsIter {
+            inner: DigitsIter::new(base),
+            index: 0,
+        }
+    }
+}
+
+impl<'a> Iterator for EnumeratedDigitsIter<'a> {
+    type Item = (u64, Digits);
+
+    fn next(&mut self) -> Option<(u64, Digits)> {
+        let digits = self.inner.next()?;
+        let idx = self.index;
+        self.index += 1;
+        Some((idx, digits))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for EnumeratedDigitsIter<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_order_matches_to_digits() {
+        let base = RadixBase::new(vec![4, 2, 3]).unwrap();
+        let all: Vec<Digits> = base.iter().collect();
+        assert_eq!(all.len(), 24);
+        for (x, digits) in all.iter().enumerate() {
+            assert_eq!(*digits, base.to_digits(x as u64).unwrap());
+        }
+    }
+
+    #[test]
+    fn enumerated_iterator_pairs_indices() {
+        let base = RadixBase::new(vec![3, 3]).unwrap();
+        for (x, digits) in EnumeratedDigitsIter::new(&base) {
+            assert_eq!(base.to_index(&digits).unwrap(), x);
+        }
+        assert_eq!(EnumeratedDigitsIter::new(&base).count(), 9);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let base = RadixBase::new(vec![2, 5]).unwrap();
+        let mut iter = base.iter();
+        assert_eq!(iter.len(), 10);
+        iter.next();
+        iter.next();
+        assert_eq!(iter.len(), 8);
+    }
+
+    #[test]
+    fn single_dimension_iteration() {
+        let base = RadixBase::new(vec![5]).unwrap();
+        let all: Vec<u32> = base.iter().map(|d| d.get(0)).collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn iteration_is_exhaustive_and_distinct() {
+        let base = RadixBase::new(vec![2, 3, 2]).unwrap();
+        let all: Vec<Digits> = base.iter().collect();
+        assert_eq!(all.len(), 12);
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+}

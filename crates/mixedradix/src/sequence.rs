@@ -1,0 +1,384 @@
+//! Sequences of radix-`L` numbers and their spreads (Definition 8).
+//!
+//! A bijection `f : [n] → Ω_L` can be read as an *acyclic sequence*
+//! `f(0), f(1), …, f(n−1)` or as a *cyclic sequence* in which `f(n−1)` and
+//! `f(0)` are also successive. The **δ_m-spread** (resp. **δ_t-spread**) of the
+//! sequence is the maximum δ_m-distance (resp. δ_t-distance) between
+//! successive elements.
+//!
+//! The paper's central observation is that an embedding of a line (ring) in a
+//! mesh or torus *is* such a sequence, and its dilation cost *is* the
+//! corresponding spread.
+
+use crate::base::RadixBase;
+use crate::digits::Digits;
+use crate::distance::{delta_m_unchecked, delta_t_unchecked};
+use crate::error::{MixedRadixError, Result};
+
+/// A sequence of radix-`L` numbers — a function `[len] → Ω_L`.
+///
+/// Implementors provide random access via [`RadixSequence::at`]; the provided
+/// methods compute spreads, check bijectivity, and materialize the sequence.
+pub trait RadixSequence {
+    /// The radix base `L` whose numbers the sequence ranges over.
+    fn base(&self) -> &RadixBase;
+
+    /// The length of the sequence (usually `n = |Ω_L|`).
+    fn len(&self) -> u64;
+
+    /// The `i`-th element of the sequence.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `i >= self.len()`.
+    fn at(&self, i: u64) -> Digits;
+
+    /// Whether the sequence is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The δ_m-distances between successive elements of the acyclic sequence
+    /// (length `len − 1`).
+    fn successive_mesh_distances(&self) -> Vec<u64> {
+        (1..self.len())
+            .map(|i| delta_m_unchecked(&self.at(i - 1), &self.at(i)))
+            .collect()
+    }
+
+    /// The δ_t-distances between successive elements of the acyclic sequence.
+    fn successive_torus_distances(&self) -> Vec<u64> {
+        (1..self.len())
+            .map(|i| delta_t_unchecked(self.base(), &self.at(i - 1), &self.at(i)))
+            .collect()
+    }
+
+    /// δ_m-spread of the acyclic sequence.
+    fn acyclic_spread_mesh(&self) -> u64 {
+        (1..self.len())
+            .map(|i| delta_m_unchecked(&self.at(i - 1), &self.at(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// δ_t-spread of the acyclic sequence.
+    fn acyclic_spread_torus(&self) -> u64 {
+        (1..self.len())
+            .map(|i| delta_t_unchecked(self.base(), &self.at(i - 1), &self.at(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// δ_m-spread of the cyclic sequence (the acyclic spread together with the
+    /// wrap-around pair `f(n−1), f(0)`).
+    fn cyclic_spread_mesh(&self) -> u64 {
+        if self.len() < 2 {
+            return 0;
+        }
+        let wrap = delta_m_unchecked(&self.at(self.len() - 1), &self.at(0));
+        self.acyclic_spread_mesh().max(wrap)
+    }
+
+    /// δ_t-spread of the cyclic sequence.
+    fn cyclic_spread_torus(&self) -> u64 {
+        if self.len() < 2 {
+            return 0;
+        }
+        let wrap = delta_t_unchecked(self.base(), &self.at(self.len() - 1), &self.at(0));
+        self.acyclic_spread_torus().max(wrap)
+    }
+
+    /// Whether the sequence is a bijection onto `Ω_L` — every radix-`L` number
+    /// appears exactly once and every element is a valid radix-`L` number.
+    fn is_bijection(&self) -> bool {
+        let base = self.base();
+        if self.len() != base.size() {
+            return false;
+        }
+        let n = base.size() as usize;
+        let mut seen = vec![false; n];
+        for i in 0..self.len() {
+            let digits = self.at(i);
+            if !base.contains(&digits) {
+                return false;
+            }
+            let idx = base
+                .to_index(&digits)
+                .expect("digits validated by contains") as usize;
+            if seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+        }
+        true
+    }
+
+    /// Materializes the sequence into an [`ExplicitSequence`].
+    fn materialize(&self) -> ExplicitSequence {
+        let elements = (0..self.len()).map(|i| self.at(i)).collect();
+        ExplicitSequence {
+            base: self.base().clone(),
+            elements,
+        }
+    }
+}
+
+/// A sequence stored as an explicit vector of digit lists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplicitSequence {
+    base: RadixBase,
+    elements: Vec<Digits>,
+}
+
+impl ExplicitSequence {
+    /// Creates an explicit sequence after validating every element against the
+    /// base.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any element is not a valid radix-`L` number.
+    pub fn new(base: RadixBase, elements: Vec<Digits>) -> Result<Self> {
+        for digits in &elements {
+            if digits.dim() != base.dim() {
+                return Err(MixedRadixError::DimensionMismatch {
+                    left: base.dim(),
+                    right: digits.dim(),
+                });
+            }
+            if !base.contains(digits) {
+                // Locate the offending digit for a precise error.
+                for j in 0..base.dim() {
+                    if digits.get(j) >= base.radix(j) {
+                        return Err(MixedRadixError::DigitOutOfRange {
+                            position: j,
+                            digit: digits.get(j) as u64,
+                            radix: base.radix(j) as u64,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(ExplicitSequence { base, elements })
+    }
+
+    /// The elements as a slice.
+    pub fn elements(&self) -> &[Digits] {
+        &self.elements
+    }
+}
+
+impl RadixSequence for ExplicitSequence {
+    fn base(&self) -> &RadixBase {
+        &self.base
+    }
+
+    fn len(&self) -> u64 {
+        self.elements.len() as u64
+    }
+
+    fn at(&self, i: u64) -> Digits {
+        self.elements[i as usize]
+    }
+}
+
+/// The natural-order sequence `P` — the numbers `0, 1, …, n−1` in their
+/// radix-`L` representations (Section 3.1).
+///
+/// For every `d > 1` its δ_m-spread is at least 2 (shown in the paper as
+/// motivation for constructing the reflected sequence `P′ = f_L`).
+#[derive(Clone, Debug)]
+pub struct NaturalSequence {
+    base: RadixBase,
+}
+
+impl NaturalSequence {
+    /// Creates the natural-order sequence over `base`.
+    pub fn new(base: RadixBase) -> Self {
+        NaturalSequence { base }
+    }
+}
+
+impl RadixSequence for NaturalSequence {
+    fn base(&self) -> &RadixBase {
+        &self.base
+    }
+
+    fn len(&self) -> u64 {
+        self.base.size()
+    }
+
+    fn at(&self, i: u64) -> Digits {
+        self.base.to_digits(i).expect("index in range")
+    }
+}
+
+/// A sequence defined by an arbitrary function `[n] → Ω_L`.
+pub struct FnSequence<F>
+where
+    F: Fn(u64) -> Digits,
+{
+    base: RadixBase,
+    len: u64,
+    f: F,
+}
+
+impl<F> FnSequence<F>
+where
+    F: Fn(u64) -> Digits,
+{
+    /// Wraps a closure as a sequence of `len` elements over `base`.
+    pub fn new(base: RadixBase, len: u64, f: F) -> Self {
+        FnSequence { base, len, f }
+    }
+}
+
+impl<F> RadixSequence for FnSequence<F>
+where
+    F: Fn(u64) -> Digits,
+{
+    fn base(&self) -> &RadixBase {
+        &self.base
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn at(&self, i: u64) -> Digits {
+        (self.f)(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(slice: &[u32]) -> Digits {
+        Digits::from_slice(slice).unwrap()
+    }
+
+    /// The example of Figure 3: a function f : [9] → Ω_(3,3).
+    ///
+    /// Viewed as an acyclic sequence its δ_m-spread is 2 and its δ_t-spread is
+    /// 1; viewed as a cyclic sequence its δ_m-spread is 3 and its δ_t-spread
+    /// is 2.
+    fn figure3_sequence() -> ExplicitSequence {
+        let base = RadixBase::new(vec![3, 3]).unwrap();
+        // The scanned figure does not reproduce the exact table, but the text
+        // quotes its spreads: acyclic δ_m = 2, δ_t = 1; cyclic δ_m = 3,
+        // δ_t = 2. This sequence has exactly those spreads.
+        let elements = vec![
+            d(&[0, 0]),
+            d(&[0, 1]),
+            d(&[0, 2]),
+            d(&[2, 2]),
+            d(&[2, 1]),
+            d(&[2, 0]),
+            d(&[1, 0]),
+            d(&[1, 1]),
+            d(&[1, 2]),
+        ];
+        ExplicitSequence::new(base, elements).unwrap()
+    }
+
+    #[test]
+    fn figure3_spreads() {
+        let seq = figure3_sequence();
+        assert!(seq.is_bijection());
+        assert_eq!(seq.acyclic_spread_mesh(), 2);
+        assert_eq!(seq.acyclic_spread_torus(), 1);
+        assert_eq!(seq.cyclic_spread_mesh(), 3); // wrap (1,2) -> (0,0)
+        assert_eq!(seq.cyclic_spread_torus(), 2);
+    }
+
+    #[test]
+    fn natural_sequence_spread_exceeds_one_for_higher_dims() {
+        // "The sequence P has thus a δ_m-spread greater than 1 for all d > 1."
+        for radices in [vec![4u32, 2, 3], vec![2, 2], vec![3, 3, 3], vec![5, 4]] {
+            let base = RadixBase::new(radices).unwrap();
+            let p = NaturalSequence::new(base);
+            assert!(p.is_bijection());
+            assert!(p.acyclic_spread_mesh() > 1);
+        }
+    }
+
+    #[test]
+    fn natural_sequence_of_dimension_one_has_unit_spread() {
+        let base = RadixBase::new(vec![7]).unwrap();
+        let p = NaturalSequence::new(base);
+        assert_eq!(p.acyclic_spread_mesh(), 1);
+        assert_eq!(p.acyclic_spread_torus(), 1);
+        // Cyclic: the wrap-around pair 6 -> 0 has mesh distance 6, torus 1.
+        assert_eq!(p.cyclic_spread_mesh(), 6);
+        assert_eq!(p.cyclic_spread_torus(), 1);
+    }
+
+    #[test]
+    fn natural_sequence_423_spread_matches_figure_4() {
+        // Figure 4: the sequence P for L = (4, 2, 3) has δ_m-spread > 1; the
+        // largest jump is l_3 - 1 = 2 within a digit, combined across digits.
+        let base = RadixBase::new(vec![4, 2, 3]).unwrap();
+        let p = NaturalSequence::new(base);
+        // Successive elements of P differ by: within segment 1, at boundaries
+        // a drop of (l_i - 1) in lower digits plus 1 in the carry digit.
+        assert_eq!(p.acyclic_spread_mesh(), 4); // e.g. (0,1,2) -> (1,0,0)
+    }
+
+    #[test]
+    fn explicit_sequence_validates_elements() {
+        let base = RadixBase::new(vec![2, 2]).unwrap();
+        assert!(ExplicitSequence::new(base.clone(), vec![d(&[0, 0]), d(&[2, 0])]).is_err());
+        assert!(ExplicitSequence::new(base.clone(), vec![d(&[0, 0, 0])]).is_err());
+        assert!(ExplicitSequence::new(base, vec![d(&[0, 0]), d(&[1, 1])]).is_ok());
+    }
+
+    #[test]
+    fn bijection_detects_duplicates_and_short_sequences() {
+        let base = RadixBase::new(vec![2, 2]).unwrap();
+        let dup = ExplicitSequence::new(
+            base.clone(),
+            vec![d(&[0, 0]), d(&[0, 1]), d(&[0, 0]), d(&[1, 1])],
+        )
+        .unwrap();
+        assert!(!dup.is_bijection());
+        let short =
+            ExplicitSequence::new(base.clone(), vec![d(&[0, 0]), d(&[0, 1])]).unwrap();
+        assert!(!short.is_bijection());
+    }
+
+    #[test]
+    fn fn_sequence_wraps_closures() {
+        let base = RadixBase::new(vec![3, 3]).unwrap();
+        let inner = base.clone();
+        let seq = FnSequence::new(base.clone(), 9, move |i| inner.to_digits(i).unwrap());
+        assert!(seq.is_bijection());
+        // Natural order wraps (0,2) -> (1,0), a torus distance of 2.
+        assert_eq!(seq.acyclic_spread_torus(), 2);
+        let mat = seq.materialize();
+        assert_eq!(mat.len(), 9);
+        assert_eq!(mat.at(4), base.to_digits(4).unwrap());
+    }
+
+    #[test]
+    fn empty_and_singleton_spreads_are_zero() {
+        let base = RadixBase::new(vec![2]).unwrap();
+        let empty = ExplicitSequence::new(base.clone(), vec![]).unwrap();
+        assert_eq!(empty.acyclic_spread_mesh(), 0);
+        assert_eq!(empty.cyclic_spread_mesh(), 0);
+        assert!(empty.is_empty());
+        let single = ExplicitSequence::new(base, vec![d(&[1])]).unwrap();
+        assert_eq!(single.acyclic_spread_torus(), 0);
+        assert_eq!(single.cyclic_spread_torus(), 0);
+    }
+
+    #[test]
+    fn successive_distance_vectors() {
+        let seq = figure3_sequence();
+        let mesh = seq.successive_mesh_distances();
+        let torus = seq.successive_torus_distances();
+        assert_eq!(mesh.len(), 8);
+        assert_eq!(torus.len(), 8);
+        assert_eq!(*mesh.iter().max().unwrap(), 2);
+        assert_eq!(*torus.iter().max().unwrap(), 1);
+    }
+}

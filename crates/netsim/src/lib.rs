@@ -1,0 +1,69 @@
+//! A small synchronous store-and-forward routing simulator over torus and
+//! mesh networks.
+//!
+//! The paper motivates graph embeddings as a way to match the communication
+//! pattern of a parallel task graph to the interconnection network of a
+//! machine. This crate closes that loop for the examples and benchmarks of
+//! the repository: given a task graph, a network, and a placement (usually an
+//! embedding produced by the `embeddings` crate), it measures how many hops
+//! and cycles the neighbor-exchange traffic actually takes — so the effect of
+//! dilation on routed latency can be observed rather than asserted.
+//!
+//! Beyond the aggregate simulator ([`sim`]), the crate provides
+//!
+//! * [`routing`] — dimension-ordered routing (forward and reverse) and
+//!   Valiant's randomized two-phase routing;
+//! * [`patterns`] — classic permutation and collective traffic patterns
+//!   (transpose, bit reversal, bit complement, shuffle, shift, tornado,
+//!   hot spot, all-to-all, broadcast);
+//! * [`stats`] — detailed runs recording per-message latency distributions
+//!   and per-link loads;
+//! * [`collective`] — ring reduce-scatter / allreduce schedules built on the
+//!   paper's Hamiltonian-circuit embeddings (Corollaries 25 and 29).
+//!
+//! # Example
+//!
+//! ```
+//! use embeddings::basic::embed_ring_in;
+//! use netsim::sim::simulate_embedding;
+//! use topology::{Grid, Shape};
+//!
+//! let host = Grid::mesh(Shape::new(vec![4, 6]).unwrap());
+//! let embedding = embed_ring_in(&host).unwrap();
+//! let stats = simulate_embedding(&embedding, 1);
+//! // Unit dilation ⇒ every neighbor exchange is a single hop.
+//! assert_eq!(stats.max_hops, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collective;
+pub mod network;
+pub mod patterns;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+pub mod traffic;
+
+pub use collective::{
+    simulate_ring_allreduce, simulate_ring_reduce_scatter, CollectiveStats, RingOrder,
+};
+pub use network::Network;
+pub use routing::{Router, RoutingAlgorithm};
+pub use sim::{simulate, simulate_embedding, Placement, SimStats};
+pub use stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
+pub use traffic::Workload;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::collective::{
+        simulate_ring_allreduce, simulate_ring_reduce_scatter, CollectiveStats, RingOrder,
+    };
+    pub use crate::network::Network;
+    pub use crate::patterns;
+    pub use crate::routing::{Router, RoutingAlgorithm};
+    pub use crate::sim::{simulate, simulate_embedding, Placement, SimStats};
+    pub use crate::stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
+    pub use crate::traffic::Workload;
+}

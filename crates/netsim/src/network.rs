@@ -1,0 +1,166 @@
+//! A torus/mesh interconnection network with dimension-ordered routing.
+
+use topology::csr::CsrAdjacency;
+use topology::{Coord, Grid};
+
+/// A network instance: a torus or mesh topology plus the routing metadata the
+/// simulator needs (materialized adjacency and per-node coordinates).
+#[derive(Clone, Debug)]
+pub struct Network {
+    grid: Grid,
+    adjacency: CsrAdjacency,
+}
+
+impl Network {
+    /// Builds a network over the given topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is too large to materialize (more than
+    /// `u32::MAX` nodes); the simulator is meant for networks that fit in
+    /// memory.
+    pub fn new(grid: Grid) -> Self {
+        let adjacency = CsrAdjacency::build(&grid).expect("network fits in memory");
+        Network { grid, adjacency }
+    }
+
+    /// The underlying topology.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The number of nodes.
+    pub fn size(&self) -> u64 {
+        self.grid.size()
+    }
+
+    /// The materialized adjacency.
+    pub fn adjacency(&self) -> &CsrAdjacency {
+        &self.adjacency
+    }
+
+    /// The next hop from `from` toward `to` under dimension-ordered routing:
+    /// correct the lowest-index dimension whose coordinate differs, moving in
+    /// the shorter direction (with wrap-around only on toruses).
+    ///
+    /// Returns `None` if `from == to`.
+    pub fn next_hop(&self, from: u64, to: u64) -> Option<u64> {
+        if from == to {
+            return None;
+        }
+        let a: Coord = self.grid.coord(from).expect("node in range");
+        let b: Coord = self.grid.coord(to).expect("node in range");
+        for j in 0..self.grid.dim() {
+            let (x, y) = (a.get(j), b.get(j));
+            if x == y {
+                continue;
+            }
+            let l = self.grid.shape().radix(j);
+            let step: i64 = if self.grid.is_torus() {
+                // Move in the direction of the shorter arc.
+                let forward = (y as i64 - x as i64).rem_euclid(l as i64);
+                let backward = (x as i64 - y as i64).rem_euclid(l as i64);
+                if forward <= backward {
+                    1
+                } else {
+                    -1
+                }
+            } else if y > x {
+                1
+            } else {
+                -1
+            };
+            let next_digit = (x as i64 + step).rem_euclid(l as i64) as u32;
+            let mut next = a;
+            next.set(j, next_digit);
+            return Some(self.grid.index(&next).expect("valid coordinate"));
+        }
+        None
+    }
+
+    /// The full dimension-ordered route from `from` to `to`, excluding the
+    /// source and including the destination.
+    pub fn route(&self, from: u64, to: u64) -> Vec<u64> {
+        let mut path = Vec::new();
+        let mut current = from;
+        while let Some(next) = self.next_hop(current, to) {
+            path.push(next);
+            current = next;
+        }
+        path
+    }
+
+    /// The number of hops of the dimension-ordered route — equal to the
+    /// shortest-path distance for toruses and meshes.
+    pub fn hops(&self, from: u64, to: u64) -> u64 {
+        self.grid.distance_index(from, to).expect("nodes in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::Shape;
+
+    fn network(kind_torus: bool, radices: &[u32]) -> Network {
+        let shape = Shape::new(radices.to_vec()).unwrap();
+        Network::new(if kind_torus {
+            Grid::torus(shape)
+        } else {
+            Grid::mesh(shape)
+        })
+    }
+
+    #[test]
+    fn routes_have_shortest_length() {
+        for net in [
+            network(true, &[4, 2, 3]),
+            network(false, &[4, 2, 3]),
+            network(true, &[5, 5]),
+            network(false, &[3, 3, 3]),
+        ] {
+            for from in 0..net.size() {
+                for to in 0..net.size() {
+                    let route = net.route(from, to);
+                    assert_eq!(
+                        route.len() as u64,
+                        net.hops(from, to),
+                        "route length from {from} to {to} in {}",
+                        net.grid()
+                    );
+                    // Every step moves between adjacent nodes.
+                    let mut previous = from;
+                    for &step in &route {
+                        assert!(net.grid().adjacent(previous, step).unwrap());
+                        previous = step;
+                    }
+                    if from != to {
+                        assert_eq!(*route.last().unwrap(), to);
+                    } else {
+                        assert!(route.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routes_use_wraparound() {
+        let net = network(true, &[8]);
+        // From 0 to 7 the shorter arc goes backwards through the wrap edge.
+        assert_eq!(net.route(0, 7), vec![7]);
+        assert_eq!(net.route(0, 6), vec![7, 6]);
+    }
+
+    #[test]
+    fn mesh_routes_never_wrap() {
+        let net = network(false, &[8]);
+        assert_eq!(net.route(0, 7).len(), 7);
+    }
+
+    #[test]
+    fn next_hop_of_identical_nodes_is_none() {
+        let net = network(true, &[3, 3]);
+        assert_eq!(net.next_hop(4, 4), None);
+    }
+}

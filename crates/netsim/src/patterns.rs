@@ -1,0 +1,291 @@
+//! Classic communication patterns from the parallel-processing literature.
+//!
+//! The paper motivates embeddings with task graphs from image processing,
+//! robotics and scientific computation. Beyond plain neighbor exchange
+//! ([`Workload::from_task_graph`]), interconnection networks are customarily
+//! stressed with a standard set of permutation and collective patterns; this
+//! module provides reproducible constructors for them so the examples and
+//! benchmarks can compare placements under more than one kind of traffic.
+//!
+//! All patterns are expressed over *task indices*; where a task is placed is
+//! decided separately by a [`Placement`](crate::sim::Placement) — typically an
+//! embedding from the `embeddings` crate.
+
+use crate::traffic::Workload;
+
+/// Matrix transpose over a `rows × cols` logical task grid: task `(i, j)`
+/// sends to task `(j, i)`. Tasks are numbered row-major; the workload has
+/// `rows · cols` tasks and one message per off-diagonal task.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn transpose(rows: u64, cols: u64) -> Workload {
+    assert!(rows > 0 && cols > 0, "transpose needs a non-empty grid");
+    let tasks = rows * cols;
+    let mut pairs = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            let src = i * cols + j;
+            // The destination is (j, i) in the transposed (cols × rows) grid,
+            // numbered row-major over that grid — a permutation of [rows·cols]
+            // for any rows and cols, and the familiar matrix transpose when
+            // the grid is square.
+            let dst = j * rows + i;
+            if src != dst {
+                pairs.push((src, dst));
+            }
+        }
+    }
+    Workload::new(tasks, pairs)
+}
+
+/// Bit-reversal permutation over `2^bits` tasks: task `i` sends to the task
+/// whose index is `i` with its `bits` low-order bits reversed. A classic
+/// adversarial pattern for dimension-ordered routing.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or larger than 63.
+pub fn bit_reversal(bits: u32) -> Workload {
+    assert!((1..=63).contains(&bits), "bits must be in 1..=63");
+    let tasks = 1u64 << bits;
+    let pairs = (0..tasks)
+        .filter_map(|i| {
+            let r = i.reverse_bits() >> (64 - bits);
+            (i != r).then_some((i, r))
+        })
+        .collect();
+    Workload::new(tasks, pairs)
+}
+
+/// Bit-complement permutation over `2^bits` tasks: task `i` sends to `!i`
+/// (within `bits` bits). Every message crosses the network bisection.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or larger than 63.
+pub fn bit_complement(bits: u32) -> Workload {
+    assert!((1..=63).contains(&bits), "bits must be in 1..=63");
+    let tasks = 1u64 << bits;
+    let mask = tasks - 1;
+    let pairs = (0..tasks).map(|i| (i, !i & mask)).collect();
+    Workload::new(tasks, pairs)
+}
+
+/// Perfect-shuffle permutation over `2^bits` tasks: task `i` sends to the
+/// task whose index is `i` rotated left by one bit (within `bits` bits).
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or larger than 63.
+pub fn shuffle(bits: u32) -> Workload {
+    assert!((1..=63).contains(&bits), "bits must be in 1..=63");
+    let tasks = 1u64 << bits;
+    let mask = tasks - 1;
+    let pairs = (0..tasks)
+        .filter_map(|i| {
+            let s = ((i << 1) | (i >> (bits - 1))) & mask;
+            (i != s).then_some((i, s))
+        })
+        .collect();
+    Workload::new(tasks, pairs)
+}
+
+/// Cyclic shift: task `i` sends to task `(i + offset) mod tasks`.
+///
+/// # Panics
+///
+/// Panics if `tasks` is zero.
+pub fn shift(tasks: u64, offset: u64) -> Workload {
+    assert!(tasks > 0, "shift needs at least one task");
+    let offset = offset % tasks;
+    let pairs = (0..tasks)
+        .filter_map(|i| {
+            let d = (i + offset) % tasks;
+            (i != d).then_some((i, d))
+        })
+        .collect();
+    Workload::new(tasks, pairs)
+}
+
+/// Tornado traffic: task `i` sends to task `(i + ⌈tasks/2⌉ − 1) mod tasks`,
+/// the classic worst case for minimal routing on rings and toruses.
+///
+/// # Panics
+///
+/// Panics if `tasks` is smaller than 3 (the pattern degenerates otherwise).
+pub fn tornado(tasks: u64) -> Workload {
+    assert!(tasks >= 3, "tornado needs at least three tasks");
+    shift(tasks, tasks.div_ceil(2) - 1)
+}
+
+/// Hot-spot traffic: every task except `target` sends `messages_per_task`
+/// messages to `target`.
+///
+/// # Panics
+///
+/// Panics if `target >= tasks` or `tasks < 2`.
+pub fn hotspot(tasks: u64, target: u64, messages_per_task: usize) -> Workload {
+    assert!(tasks >= 2, "hotspot needs at least two tasks");
+    assert!(target < tasks, "target task out of range");
+    let mut pairs = Vec::with_capacity((tasks as usize - 1) * messages_per_task);
+    for i in (0..tasks).filter(|&i| i != target) {
+        for _ in 0..messages_per_task {
+            pairs.push((i, target));
+        }
+    }
+    Workload::new(tasks, pairs)
+}
+
+/// All-to-all personalized exchange: every ordered pair of distinct tasks
+/// exchanges one message. `tasks² − tasks` messages per round.
+///
+/// # Panics
+///
+/// Panics if `tasks < 2`.
+pub fn all_to_all(tasks: u64) -> Workload {
+    assert!(tasks >= 2, "all-to-all needs at least two tasks");
+    let mut pairs = Vec::with_capacity((tasks * (tasks - 1)) as usize);
+    for i in 0..tasks {
+        for j in 0..tasks {
+            if i != j {
+                pairs.push((i, j));
+            }
+        }
+    }
+    Workload::new(tasks, pairs)
+}
+
+/// One-to-all broadcast from `root`: the root sends one message to every
+/// other task.
+///
+/// # Panics
+///
+/// Panics if `root >= tasks` or `tasks < 2`.
+pub fn broadcast(tasks: u64, root: u64) -> Workload {
+    assert!(tasks >= 2, "broadcast needs at least two tasks");
+    assert!(root < tasks, "root task out of range");
+    let pairs = (0..tasks).filter(|&i| i != root).map(|i| (root, i)).collect();
+    Workload::new(tasks, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(workload: &Workload) -> bool {
+        // Every task appears at most once as a source and at most once as a
+        // destination (fixed points are dropped from the pair list).
+        let mut sources = std::collections::HashSet::new();
+        let mut destinations = std::collections::HashSet::new();
+        workload
+            .pairs()
+            .iter()
+            .all(|&(a, b)| sources.insert(a) && destinations.insert(b))
+    }
+
+    #[test]
+    fn transpose_is_a_permutation_with_fixed_diagonal() {
+        let w = transpose(4, 4);
+        assert_eq!(w.tasks(), 16);
+        // 4 diagonal tasks send nothing.
+        assert_eq!(w.messages_per_round(), 12);
+        assert!(is_permutation(&w));
+        // (1, 2) → (2, 1): 1·4+2 = 6 → 2·4+1 = 9.
+        assert!(w.pairs().contains(&(6, 9)));
+    }
+
+    #[test]
+    fn non_square_transpose_is_still_a_permutation() {
+        for (rows, cols) in [(2, 3), (3, 5), (4, 2)] {
+            let w = transpose(rows, cols);
+            assert!(is_permutation(&w), "{rows}×{cols}");
+            assert!(w.pairs().iter().all(|&(a, b)| a < rows * cols && b < rows * cols));
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        let w = bit_reversal(4);
+        assert_eq!(w.tasks(), 16);
+        assert!(is_permutation(&w));
+        for &(a, b) in w.pairs() {
+            assert!(w.pairs().contains(&(b, a)));
+        }
+        // 0b0001 → 0b1000.
+        assert!(w.pairs().contains(&(1, 8)));
+    }
+
+    #[test]
+    fn bit_complement_pairs_opposite_corners() {
+        let w = bit_complement(4);
+        assert_eq!(w.messages_per_round(), 16);
+        assert!(is_permutation(&w));
+        assert!(w.pairs().contains(&(0, 15)));
+        assert!(w.pairs().contains(&(5, 10)));
+    }
+
+    #[test]
+    fn shuffle_rotates_bits_left() {
+        let w = shuffle(3);
+        // 0b011 → 0b110, 0b100 → 0b001.
+        assert!(w.pairs().contains(&(3, 6)));
+        assert!(w.pairs().contains(&(4, 1)));
+        assert!(is_permutation(&w));
+    }
+
+    #[test]
+    fn shift_and_tornado_wrap_around() {
+        let w = shift(10, 3);
+        assert_eq!(w.messages_per_round(), 10);
+        assert!(w.pairs().contains(&(9, 2)));
+        let t = tornado(8);
+        // ⌈8/2⌉ − 1 = 3.
+        assert!(t.pairs().contains(&(0, 3)));
+        assert!(t.pairs().contains(&(7, 2)));
+        assert!(is_permutation(&t));
+    }
+
+    #[test]
+    fn shift_by_zero_or_multiple_of_n_is_empty() {
+        assert_eq!(shift(6, 0).messages_per_round(), 0);
+        assert_eq!(shift(6, 12).messages_per_round(), 0);
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_the_target() {
+        let w = hotspot(9, 4, 2);
+        assert_eq!(w.messages_per_round(), 16);
+        assert!(w.pairs().iter().all(|&(a, b)| b == 4 && a != 4));
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let w = all_to_all(5);
+        assert_eq!(w.messages_per_round(), 20);
+        assert!(w.pairs().iter().all(|&(a, b)| a != b));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_once() {
+        let w = broadcast(7, 2);
+        assert_eq!(w.messages_per_round(), 6);
+        assert!(w.pairs().iter().all(|&(a, _)| a == 2));
+        let destinations: std::collections::HashSet<u64> =
+            w.pairs().iter().map(|&(_, b)| b).collect();
+        assert_eq!(destinations.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "target task out of range")]
+    fn hotspot_rejects_bad_target() {
+        let _ = hotspot(4, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn bit_reversal_rejects_zero_bits() {
+        let _ = bit_reversal(0);
+    }
+}

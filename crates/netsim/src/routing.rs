@@ -1,0 +1,279 @@
+//! Routing algorithms for torus and mesh networks.
+//!
+//! The base [`Network`](crate::network::Network) routes with dimension-ordered
+//! routing (DOR), correcting the lowest-index dimension first. That is the
+//! discipline assumed by the congestion analysis in the `embeddings` crate and
+//! by most real mesh/torus routers (e-cube routing). This module adds two
+//! variations used by the ablation benchmarks:
+//!
+//! * **reverse dimension order** — correct the highest-index dimension first
+//!   (the classic XY-versus-YX comparison on 2-D meshes);
+//! * **Valiant's randomized two-phase routing** — route to a random
+//!   intermediate node first, then to the destination, trading path length
+//!   for much better worst-case load balance on adversarial patterns.
+//!
+//! Routes are always built from shortest per-phase dimension-ordered paths,
+//! so a single-phase route has length equal to the network distance and a
+//! Valiant route has at most twice the network diameter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topology::Coord;
+
+use crate::network::Network;
+
+/// The routing discipline used to expand a (source, destination) pair into a
+/// hop-by-hop path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingAlgorithm {
+    /// Dimension-ordered routing, lowest-index dimension first (e-cube).
+    DimensionOrdered,
+    /// Dimension-ordered routing, highest-index dimension first.
+    ReverseDimensionOrdered,
+    /// Valiant's two-phase randomized routing: dimension-ordered to a
+    /// pseudo-random intermediate node, then dimension-ordered to the
+    /// destination. The seed makes routes reproducible.
+    Valiant {
+        /// Seed mixed into the per-message intermediate choice.
+        seed: u64,
+    },
+}
+
+impl RoutingAlgorithm {
+    /// A short human-readable name, used in benchmark and report labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingAlgorithm::DimensionOrdered => "dimension-ordered",
+            RoutingAlgorithm::ReverseDimensionOrdered => "reverse dimension-ordered",
+            RoutingAlgorithm::Valiant { .. } => "valiant",
+        }
+    }
+}
+
+/// The next hop from `from` toward `to`, correcting dimensions in the given
+/// order and taking the shorter arc on toruses.
+fn next_hop_ordered(network: &Network, from: &Coord, to: &Coord, dims: &[usize]) -> Option<Coord> {
+    let grid = network.grid();
+    for &j in dims {
+        let (x, y) = (from.get(j), to.get(j));
+        if x == y {
+            continue;
+        }
+        let l = grid.shape().radix(j);
+        let step: i64 = if grid.is_torus() {
+            let forward = (y as i64 - x as i64).rem_euclid(l as i64);
+            let backward = (x as i64 - y as i64).rem_euclid(l as i64);
+            if forward <= backward {
+                1
+            } else {
+                -1
+            }
+        } else if y > x {
+            1
+        } else {
+            -1
+        };
+        let mut next = *from;
+        next.set(j, (x as i64 + step).rem_euclid(l as i64) as u32);
+        return Some(next);
+    }
+    None
+}
+
+/// The full path from `from` to `to` (excluding the source, including the
+/// destination) correcting dimensions in the order given by `dims`.
+fn route_ordered(network: &Network, from: u64, to: u64, dims: &[usize]) -> Vec<u64> {
+    let grid = network.grid();
+    let mut current = grid.coord(from).expect("node in range");
+    let target = grid.coord(to).expect("node in range");
+    let mut path = Vec::new();
+    while let Some(next) = next_hop_ordered(network, &current, &target, dims) {
+        path.push(grid.index(&next).expect("valid coordinate"));
+        current = next;
+    }
+    path
+}
+
+/// The pseudo-random Valiant intermediate node for the message `from → to`.
+fn valiant_intermediate(network: &Network, from: u64, to: u64, seed: u64) -> u64 {
+    let mix = seed
+        ^ from.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ to.rotate_left(32).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let mut rng = StdRng::seed_from_u64(mix);
+    rng.gen_range(0..network.size())
+}
+
+/// A router: a routing algorithm bound to a network.
+#[derive(Clone, Debug)]
+pub struct Router {
+    algorithm: RoutingAlgorithm,
+    forward_dims: Vec<usize>,
+    reverse_dims: Vec<usize>,
+}
+
+impl Router {
+    /// Creates a router for `network` using `algorithm`.
+    pub fn new(network: &Network, algorithm: RoutingAlgorithm) -> Self {
+        let forward_dims: Vec<usize> = (0..network.grid().dim()).collect();
+        let reverse_dims: Vec<usize> = forward_dims.iter().rev().copied().collect();
+        Router {
+            algorithm,
+            forward_dims,
+            reverse_dims,
+        }
+    }
+
+    /// The routing algorithm this router implements.
+    pub fn algorithm(&self) -> RoutingAlgorithm {
+        self.algorithm
+    }
+
+    /// The hop-by-hop route from `from` to `to` (excluding the source,
+    /// including the destination). Empty when `from == to`.
+    pub fn route(&self, network: &Network, from: u64, to: u64) -> Vec<u64> {
+        match self.algorithm {
+            RoutingAlgorithm::DimensionOrdered => {
+                route_ordered(network, from, to, &self.forward_dims)
+            }
+            RoutingAlgorithm::ReverseDimensionOrdered => {
+                route_ordered(network, from, to, &self.reverse_dims)
+            }
+            RoutingAlgorithm::Valiant { seed } => {
+                if from == to {
+                    return Vec::new();
+                }
+                let middle = valiant_intermediate(network, from, to, seed);
+                let mut path = route_ordered(network, from, middle, &self.forward_dims);
+                path.extend(route_ordered(network, middle, to, &self.forward_dims));
+                path
+            }
+        }
+    }
+
+    /// The length (number of hops) of the route from `from` to `to`.
+    pub fn hops(&self, network: &Network, from: u64, to: u64) -> u64 {
+        match self.algorithm {
+            // Single-phase dimension-ordered routes are shortest paths.
+            RoutingAlgorithm::DimensionOrdered | RoutingAlgorithm::ReverseDimensionOrdered => {
+                network.hops(from, to)
+            }
+            RoutingAlgorithm::Valiant { .. } => self.route(network, from, to).len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{Grid, Shape};
+
+    fn network(torus: bool, radices: &[u32]) -> Network {
+        let shape = Shape::new(radices.to_vec()).unwrap();
+        Network::new(if torus {
+            Grid::torus(shape)
+        } else {
+            Grid::mesh(shape)
+        })
+    }
+
+    fn assert_valid_route(net: &Network, from: u64, to: u64, route: &[u64]) {
+        let mut previous = from;
+        for &step in route {
+            assert!(
+                net.grid().adjacent(previous, step).unwrap(),
+                "non-adjacent hop {previous} → {step}"
+            );
+            previous = step;
+        }
+        if from != to {
+            assert_eq!(*route.last().unwrap(), to);
+        } else {
+            assert!(route.is_empty());
+        }
+    }
+
+    #[test]
+    fn forward_dor_matches_the_network_routes() {
+        for net in [network(true, &[4, 2, 3]), network(false, &[3, 5])] {
+            let router = Router::new(&net, RoutingAlgorithm::DimensionOrdered);
+            for from in 0..net.size() {
+                for to in 0..net.size() {
+                    assert_eq!(router.route(&net, from, to), net.route(from, to));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_dor_routes_are_shortest_but_differently_shaped() {
+        let net = network(false, &[4, 4]);
+        let router = Router::new(&net, RoutingAlgorithm::ReverseDimensionOrdered);
+        let mut any_different = false;
+        for from in 0..net.size() {
+            for to in 0..net.size() {
+                let route = router.route(&net, from, to);
+                assert_eq!(route.len() as u64, net.hops(from, to));
+                assert_valid_route(&net, from, to, &route);
+                if route != net.route(from, to) {
+                    any_different = true;
+                }
+            }
+        }
+        // YX routing must visit different intermediate nodes than XY for some pair.
+        assert!(any_different);
+    }
+
+    #[test]
+    fn valiant_routes_are_valid_and_reproducible() {
+        let net = network(true, &[4, 4]);
+        let a = Router::new(&net, RoutingAlgorithm::Valiant { seed: 7 });
+        let b = Router::new(&net, RoutingAlgorithm::Valiant { seed: 7 });
+        let c = Router::new(&net, RoutingAlgorithm::Valiant { seed: 8 });
+        let mut any_seed_difference = false;
+        for from in 0..net.size() {
+            for to in 0..net.size() {
+                let route = a.route(&net, from, to);
+                assert_valid_route(&net, from, to, &route);
+                assert!(route.len() as u64 <= 2 * net.grid().diameter());
+                assert_eq!(route, b.route(&net, from, to));
+                if route != c.route(&net, from, to) {
+                    any_seed_difference = true;
+                }
+                assert_eq!(a.hops(&net, from, to), route.len() as u64);
+            }
+        }
+        assert!(any_seed_difference);
+    }
+
+    #[test]
+    fn single_phase_hops_equal_distance() {
+        let net = network(false, &[4, 2, 3]);
+        for algorithm in [
+            RoutingAlgorithm::DimensionOrdered,
+            RoutingAlgorithm::ReverseDimensionOrdered,
+        ] {
+            let router = Router::new(&net, algorithm);
+            for from in 0..net.size() {
+                for to in 0..net.size() {
+                    assert_eq!(
+                        router.hops(&net, from, to),
+                        net.grid().distance_index(from, to).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm_names_are_distinct() {
+        let names = [
+            RoutingAlgorithm::DimensionOrdered.name(),
+            RoutingAlgorithm::ReverseDimensionOrdered.name(),
+            RoutingAlgorithm::Valiant { seed: 0 }.name(),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! A synchronous store-and-forward routing simulator.
+//!
+//! The model is deliberately simple and deterministic:
+//!
+//! * tasks are placed on network nodes by a [`Placement`] (usually an
+//!   embedding from the `embeddings` crate);
+//! * each round, every workload pair injects one message at its source node;
+//! * messages follow dimension-ordered shortest routes;
+//! * each directed link carries at most one message per cycle; messages that
+//!   lose arbitration wait in FIFO order.
+//!
+//! The simulator reports both distance statistics (hops, which the embedding
+//! theorems bound via the dilation cost) and the schedule makespan in cycles
+//! (which additionally reflects link contention).
+
+use embeddings::Embedding;
+
+use crate::network::Network;
+use crate::traffic::Workload;
+
+/// An assignment of logical tasks to network nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    map: Vec<u64>,
+}
+
+impl Placement {
+    /// The identity placement: task `i` runs on node `i`.
+    pub fn identity(tasks: u64) -> Self {
+        Placement {
+            map: (0..tasks).collect(),
+        }
+    }
+
+    /// A placement defined by an explicit table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not injective.
+    pub fn from_table(map: Vec<u64>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        assert!(
+            map.iter().all(|&node| seen.insert(node)),
+            "placement must be injective"
+        );
+        Placement { map }
+    }
+
+    /// The placement induced by an embedding: task `x` (a guest node) runs on
+    /// host node `f(x)`.
+    pub fn from_embedding(embedding: &Embedding) -> Self {
+        Placement {
+            map: (0..embedding.size())
+                .map(|x| embedding.map_index(x))
+                .collect(),
+        }
+    }
+
+    /// The network node hosting `task`.
+    pub fn node_of(&self, task: u64) -> u64 {
+        self.map[task as usize]
+    }
+
+    /// The number of placed tasks.
+    pub fn tasks(&self) -> u64 {
+        self.map.len() as u64
+    }
+}
+
+/// Aggregate results of a simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimStats {
+    /// Total number of messages delivered.
+    pub messages: u64,
+    /// Sum of route lengths over all messages.
+    pub total_hops: u64,
+    /// Longest route of any message — bounded by `dilation × guest diameter`
+    /// when the workload is a task graph embedded with that dilation.
+    pub max_hops: u64,
+    /// Cycles needed to deliver every message under one-message-per-link
+    /// arbitration.
+    pub cycles: u64,
+}
+
+impl SimStats {
+    /// Mean hops per message.
+    pub fn average_hops(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.messages as f64
+        }
+    }
+}
+
+/// Runs `rounds` rounds of the workload on the network under the given
+/// placement and returns aggregate statistics.
+///
+/// # Panics
+///
+/// Panics if the workload has more tasks than the placement, or the placement
+/// references nodes outside the network.
+pub fn simulate(
+    network: &Network,
+    workload: &Workload,
+    placement: &Placement,
+    rounds: usize,
+) -> SimStats {
+    assert!(
+        workload.tasks() <= placement.tasks(),
+        "workload has more tasks than the placement"
+    );
+    assert!(
+        (0..placement.tasks()).all(|t| placement.node_of(t) < network.size()),
+        "placement references nodes outside the network"
+    );
+
+    struct Message {
+        route: Vec<u64>,
+        position: usize, // number of hops already taken
+        current: u64,
+    }
+
+    let mut messages: Vec<Message> = Vec::with_capacity(rounds * workload.messages_per_round());
+    for _ in 0..rounds {
+        for &(src_task, dst_task) in workload.pairs() {
+            let src = placement.node_of(src_task);
+            let dst = placement.node_of(dst_task);
+            messages.push(Message {
+                route: network.route(src, dst),
+                position: 0,
+                current: src,
+            });
+        }
+    }
+
+    let total_messages = messages.len() as u64;
+    let total_hops: u64 = messages.iter().map(|m| m.route.len() as u64).sum();
+    let max_hops: u64 = messages.iter().map(|m| m.route.len() as u64).max().unwrap_or(0);
+
+    // Cycle loop with one-message-per-directed-link arbitration.
+    let mut cycles = 0u64;
+    let mut remaining: usize = messages.iter().filter(|m| m.position < m.route.len()).count();
+    let mut claimed: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+    while remaining > 0 {
+        cycles += 1;
+        claimed.clear();
+        for message in &mut messages {
+            if message.position >= message.route.len() {
+                continue;
+            }
+            let next = message.route[message.position];
+            let link = (message.current, next);
+            if claimed.insert(link) {
+                message.current = next;
+                message.position += 1;
+                if message.position == message.route.len() {
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    SimStats {
+        messages: total_messages,
+        total_hops,
+        max_hops,
+        cycles,
+    }
+}
+
+/// Convenience wrapper: simulate the neighbor-exchange workload of
+/// `embedding.guest()` on a network built over `embedding.host()`, placing
+/// tasks with the embedding itself.
+pub fn simulate_embedding(embedding: &Embedding, rounds: usize) -> SimStats {
+    let network = Network::new(embedding.host().clone());
+    let workload = Workload::from_task_graph(embedding.guest());
+    let placement = Placement::from_embedding(embedding);
+    simulate(&network, &workload, &placement, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embeddings::basic::embed_ring_in;
+    use topology::{Grid, Shape};
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identity_placement_on_a_ring_delivers_in_one_cycle_per_direction() {
+        // Neighbor exchange on a ring placed identically on the same ring:
+        // every message travels one hop; opposite directions use different
+        // directed links, so everything lands in a single cycle.
+        let ring = Grid::ring(8).unwrap();
+        let network = Network::new(ring.clone());
+        let workload = Workload::from_task_graph(&ring);
+        let placement = Placement::identity(8);
+        let stats = simulate(&network, &workload, &placement, 1);
+        assert_eq!(stats.messages, 16);
+        assert_eq!(stats.total_hops, 16);
+        assert_eq!(stats.max_hops, 1);
+        assert_eq!(stats.cycles, 1);
+        assert!((stats.average_hops() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_embeddings_deliver_neighbor_exchange_with_unit_hops() {
+        // A unit-dilation embedding keeps every neighbor exchange at one hop.
+        let host = Grid::mesh(shape(&[4, 2, 3]));
+        let embedding = embed_ring_in(&host).unwrap();
+        assert_eq!(embedding.dilation(), 1);
+        let stats = simulate_embedding(&embedding, 1);
+        assert_eq!(stats.max_hops, 1);
+        assert_eq!(stats.total_hops, stats.messages);
+    }
+
+    #[test]
+    fn naive_placement_is_worse_than_the_paper_embedding() {
+        // Ring task graph on a (4,6)-mesh: the paper's embedding keeps
+        // neighbors adjacent; the row-major placement pays the mesh width on
+        // the wrap-around edge.
+        let host = Grid::mesh(shape(&[4, 6]));
+        let ring = Grid::ring(24).unwrap();
+        let network = Network::new(host.clone());
+        let workload = Workload::from_task_graph(&ring);
+
+        let good = Placement::from_embedding(&embed_ring_in(&host).unwrap());
+        let naive = Placement::identity(24);
+
+        let good_stats = simulate(&network, &workload, &good, 1);
+        let naive_stats = simulate(&network, &workload, &naive, 1);
+        assert!(good_stats.total_hops < naive_stats.total_hops);
+        assert!(good_stats.max_hops < naive_stats.max_hops);
+        assert!(good_stats.cycles <= naive_stats.cycles);
+    }
+
+    #[test]
+    fn multiple_rounds_scale_message_counts() {
+        let host = Grid::torus(shape(&[3, 3]));
+        let embedding = embed_ring_in(&host).unwrap();
+        let one = simulate_embedding(&embedding, 1);
+        let three = simulate_embedding(&embedding, 3);
+        assert_eq!(three.messages, 3 * one.messages);
+        assert_eq!(three.total_hops, 3 * one.total_hops);
+        assert!(three.cycles >= one.cycles);
+    }
+
+    #[test]
+    fn random_workload_runs_to_completion() {
+        let network = Network::new(Grid::mesh(shape(&[4, 4])));
+        let workload = Workload::uniform_random(16, 64, 42);
+        let placement = Placement::identity(16);
+        let stats = simulate(&network, &workload, &placement, 2);
+        assert_eq!(stats.messages, 128);
+        assert!(stats.cycles >= stats.max_hops);
+        assert!(stats.total_hops >= stats.messages); // no self messages
+    }
+
+    #[test]
+    #[should_panic(expected = "injective")]
+    fn non_injective_placement_panics() {
+        let _ = Placement::from_table(vec![0, 1, 1]);
+    }
+}

@@ -1,0 +1,400 @@
+//! Detailed simulation statistics: per-link loads and latency distributions.
+//!
+//! [`crate::sim::simulate`] reports aggregate hop counts and the makespan in
+//! cycles. When comparing placements (or routing algorithms) it is often more
+//! informative to look at the *distribution* of message latencies and at how
+//! evenly the traffic spreads over the links. This module provides
+//! [`simulate_detailed`], which runs the same synchronous store-and-forward
+//! model but additionally records, for every message, the cycle in which it
+//! was delivered, and, for every directed link, how many messages traversed
+//! it.
+
+use std::collections::HashMap;
+
+use crate::network::Network;
+use crate::routing::{Router, RoutingAlgorithm};
+use crate::sim::Placement;
+use crate::traffic::Workload;
+
+/// Traffic load per directed link, measured by counting route traversals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkLoads {
+    loads: HashMap<(u64, u64), u64>,
+}
+
+impl LinkLoads {
+    /// Builds the static link loads of routing every workload message once
+    /// under the given placement and router (no contention model — this is
+    /// the offered load, the netsim analogue of
+    /// `embeddings::congestion::congestion`).
+    pub fn offered(
+        network: &Network,
+        workload: &Workload,
+        placement: &Placement,
+        router: &Router,
+    ) -> LinkLoads {
+        let mut loads: HashMap<(u64, u64), u64> = HashMap::new();
+        for &(src_task, dst_task) in workload.pairs() {
+            let mut current = placement.node_of(src_task);
+            for next in router.route(network, current, placement.node_of(dst_task)) {
+                *loads.entry((current, next)).or_insert(0) += 1;
+                current = next;
+            }
+        }
+        LinkLoads { loads }
+    }
+
+    /// The number of traversals of the directed link `from → to`.
+    pub fn load(&self, from: u64, to: u64) -> u64 {
+        self.loads.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// The number of distinct directed links carrying at least one message.
+    pub fn used_links(&self) -> u64 {
+        self.loads.len() as u64
+    }
+
+    /// The heaviest per-link load.
+    pub fn max_load(&self) -> u64 {
+        self.loads.values().copied().max().unwrap_or(0)
+    }
+
+    /// The total number of link traversals (equals the total hop count).
+    pub fn total_traversals(&self) -> u64 {
+        self.loads.values().sum()
+    }
+
+    /// The mean load over links that carry at least one message.
+    pub fn mean_load(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.total_traversals() as f64 / self.loads.len() as f64
+        }
+    }
+
+    /// Load histogram: load value → number of directed links with that load.
+    pub fn histogram(&self) -> std::collections::BTreeMap<u64, u64> {
+        let mut histogram = std::collections::BTreeMap::new();
+        for &load in self.loads.values() {
+            *histogram.entry(load).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    fn record(&mut self, from: u64, to: u64) {
+        *self.loads.entry((from, to)).or_insert(0) += 1;
+    }
+}
+
+/// Summary statistics of a set of message latencies (in cycles).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of messages.
+    pub messages: u64,
+    /// Mean delivery cycle.
+    pub mean: f64,
+    /// Median (50th percentile) delivery cycle.
+    pub p50: u64,
+    /// 95th percentile delivery cycle.
+    pub p95: u64,
+    /// 99th percentile delivery cycle.
+    pub p99: u64,
+    /// Worst-case delivery cycle (equals the makespan).
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a list of per-message latencies. Zero-length input yields
+    /// an all-zero summary.
+    pub fn from_latencies(latencies: &[u64]) -> LatencySummary {
+        if latencies.is_empty() {
+            return LatencySummary {
+                messages: 0,
+                mean: 0.0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0,
+            };
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        // Nearest-rank percentile: the smallest value below which at least
+        // p·N of the samples fall.
+        let percentile = |p: f64| -> u64 {
+            let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
+            sorted[rank - 1]
+        };
+        LatencySummary {
+            messages: sorted.len() as u64,
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            p50: percentile(0.50),
+            p95: percentile(0.95),
+            p99: percentile(0.99),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// The full result of a detailed simulation run.
+#[derive(Clone, Debug)]
+pub struct DetailedStats {
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Sum of route lengths over all messages.
+    pub total_hops: u64,
+    /// Longest route of any message.
+    pub max_hops: u64,
+    /// Cycles until the last message was delivered (makespan).
+    pub cycles: u64,
+    /// Per-message delivery-cycle distribution.
+    pub latency: LatencySummary,
+    /// Per-directed-link traversal counts.
+    pub link_loads: LinkLoads,
+}
+
+impl DetailedStats {
+    /// Mean hops per message.
+    pub fn average_hops(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.messages as f64
+        }
+    }
+}
+
+/// Runs `rounds` rounds of the workload with the given placement and routing
+/// algorithm, recording per-message latencies and per-link loads.
+///
+/// The contention model is the same as [`crate::sim::simulate`]: each
+/// directed link carries at most one message per cycle, and messages that
+/// lose arbitration wait (lower message index wins, which corresponds to
+/// FIFO order of injection).
+///
+/// # Panics
+///
+/// Panics if the workload has more tasks than the placement, or the placement
+/// references nodes outside the network.
+pub fn simulate_detailed(
+    network: &Network,
+    workload: &Workload,
+    placement: &Placement,
+    algorithm: RoutingAlgorithm,
+    rounds: usize,
+) -> DetailedStats {
+    assert!(
+        workload.tasks() <= placement.tasks(),
+        "workload has more tasks than the placement"
+    );
+    assert!(
+        (0..placement.tasks()).all(|t| placement.node_of(t) < network.size()),
+        "placement references nodes outside the network"
+    );
+    let router = Router::new(network, algorithm);
+
+    struct Message {
+        route: Vec<u64>,
+        position: usize,
+        current: u64,
+        delivered_at: u64,
+    }
+
+    let mut messages: Vec<Message> = Vec::with_capacity(rounds * workload.messages_per_round());
+    let mut link_loads = LinkLoads::default();
+    for _ in 0..rounds {
+        for &(src_task, dst_task) in workload.pairs() {
+            let src = placement.node_of(src_task);
+            let dst = placement.node_of(dst_task);
+            let route = router.route(network, src, dst);
+            let mut current = src;
+            for &next in &route {
+                link_loads.record(current, next);
+                current = next;
+            }
+            messages.push(Message {
+                route,
+                position: 0,
+                current: src,
+                delivered_at: 0,
+            });
+        }
+    }
+
+    let total_messages = messages.len() as u64;
+    let total_hops: u64 = messages.iter().map(|m| m.route.len() as u64).sum();
+    let max_hops: u64 = messages.iter().map(|m| m.route.len() as u64).max().unwrap_or(0);
+
+    let mut cycles = 0u64;
+    let mut remaining: usize = messages.iter().filter(|m| m.position < m.route.len()).count();
+    let mut claimed: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+    while remaining > 0 {
+        cycles += 1;
+        claimed.clear();
+        for message in &mut messages {
+            if message.position >= message.route.len() {
+                continue;
+            }
+            let next = message.route[message.position];
+            let link = (message.current, next);
+            if claimed.insert(link) {
+                message.current = next;
+                message.position += 1;
+                if message.position == message.route.len() {
+                    message.delivered_at = cycles;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    let latencies: Vec<u64> = messages
+        .iter()
+        .filter(|m| !m.route.is_empty())
+        .map(|m| m.delivered_at)
+        .collect();
+
+    DetailedStats {
+        messages: total_messages,
+        total_hops,
+        max_hops,
+        cycles,
+        latency: LatencySummary::from_latencies(&latencies),
+        link_loads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use crate::sim::simulate;
+    use embeddings::basic::embed_ring_in;
+    use topology::{Grid, Shape};
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn detailed_stats_agree_with_the_aggregate_simulator() {
+        let host = Grid::mesh(shape(&[4, 6]));
+        let embedding = embed_ring_in(&host).unwrap();
+        let network = Network::new(host);
+        let workload = Workload::from_task_graph(embedding.guest());
+        let placement = Placement::from_embedding(&embedding);
+
+        let aggregate = simulate(&network, &workload, &placement, 2);
+        let detailed = simulate_detailed(
+            &network,
+            &workload,
+            &placement,
+            RoutingAlgorithm::DimensionOrdered,
+            2,
+        );
+        assert_eq!(detailed.messages, aggregate.messages);
+        assert_eq!(detailed.total_hops, aggregate.total_hops);
+        assert_eq!(detailed.max_hops, aggregate.max_hops);
+        assert_eq!(detailed.cycles, aggregate.cycles);
+        assert_eq!(detailed.latency.max, detailed.cycles);
+        assert_eq!(detailed.link_loads.total_traversals(), detailed.total_hops);
+        assert!((detailed.average_hops() - aggregate.average_hops()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_summary_percentiles_are_ordered() {
+        let latencies: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_latencies(&latencies);
+        assert_eq!(s.messages, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn empty_latency_summary_is_all_zero() {
+        let s = LatencySummary::from_latencies(&[]);
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn offered_loads_match_simulated_loads() {
+        let network = Network::new(Grid::torus(shape(&[4, 4])));
+        let workload = patterns::tornado(16);
+        let placement = Placement::identity(16);
+        let router = Router::new(&network, RoutingAlgorithm::DimensionOrdered);
+        let offered = LinkLoads::offered(&network, &workload, &placement, &router);
+        let detailed = simulate_detailed(
+            &network,
+            &workload,
+            &placement,
+            RoutingAlgorithm::DimensionOrdered,
+            1,
+        );
+        assert_eq!(offered, detailed.link_loads);
+        assert_eq!(offered.total_traversals(), detailed.total_hops);
+        assert!(offered.max_load() >= 1);
+        let histogram = offered.histogram();
+        assert_eq!(
+            histogram.iter().map(|(load, links)| load * links).sum::<u64>(),
+            offered.total_traversals()
+        );
+    }
+
+    #[test]
+    fn valiant_spreads_adversarial_traffic_at_the_cost_of_hops() {
+        // Bit-complement on a mesh funnels dimension-ordered traffic through
+        // the center; Valiant routing pays extra hops but lowers (or at least
+        // never worsens by the same factor) the peak link load on average.
+        let network = Network::new(Grid::mesh(shape(&[4, 4])));
+        let workload = patterns::bit_complement(4);
+        let placement = Placement::identity(16);
+        let dor = simulate_detailed(
+            &network,
+            &workload,
+            &placement,
+            RoutingAlgorithm::DimensionOrdered,
+            1,
+        );
+        let valiant = simulate_detailed(
+            &network,
+            &workload,
+            &placement,
+            RoutingAlgorithm::Valiant { seed: 1 },
+            1,
+        );
+        assert!(valiant.total_hops >= dor.total_hops);
+        assert!(dor.link_loads.max_load() >= 2);
+        // Both deliver everything; makespans are positive.
+        assert!(dor.cycles >= 1 && valiant.cycles >= 1);
+    }
+
+    #[test]
+    fn hotspot_latency_tail_reflects_serialization() {
+        // Everyone sends to node 0: the links into the hot spot serialize the
+        // messages, so the p99/max latency far exceeds the median.
+        let network = Network::new(Grid::mesh(shape(&[4, 4])));
+        let workload = patterns::hotspot(16, 0, 1);
+        let placement = Placement::identity(16);
+        let stats = simulate_detailed(
+            &network,
+            &workload,
+            &placement,
+            RoutingAlgorithm::DimensionOrdered,
+            1,
+        );
+        assert_eq!(stats.messages, 15);
+        assert!(stats.cycles > stats.max_hops);
+        assert!(stats.latency.max > stats.latency.p50);
+        // The two links entering node 0 (from node 1 and node 4) carry all 15
+        // messages between them.
+        let into_hotspot =
+            stats.link_loads.load(1, 0) + stats.link_loads.load(4, 0);
+        assert_eq!(into_hotspot, 15);
+    }
+}

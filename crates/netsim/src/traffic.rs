@@ -1,0 +1,123 @@
+//! Traffic patterns: which pairs of tasks exchange messages.
+//!
+//! The paper's motivation for graph embeddings is matching a task graph's
+//! communication pattern to a physical network. A [`Workload`] is exactly
+//! that task graph, flattened to a list of communicating task pairs; the
+//! simulator sends one message per pair per round after the tasks have been
+//! placed on network nodes by an embedding (or any other placement).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topology::Grid;
+
+/// A communication workload over `tasks` logical tasks: a list of directed
+/// (source task, destination task) pairs, each carrying one message per
+/// simulated round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Workload {
+    tasks: u64,
+    pairs: Vec<(u64, u64)>,
+}
+
+impl Workload {
+    /// Creates a workload from explicit pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair references a task `>= tasks`.
+    pub fn new(tasks: u64, pairs: Vec<(u64, u64)>) -> Self {
+        assert!(
+            pairs.iter().all(|&(a, b)| a < tasks && b < tasks),
+            "workload references tasks outside [0, {tasks})"
+        );
+        Workload { tasks, pairs }
+    }
+
+    /// The neighbor-exchange workload of a task graph: every edge of `graph`
+    /// becomes a pair of messages, one in each direction. This is the
+    /// workload whose dilation the embedding theorems bound.
+    pub fn from_task_graph(graph: &Grid) -> Self {
+        let mut pairs = Vec::with_capacity(2 * graph.num_edges() as usize);
+        for (a, b) in graph.edges() {
+            pairs.push((a, b));
+            pairs.push((b, a));
+        }
+        Workload {
+            tasks: graph.size(),
+            pairs,
+        }
+    }
+
+    /// A uniform-random workload: `messages` pairs drawn uniformly (source ≠
+    /// destination), seeded for reproducibility.
+    pub fn uniform_random(tasks: u64, messages: usize, seed: u64) -> Self {
+        assert!(tasks >= 2, "need at least two tasks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pairs = Vec::with_capacity(messages);
+        for _ in 0..messages {
+            let a = rng.gen_range(0..tasks);
+            let mut b = rng.gen_range(0..tasks);
+            while b == a {
+                b = rng.gen_range(0..tasks);
+            }
+            pairs.push((a, b));
+        }
+        Workload { tasks, pairs }
+    }
+
+    /// The number of logical tasks.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// The communicating pairs.
+    pub fn pairs(&self) -> &[(u64, u64)] {
+        &self.pairs
+    }
+
+    /// The number of messages per round.
+    pub fn messages_per_round(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::Shape;
+
+    #[test]
+    fn task_graph_workload_has_two_messages_per_edge() {
+        let ring = Grid::ring(8).unwrap();
+        let w = Workload::from_task_graph(&ring);
+        assert_eq!(w.tasks(), 8);
+        assert_eq!(w.messages_per_round() as u64, 2 * ring.num_edges());
+        // Every pair is an edge.
+        for &(a, b) in w.pairs() {
+            assert!(ring.adjacent(a, b).unwrap());
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_reproducible_and_loop_free() {
+        let a = Workload::uniform_random(16, 100, 7);
+        let b = Workload::uniform_random(16, 100, 7);
+        let c = Workload::uniform_random(16, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.pairs().iter().all(|&(x, y)| x != y && x < 16 && y < 16));
+    }
+
+    #[test]
+    fn mesh_task_graph_workload() {
+        let mesh = Grid::mesh(Shape::new(vec![3, 3]).unwrap());
+        let w = Workload::from_task_graph(&mesh);
+        assert_eq!(w.messages_per_round() as u64, 2 * mesh.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_pairs_panic() {
+        let _ = Workload::new(4, vec![(0, 4)]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the routing simulator: routes are always valid
+//! walks of the right length, permutation patterns are permutations, and the
+//! simulator's conservation laws hold for random workloads and placements.
+
+use proptest::prelude::*;
+use netsim::patterns;
+use netsim::{
+    simulate, simulate_detailed, Network, Placement, Router, RoutingAlgorithm, Workload,
+};
+use topology::{Grid, Shape};
+
+/// Strategy producing a small network (torus or mesh, ≤ 128 nodes).
+fn small_network() -> impl Strategy<Value = Network> {
+    let shape = proptest::collection::vec(2u32..=5, 1..=3).prop_filter(
+        "keep sizes manageable",
+        |radices| radices.iter().map(|&l| l as u64).product::<u64>() <= 128,
+    );
+    (shape, proptest::bool::ANY).prop_map(|(radices, torus)| {
+        let shape = Shape::new(radices).unwrap();
+        Network::new(if torus {
+            Grid::torus(shape)
+        } else {
+            Grid::mesh(shape)
+        })
+    })
+}
+
+/// Checks that `route` is a walk of adjacent nodes from `from` to `to`.
+fn assert_walk(network: &Network, from: u64, to: u64, route: &[u64]) -> Result<(), TestCaseError> {
+    let mut current = from;
+    for &next in route {
+        prop_assert!(network.grid().adjacent(current, next).unwrap());
+        current = next;
+    }
+    if from != to {
+        prop_assert_eq!(current, to);
+    } else {
+        prop_assert!(route.is_empty());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_routing_algorithm_produces_valid_walks(
+        network in small_network(),
+        pair in (0u64..128, 0u64..128),
+        seed in 0u64..1000,
+    ) {
+        let n = network.size();
+        let (from, to) = (pair.0 % n, pair.1 % n);
+        for algorithm in [
+            RoutingAlgorithm::DimensionOrdered,
+            RoutingAlgorithm::ReverseDimensionOrdered,
+            RoutingAlgorithm::Valiant { seed },
+        ] {
+            let router = Router::new(&network, algorithm);
+            let route = router.route(&network, from, to);
+            assert_walk(&network, from, to, &route)?;
+            match algorithm {
+                RoutingAlgorithm::Valiant { .. } => {
+                    prop_assert!(route.len() as u64 <= 2 * network.grid().diameter());
+                }
+                _ => prop_assert_eq!(route.len() as u64, network.hops(from, to)),
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_patterns_have_unique_sources_and_destinations(bits in 1u32..=6) {
+        for workload in [
+            patterns::bit_reversal(bits),
+            patterns::bit_complement(bits),
+            patterns::shuffle(bits),
+        ] {
+            let mut sources = std::collections::HashSet::new();
+            let mut destinations = std::collections::HashSet::new();
+            for &(a, b) in workload.pairs() {
+                prop_assert!(a < workload.tasks() && b < workload.tasks());
+                prop_assert!(a != b);
+                prop_assert!(sources.insert(a));
+                prop_assert!(destinations.insert(b));
+            }
+        }
+    }
+
+    #[test]
+    fn shift_and_transpose_are_permutations(
+        rows in 2u64..=6,
+        cols in 2u64..=6,
+        offset in 0u64..=40,
+    ) {
+        for workload in [patterns::transpose(rows, cols), patterns::shift(rows * cols, offset)] {
+            let mut destinations = std::collections::HashSet::new();
+            for &(a, b) in workload.pairs() {
+                prop_assert!(a != b);
+                prop_assert!(destinations.insert(b));
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_conservation_laws_hold_for_random_traffic(
+        network in small_network(),
+        messages in 1usize..64,
+        seed in 0u64..1000,
+        rounds in 1usize..3,
+    ) {
+        let n = network.size();
+        let workload = Workload::uniform_random(n, messages, seed);
+        let placement = Placement::identity(n);
+        let aggregate = simulate(&network, &workload, &placement, rounds);
+        prop_assert_eq!(aggregate.messages as usize, messages * rounds);
+        prop_assert!(aggregate.max_hops <= network.grid().diameter());
+        prop_assert!(aggregate.cycles >= aggregate.max_hops);
+        prop_assert!(aggregate.total_hops >= aggregate.messages); // no self traffic
+        prop_assert!(aggregate.total_hops <= aggregate.messages * network.grid().diameter());
+
+        let detailed = simulate_detailed(
+            &network,
+            &workload,
+            &placement,
+            RoutingAlgorithm::DimensionOrdered,
+            rounds,
+        );
+        prop_assert_eq!(detailed.messages, aggregate.messages);
+        prop_assert_eq!(detailed.total_hops, aggregate.total_hops);
+        prop_assert_eq!(detailed.max_hops, aggregate.max_hops);
+        prop_assert_eq!(detailed.cycles, aggregate.cycles);
+        prop_assert_eq!(detailed.link_loads.total_traversals(), detailed.total_hops);
+        prop_assert_eq!(detailed.latency.max, detailed.cycles);
+        prop_assert!(detailed.latency.p50 <= detailed.latency.p95);
+        prop_assert!(detailed.latency.p95 <= detailed.latency.p99);
+        prop_assert!(detailed.latency.p99 <= detailed.latency.max);
+    }
+
+    #[test]
+    fn embedding_placements_keep_max_hops_at_the_dilation(
+        torus_guest in proptest::bool::ANY,
+        torus_host in proptest::bool::ANY,
+    ) {
+        // Ring guest of 24 nodes on the paper's (4,2,3) host of either kind.
+        let shape = Shape::new(vec![4, 2, 3]).unwrap();
+        let host = if torus_host { Grid::torus(shape) } else { Grid::mesh(shape) };
+        let guest = if torus_guest {
+            Grid::ring(24).unwrap()
+        } else {
+            Grid::line(24).unwrap()
+        };
+        let embedding = embeddings::auto::embed(&guest, &host).unwrap();
+        let stats = netsim::sim::simulate_embedding(&embedding, 1);
+        prop_assert_eq!(stats.max_hops, embedding.dilation());
+    }
+}

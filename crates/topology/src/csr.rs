@@ -1,0 +1,120 @@
+//! Compressed sparse row (CSR) adjacency.
+//!
+//! Toruses and meshes are implicit graphs — neighbors are computed, not
+//! stored — which is what the embedding machinery uses. Downstream consumers
+//! such as the `netsim` routing simulator, however, iterate adjacencies in
+//! tight per-cycle loops where a flat, cache-friendly CSR layout pays off
+//! (see the repository's hpc guidance on allocation-free hot loops).
+
+use crate::error::{Result, TopologyError};
+use crate::grid::Grid;
+
+/// A compressed-sparse-row adjacency structure for a [`Grid`].
+#[derive(Clone, Debug)]
+pub struct CsrAdjacency {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    /// Builds the CSR adjacency of `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph has more than `u32::MAX` nodes or edges
+    /// (CSR is intended for graphs small enough to materialize).
+    pub fn build(grid: &Grid) -> Result<Self> {
+        let n = grid.size();
+        if n > u32::MAX as u64 {
+            return Err(TopologyError::InvalidCoordinate {
+                reason: format!("graph with {n} nodes is too large to materialize as CSR"),
+            });
+        }
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for x in grid.nodes() {
+            for y in grid.neighbors(x)? {
+                targets.push(y as u32);
+            }
+            let len = u32::try_from(targets.len()).map_err(|_| TopologyError::InvalidCoordinate {
+                reason: "edge count exceeds u32::MAX".to_string(),
+            })?;
+            offsets.push(len);
+        }
+        Ok(CsrAdjacency { offsets, targets })
+    }
+
+    /// The number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The number of directed adjacency entries (twice the edge count).
+    pub fn num_entries(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The neighbors of `node` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn neighbors(&self, node: usize) -> &[u32] {
+        let start = self.offsets[node] as usize;
+        let end = self.offsets[node + 1] as usize;
+        &self.targets[start..end]
+    }
+
+    /// The degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn degree(&self, node: usize) -> usize {
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn csr_matches_implicit_adjacency() {
+        for grid in [
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[4, 5])),
+            Grid::hypercube(5).unwrap(),
+            Grid::ring(11).unwrap(),
+        ] {
+            let csr = CsrAdjacency::build(&grid).unwrap();
+            assert_eq!(csr.num_nodes() as u64, grid.size());
+            assert_eq!(csr.num_entries() as u64, 2 * grid.num_edges());
+            for x in grid.nodes() {
+                let mut expected = grid.neighbors(x).unwrap();
+                let mut actual: Vec<u64> =
+                    csr.neighbors(x as usize).iter().map(|&y| y as u64).collect();
+                expected.sort_unstable();
+                actual.sort_unstable();
+                assert_eq!(expected, actual, "adjacency of node {x} in {grid}");
+                assert_eq!(csr.degree(x as usize), expected.len());
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_entries() {
+        let grid = Grid::mesh(shape(&[6, 7]));
+        let csr = CsrAdjacency::build(&grid).unwrap();
+        let total: usize = (0..csr.num_nodes()).map(|x| csr.degree(x)).sum();
+        assert_eq!(total, csr.num_entries());
+    }
+}

@@ -1,0 +1,180 @@
+//! Edge iteration for toruses and meshes.
+
+use crate::grid::{GraphKind, Grid};
+
+/// Iterates over every undirected edge of a [`Grid`] exactly once, yielding
+/// pairs of linear node indices `(x, y)`.
+///
+/// For each node and each dimension the iterator emits the edge obtained by
+/// *increasing* the coordinate in that dimension (modulo the length for
+/// toruses). This enumerates every mesh edge once; for torus dimensions of
+/// length 2 the wrap-around edge coincides with the increasing edge, and is
+/// emitted only from the node whose coordinate is 0.
+pub struct EdgeIter<'a> {
+    grid: &'a Grid,
+    node: u64,
+    coord: Option<mixedradix::Digits>,
+    dim: usize,
+}
+
+impl<'a> EdgeIter<'a> {
+    /// Creates an iterator over all edges of `grid`.
+    pub fn new(grid: &'a Grid) -> Self {
+        let coord = if grid.size() > 0 {
+            Some(grid.coord(0).expect("node 0 exists"))
+        } else {
+            None
+        };
+        EdgeIter {
+            grid,
+            node: 0,
+            coord,
+            dim: 0,
+        }
+    }
+
+    fn advance_node(&mut self) {
+        self.node += 1;
+        self.dim = 0;
+        self.coord = if self.node < self.grid.size() {
+            Some(self.grid.coord(self.node).expect("node in range"))
+        } else {
+            None
+        };
+    }
+}
+
+impl<'a> Iterator for EdgeIter<'a> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        loop {
+            let coord = self.coord?;
+            if self.dim >= self.grid.dim() {
+                self.advance_node();
+                continue;
+            }
+            let j = self.dim;
+            self.dim += 1;
+
+            let l = self.grid.shape().radix(j);
+            let i = coord.get(j);
+            // Weight of digit j: increasing digit j by one adds weight(j+1).
+            let w = self.grid.shape().weight(j + 1);
+            match self.grid.kind() {
+                GraphKind::Mesh => {
+                    if i < l - 1 {
+                        return Some((self.node, self.node + w));
+                    }
+                }
+                GraphKind::Torus => {
+                    if l == 2 {
+                        if i == 0 {
+                            return Some((self.node, self.node + w));
+                        }
+                    } else if i < l - 1 {
+                        return Some((self.node, self.node + w));
+                    } else {
+                        // Wrap-around edge from the last coordinate back to 0.
+                        return Some((self.node, self.node - (l as u64 - 1) * w));
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // A cheap upper bound; exact counting would require scanning.
+        let upper = (self.grid.num_edges()) as usize;
+        (0, Some(upper))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+    use std::collections::HashSet;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    fn edge_set(grid: &Grid) -> HashSet<(u64, u64)> {
+        grid.edges()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect()
+    }
+
+    #[test]
+    fn edge_count_matches_num_edges() {
+        for grid in [
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[2, 2, 2])),
+            Grid::mesh(shape(&[2, 2, 2])),
+            Grid::ring(8).unwrap(),
+            Grid::line(8).unwrap(),
+            Grid::torus(shape(&[3, 5])),
+        ] {
+            let edges: Vec<(u64, u64)> = grid.edges().collect();
+            assert_eq!(edges.len() as u64, grid.num_edges(), "count for {grid}");
+            // No duplicates (as unordered pairs) and no self-loops.
+            let set = edge_set(&grid);
+            assert_eq!(set.len(), edges.len(), "duplicates for {grid}");
+            assert!(edges.iter().all(|&(a, b)| a != b));
+        }
+    }
+
+    #[test]
+    fn every_edge_joins_adjacent_nodes() {
+        for grid in [
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[3, 3, 3])),
+            Grid::hypercube(4).unwrap(),
+        ] {
+            for (a, b) in grid.edges() {
+                assert_eq!(grid.distance_index(a, b).unwrap(), 1, "edge ({a},{b}) in {grid}");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_cover_all_adjacencies() {
+        for grid in [
+            Grid::torus(shape(&[4, 3])),
+            Grid::mesh(shape(&[4, 3])),
+            Grid::torus(shape(&[2, 4])),
+        ] {
+            let set = edge_set(&grid);
+            for x in grid.nodes() {
+                for y in grid.neighbors(x).unwrap() {
+                    assert!(
+                        set.contains(&(x.min(y), x.max(y))),
+                        "missing edge ({x},{y}) in {grid}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_and_line_edges() {
+        let ring = Grid::ring(5).unwrap();
+        let edges = edge_set(&ring);
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&(0, 4)), "ring wrap-around edge");
+
+        let line = Grid::line(5).unwrap();
+        let edges = edge_set(&line);
+        assert_eq!(edges.len(), 4);
+        assert!(!edges.contains(&(0, 4)));
+    }
+
+    #[test]
+    fn ring_of_size_two_has_one_edge() {
+        let ring = Grid::ring(2).unwrap();
+        let edges: Vec<_> = ring.edges().collect();
+        assert_eq!(edges, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Hamiltonian circuits in toruses and meshes.
+//!
+//! The paper establishes (as corollaries of its ring embeddings):
+//!
+//! * **Corollary 18** — no mesh of odd size has a Hamiltonian circuit;
+//! * **Corollary 25** — every mesh of even size and dimension > 1 has one;
+//! * **Corollary 29** — every torus has one.
+//!
+//! This module provides the resulting *predicate* (does a Hamiltonian circuit
+//! exist?), a *checker* for candidate circuits, and a small exhaustive search
+//! used by tests to validate the predicate on tiny instances. The actual
+//! *construction* of Hamiltonian circuits of toruses and even meshes is the
+//! ring embedding `h_L` of the `embeddings` crate.
+
+use crate::grid::Grid;
+
+/// Whether `grid` has a Hamiltonian circuit, per Corollaries 18, 25 and 29.
+///
+/// Lines (1-dimensional meshes) and the 2-node ring are treated as having no
+/// Hamiltonian circuit, since a circuit in a simple graph requires at least 3
+/// distinct nodes.
+pub fn admits_hamiltonian_circuit(grid: &Grid) -> bool {
+    if grid.size() < 3 {
+        return false;
+    }
+    if grid.is_torus() {
+        // Corollary 29.
+        return true;
+    }
+    // Meshes (including hypercubes labelled as meshes).
+    if grid.dim() == 1 {
+        // A line: boundary nodes have degree 1.
+        return false;
+    }
+    // Corollaries 18 and 25.
+    grid.size() % 2 == 0
+}
+
+/// Checks whether `order` is a Hamiltonian circuit of `grid`: a permutation of
+/// all nodes in which successive nodes — including the last and the first —
+/// are adjacent.
+pub fn is_hamiltonian_circuit(grid: &Grid, order: &[u64]) -> bool {
+    let n = grid.size();
+    if order.len() as u64 != n || n < 3 {
+        return false;
+    }
+    let mut seen = vec![false; n as usize];
+    for &x in order {
+        if x >= n || seen[x as usize] {
+            return false;
+        }
+        seen[x as usize] = true;
+    }
+    for i in 0..order.len() {
+        let a = order[i];
+        let b = order[(i + 1) % order.len()];
+        match grid.adjacent(a, b) {
+            Ok(true) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Checks whether `order` is a Hamiltonian *path* of `grid` (no wrap-around
+/// adjacency required).
+pub fn is_hamiltonian_path(grid: &Grid, order: &[u64]) -> bool {
+    let n = grid.size();
+    if order.len() as u64 != n || n < 2 {
+        return false;
+    }
+    let mut seen = vec![false; n as usize];
+    for &x in order {
+        if x >= n || seen[x as usize] {
+            return false;
+        }
+        seen[x as usize] = true;
+    }
+    for pair in order.windows(2) {
+        match grid.adjacent(pair[0], pair[1]) {
+            Ok(true) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Exhaustively searches for a Hamiltonian circuit by backtracking.
+///
+/// Intended for cross-checking [`admits_hamiltonian_circuit`] on tiny graphs
+/// (≲ 20 nodes); the search is exponential in general.
+pub fn find_hamiltonian_circuit_exhaustive(grid: &Grid) -> Option<Vec<u64>> {
+    let n = grid.size();
+    if n < 3 {
+        return None;
+    }
+    let n = n as usize;
+    let adjacency: Vec<Vec<u64>> = (0..n as u64)
+        .map(|x| grid.neighbors(x).expect("node in range"))
+        .collect();
+    let mut visited = vec![false; n];
+    let mut path = Vec::with_capacity(n);
+    visited[0] = true;
+    path.push(0u64);
+    if backtrack(&adjacency, &mut visited, &mut path, n) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+fn backtrack(adjacency: &[Vec<u64>], visited: &mut [bool], path: &mut Vec<u64>, n: usize) -> bool {
+    if path.len() == n {
+        // Circuit closes iff the last node is adjacent to the first (node 0).
+        let last = *path.last().expect("path non-empty");
+        return adjacency[last as usize].contains(&0);
+    }
+    let current = *path.last().expect("path non-empty");
+    for &next in &adjacency[current as usize] {
+        if !visited[next as usize] {
+            visited[next as usize] = true;
+            path.push(next);
+            if backtrack(adjacency, visited, path, n) {
+                return true;
+            }
+            path.pop();
+            visited[next as usize] = false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn predicate_matches_exhaustive_search_on_small_graphs() {
+        let cases = vec![
+            Grid::torus(shape(&[3, 3])),     // odd torus: has circuit (Cor. 29)
+            Grid::torus(shape(&[2, 3])),     // torus: has circuit
+            Grid::mesh(shape(&[3, 3])),      // odd mesh: none (Cor. 18)
+            Grid::mesh(shape(&[3, 5])),      // odd mesh: none
+            Grid::mesh(shape(&[2, 3])),      // even mesh, dim 2: has circuit (Cor. 25)
+            Grid::mesh(shape(&[4, 3])),      // even mesh: has circuit
+            Grid::mesh(shape(&[2, 2, 3])),   // even mesh, dim 3: has circuit
+            Grid::line(6).unwrap(),          // line: none
+            Grid::ring(6).unwrap(),          // ring: trivially a circuit
+            Grid::hypercube(3).unwrap(),     // hypercube: has circuit
+        ];
+        for grid in cases {
+            let expected = admits_hamiltonian_circuit(&grid);
+            let found = find_hamiltonian_circuit_exhaustive(&grid);
+            assert_eq!(
+                found.is_some(),
+                expected,
+                "predicate disagrees with search on {grid}"
+            );
+            if let Some(circuit) = found {
+                assert!(is_hamiltonian_circuit(&grid, &circuit), "bad circuit for {grid}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_have_no_circuit() {
+        assert!(!admits_hamiltonian_circuit(&Grid::ring(2).unwrap()));
+        assert!(!admits_hamiltonian_circuit(&Grid::line(2).unwrap()));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_circuits() {
+        let ring = Grid::ring(5).unwrap();
+        assert!(is_hamiltonian_circuit(&ring, &[0, 1, 2, 3, 4]));
+        // Wrong length.
+        assert!(!is_hamiltonian_circuit(&ring, &[0, 1, 2, 3]));
+        // Repeated node.
+        assert!(!is_hamiltonian_circuit(&ring, &[0, 1, 2, 3, 3]));
+        // Out-of-range node.
+        assert!(!is_hamiltonian_circuit(&ring, &[0, 1, 2, 3, 9]));
+        // Non-adjacent consecutive nodes.
+        assert!(!is_hamiltonian_circuit(&ring, &[0, 2, 1, 3, 4]));
+    }
+
+    #[test]
+    fn checker_for_paths() {
+        let line = Grid::line(4).unwrap();
+        assert!(is_hamiltonian_path(&line, &[0, 1, 2, 3]));
+        assert!(is_hamiltonian_path(&line, &[3, 2, 1, 0]));
+        assert!(!is_hamiltonian_path(&line, &[0, 2, 1, 3]));
+        assert!(!is_hamiltonian_path(&line, &[0, 1, 2]));
+        assert!(!is_hamiltonian_path(&line, &[0, 1, 2, 2]));
+    }
+
+    #[test]
+    fn odd_meshes_have_no_circuit_but_even_toruses_of_same_shape_do() {
+        // The same shape read as a torus has a circuit, read as a mesh does not.
+        let odd_shape = shape(&[3, 3]);
+        assert!(admits_hamiltonian_circuit(&Grid::torus(odd_shape.clone())));
+        assert!(!admits_hamiltonian_circuit(&Grid::mesh(odd_shape)));
+    }
+
+    #[test]
+    fn hypercubes_of_dimension_at_least_two_have_circuits() {
+        for d in 2..=5 {
+            assert!(admits_hamiltonian_circuit(&Grid::hypercube(d).unwrap()));
+        }
+        assert!(!admits_hamiltonian_circuit(&Grid::hypercube(1).unwrap()));
+    }
+}

@@ -1,0 +1,401 @@
+//! Closed-form network metrics for toruses and meshes.
+//!
+//! The embedding theorems of the paper reason about dilation only, but when a
+//! torus or mesh is used as the topology of an interconnection network the
+//! usual architectural figures of merit also matter: number of links, node
+//! degrees, diameter, mean internode distance, and bisection width. All of
+//! them have closed forms for toruses and meshes; this module provides those
+//! closed forms plus small exhaustive oracles used to validate them in tests.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, TopologyError};
+use crate::grid::{GraphKind, Grid};
+
+/// A bundle of the standard interconnection-network figures of merit for a
+/// torus or mesh, all computed from closed forms in `O(dimension)` time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridMetrics {
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Number of undirected links.
+    pub edges: u64,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Diameter (maximum internode distance).
+    pub diameter: u64,
+    /// Mean internode distance over all ordered node pairs (self pairs
+    /// included, which keeps the per-dimension expectations independent).
+    pub mean_distance: f64,
+    /// Link count of the best axis-aligned (near-)bisection cut.
+    pub bisection_width: u64,
+}
+
+impl GridMetrics {
+    /// Measures every metric of `grid`.
+    pub fn measure(grid: &Grid) -> GridMetrics {
+        GridMetrics {
+            nodes: grid.size(),
+            edges: grid.num_edges(),
+            min_degree: min_degree(grid),
+            max_degree: grid.max_degree(),
+            diameter: grid.diameter(),
+            mean_distance: mean_distance(grid),
+            bisection_width: bisection_width(grid),
+        }
+    }
+}
+
+/// The number of undirected links contributed by each dimension.
+///
+/// For dimension `j` of length `l`, a mesh contributes `n/l · (l − 1)` links
+/// and a torus contributes `n` links (`n/2` when `l = 2`, because the "ring"
+/// of length 2 degenerates to a single edge).
+pub fn edges_per_dimension(grid: &Grid) -> Vec<u64> {
+    let n = grid.size();
+    (0..grid.dim())
+        .map(|j| {
+            let l = grid.shape().radix(j) as u64;
+            match grid.kind() {
+                GraphKind::Torus => {
+                    if l > 2 {
+                        n
+                    } else {
+                        n / 2
+                    }
+                }
+                GraphKind::Mesh => n / l * (l - 1),
+            }
+        })
+        .collect()
+}
+
+/// The minimum node degree.
+///
+/// Every torus is regular. In a mesh the minimum is attained at a corner
+/// node, which has one neighbor per dimension.
+pub fn min_degree(grid: &Grid) -> usize {
+    match grid.kind() {
+        GraphKind::Torus => grid.max_degree(),
+        GraphKind::Mesh => grid.dim(),
+    }
+}
+
+/// The distribution of node degrees: degree → number of nodes of that degree.
+///
+/// Computed by convolving the per-dimension contributions (a node gains 1 or
+/// 2 neighbors per dimension depending on whether its coordinate sits on a
+/// boundary), so the cost is `O(dimension² · max degree)` — no node sweep.
+pub fn degree_histogram(grid: &Grid) -> BTreeMap<usize, u64> {
+    let mut histogram: BTreeMap<usize, u64> = BTreeMap::new();
+    histogram.insert(0, 1);
+    for j in 0..grid.dim() {
+        let l = grid.shape().radix(j) as u64;
+        // contribution → number of coordinate values with that contribution
+        let contributions: Vec<(usize, u64)> = match grid.kind() {
+            GraphKind::Torus => {
+                if l > 2 {
+                    vec![(2, l)]
+                } else {
+                    vec![(1, l)]
+                }
+            }
+            GraphKind::Mesh => {
+                if l > 2 {
+                    vec![(1, 2), (2, l - 2)]
+                } else {
+                    vec![(1, l)]
+                }
+            }
+        };
+        let mut next: BTreeMap<usize, u64> = BTreeMap::new();
+        for (&degree, &count) in &histogram {
+            for &(extra, values) in &contributions {
+                *next.entry(degree + extra).or_insert(0) += count * values;
+            }
+        }
+        histogram = next;
+    }
+    histogram
+}
+
+/// The mean distance contributed by a single mesh dimension of length `l`,
+/// over ordered pairs of coordinate values: `(l² − 1) / 3l`.
+pub fn mean_distance_mesh_dimension(l: u64) -> f64 {
+    ((l * l - 1) as f64) / (3.0 * l as f64)
+}
+
+/// The mean distance contributed by a single torus dimension of length `l`,
+/// over ordered pairs of coordinate values: `l/4` for even `l`,
+/// `(l² − 1) / 4l` for odd `l`.
+pub fn mean_distance_torus_dimension(l: u64) -> f64 {
+    if l % 2 == 0 {
+        l as f64 / 4.0
+    } else {
+        ((l * l - 1) as f64) / (4.0 * l as f64)
+    }
+}
+
+/// The mean internode distance over all ordered node pairs (self pairs
+/// included), in closed form.
+///
+/// Distances in a torus or mesh decompose into independent per-dimension
+/// terms (Lemmas 5 and 6), so the mean is the sum of the per-dimension means.
+pub fn mean_distance(grid: &Grid) -> f64 {
+    (0..grid.dim())
+        .map(|j| {
+            let l = grid.shape().radix(j) as u64;
+            match grid.kind() {
+                GraphKind::Torus => mean_distance_torus_dimension(l),
+                GraphKind::Mesh => mean_distance_mesh_dimension(l),
+            }
+        })
+        .sum()
+}
+
+/// The mean internode distance measured exhaustively over all ordered pairs —
+/// an `O(n²·d)` oracle used to validate [`mean_distance`].
+///
+/// # Errors
+///
+/// Returns [`TopologyError::NodeOutOfRange`] never, and an error for graphs
+/// with more than 2¹² nodes (the quadratic sweep would be too slow to be a
+/// useful oracle).
+pub fn mean_distance_exhaustive(grid: &Grid) -> Result<f64> {
+    const LIMIT: u64 = 1 << 12;
+    let n = grid.size();
+    if n > LIMIT {
+        return Err(TopologyError::InvalidCoordinate {
+            reason: format!("exhaustive mean distance is limited to {LIMIT} nodes, got {n}"),
+        });
+    }
+    let coords: Vec<_> = grid.coords().collect();
+    let mut total = 0u64;
+    for a in &coords {
+        for b in &coords {
+            total += grid.distance(a, b);
+        }
+    }
+    Ok(total as f64 / (n as f64 * n as f64))
+}
+
+/// The number of links cut by the best axis-aligned bisection.
+///
+/// Cutting dimension `j` in half severs one link per line of that dimension
+/// in a mesh (`n / l_j` links) and two per ring in a torus (`2n / l_j` links,
+/// or `n / l_j` when `l_j = 2` and the ring degenerates to one edge). The
+/// reported width is the minimum over dimensions; it is the exact bisection
+/// width when the chosen dimension has even length (always the case for
+/// hypercubes and even-sized square grids) and the standard near-bisection
+/// figure otherwise.
+pub fn bisection_width(grid: &Grid) -> u64 {
+    let n = grid.size();
+    (0..grid.dim())
+        .map(|j| {
+            let l = grid.shape().radix(j) as u64;
+            match grid.kind() {
+                GraphKind::Torus => {
+                    if l > 2 {
+                        2 * n / l
+                    } else {
+                        n / l
+                    }
+                }
+                GraphKind::Mesh => n / l,
+            }
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+/// The exhaustively measured cut size of splitting the grid across dimension
+/// `j` at the midpoint — an oracle for [`bisection_width`] on small graphs.
+///
+/// # Errors
+///
+/// Returns an error if `j` is not a dimension of the grid.
+pub fn axis_cut_exhaustive(grid: &Grid, j: usize) -> Result<u64> {
+    if j >= grid.dim() {
+        return Err(TopologyError::InvalidCoordinate {
+            reason: format!("dimension {j} out of range for {grid}"),
+        });
+    }
+    let l = grid.shape().radix(j);
+    let half = l / 2;
+    let mut cut = 0u64;
+    for (a, b) in grid.edges() {
+        let ca = grid.coord(a)?;
+        let cb = grid.coord(b)?;
+        let (da, db) = (ca.get(j), cb.get(j));
+        // A link is cut when its endpoints land on different sides of the
+        // split {0, …, half−1} | {half, …, l−1}.
+        if (da < half) != (db < half) {
+            cut += 1;
+        }
+    }
+    Ok(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    fn all_grids() -> Vec<Grid> {
+        vec![
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[5, 5])),
+            Grid::torus(shape(&[5, 5])),
+            Grid::mesh(shape(&[8, 8])),
+            Grid::torus(shape(&[8, 8])),
+            Grid::hypercube(4).unwrap(),
+            Grid::line(9).unwrap(),
+            Grid::ring(9).unwrap(),
+            Grid::mesh(shape(&[2, 3, 2, 3])),
+            Grid::torus(shape(&[2, 3, 2, 3])),
+        ]
+    }
+
+    #[test]
+    fn edges_per_dimension_sums_to_num_edges() {
+        for grid in all_grids() {
+            let per_dim = edges_per_dimension(&grid);
+            assert_eq!(per_dim.len(), grid.dim());
+            assert_eq!(per_dim.iter().sum::<u64>(), grid.num_edges(), "{grid}");
+        }
+    }
+
+    #[test]
+    fn degree_histogram_matches_node_sweep() {
+        for grid in all_grids() {
+            let histogram = degree_histogram(&grid);
+            let total: u64 = histogram.values().sum();
+            assert_eq!(total, grid.size(), "{grid}");
+            let mut swept: BTreeMap<usize, u64> = BTreeMap::new();
+            for x in grid.nodes() {
+                *swept.entry(grid.degree(x).unwrap()).or_insert(0) += 1;
+            }
+            assert_eq!(histogram, swept, "{grid}");
+        }
+    }
+
+    #[test]
+    fn min_degree_matches_node_sweep() {
+        for grid in all_grids() {
+            let swept = grid
+                .nodes()
+                .map(|x| grid.degree(x).unwrap())
+                .min()
+                .unwrap();
+            assert_eq!(min_degree(&grid), swept, "{grid}");
+        }
+    }
+
+    #[test]
+    fn mean_distance_matches_exhaustive_oracle() {
+        for grid in all_grids() {
+            let closed = mean_distance(&grid);
+            let exact = mean_distance_exhaustive(&grid).unwrap();
+            assert!(
+                (closed - exact).abs() < 1e-9,
+                "{grid}: closed {closed}, exhaustive {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_distance_exhaustive_rejects_large_graphs() {
+        let grid = Grid::mesh(shape(&[70, 70]));
+        assert!(mean_distance_exhaustive(&grid).is_err());
+    }
+
+    #[test]
+    fn per_dimension_means_match_direct_sums() {
+        for l in 2..20u64 {
+            let mesh: u64 = (0..l).flat_map(|i| (0..l).map(move |j| i.abs_diff(j))).sum();
+            assert!((mean_distance_mesh_dimension(l) - mesh as f64 / (l * l) as f64).abs() < 1e-12);
+            let torus: u64 = (0..l)
+                .flat_map(|i| (0..l).map(move |j| i.abs_diff(j).min(l - i.abs_diff(j))))
+                .sum();
+            assert!(
+                (mean_distance_torus_dimension(l) - torus as f64 / (l * l) as f64).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn bisection_width_of_classic_topologies() {
+        // 8×8 mesh: 8 links; 8×8 torus: 16 links; hypercube of 2^d nodes: 2^{d−1}.
+        assert_eq!(bisection_width(&Grid::mesh(shape(&[8, 8]))), 8);
+        assert_eq!(bisection_width(&Grid::torus(shape(&[8, 8]))), 16);
+        for d in 2..8 {
+            assert_eq!(bisection_width(&Grid::hypercube(d).unwrap()), 1 << (d - 1));
+        }
+        // A line is bisected by one link, a ring (length > 2) by two.
+        assert_eq!(bisection_width(&Grid::line(10).unwrap()), 1);
+        assert_eq!(bisection_width(&Grid::ring(10).unwrap()), 2);
+    }
+
+    #[test]
+    fn bisection_width_matches_axis_cut_on_even_dimensions() {
+        for grid in [
+            Grid::mesh(shape(&[8, 8])),
+            Grid::torus(shape(&[8, 8])),
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::hypercube(4).unwrap(),
+        ] {
+            let best_even = (0..grid.dim())
+                .filter(|&j| grid.shape().radix(j) % 2 == 0)
+                .map(|j| axis_cut_exhaustive(&grid, j).unwrap())
+                .min();
+            if let Some(cut) = best_even {
+                // The closed form picks the global minimum over all axes, so it
+                // can only be ≤ the best even-axis cut; for these shapes the
+                // longest dimension is even, so they agree exactly.
+                assert_eq!(bisection_width(&grid), cut, "{grid}");
+            }
+        }
+    }
+
+    #[test]
+    fn axis_cut_rejects_bad_dimension() {
+        let grid = Grid::mesh(shape(&[3, 3]));
+        assert!(axis_cut_exhaustive(&grid, 2).is_err());
+    }
+
+    #[test]
+    fn grid_metrics_bundle_is_consistent() {
+        for grid in all_grids() {
+            let m = GridMetrics::measure(&grid);
+            assert_eq!(m.nodes, grid.size());
+            assert_eq!(m.edges, grid.num_edges());
+            assert_eq!(m.diameter, grid.diameter());
+            assert!(m.min_degree <= m.max_degree);
+            assert!(m.mean_distance <= m.diameter as f64);
+            assert!(m.bisection_width >= 1);
+            assert!(m.bisection_width <= m.edges);
+        }
+    }
+
+    #[test]
+    fn torus_metrics_dominate_mesh_metrics_of_the_same_shape() {
+        // Adding wrap-around links can only add edges and bisection width, and
+        // can only shrink diameter and mean distance.
+        for radices in [&[4, 2, 3][..], &[5, 5], &[8, 8], &[3, 3, 3]] {
+            let mesh = GridMetrics::measure(&Grid::mesh(shape(radices)));
+            let torus = GridMetrics::measure(&Grid::torus(shape(radices)));
+            assert!(torus.edges >= mesh.edges);
+            assert!(torus.bisection_width >= mesh.bisection_width);
+            assert!(torus.diameter <= mesh.diameter);
+            assert!(torus.mean_distance <= mesh.mean_distance + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the closed-form network metrics: every closed
+//! form must agree with a brute-force sweep on randomly generated small
+//! toruses and meshes.
+
+use proptest::prelude::*;
+use topology::metrics::{
+    axis_cut_exhaustive, bisection_width, degree_histogram, edges_per_dimension, mean_distance,
+    mean_distance_exhaustive, min_degree, GridMetrics,
+};
+use topology::prelude::*;
+
+/// Strategy producing a small torus or mesh.
+fn small_grid() -> impl Strategy<Value = Grid> {
+    let shape = proptest::collection::vec(2u32..=6, 1..=4).prop_filter(
+        "keep sizes manageable",
+        |radices| radices.iter().map(|&l| l as u64).product::<u64>() <= 400,
+    );
+    (shape, proptest::bool::ANY).prop_map(|(radices, torus)| {
+        let shape = Shape::new(radices).unwrap();
+        if torus {
+            Grid::torus(shape)
+        } else {
+            Grid::mesh(shape)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn edges_per_dimension_sum_to_the_edge_count(grid in small_grid()) {
+        let per_dim = edges_per_dimension(&grid);
+        prop_assert_eq!(per_dim.len(), grid.dim());
+        prop_assert_eq!(per_dim.iter().sum::<u64>(), grid.num_edges());
+        // Each dimension contributes at least a perfect matching of the nodes
+        // along it.
+        for (j, &edges) in per_dim.iter().enumerate() {
+            let l = grid.shape().radix(j) as u64;
+            prop_assert!(edges >= grid.size() / l);
+        }
+    }
+
+    #[test]
+    fn degree_histogram_matches_a_node_sweep(grid in small_grid()) {
+        let closed = degree_histogram(&grid);
+        let mut swept = std::collections::BTreeMap::new();
+        for x in grid.nodes() {
+            *swept.entry(grid.degree(x).unwrap()).or_insert(0u64) += 1;
+        }
+        prop_assert_eq!(closed, swept);
+    }
+
+    #[test]
+    fn min_and_max_degree_bound_every_node(grid in small_grid()) {
+        let lo = min_degree(&grid);
+        let hi = grid.max_degree();
+        for x in grid.nodes() {
+            let degree = grid.degree(x).unwrap();
+            prop_assert!(degree >= lo && degree <= hi);
+        }
+        // Handshake: the degree histogram mass weighted by degree equals 2|E|.
+        let total: u64 = degree_histogram(&grid)
+            .iter()
+            .map(|(&degree, &count)| degree as u64 * count)
+            .sum();
+        prop_assert_eq!(total, 2 * grid.num_edges());
+    }
+
+    #[test]
+    fn mean_distance_closed_form_matches_the_exhaustive_oracle(grid in small_grid()) {
+        let closed = mean_distance(&grid);
+        let exact = mean_distance_exhaustive(&grid).unwrap();
+        prop_assert!((closed - exact).abs() < 1e-9, "closed {closed} vs exact {exact}");
+        prop_assert!(closed <= grid.diameter() as f64);
+    }
+
+    #[test]
+    fn bisection_width_is_a_realizable_axis_cut(grid in small_grid()) {
+        let width = bisection_width(&grid);
+        // The closed form equals the minimum over dimensions of the measured
+        // axis cut at the midpoint.
+        let best_cut = (0..grid.dim())
+            .map(|j| axis_cut_exhaustive(&grid, j).unwrap())
+            .min()
+            .unwrap();
+        prop_assert_eq!(width, best_cut);
+        prop_assert!(width >= 1);
+        prop_assert!(width <= grid.num_edges());
+    }
+
+    #[test]
+    fn metrics_bundle_is_internally_consistent(grid in small_grid()) {
+        let m = GridMetrics::measure(&grid);
+        prop_assert_eq!(m.nodes, grid.size());
+        prop_assert_eq!(m.edges, grid.num_edges());
+        prop_assert!(m.min_degree <= m.max_degree);
+        prop_assert!(m.mean_distance > 0.0);
+        prop_assert!(m.mean_distance <= m.diameter as f64);
+        // A connected graph on n nodes has at least n − 1 edges.
+        prop_assert!(m.edges >= m.nodes - 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use topology::bfs::bfs;
+use topology::hamiltonian::admits_hamiltonian_circuit;
+use topology::prelude::*;
+
+/// Strategy producing a small torus or mesh (size capped for exhaustive
+/// checks).
+fn small_grid() -> impl Strategy<Value = Grid> {
+    let shape = proptest::collection::vec(2u32..=6, 1..=4).prop_filter(
+        "keep sizes manageable",
+        |radices| radices.iter().map(|&l| l as u64).product::<u64>() <= 300,
+    );
+    (shape, proptest::bool::ANY).prop_map(|(radices, torus)| {
+        let shape = Shape::new(radices).unwrap();
+        if torus {
+            Grid::torus(shape)
+        } else {
+            Grid::mesh(shape)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn degree_equals_neighbor_count(grid in small_grid(), x in 0u64..300) {
+        let x = x % grid.size();
+        let neighbors = grid.neighbors(x).unwrap();
+        prop_assert_eq!(neighbors.len(), grid.degree(x).unwrap());
+        prop_assert!(neighbors.len() <= 2 * grid.dim());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(grid in small_grid(), x in 0u64..300) {
+        let x = x % grid.size();
+        for y in grid.neighbors(x).unwrap() {
+            prop_assert!(grid.neighbors(y).unwrap().contains(&x));
+        }
+    }
+
+    #[test]
+    fn closed_form_distance_matches_bfs(grid in small_grid(), source in 0u64..300) {
+        let source = source % grid.size();
+        let oracle = bfs(&grid, source).unwrap();
+        for target in grid.nodes() {
+            prop_assert_eq!(
+                grid.distance_index(source, target).unwrap(),
+                oracle.distance(target).unwrap(),
+                "distance mismatch in {} from {} to {}", grid, source, target
+            );
+        }
+    }
+
+    #[test]
+    fn handshake_lemma(grid in small_grid()) {
+        let degree_sum: u64 = grid.nodes().map(|x| grid.degree(x).unwrap() as u64).sum();
+        prop_assert_eq!(degree_sum, 2 * grid.num_edges());
+        prop_assert_eq!(grid.edges().count() as u64, grid.num_edges());
+    }
+
+    #[test]
+    fn edges_join_nodes_at_distance_one(grid in small_grid()) {
+        for (a, b) in grid.edges() {
+            prop_assert!(a != b);
+            prop_assert_eq!(grid.distance_index(a, b).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn torus_distance_never_exceeds_mesh_distance_of_same_shape(
+        grid in small_grid(), x in 0u64..300, y in 0u64..300
+    ) {
+        let x = x % grid.size();
+        let y = y % grid.size();
+        let torus = Grid::torus(grid.shape().clone());
+        let mesh = Grid::mesh(grid.shape().clone());
+        prop_assert!(torus.distance_index(x, y).unwrap() <= mesh.distance_index(x, y).unwrap());
+    }
+
+    #[test]
+    fn diameter_bounds_all_distances(grid in small_grid(), x in 0u64..300, y in 0u64..300) {
+        let x = x % grid.size();
+        let y = y % grid.size();
+        prop_assert!(grid.distance_index(x, y).unwrap() <= grid.diameter());
+    }
+
+    #[test]
+    fn hamiltonicity_predicate_matches_corollaries(grid in small_grid()) {
+        let expected = if grid.size() < 3 {
+            false
+        } else if grid.is_torus() {
+            true
+        } else if grid.dim() == 1 {
+            false
+        } else {
+            grid.size() % 2 == 0
+        };
+        prop_assert_eq!(admits_hamiltonian_circuit(&grid), expected);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_implicit(grid in small_grid()) {
+        let csr = CsrAdjacency::build(&grid).unwrap();
+        prop_assert_eq!(csr.num_nodes() as u64, grid.size());
+        for x in grid.nodes() {
+            let mut a = grid.neighbors(x).unwrap();
+            let mut b: Vec<u64> = csr.neighbors(x as usize).iter().map(|&v| v as u64).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Hypercube mappings: Corollary 34 (grids into hypercubes with unit
+//! dilation) and Corollaries 40/49 (hypercubes into grids with dilation
+//! `max mᵢ / 2`).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example hypercube_mapping
+//! ```
+
+use torus_mesh_embeddings::prelude::*;
+
+fn grid_label(grid: &Grid) -> String {
+    format!("{grid}")
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Corollary 34: any torus or mesh of power-of-two size embeds in the
+    // hypercube of the same size with unit dilation.
+    // ------------------------------------------------------------------
+    println!("== Grids into hypercubes (Corollary 34) ==");
+    println!("{:<24} {:>10} {:>10}", "guest", "dilation", "predicted");
+    let guests = vec![
+        Grid::mesh(Shape::new(vec![8, 8]).unwrap()),
+        Grid::mesh(Shape::new(vec![4, 4, 4]).unwrap()),
+        Grid::torus(Shape::new(vec![8, 8]).unwrap()),
+        Grid::torus(Shape::new(vec![16, 4]).unwrap()),
+        Grid::mesh(Shape::new(vec![32, 2]).unwrap()),
+        Grid::ring(64).unwrap(),
+        Grid::line(64).unwrap(),
+    ];
+    for guest in guests {
+        let bits = guest.size().trailing_zeros() as usize;
+        let hypercube = Grid::hypercube(bits).unwrap();
+        let predicted = predicted_dilation(&guest, &hypercube).unwrap();
+        let embedding = embed(&guest, &hypercube).unwrap();
+        println!(
+            "{:<24} {:>10} {:>10}",
+            grid_label(&guest),
+            embedding.dilation(),
+            predicted
+        );
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    // Corollaries 40 and 49: a hypercube into toruses and meshes of the same
+    // size, dilation max(m_i)/2.
+    // ------------------------------------------------------------------
+    println!("== Hypercubes into grids (Corollaries 40 and 49) ==");
+    println!(
+        "{:<14} {:<20} {:>10} {:>10}",
+        "guest", "host", "dilation", "predicted"
+    );
+    let hosts = vec![
+        Grid::mesh(Shape::new(vec![8, 8]).unwrap()),
+        Grid::torus(Shape::new(vec![8, 8]).unwrap()),
+        Grid::mesh(Shape::new(vec![4, 4, 4]).unwrap()),
+        Grid::mesh(Shape::new(vec![16, 4]).unwrap()),
+        Grid::ring(64).unwrap(),
+        Grid::line(64).unwrap(),
+    ];
+    let hypercube = Grid::hypercube(6).unwrap();
+    for host in hosts {
+        let predicted = predicted_dilation(&hypercube, &host).unwrap();
+        let embedding = embed(&hypercube, &host).unwrap();
+        println!(
+            "{:<14} {:<20} {:>10} {:>10}",
+            "hypercube 2^6",
+            grid_label(&host),
+            embedding.dilation(),
+            predicted
+        );
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    // Comparison with Harper's optimal hypercube-in-line numbering.
+    // ------------------------------------------------------------------
+    println!("== Hypercube in a line: paper vs. Harper's optimum ==");
+    println!("{:>4} {:>16} {:>16} {:>8}", "d", "paper 2^(d-1)", "optimal", "ratio");
+    for d in 1..=12u32 {
+        let paper = embeddings::optimal::paper_hypercube_in_line(d);
+        let optimal = embeddings::optimal::optimal_hypercube_in_line(d);
+        println!(
+            "{:>4} {:>16} {:>16} {:>8.3}",
+            d,
+            paper,
+            optimal,
+            paper as f64 / optimal as f64
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Draws the paper's Figure-10-style pictures in the terminal: where each
+//! node of a line, ring or higher-dimensional guest lands inside a mesh or
+//! torus host, together with the full quality report of each embedding and a
+//! per-step report of a multi-step chain.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example placement_visualizer
+//! ```
+
+use embeddings::basic::{embed_line_in, embed_ring_in};
+use embeddings::chain::EmbeddingChain;
+use embeddings::metrics::EmbeddingMetrics;
+use gridviz::render::render_embedding;
+use gridviz::table::{Alignment, Table};
+use torus_mesh_embeddings::prelude::*;
+
+fn shape(radices: &[u32]) -> Shape {
+    Shape::new(radices.to_vec()).unwrap()
+}
+
+fn show(embedding: &Embedding) {
+    println!("{}", render_embedding(embedding).unwrap());
+    let metrics = EmbeddingMetrics::measure(embedding).unwrap();
+    println!("{metrics}");
+    println!();
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Figure 10: a line and a ring of size 24 inside a (4,6)-mesh and
+    //    the (4,2,3)-mesh of the paper's running example.
+    // ------------------------------------------------------------------
+    println!("== Figure 10: basic embeddings ==\n");
+    let flat_mesh = Grid::mesh(shape(&[4, 6]));
+    show(&embed_line_in(&flat_mesh).unwrap());
+    show(&embed_ring_in(&flat_mesh).unwrap());
+
+    let paper_mesh = Grid::mesh(shape(&[4, 2, 3]));
+    show(&embed_ring_in(&paper_mesh).unwrap());
+
+    // ------------------------------------------------------------------
+    // 2. Figure 12: the (3,3,6)-mesh inside the (6,9)-mesh (dilation 3),
+    //    rendered so the supernode structure is visible as 3×2 blocks of
+    //    consecutive guest indices.
+    // ------------------------------------------------------------------
+    println!("== Figure 12: general reduction, (3,3,6)-mesh -> (6,9)-mesh ==\n");
+    let (guest, host) = embeddings::paper_examples::fig12_grids();
+    let reduction = embed(&guest, &host).unwrap();
+    show(&reduction);
+
+    // ------------------------------------------------------------------
+    // 3. A chain: hypercube(16) -> (4,4)-mesh -> line(16), reported step by
+    //    step. The composed dilation respects the product of the step
+    //    dilations.
+    // ------------------------------------------------------------------
+    println!("== Chain: hypercube(16) -> (4,4)-mesh -> line(16) ==\n");
+    let cube = Grid::hypercube(4).unwrap();
+    let mid = Grid::mesh(shape(&[4, 4]));
+    let line = Grid::line(16).unwrap();
+    let chain = EmbeddingChain::through(&cube, &[mid], &line).unwrap();
+
+    let mut steps = Table::new(vec!["step", "construction", "guest", "host", "dilation"])
+        .with_alignments(vec![
+            Alignment::Right,
+            Alignment::Left,
+            Alignment::Left,
+            Alignment::Left,
+            Alignment::Right,
+        ]);
+    for (i, step) in chain.report().into_iter().enumerate() {
+        steps.push_row(vec![
+            (i + 1).to_string(),
+            step.name,
+            step.guest,
+            step.host,
+            step.dilation.to_string(),
+        ]);
+    }
+    println!("{steps}");
+
+    let composed = chain.compose().unwrap();
+    println!(
+        "composed dilation {} <= product bound {}",
+        composed.dilation(),
+        chain.dilation_product_bound()
+    );
+    println!();
+    show(&composed);
+}

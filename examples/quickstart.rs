@@ -1,0 +1,61 @@
+//! Quickstart: embed lines, rings and toruses into meshes and inspect the
+//! dilation cost.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use torus_mesh_embeddings::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The paper's running example: a 24-node ring in a (4,2,3)-mesh.
+    // ------------------------------------------------------------------
+    let ring = Grid::ring(24).unwrap();
+    let mesh = Grid::mesh(Shape::new(vec![4, 2, 3]).unwrap());
+    let embedding = embed(&ring, &mesh).unwrap();
+
+    println!("== Ring of 24 nodes in a (4,2,3)-mesh ==");
+    println!("construction : {}", embedding.name());
+    println!("dilation     : {}", embedding.dilation());
+    println!("first images : ");
+    for x in 0..6 {
+        println!("  ring node {x:2} -> mesh node {}", embedding.map(x));
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    // 2. A torus in a mesh of the same shape costs dilation 2 (Lemma 36)...
+    // ------------------------------------------------------------------
+    let torus = Grid::torus(Shape::new(vec![6, 6]).unwrap());
+    let same_mesh = Grid::mesh(Shape::new(vec![6, 6]).unwrap());
+    let same = embed(&torus, &same_mesh).unwrap();
+    println!("== (6,6)-torus in a (6,6)-mesh ==");
+    println!("construction : {}", same.name());
+    println!("dilation     : {}", same.dilation());
+    println!();
+
+    // ------------------------------------------------------------------
+    // 3. ...but a torus in a *higher-dimensional* mesh can reach dilation 1
+    //    when the shapes satisfy the expansion condition (Theorem 32).
+    // ------------------------------------------------------------------
+    let tall_mesh = Grid::mesh(Shape::new(vec![2, 3, 2, 3]).unwrap());
+    let expanded = embed(&torus, &tall_mesh).unwrap();
+    println!("== (6,6)-torus in a (2,3,2,3)-mesh ==");
+    println!("construction : {}", expanded.name());
+    println!("dilation     : {}", expanded.dilation());
+    println!();
+
+    // ------------------------------------------------------------------
+    // 4. Verify an embedding independently (parallel sweep over all edges).
+    // ------------------------------------------------------------------
+    let report = verify(&expanded, 0).unwrap();
+    println!("== Verification report ==");
+    println!("injective        : {}", report.injective);
+    println!("dilation         : {}", report.dilation);
+    println!("average dilation : {:.3}", report.average_dilation);
+    println!("edges checked    : {}", report.edges);
+    println!("histogram        : {:?}", report.histogram);
+}

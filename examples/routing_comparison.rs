@@ -1,0 +1,178 @@
+//! Routing and placement comparison: classic traffic patterns on an 8×8
+//! mesh and torus, under the paper's embedding-based placement versus a
+//! naive identity placement, and under dimension-ordered versus Valiant
+//! routing.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example routing_comparison
+//! ```
+
+use torus_mesh_embeddings::prelude::*;
+
+fn shape(radices: &[u32]) -> Shape {
+    Shape::new(radices.to_vec()).unwrap()
+}
+
+/// One comparison row: a named workload simulated on `network` under
+/// `placement` with the given routing algorithm.
+fn row(
+    label: &str,
+    network: &Network,
+    workload: &Workload,
+    placement: &Placement,
+    algorithm: RoutingAlgorithm,
+) -> Vec<String> {
+    let stats = simulate_detailed(network, workload, placement, algorithm, 1);
+    vec![
+        label.to_string(),
+        algorithm.name().to_string(),
+        stats.messages.to_string(),
+        format!("{:.2}", stats.average_hops()),
+        stats.max_hops.to_string(),
+        stats.link_loads.max_load().to_string(),
+        stats.cycles.to_string(),
+        stats.latency.p95.to_string(),
+    ]
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Neighbor exchange of a 64-node ring: the paper's placement keeps
+    //    every message at one hop; a row-major placement pays the mesh
+    //    width on the wrap-around edge.
+    // ------------------------------------------------------------------
+    let host = Grid::mesh(shape(&[8, 8]));
+    let network = Network::new(host.clone());
+    let ring = Grid::ring(64).unwrap();
+    let ring_workload = Workload::from_task_graph(&ring);
+    let paper = Placement::from_embedding(&embed(&ring, &host).unwrap());
+    let naive = Placement::identity(64);
+
+    let mut table = Table::new(vec![
+        "placement / pattern",
+        "routing",
+        "msgs",
+        "avg hops",
+        "max hops",
+        "max link load",
+        "cycles",
+        "p95 latency",
+    ])
+    .with_alignments(vec![
+        Alignment::Left,
+        Alignment::Left,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+    ]);
+    table.push_row(row(
+        "ring-64, paper placement",
+        &network,
+        &ring_workload,
+        &paper,
+        RoutingAlgorithm::DimensionOrdered,
+    ));
+    table.push_row(row(
+        "ring-64, row-major placement",
+        &network,
+        &ring_workload,
+        &naive,
+        RoutingAlgorithm::DimensionOrdered,
+    ));
+    println!("== Neighbor exchange on an 8x8 mesh ==");
+    println!("{table}");
+
+    // ------------------------------------------------------------------
+    // 2. Permutation patterns under the identity placement: how routing
+    //    algorithms spread adversarial traffic.
+    // ------------------------------------------------------------------
+    let mut permutations = Table::new(vec![
+        "placement / pattern",
+        "routing",
+        "msgs",
+        "avg hops",
+        "max hops",
+        "max link load",
+        "cycles",
+        "p95 latency",
+    ])
+    .with_alignments(vec![
+        Alignment::Left,
+        Alignment::Left,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+    ]);
+    let identity = Placement::identity(64);
+    let named: Vec<(&str, Workload)> = vec![
+        ("transpose 8x8", patterns::transpose(8, 8)),
+        ("bit reversal", patterns::bit_reversal(6)),
+        ("bit complement", patterns::bit_complement(6)),
+        ("tornado", patterns::tornado(64)),
+        ("hot spot (node 0)", patterns::hotspot(64, 0, 1)),
+    ];
+    for (label, workload) in &named {
+        for algorithm in [
+            RoutingAlgorithm::DimensionOrdered,
+            RoutingAlgorithm::ReverseDimensionOrdered,
+            RoutingAlgorithm::Valiant { seed: 7 },
+        ] {
+            permutations.push_row(row(label, &network, workload, &identity, algorithm));
+        }
+    }
+    println!("== Permutation traffic on an 8x8 mesh, identity placement ==");
+    println!("{permutations}");
+
+    // ------------------------------------------------------------------
+    // 3. The same patterns on an 8x8 torus: wrap-around links halve the
+    //    average distance and the worst link load.
+    // ------------------------------------------------------------------
+    let torus_network = Network::new(Grid::torus(shape(&[8, 8])));
+    let mut torus_table = Table::new(vec![
+        "pattern",
+        "mesh avg hops",
+        "torus avg hops",
+        "mesh max link load",
+        "torus max link load",
+    ])
+    .with_alignments(vec![
+        Alignment::Left,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+        Alignment::Right,
+    ]);
+    for (label, workload) in &named {
+        let on_mesh = simulate_detailed(
+            &network,
+            workload,
+            &identity,
+            RoutingAlgorithm::DimensionOrdered,
+            1,
+        );
+        let on_torus = simulate_detailed(
+            &torus_network,
+            workload,
+            &identity,
+            RoutingAlgorithm::DimensionOrdered,
+            1,
+        );
+        torus_table.push_row(vec![
+            label.to_string(),
+            format!("{:.2}", on_mesh.average_hops()),
+            format!("{:.2}", on_torus.average_hops()),
+            on_mesh.link_loads.max_load().to_string(),
+            on_torus.link_loads.max_load().to_string(),
+        ]);
+    }
+    println!("== Mesh vs torus under the same traffic ==");
+    println!("{torus_table}");
+}

@@ -1,0 +1,45 @@
+//! # torus-mesh-embeddings
+//!
+//! A Rust implementation of the embedding constructions from
+//! *Eva Ma and Lixin Tao, "Embeddings Among Toruses and Meshes"*
+//! (ICPP 1987; University of Pennsylvania TR MS-CIS-88-63, August 1988).
+//!
+//! This facade crate re-exports the public API of the workspace member crates:
+//!
+//! * [`mixedradix`] — mixed-radix numbering systems, δ-distances, sequences and
+//!   spreads (the paper's generalized Gray-code machinery).
+//! * [`topology`] — toruses, meshes, hypercubes, rings and lines as graphs.
+//! * [`embeddings`] — the paper's embedding functions (`f_L`, `g_L`, `h_L`,
+//!   `F_V`, `G_V`, `H_V`, simple/general reduction, square-graph chains),
+//!   dilation measurement, lower bounds and known-optimal comparators.
+//! * [`netsim`] — a small store-and-forward network simulator used by the
+//!   examples and benches to show the effect of dilation on routed latency.
+//! * [`gridviz`] — text tables and ASCII renderings of embeddings
+//!   (Figure 10/12-style pictures).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use torus_mesh_embeddings::prelude::*;
+//!
+//! // Embed a 24-node ring in a (4,2,3)-mesh with unit dilation (Theorem 24).
+//! let ring = Grid::ring(24).unwrap();
+//! let mesh = Grid::mesh(Shape::new(vec![4, 2, 3]).unwrap());
+//! let plan = embed(&ring, &mesh).unwrap();
+//! assert_eq!(plan.dilation(), 1);
+//! ```
+
+pub use embeddings;
+pub use gridviz;
+pub use mixedradix;
+pub use netsim;
+pub use topology;
+
+/// Commonly used items from every member crate.
+pub mod prelude {
+    pub use embeddings::prelude::*;
+    pub use gridviz::prelude::*;
+    pub use mixedradix::prelude::*;
+    pub use netsim::prelude::*;
+    pub use topology::prelude::*;
+}

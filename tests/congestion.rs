@@ -1,0 +1,78 @@
+//! Integration checks for the congestion extension: congestion measured by
+//! the embeddings crate must be consistent with the traffic the netsim
+//! simulator actually routes.
+
+use torus_mesh_embeddings::prelude::*;
+
+use embeddings::congestion::congestion;
+
+fn shape(radices: &[u32]) -> Shape {
+    Shape::new(radices.to_vec()).unwrap()
+}
+
+#[test]
+fn hamiltonian_placements_have_unit_congestion_and_unit_hops() {
+    for host in [
+        Grid::mesh(shape(&[4, 6])),
+        Grid::torus(shape(&[5, 5])),
+        Grid::hypercube(5).unwrap(),
+    ] {
+        let ring = Grid::ring(host.size()).unwrap();
+        let embedding = embed(&ring, &host).unwrap();
+        assert_eq!(embedding.dilation(), 1);
+
+        let report = congestion(&embedding).unwrap();
+        assert_eq!(report.max_congestion, 1, "host {host}");
+
+        let stats = simulate_embedding(&embedding, 1);
+        assert_eq!(stats.max_hops, 1);
+        // With unit congestion in each direction, the store-and-forward
+        // schedule drains a full round in a single cycle.
+        assert_eq!(stats.cycles, 1, "host {host}");
+    }
+}
+
+#[test]
+fn congestion_total_path_length_matches_simulated_hops() {
+    let cases = vec![
+        (Grid::torus(shape(&[4, 4])), Grid::mesh(shape(&[4, 4]))),
+        (Grid::hypercube(4).unwrap(), Grid::mesh(shape(&[4, 4]))),
+        (Grid::mesh(shape(&[4, 4])), Grid::line(16).unwrap()),
+    ];
+    for (guest, host) in cases {
+        let embedding = embed(&guest, &host).unwrap();
+        let report = congestion(&embedding).unwrap();
+        // One message per guest edge per direction: the simulator's hop count
+        // is exactly twice the one-directional routed path length.
+        let stats = simulate_embedding(&embedding, 1);
+        assert_eq!(
+            stats.total_hops,
+            2 * report.total_path_length,
+            "{guest} -> {host}"
+        );
+        assert!(report.max_congestion >= 1);
+        // The schedule can never drain faster than the busiest link.
+        assert!(stats.cycles >= report.max_congestion, "{guest} -> {host}");
+    }
+}
+
+#[test]
+fn lowering_dimension_increases_congestion_monotonically_with_guest_dim() {
+    // Collapsing higher-dimensional meshes onto a line funnels more and more
+    // traffic through the middle link.
+    let line_hosts = [
+        Grid::mesh(shape(&[4, 4])),
+        Grid::mesh(shape(&[4, 4, 4])),
+    ];
+    let mut previous = 0;
+    for guest in line_hosts {
+        let host = Grid::line(guest.size()).unwrap();
+        let embedding = embed(&guest, &host).unwrap();
+        let report = congestion(&embedding).unwrap();
+        assert!(
+            report.max_congestion > previous,
+            "congestion should grow with guest dimension"
+        );
+        previous = report.max_congestion;
+    }
+}

@@ -1,0 +1,139 @@
+//! Failure injection across the public API: invalid shapes, mismatched
+//! sizes, unsupported pairs, oversized requests and broken custom mappings
+//! must surface as typed errors (or documented panics), never as wrong
+//! answers.
+
+use std::sync::Arc;
+
+use embeddings::error::EmbeddingError;
+use embeddings::exhaustive::optimal_dilation_exhaustive;
+use embeddings::verify::verify;
+use topology::TopologyError;
+use torus_mesh_embeddings::prelude::*;
+
+fn shape(radices: &[u32]) -> Shape {
+    Shape::new(radices.to_vec()).unwrap()
+}
+
+#[test]
+fn invalid_shapes_are_rejected_at_construction() {
+    // The paper requires every dimension length to be greater than 1
+    // (Definition 2), and a shape must have at least one dimension.
+    assert!(Shape::new(vec![]).is_err());
+    assert!(Shape::new(vec![1]).is_err());
+    assert!(Shape::new(vec![4, 1, 3]).is_err());
+    assert!(Shape::new(vec![0, 2]).is_err());
+    // Degenerate rings and lines are rejected too.
+    assert!(matches!(
+        Grid::ring(1).unwrap_err(),
+        TopologyError::GraphTooSmall { .. } | TopologyError::Radix(_)
+    ));
+    assert!(Grid::line(0).is_err());
+    // A hypercube needs at least one dimension and at most MAX_DIM.
+    assert!(Grid::hypercube(0).is_err());
+    assert!(Grid::hypercube(1000).is_err());
+}
+
+#[test]
+fn size_mismatches_are_reported_with_both_sizes() {
+    let guest = Grid::ring(24).unwrap();
+    let host = Grid::mesh(shape(&[5, 5]));
+    match embed(&guest, &host) {
+        Err(EmbeddingError::SizeMismatch { guest, host }) => {
+            assert_eq!(guest, 24);
+            assert_eq!(host, 25);
+        }
+        other => panic!("expected SizeMismatch, got {other:?}"),
+    }
+    assert!(predicted_dilation(&guest, &host).is_err());
+}
+
+#[test]
+fn pairs_outside_the_papers_cases_are_unsupported_not_wrong() {
+    // Equal dimension, same size, but the shapes are not a permutation of
+    // each other: the paper has no construction for this pair.
+    let guest = Grid::mesh(shape(&[4, 9]));
+    let host = Grid::mesh(shape(&[6, 6]));
+    assert!(matches!(
+        embed(&guest, &host),
+        Err(EmbeddingError::Unsupported { .. })
+    ));
+
+    // Increasing dimension without expansion, non-square: also open.
+    let guest = Grid::mesh(shape(&[6, 6]));
+    let host = Grid::mesh(shape(&[4, 3, 3]));
+    assert!(matches!(
+        embed(&guest, &host),
+        Err(EmbeddingError::Unsupported { .. })
+    ));
+}
+
+#[test]
+fn oversized_requests_fail_with_too_large_not_oom() {
+    // A 2^32-node host cannot be materialized as a table.
+    let guest = Grid::hypercube(32).unwrap();
+    let host = Grid::hypercube(32).unwrap();
+    let embedding = embed(&guest, &host).unwrap();
+    assert!(matches!(
+        embedding.to_table(),
+        Err(EmbeddingError::TooLarge { .. })
+    ));
+    // ... and the exhaustive optimal search refuses anything non-tiny.
+    let big_guest = Grid::mesh(shape(&[8, 8]));
+    let big_host = Grid::line(64).unwrap();
+    assert!(matches!(
+        optimal_dilation_exhaustive(&big_guest, &big_host, None),
+        Err(EmbeddingError::TooLarge { .. })
+    ));
+}
+
+#[test]
+fn broken_custom_mappings_are_flagged_by_verification() {
+    // A constant map is not injective; verify must say so rather than
+    // reporting a flattering dilation.
+    let line = Grid::line(6).unwrap();
+    let host = Grid::line(6).unwrap();
+    let broken = Embedding::new(
+        line,
+        host,
+        "constant",
+        Arc::new(|_| Coord::from_slice(&[0]).unwrap()),
+    )
+    .unwrap();
+    let report = verify(&broken, 0).unwrap();
+    assert!(!report.injective);
+}
+
+#[test]
+fn chain_and_render_propagate_upstream_errors() {
+    use embeddings::chain::EmbeddingChain;
+    use gridviz::render::render_embedding;
+
+    // A chain through a waypoint of the wrong size fails on that leg.
+    let guest = Grid::ring(16).unwrap();
+    let waypoint = Grid::mesh(shape(&[3, 5]));
+    let host = Grid::mesh(shape(&[4, 4]));
+    assert!(EmbeddingChain::through(&guest, &[waypoint], &host).is_err());
+
+    // Rendering a non-injective mapping is refused.
+    let broken = Embedding::new(
+        Grid::line(4).unwrap(),
+        Grid::line(4).unwrap(),
+        "constant",
+        Arc::new(|_| Coord::from_slice(&[0]).unwrap()),
+    )
+    .unwrap();
+    assert!(render_embedding(&broken).is_err());
+}
+
+#[test]
+fn error_messages_are_human_readable() {
+    let guest = Grid::ring(24).unwrap();
+    let host = Grid::mesh(shape(&[5, 5]));
+    let message = embed(&guest, &host).unwrap_err().to_string();
+    assert!(message.contains("24"));
+    assert!(message.contains("25"));
+
+    let message = Shape::new(vec![4, 1, 3]).unwrap_err().to_string();
+    assert!(!message.is_empty());
+}

@@ -1,0 +1,179 @@
+//! Optimality cross-checks: exhaustive search on tiny instances and the
+//! known optimal formulas from the literature (Section 5's comparisons).
+
+use torus_mesh_embeddings::prelude::*;
+
+use embeddings::exhaustive::optimal_dilation_exhaustive;
+use embeddings::optimal::{
+    optimal_cube_mesh_in_line, optimal_hypercube_in_line, optimal_square_mesh_in_line,
+    optimal_square_torus_in_ring, paper_hypercube_in_line,
+};
+use topology::GraphKind;
+
+fn shape(radices: &[u32]) -> Shape {
+    Shape::new(radices.to_vec()).unwrap()
+}
+
+#[test]
+fn basic_embeddings_are_optimal_on_tiny_instances() {
+    // For every tiny host, our line/ring embedding achieves the true optimum
+    // found by branch-and-bound.
+    let hosts = vec![
+        Grid::mesh(shape(&[3, 3])),
+        Grid::mesh(shape(&[4, 3])),
+        Grid::torus(shape(&[3, 3])),
+        Grid::torus(shape(&[2, 5])),
+        Grid::mesh(shape(&[2, 2, 3])),
+        Grid::line(8).unwrap(),
+        Grid::ring(8).unwrap(),
+        Grid::hypercube(3).unwrap(),
+    ];
+    for host in hosts {
+        let n = host.size();
+        let line = Grid::line(n).unwrap();
+        let ring = Grid::ring(n).unwrap();
+
+        let ours_line = embed(&line, &host).unwrap().dilation();
+        let best_line = optimal_dilation_exhaustive(&line, &host, None).unwrap();
+        assert_eq!(ours_line, best_line, "line into {host}");
+
+        let ours_ring = embed(&ring, &host).unwrap().dilation();
+        let best_ring = optimal_dilation_exhaustive(&ring, &host, None).unwrap();
+        assert_eq!(ours_ring, best_ring, "ring into {host}");
+    }
+}
+
+#[test]
+fn same_shape_torus_into_mesh_is_optimal_on_tiny_instances() {
+    for radices in [vec![3u32, 3], vec![2, 4], vec![2, 2, 3]] {
+        let guest = Grid::torus(shape(&radices));
+        let host = Grid::mesh(shape(&radices));
+        let ours = embed(&guest, &host).unwrap().dilation();
+        let best = optimal_dilation_exhaustive(&guest, &host, None).unwrap();
+        assert_eq!(ours, best, "torus into mesh of shape {:?}", radices);
+    }
+}
+
+#[test]
+fn increasing_dimension_optimality_on_tiny_instances() {
+    // Theorem 32's optimal cases, cross-checked exhaustively.
+    let cases = vec![
+        // mesh -> mesh: unit is optimal (trivially, 1 is a lower bound).
+        (Grid::mesh(shape(&[4, 2])), Grid::mesh(shape(&[2, 2, 2]))),
+        // odd torus -> mesh: 2 is optimal.
+        (Grid::torus(shape(&[9])), Grid::mesh(shape(&[3, 3]))),
+        (Grid::torus(shape(&[3, 3])), Grid::mesh(shape(&[3, 3]))),
+    ];
+    for (guest, host) in cases {
+        let ours = embed(&guest, &host).unwrap().dilation();
+        let best = optimal_dilation_exhaustive(&guest, &host, None).unwrap();
+        assert_eq!(ours, best, "{guest} -> {host}");
+    }
+}
+
+#[test]
+fn section_5_comparison_square_mesh_in_line() {
+    // Our square lowering gives dilation ℓ for the (ℓ,ℓ)-mesh in a line,
+    // matching FitzGerald's optimum exactly.
+    for ell in [2u32, 3, 4, 5, 6, 8] {
+        let guest = Grid::mesh(Shape::square(ell, 2).unwrap());
+        let host = Grid::line(guest.size()).unwrap();
+        let ours = embed(&guest, &host).unwrap().dilation();
+        assert_eq!(ours as u64, optimal_square_mesh_in_line(ell as u64), "ℓ = {ell}");
+    }
+}
+
+#[test]
+fn section_5_comparison_square_torus_in_ring() {
+    // Our square lowering gives dilation ℓ for the (ℓ,ℓ)-torus in a ring,
+    // matching Ma–Narahari's optimum exactly.
+    for ell in [2u32, 3, 4, 5, 6, 8] {
+        let guest = Grid::torus(Shape::square(ell, 2).unwrap());
+        let host = Grid::ring(guest.size()).unwrap();
+        let ours = embed(&guest, &host).unwrap().dilation();
+        assert_eq!(ours as u64, optimal_square_torus_in_ring(ell as u64), "ℓ = {ell}");
+    }
+}
+
+#[test]
+fn section_5_comparison_cube_mesh_in_line() {
+    // Our dilation is ℓ² versus FitzGerald's optimum ⌊3ℓ²/4 + ℓ/2⌋ — i.e.
+    // optimal to within the constant 4/3.
+    for ell in [2u32, 3, 4, 5] {
+        let guest = Grid::mesh(Shape::square(ell, 3).unwrap());
+        let host = Grid::line(guest.size()).unwrap();
+        let ours = embed(&guest, &host).unwrap().dilation() as f64;
+        let optimal = optimal_cube_mesh_in_line(ell as u64) as f64;
+        assert_eq!(ours, (ell as f64).powi(2));
+        let ratio = ours / optimal;
+        assert!(ratio >= 1.0, "cannot beat the optimum (ℓ = {ell})");
+        assert!(
+            ratio <= 4.0 / 3.0 + 0.2,
+            "ratio {ratio} larger than the paper's 4/3 analysis allows (ℓ = {ell})"
+        );
+    }
+}
+
+#[test]
+fn section_5_comparison_hypercube_in_line() {
+    // Our dilation is 2^{d−1}; Harper's optimum matches it exactly for
+    // d ≤ 3 and is smaller afterwards.
+    for d in 2..=8usize {
+        let guest = Grid::hypercube(d).unwrap();
+        let host = Grid::line(guest.size()).unwrap();
+        let ours = embed(&guest, &host).unwrap().dilation() as u128;
+        assert_eq!(ours, paper_hypercube_in_line(d as u32), "d = {d}");
+        let optimal = optimal_hypercube_in_line(d as u32);
+        if d <= 3 {
+            assert_eq!(ours, optimal);
+        } else {
+            assert!(ours > optimal);
+        }
+    }
+}
+
+#[test]
+fn lower_bound_is_consistent_with_exhaustive_optimum() {
+    use embeddings::lower_bound::dilation_lower_bound;
+    // On tiny lowering instances, the Theorem 47 bound never exceeds the true
+    // optimum.
+    let cases = vec![
+        (Grid::mesh(shape(&[3, 3])), Grid::line(9).unwrap()),
+        (Grid::mesh(shape(&[2, 2, 3])), Grid::line(12).unwrap()),
+        (Grid::torus(shape(&[3, 3])), Grid::ring(9).unwrap()),
+        (Grid::mesh(shape(&[4, 3])), Grid::line(12).unwrap()),
+    ];
+    for (guest, host) in cases {
+        let bound = dilation_lower_bound(&guest, &host).unwrap();
+        let best = optimal_dilation_exhaustive(&guest, &host, Some(16)).unwrap();
+        assert!(
+            bound <= best,
+            "bound {bound} exceeds the exhaustive optimum {best} for {guest} -> {host}"
+        );
+    }
+}
+
+#[test]
+fn square_divisible_increasing_cases_are_optimal() {
+    // Theorem 52 claims optimality; cross-check on instances small enough for
+    // branch-and-bound.
+    let cases = vec![
+        (
+            Grid::new(GraphKind::Mesh, Shape::square(4, 1).unwrap()),
+            Grid::new(GraphKind::Mesh, Shape::square(2, 2).unwrap()),
+        ),
+        (
+            Grid::new(GraphKind::Torus, Shape::square(9, 1).unwrap()),
+            Grid::new(GraphKind::Mesh, Shape::square(3, 2).unwrap()),
+        ),
+        (
+            Grid::new(GraphKind::Torus, Shape::square(4, 1).unwrap()),
+            Grid::new(GraphKind::Torus, Shape::square(2, 2).unwrap()),
+        ),
+    ];
+    for (guest, host) in cases {
+        let ours = embed(&guest, &host).unwrap().dilation();
+        let best = optimal_dilation_exhaustive(&guest, &host, None).unwrap();
+        assert_eq!(ours, best, "{guest} -> {host}");
+    }
+}
