@@ -31,9 +31,10 @@ fn bench_congestion(c: &mut Criterion) {
         let host = Grid::line(guest.size()).unwrap();
         let embedding = embed(&guest, &host).unwrap();
         group.throughput(Throughput::Elements(guest.num_edges()));
-        group.bench_function(BenchmarkId::new("mesh_to_line", format!("{ell}x{ell}")), |b| {
-            b.iter(|| congestion(&embedding).unwrap().max_congestion)
-        });
+        group.bench_function(
+            BenchmarkId::new("mesh_to_line", format!("{ell}x{ell}")),
+            |b| b.iter(|| congestion(&embedding).unwrap().max_congestion),
+        );
     }
 
     group.finish();

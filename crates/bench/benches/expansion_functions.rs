@@ -24,7 +24,11 @@ fn bench_expansion(c: &mut Criterion) {
         ] {
             group.bench_with_input(BenchmarkId::new(name, label), &factor, |b, factor| {
                 let guest_mesh = mesh(guest.shape().radices());
-                let host_for = if func == IncreaseFunction::F { &guest_mesh } else { &guest };
+                let host_for = if func == IncreaseFunction::F {
+                    &guest_mesh
+                } else {
+                    &guest
+                };
                 b.iter(|| {
                     let e = embed_increasing_with(host_for, &host, factor, func).unwrap();
                     // Evaluate the map over a strided sample of nodes.

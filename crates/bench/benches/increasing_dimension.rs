@@ -14,7 +14,11 @@ fn bench_increasing(c: &mut Criterion) {
         ("mesh->mesh 4k", mesh(&[64, 64]), mesh(&[8, 8, 8, 8])),
         ("torus->torus 4k", torus(&[64, 64]), torus(&[8, 8, 8, 8])),
         ("torus->mesh 4k", torus(&[64, 64]), mesh(&[8, 8, 8, 8])),
-        ("odd torus->mesh 11k", torus(&[105, 105]), mesh(&[15, 7, 15, 7])),
+        (
+            "odd torus->mesh 11k",
+            torus(&[105, 105]),
+            mesh(&[15, 7, 15, 7]),
+        ),
     ];
     for (label, guest, host) in cases {
         group.throughput(Throughput::Elements(guest.size()));

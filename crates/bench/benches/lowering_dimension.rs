@@ -12,8 +12,16 @@ fn bench_lowering(c: &mut Criterion) {
     let simple: Vec<(&str, Grid, Grid)> = vec![
         ("(4,2,3)->(4,6)", mesh(&[4, 2, 3]), mesh(&[4, 6])),
         ("(8,8,8)->(64,8)", mesh(&[8, 8, 8]), mesh(&[64, 8])),
-        ("torus(8,8,8)->mesh(64,8)", torus(&[8, 8, 8]), mesh(&[64, 8])),
-        ("(2^12 hypercube)->(64,64)", Grid::hypercube(12).unwrap(), mesh(&[64, 64])),
+        (
+            "torus(8,8,8)->mesh(64,8)",
+            torus(&[8, 8, 8]),
+            mesh(&[64, 8]),
+        ),
+        (
+            "(2^12 hypercube)->(64,64)",
+            Grid::hypercube(12).unwrap(),
+            mesh(&[64, 64]),
+        ),
     ];
     for (label, guest, host) in simple {
         group.throughput(Throughput::Elements(guest.size()));
@@ -24,7 +32,11 @@ fn bench_lowering(c: &mut Criterion) {
     let general: Vec<(&str, Grid, Grid)> = vec![
         ("(3,3,6)->(6,9)", mesh(&[3, 3, 6]), mesh(&[6, 9])),
         ("(12,12,24)->(48,72)", mesh(&[12, 12, 24]), mesh(&[48, 72])),
-        ("torus(12,12,24)->mesh(48,72)", torus(&[12, 12, 24]), mesh(&[48, 72])),
+        (
+            "torus(12,12,24)->mesh(48,72)",
+            torus(&[12, 12, 24]),
+            mesh(&[48, 72]),
+        ),
     ];
     for (label, guest, host) in general {
         group.throughput(Throughput::Elements(guest.size()));

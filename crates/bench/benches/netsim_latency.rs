@@ -11,8 +11,16 @@ fn bench_netsim(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim_latency");
     let cases: Vec<(&str, Grid, Grid)> = vec![
         ("ring64_on_8x8", Grid::ring(64).unwrap(), mesh(&[8, 8])),
-        ("ring1024_on_32x32", Grid::ring(1024).unwrap(), mesh(&[32, 32])),
-        ("stencil16x16_on_4x4x4x4", mesh(&[16, 16]), mesh(&[4, 4, 4, 4])),
+        (
+            "ring1024_on_32x32",
+            Grid::ring(1024).unwrap(),
+            mesh(&[32, 32]),
+        ),
+        (
+            "stencil16x16_on_4x4x4x4",
+            mesh(&[16, 16]),
+            mesh(&[4, 4, 4, 4]),
+        ),
     ];
     for (label, guest, host) in cases {
         let network = Network::new(host.clone());

@@ -13,9 +13,21 @@ fn bench_optimal(c: &mut Criterion) {
 
     // Construction cost on the instances compared in Section 5.
     let cases: Vec<(&str, Grid, Grid)> = vec![
-        ("(16,16)-mesh->line", mesh(&[16, 16]), Grid::line(256).unwrap()),
-        ("(8,8,8)-mesh->line", mesh(&[8, 8, 8]), Grid::line(512).unwrap()),
-        ("hypercube 2^10->line", Grid::hypercube(10).unwrap(), Grid::line(1024).unwrap()),
+        (
+            "(16,16)-mesh->line",
+            mesh(&[16, 16]),
+            Grid::line(256).unwrap(),
+        ),
+        (
+            "(8,8,8)-mesh->line",
+            mesh(&[8, 8, 8]),
+            Grid::line(512).unwrap(),
+        ),
+        (
+            "hypercube 2^10->line",
+            Grid::hypercube(10).unwrap(),
+            Grid::line(1024).unwrap(),
+        ),
     ];
     for (label, guest, host) in cases {
         group.bench_function(BenchmarkId::new("construction", label), |b| {
@@ -26,7 +38,11 @@ fn bench_optimal(c: &mut Criterion) {
     // The exhaustive search our tests use to certify optimality on tiny cases.
     let tiny: Vec<(&str, Grid, Grid)> = vec![
         ("ring(9)->(3,3)-mesh", Grid::ring(9).unwrap(), mesh(&[3, 3])),
-        ("ring(12)->(4,3)-mesh", Grid::ring(12).unwrap(), mesh(&[4, 3])),
+        (
+            "ring(12)->(4,3)-mesh",
+            Grid::ring(12).unwrap(),
+            mesh(&[4, 3]),
+        ),
     ];
     for (label, guest, host) in tiny {
         group.bench_function(BenchmarkId::new("exhaustive", label), |b| {

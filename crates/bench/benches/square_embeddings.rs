@@ -12,12 +12,36 @@ fn square(kind: GraphKind, ell: u32, d: usize) -> Grid {
 fn bench_square(c: &mut Criterion) {
     let mut group = c.benchmark_group("square_embeddings");
     let cases: Vec<(&str, Grid, Grid)> = vec![
-        ("thm48 (16,16)->line", square(GraphKind::Mesh, 16, 2), Grid::line(256).unwrap()),
-        ("thm48 torus(16,16)->ring", square(GraphKind::Torus, 16, 2), Grid::ring(256).unwrap()),
-        ("thm51 (8,8,8,8,8)->(32,32,32)", square(GraphKind::Mesh, 8, 5), square(GraphKind::Mesh, 32, 3)),
-        ("thm51 (4,4,4)->(8,8)", square(GraphKind::Mesh, 4, 3), square(GraphKind::Mesh, 8, 2)),
-        ("thm52 (16,16)->(4,4,4,4)", square(GraphKind::Torus, 16, 2), square(GraphKind::Mesh, 4, 4)),
-        ("thm53 (16,16,16)->(8,8,8,8)", square(GraphKind::Mesh, 16, 3), square(GraphKind::Mesh, 8, 4)),
+        (
+            "thm48 (16,16)->line",
+            square(GraphKind::Mesh, 16, 2),
+            Grid::line(256).unwrap(),
+        ),
+        (
+            "thm48 torus(16,16)->ring",
+            square(GraphKind::Torus, 16, 2),
+            Grid::ring(256).unwrap(),
+        ),
+        (
+            "thm51 (8,8,8,8,8)->(32,32,32)",
+            square(GraphKind::Mesh, 8, 5),
+            square(GraphKind::Mesh, 32, 3),
+        ),
+        (
+            "thm51 (4,4,4)->(8,8)",
+            square(GraphKind::Mesh, 4, 3),
+            square(GraphKind::Mesh, 8, 2),
+        ),
+        (
+            "thm52 (16,16)->(4,4,4,4)",
+            square(GraphKind::Torus, 16, 2),
+            square(GraphKind::Mesh, 4, 4),
+        ),
+        (
+            "thm53 (16,16,16)->(8,8,8,8)",
+            square(GraphKind::Mesh, 16, 3),
+            square(GraphKind::Mesh, 8, 4),
+        ),
     ];
     for (label, guest, host) in cases {
         group.throughput(Throughput::Elements(guest.size()));

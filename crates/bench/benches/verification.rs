@@ -24,15 +24,19 @@ fn medium_embedding() -> Embedding {
 
 fn bench_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("verification");
-    for (label, embedding) in [("torus65k", big_embedding()), ("hypercube16k", medium_embedding())] {
+    for (label, embedding) in [
+        ("torus65k", big_embedding()),
+        ("hypercube16k", medium_embedding()),
+    ] {
         group.throughput(Throughput::Elements(embedding.guest().num_edges()));
         group.bench_function(BenchmarkId::new("sequential", label), |b| {
             b.iter(|| verify_sequential(&embedding).dilation)
         });
         for threads in [2usize, 4, 8] {
-            group.bench_function(BenchmarkId::new(format!("parallel_{threads}"), label), |b| {
-                b.iter(|| verify(&embedding, threads).unwrap().dilation)
-            });
+            group.bench_function(
+                BenchmarkId::new(format!("parallel_{threads}"), label),
+                |b| b.iter(|| verify(&embedding, threads).unwrap().dilation),
+            );
         }
     }
     group.finish();

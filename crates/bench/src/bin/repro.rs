@@ -65,27 +65,111 @@ type Runner = fn();
 
 fn experiments() -> Vec<(&'static str, &'static str, Runner)> {
     vec![
-        ("fig1-2", "the (4,2,3)-torus and (4,2,3)-mesh of Figures 1-2", fig1_2),
-        ("fig3", "spreads of a function [9] -> Omega_(3,3) (Figure 3)", fig3),
-        ("fig4", "sequences P and P' for L = (4,2,3) (Figure 4)", fig4),
-        ("fig9", "f_L, g_L, h_L tables for n = 24, L = (4,2,3) (Figure 9)", fig9),
-        ("fig10", "line/ring of size 24 in a (4,2,3)-mesh (Figure 10)", fig10),
-        ("fig11", "F_V, G_V, H_V for L = (4,6), M = (2,2,2,3) (Figure 11)", fig11),
-        ("fig12", "(3,3,6)-mesh in a (6,9)-mesh via supernodes (Figure 12)", fig12),
-        ("basic-table", "basic embedding dilation sweep (Theorems 13/17/24/28)", basic_table),
-        ("hamiltonian", "Hamiltonicity corollaries 18/25/29", hamiltonian),
-        ("increasing-table", "increasing-dimension dilation sweep (Theorem 32)", increasing_table),
-        ("hypercube-in", "grids into hypercubes (Corollary 34)", hypercube_in),
-        ("simple-reduction", "simple reduction sweep (Theorem 39, Corollary 40)", simple_reduction),
-        ("general-reduction", "general reduction sweep (Theorem 43)", general_reduction),
-        ("lower-bound", "Theorem 47 lower bound vs. achieved dilation", lower_bound),
-        ("square-lowering", "square lowering-dimension sweep (Theorems 48/51)", square_lowering),
-        ("square-increasing", "square increasing-dimension sweep (Theorems 52/53)", square_increasing),
-        ("optimal-comparison", "Section 5 comparison against known optima", optimal_comparison),
-        ("appendix", "the epsilon_d analysis of Harper's bound (Appendix)", appendix),
-        ("netsim", "routed-traffic effect of dilation (extension)", netsim_experiment),
-        ("collective", "ring allreduce over Hamiltonian circuits (extension)", collective_experiment),
-        ("grid-metrics", "network figures of merit for the example graphs (extension)", grid_metrics_experiment),
+        (
+            "fig1-2",
+            "the (4,2,3)-torus and (4,2,3)-mesh of Figures 1-2",
+            fig1_2,
+        ),
+        (
+            "fig3",
+            "spreads of a function [9] -> Omega_(3,3) (Figure 3)",
+            fig3,
+        ),
+        (
+            "fig4",
+            "sequences P and P' for L = (4,2,3) (Figure 4)",
+            fig4,
+        ),
+        (
+            "fig9",
+            "f_L, g_L, h_L tables for n = 24, L = (4,2,3) (Figure 9)",
+            fig9,
+        ),
+        (
+            "fig10",
+            "line/ring of size 24 in a (4,2,3)-mesh (Figure 10)",
+            fig10,
+        ),
+        (
+            "fig11",
+            "F_V, G_V, H_V for L = (4,6), M = (2,2,2,3) (Figure 11)",
+            fig11,
+        ),
+        (
+            "fig12",
+            "(3,3,6)-mesh in a (6,9)-mesh via supernodes (Figure 12)",
+            fig12,
+        ),
+        (
+            "basic-table",
+            "basic embedding dilation sweep (Theorems 13/17/24/28)",
+            basic_table,
+        ),
+        (
+            "hamiltonian",
+            "Hamiltonicity corollaries 18/25/29",
+            hamiltonian,
+        ),
+        (
+            "increasing-table",
+            "increasing-dimension dilation sweep (Theorem 32)",
+            increasing_table,
+        ),
+        (
+            "hypercube-in",
+            "grids into hypercubes (Corollary 34)",
+            hypercube_in,
+        ),
+        (
+            "simple-reduction",
+            "simple reduction sweep (Theorem 39, Corollary 40)",
+            simple_reduction,
+        ),
+        (
+            "general-reduction",
+            "general reduction sweep (Theorem 43)",
+            general_reduction,
+        ),
+        (
+            "lower-bound",
+            "Theorem 47 lower bound vs. achieved dilation",
+            lower_bound,
+        ),
+        (
+            "square-lowering",
+            "square lowering-dimension sweep (Theorems 48/51)",
+            square_lowering,
+        ),
+        (
+            "square-increasing",
+            "square increasing-dimension sweep (Theorems 52/53)",
+            square_increasing,
+        ),
+        (
+            "optimal-comparison",
+            "Section 5 comparison against known optima",
+            optimal_comparison,
+        ),
+        (
+            "appendix",
+            "the epsilon_d analysis of Harper's bound (Appendix)",
+            appendix,
+        ),
+        (
+            "netsim",
+            "routed-traffic effect of dilation (extension)",
+            netsim_experiment,
+        ),
+        (
+            "collective",
+            "ring allreduce over Hamiltonian circuits (extension)",
+            collective_experiment,
+        ),
+        (
+            "grid-metrics",
+            "network figures of merit for the example graphs (extension)",
+            grid_metrics_experiment,
+        ),
     ]
 }
 
@@ -119,13 +203,24 @@ fn fig3() {
     // A bijection [9] -> Omega_(3,3) with the spreads quoted in the text.
     let base = RadixBase::new(vec![3, 3]).unwrap();
     let rows: Vec<Digits> = [
-        [0, 0], [0, 1], [0, 2], [2, 2], [2, 1], [2, 0], [1, 0], [1, 1], [1, 2],
+        [0, 0],
+        [0, 1],
+        [0, 2],
+        [2, 2],
+        [2, 1],
+        [2, 0],
+        [1, 0],
+        [1, 1],
+        [1, 2],
     ]
     .iter()
     .map(|r| Digits::from_slice(r).unwrap())
     .collect();
     let f = ExplicitSequence::new(base.clone(), rows.clone()).unwrap();
-    println!("{:>3} {:>8} {:>12} {:>12}", "i", "f(i)", "dm(i,i+1)", "dt(i,i+1)");
+    println!(
+        "{:>3} {:>8} {:>12} {:>12}",
+        "i", "f(i)", "dm(i,i+1)", "dt(i,i+1)"
+    );
     for i in 0..9usize {
         let a = &rows[i];
         let b = &rows[(i + 1) % 9];
@@ -169,7 +264,10 @@ fn fig4() {
 
 fn fig9() {
     let base = RadixBase::new(vec![4, 2, 3]).unwrap();
-    println!("{:>3} {:>12} {:>12} {:>12}", "x", "f_L(x)", "g_L(x)", "h_L(x)");
+    println!(
+        "{:>3} {:>12} {:>12} {:>12}",
+        "x", "f_L(x)", "g_L(x)", "h_L(x)"
+    );
     for x in 0..24u64 {
         println!(
             "{:>3} {:>12} {:>12} {:>12}",
@@ -227,7 +325,10 @@ fn fig11() {
     let g = embed_increasing_with(&guest_torus, &host_mesh, &factor, IncreaseFunction::G).unwrap();
     let h = embed_increasing_with(&guest_torus, &host_torus, &factor, IncreaseFunction::H).unwrap();
     println!("V = ((2,2),(2,3)), L = (4,6), M = (2,2,2,3)");
-    println!("{:>3} {:>8} {:>15} {:>15} {:>15}", "x", "(i1,i2)", "F_V", "G_V", "H_V");
+    println!(
+        "{:>3} {:>8} {:>15} {:>15} {:>15}",
+        "x", "(i1,i2)", "F_V", "G_V", "H_V"
+    );
     let guest_shape = shape(&[4, 6]);
     for x in 0..24u64 {
         println!(
@@ -519,11 +620,8 @@ fn lower_bound() {
     );
     for (guest, host) in cases {
         let bound = dilation_lower_bound(&guest, &host).unwrap();
-        let asymptotic = asymptotic_lower_bound(
-            guest.dim(),
-            host.dim(),
-            guest.shape().min_radix() as u64,
-        );
+        let asymptotic =
+            asymptotic_lower_bound(guest.dim(), host.dim(), guest.shape().min_radix() as u64);
         let achieved = embed(&guest, &host).unwrap().dilation();
         println!(
             "{:<16} {:<14} {:>12} {:>12.2} {:>10} {:>8.2}",
@@ -624,7 +722,13 @@ fn optimal_comparison() {
         let host = Grid::line(guest.size()).unwrap();
         let ours = embed(&guest, &host).unwrap().dilation();
         let optimal = optimal_square_mesh_in_line(ell as u64);
-        println!("{:>4} {:>8} {:>8} {:>7.3}", ell, ours, optimal, ours as f64 / optimal as f64);
+        println!(
+            "{:>4} {:>8} {:>8} {:>7.3}",
+            ell,
+            ours,
+            optimal,
+            ours as f64 / optimal as f64
+        );
     }
     println!();
     println!("-- (l,l)-torus in a ring (Ma & Narahari 1986) --");
@@ -634,7 +738,13 @@ fn optimal_comparison() {
         let host = Grid::ring(guest.size()).unwrap();
         let ours = embed(&guest, &host).unwrap().dilation();
         let optimal = optimal_square_torus_in_ring(ell as u64);
-        println!("{:>4} {:>8} {:>8} {:>7.3}", ell, ours, optimal, ours as f64 / optimal as f64);
+        println!(
+            "{:>4} {:>8} {:>8} {:>7.3}",
+            ell,
+            ours,
+            optimal,
+            ours as f64 / optimal as f64
+        );
     }
     println!();
     println!("-- (l,l,l)-mesh in a line (FitzGerald 1974) --");
@@ -644,7 +754,13 @@ fn optimal_comparison() {
         let host = Grid::line(guest.size()).unwrap();
         let ours = embed(&guest, &host).unwrap().dilation();
         let optimal = optimal_cube_mesh_in_line(ell as u64);
-        println!("{:>4} {:>8} {:>8} {:>7.3}", ell, ours, optimal, ours as f64 / optimal as f64);
+        println!(
+            "{:>4} {:>8} {:>8} {:>7.3}",
+            ell,
+            ours,
+            optimal,
+            ours as f64 / optimal as f64
+        );
     }
     println!();
     println!("-- hypercube 2^d in a line (Harper 1966) --");
@@ -662,7 +778,10 @@ fn optimal_comparison() {
     }
     println!();
     println!("-- exhaustive optima on tiny instances --");
-    println!("{:<12} {:<14} {:>8} {:>10}", "guest", "host", "ours", "exhaustive");
+    println!(
+        "{:<12} {:<14} {:>8} {:>10}",
+        "guest", "host", "ours", "exhaustive"
+    );
     let tiny: Vec<(Grid, Grid)> = vec![
         (Grid::ring(9).unwrap(), mesh(&[3, 3])),
         (Grid::ring(12).unwrap(), mesh(&[4, 3])),
@@ -683,7 +802,10 @@ fn optimal_comparison() {
 }
 
 fn appendix() {
-    println!("{:>4} {:>12} {:>14} {:>12}", "d", "epsilon_d", "harper(d+1)", "2^d*eps");
+    println!(
+        "{:>4} {:>12} {:>14} {:>12}",
+        "d", "epsilon_d", "harper(d+1)", "2^d*eps"
+    );
     for d in 0..=20u32 {
         let eps = epsilon(d);
         let harper = optimal_hypercube_in_line(d + 1);
@@ -695,7 +817,9 @@ fn appendix() {
             eps * (1u128 << d) as f64
         );
     }
-    println!("epsilon_0 = epsilon_1 = epsilon_2 = 1 and epsilon is strictly decreasing from d = 3.");
+    println!(
+        "epsilon_0 = epsilon_1 = epsilon_2 = 1 and epsilon is strictly decreasing from d = 3."
+    );
 }
 
 fn netsim_experiment() {
@@ -770,7 +894,9 @@ fn collective_experiment() {
 fn grid_metrics_experiment() {
     use topology::metrics::GridMetrics;
 
-    println!("closed-form network figures of merit (validated against exhaustive oracles in tests)");
+    println!(
+        "closed-form network figures of merit (validated against exhaustive oracles in tests)"
+    );
     println!(
         "{:<22} {:>6} {:>7} {:>9} {:>9} {:>10} {:>10}",
         "graph", "nodes", "edges", "diameter", "mean dist", "bisection", "degrees"

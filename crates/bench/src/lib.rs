@@ -24,11 +24,19 @@ pub fn mesh(radices: &[u32]) -> Grid {
 }
 
 /// Formats a `(paper, measured)` pair with a pass/fail marker.
+///
+/// The three outcomes are reported with three distinct markers so sweep
+/// tables show at a glance whether a measurement *matches* the paper's
+/// bound exactly, *beats* it, or violates it:
+///
+/// * `"ok"` — measured equals the paper value exactly,
+/// * `"ok (beats bound)"` — measured is strictly below the paper bound,
+/// * `"MISMATCH"` — measured exceeds the bound (a real failure).
 pub fn check_mark(paper: u64, measured: u64) -> &'static str {
-    if paper == measured {
+    if measured == paper {
         "ok"
-    } else if measured <= paper {
-        "ok (<=)"
+    } else if measured < paper {
+        "ok (beats bound)"
     } else {
         "MISMATCH"
     }
@@ -43,7 +51,19 @@ mod tests {
         assert_eq!(torus(&[4, 2, 3]).size(), 24);
         assert!(mesh(&[4, 2, 3]).is_mesh());
         assert_eq!(check_mark(2, 2), "ok");
-        assert_eq!(check_mark(2, 1), "ok (<=)");
+        assert_eq!(check_mark(2, 1), "ok (beats bound)");
         assert_eq!(check_mark(1, 2), "MISMATCH");
+    }
+
+    #[test]
+    fn check_mark_outcomes_are_pairwise_distinct() {
+        // Exact match, strictly-better and violation must never collapse
+        // into the same marker, or sweep tables lose information.
+        let exact = check_mark(3, 3);
+        let beats = check_mark(3, 2);
+        let violates = check_mark(3, 4);
+        assert_ne!(exact, beats);
+        assert_ne!(exact, violates);
+        assert_ne!(beats, violates);
     }
 }

@@ -20,7 +20,9 @@ use std::sync::Arc;
 use mixedradix::Permutation;
 use topology::{Grid, Shape};
 
-use crate::basic::{embed_line_in, embed_ring_in, predicted_line_dilation, predicted_ring_dilation};
+use crate::basic::{
+    embed_line_in, embed_ring_in, predicted_line_dilation, predicted_ring_dilation,
+};
 use crate::embedding::Embedding;
 use crate::error::{EmbeddingError, Result};
 use crate::expansion::is_expansion;
@@ -70,9 +72,7 @@ pub fn embed(guest: &Grid, host: &Grid) -> Result<Embedding> {
         if guest.shape() == host.shape() {
             return embed_same_shape(guest, host);
         }
-        if let Some(perm) =
-            Permutation::mapping(guest.shape().radices(), host.shape().radices())
-        {
+        if let Some(perm) = Permutation::mapping(guest.shape().radices(), host.shape().radices()) {
             // G -> G_perm (same node set, permuted dimension order) -> H.
             let mid = Grid::new(guest.kind(), host.shape().clone());
             let first = permute_dimensions(guest, &mid, &perm)?;
@@ -171,7 +171,9 @@ pub fn predicted_dilation(guest: &Grid, host: &Grid) -> Result<u64> {
         return predicted_dilation_simple_reduction(guest, host);
     }
     if let Some(reduction) = find_general_reduction(guest.shape(), host.shape()) {
-        return Ok(predicted_dilation_general_reduction(guest, host, &reduction));
+        return Ok(predicted_dilation_general_reduction(
+            guest, host, &reduction,
+        ));
     }
     if guest.is_square() && host.is_square() {
         return predicted_dilation_square(guest, host);
@@ -264,8 +266,14 @@ mod tests {
     #[test]
     fn planner_covers_increasing_dimension_cases() {
         check(Grid::mesh(shape(&[4, 6])), Grid::mesh(shape(&[2, 2, 2, 3])));
-        check(Grid::torus(shape(&[4, 6])), Grid::mesh(shape(&[2, 2, 2, 3])));
-        check(Grid::torus(shape(&[9, 15])), Grid::mesh(shape(&[3, 3, 3, 5])));
+        check(
+            Grid::torus(shape(&[4, 6])),
+            Grid::mesh(shape(&[2, 2, 2, 3])),
+        );
+        check(
+            Grid::torus(shape(&[9, 15])),
+            Grid::mesh(shape(&[3, 3, 3, 5])),
+        );
         check(Grid::mesh(shape(&[8, 8])), Grid::hypercube(6).unwrap());
         // Square, non-expansion case (Theorem 53).
         check(

@@ -26,7 +26,7 @@ pub fn f_l(base: &RadixBase, x: u64) -> Digits {
         // and weight(j + 1).
         let digit = (x / base.weight(j + 1)) % l;
         let segment = x / base.weight(j);
-        let value = if segment % 2 == 0 {
+        let value = if segment.is_multiple_of(2) {
             digit
         } else {
             l - digit - 1
@@ -55,7 +55,11 @@ pub fn f_l_inverse(base: &RadixBase, digits: &Digits) -> u64 {
         let l = base.radix(j) as u64;
         let y = digits.get(j) as u64;
         let segment = prefix; // ⌊x / w_{j-1}⌋
-        let xhat = if segment % 2 == 0 { y } else { l - y - 1 };
+        let xhat = if segment.is_multiple_of(2) {
+            y
+        } else {
+            l - y - 1
+        };
         prefix = prefix * l + xhat;
     }
     prefix
@@ -175,7 +179,11 @@ mod tests {
             let b = RadixBase::binary(bits).unwrap();
             let gray = BinaryGraySequence::new(bits).unwrap();
             for x in 0..b.size() {
-                assert_eq!(f_l(&b, x), gray.at(x), "f_L vs Gray code at {x}, {bits} bits");
+                assert_eq!(
+                    f_l(&b, x),
+                    gray.at(x),
+                    "f_L vs Gray code at {x}, {bits} bits"
+                );
             }
         }
     }

@@ -30,16 +30,16 @@ pub fn h_l(base: &RadixBase, x: u64) -> Digits {
         }
         2 => r_l(base, x),
         _ => {
-            let l_prime = RadixBase::new(vec![base.radix(0), base.radix(1)])
-                .expect("two leading radices");
-            let l_double = RadixBase::new(base.radices()[2..].to_vec())
-                .expect("at least one trailing radix");
+            let l_prime =
+                RadixBase::new(vec![base.radix(0), base.radix(1)]).expect("two leading radices");
+            let l_double =
+                RadixBase::new(base.radices()[2..].to_vec()).expect("at least one trailing radix");
             let plane = l_prime.size(); // l_1 · l_2
             let m = l_double.size();
             let a = x / (plane - 1);
             let b = x % (plane - 1);
             if x < m * (plane - 1) {
-                let head = if a % 2 == 0 {
+                let head = if a.is_multiple_of(2) {
                     r_l(&l_prime, b)
                 } else {
                     r_l(&l_prime, plane - b - 2)
@@ -167,12 +167,8 @@ mod tests {
     fn consecutive_images_are_mesh_neighbors_when_l1_even() {
         let b = base(&[4, 2, 3]);
         for x in 0..b.size() {
-            let d = mixedradix::distance::delta_m(
-                &b,
-                &h_l(&b, x),
-                &h_l(&b, (x + 1) % b.size()),
-            )
-            .unwrap();
+            let d = mixedradix::distance::delta_m(&b, &h_l(&b, x), &h_l(&b, (x + 1) % b.size()))
+                .unwrap();
             assert_eq!(d, 1, "step {x}");
         }
     }

@@ -74,7 +74,7 @@ pub fn embed_ring_in(host: &Grid) -> Result<Embedding> {
         );
     }
     // Host is a mesh.
-    if host.dim() >= 2 && host.size() % 2 == 0 {
+    if host.dim() >= 2 && host.size().is_multiple_of(2) {
         let (star, perm) = even_first_permutation(&shape)?;
         return Embedding::new(
             guest,
@@ -96,7 +96,7 @@ pub fn embed_ring_in(host: &Grid) -> Result<Embedding> {
 
 /// The dilation cost the paper guarantees for [`embed_ring_in`] on `host`.
 pub fn predicted_ring_dilation(host: &Grid) -> u64 {
-    let even_mesh = host.dim() >= 2 && host.size() % 2 == 0;
+    let even_mesh = host.dim() >= 2 && host.size().is_multiple_of(2);
     // The 2-node case is degenerate: both nodes are adjacent in any host.
     if host.is_torus() || even_mesh || host.size() == 2 {
         1
@@ -188,8 +188,8 @@ mod tests {
     fn theorem_24_ring_in_even_mesh_unit_dilation() {
         for host in [
             Grid::mesh(shape(&[4, 2, 3])),
-            Grid::mesh(shape(&[3, 4])),     // even component not first
-            Grid::mesh(shape(&[3, 3, 2])),  // even component last
+            Grid::mesh(shape(&[3, 4])),    // even component not first
+            Grid::mesh(shape(&[3, 3, 2])), // even component last
             Grid::mesh(shape(&[2, 2, 2, 2])),
             Grid::mesh(shape(&[5, 6, 3])),
         ] {
@@ -220,10 +220,7 @@ mod tests {
     fn even_first_permutation_reorders_correctly() {
         let (star, perm) = even_first_permutation(&shape(&[3, 5, 4, 2])).unwrap();
         assert_eq!(star.radices(), &[4, 3, 5, 2]);
-        assert_eq!(
-            perm.apply_slice(star.radices()).unwrap(),
-            vec![3, 5, 4, 2]
-        );
+        assert_eq!(perm.apply_slice(star.radices()).unwrap(), vec![3, 5, 4, 2]);
         assert!(even_first_permutation(&shape(&[3, 5, 7])).is_err());
     }
 

@@ -32,8 +32,8 @@ pub fn r_l(base: &RadixBase, x: u64) -> Digits {
     }
     if l2 > 2 {
         // Remaining columns form an (l_1, l_2 − 1)-mesh covered by f.
-        let sub = RadixBase::new(vec![l1 as u32, (l2 - 1) as u32])
-            .expect("l_2 - 1 >= 2 because l_2 > 2");
+        let sub =
+            RadixBase::new(vec![l1 as u32, (l2 - 1) as u32]).expect("l_2 - 1 >= 2 because l_2 > 2");
         let inner = f_l(&sub, x - l1);
         out.set(0, inner.get(0));
         out.set(1, inner.get(1) + 1);

@@ -31,7 +31,7 @@ pub fn t_n(n: u64, x: u64) -> u64 {
 pub fn t_n_inverse(n: u64, y: u64) -> u64 {
     assert!(n > 0, "t_n⁻¹ requires n > 0");
     assert!(y < n, "t_n⁻¹ argument {y} out of range for n = {n}");
-    if y % 2 == 0 {
+    if y.is_multiple_of(2) {
         y / 2
     } else {
         (2 * n - 1 - y) / 2

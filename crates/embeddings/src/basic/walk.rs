@@ -96,7 +96,11 @@ impl SnakeWalk {
         }
         let l = self.base.radix(k) as u64;
         let digit = self.odometer.get(k) as u64;
-        let value = if segment % 2 == 0 { digit } else { l - digit - 1 } as u32;
+        let value = if segment.is_multiple_of(2) {
+            digit
+        } else {
+            l - digit - 1
+        } as u32;
         let previous = self.image.get(k);
         debug_assert_eq!(previous.abs_diff(value), 1, "Lemma 11: unit move");
         self.image.set(k, value);
@@ -159,7 +163,12 @@ mod tests {
             let walk = SnakeWalk::new(b.clone());
             assert_eq!(walk.len() as u64, b.size());
             for step in walk {
-                assert_eq!(step.coord, f_l(&b, step.index), "base {b}, x = {}", step.index);
+                assert_eq!(
+                    step.coord,
+                    f_l(&b, step.index),
+                    "base {b}, x = {}",
+                    step.index
+                );
             }
         }
     }

@@ -85,10 +85,7 @@ pub fn congestion(embedding: &Embedding) -> Result<CongestionReport> {
         let mut current_index = host.index(&current).expect("valid host node");
         while let Some(next) = next_hop(host, &current, &target) {
             let next_index = host.index(&next).expect("valid host node");
-            let key = (
-                current_index.min(next_index),
-                current_index.max(next_index),
-            );
+            let key = (current_index.min(next_index), current_index.max(next_index));
             *loads.entry(key).or_insert(0) += 1;
             total_path_length += 1;
             current = next;

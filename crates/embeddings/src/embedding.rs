@@ -37,12 +37,7 @@ impl Embedding {
     /// Returns [`EmbeddingError::SizeMismatch`] if the graphs differ in size.
     /// The injectivity of `map` is *not* checked here (use
     /// [`Embedding::is_injective`] or [`crate::verify::verify`]).
-    pub fn new(
-        guest: Grid,
-        host: Grid,
-        name: impl Into<String>,
-        map: MapFn,
-    ) -> Result<Self> {
+    pub fn new(guest: Grid, host: Grid, name: impl Into<String>, map: MapFn) -> Result<Self> {
         if guest.size() != host.size() {
             return Err(EmbeddingError::SizeMismatch {
                 guest: guest.size(),
@@ -185,11 +180,7 @@ impl Embedding {
                     // same way EdgeIter does: neighbors with a larger index,
                     // plus wrap-around edges pointing back to index 0 of a
                     // dimension.
-                    for y in self
-                        .guest
-                        .neighbors(x)
-                        .expect("node in range")
-                    {
+                    for y in self.guest.neighbors(x).expect("node in range") {
                         if y > x {
                             let fy = self.map(y);
                             worst = worst.max(self.host.distance(&fx, &fy));

@@ -60,7 +60,10 @@ impl fmt::Display for EmbeddingError {
                 "guest and host must have the same size, got {guest} and {host}"
             ),
             EmbeddingError::ConditionNotSatisfied { condition, details } => {
-                write!(f, "the condition of {condition} is not satisfied: {details}")
+                write!(
+                    f,
+                    "the condition of {condition} is not satisfied: {details}"
+                )
             }
             EmbeddingError::Unsupported { details } => {
                 write!(f, "unsupported embedding case: {details}")
@@ -69,7 +72,10 @@ impl fmt::Display for EmbeddingError {
                 write!(f, "invalid factor: {details}")
             }
             EmbeddingError::TooLarge { size, limit } => {
-                write!(f, "graph of size {size} exceeds the limit {limit} for this operation")
+                write!(
+                    f,
+                    "graph of size {size} exceeds the limit {limit} for this operation"
+                )
             }
         }
     }
@@ -117,11 +123,18 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: EmbeddingError = TopologyError::GraphTooSmall { size: 1 }.into();
         assert!(e.to_string().contains("topology"));
-        let e = EmbeddingError::TooLarge { size: 100, limit: 10 };
+        let e = EmbeddingError::TooLarge {
+            size: 100,
+            limit: 10,
+        };
         assert!(e.to_string().contains("exceeds"));
-        let e = EmbeddingError::Unsupported { details: "d=c".into() };
+        let e = EmbeddingError::Unsupported {
+            details: "d=c".into(),
+        };
         assert!(e.to_string().contains("unsupported"));
-        let e = EmbeddingError::InvalidFactor { details: "bad".into() };
+        let e = EmbeddingError::InvalidFactor {
+            details: "bad".into(),
+        };
         assert!(e.to_string().contains("invalid factor"));
     }
 }

@@ -137,11 +137,7 @@ pub fn embedding_exists_with_dilation(
 /// # Errors
 ///
 /// Propagates the size and limit errors of [`embedding_exists_with_dilation`].
-pub fn optimal_dilation_exhaustive(
-    guest: &Grid,
-    host: &Grid,
-    limit: Option<u64>,
-) -> Result<u64> {
+pub fn optimal_dilation_exhaustive(guest: &Grid, host: &Grid, limit: Option<u64>) -> Result<u64> {
     let max_bound = host.diameter().max(1);
     for bound in 1..=max_bound {
         if embedding_exists_with_dilation(guest, host, bound, limit)? {

@@ -133,11 +133,9 @@ impl ExpansionFactor {
     /// Returns [`EmbeddingError::InvalidFactor`] if `M` is not a permutation
     /// of the flattened factor.
     pub fn permutation_to(&self, m: &Shape) -> Result<Permutation> {
-        Permutation::mapping(&self.flattened(), m.radices()).ok_or(
-            EmbeddingError::InvalidFactor {
-                details: format!("M = {m} is not a permutation of the flattened factor"),
-            },
-        )
+        Permutation::mapping(&self.flattened(), m.radices()).ok_or(EmbeddingError::InvalidFactor {
+            details: format!("M = {m} is not a permutation of the flattened factor"),
+        })
     }
 
     /// Whether every list has at least two components, the first of which is
@@ -228,7 +226,7 @@ fn find_expansion_factor_with(
         let value = components[idx];
         let mut tried: Vec<u64> = Vec::new();
         for i in 0..remaining.len() {
-            if remaining[i] % value as u64 != 0 {
+            if !remaining[i].is_multiple_of(value as u64) {
                 continue;
             }
             // Skip branches symmetric to one already tried (same remaining

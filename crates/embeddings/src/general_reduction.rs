@@ -254,12 +254,10 @@ pub fn find_general_reduction(l: &Shape, m: &Shape) -> Option<GeneralReduction> 
             if b <= k || b > c {
                 return None;
             }
-            match_factors(&multiplicant, s_lists, m).map(|ordered_multiplicant| {
-                GeneralReduction {
-                    multiplicant: ordered_multiplicant,
-                    multiplier: multiplier.clone(),
-                    s_lists: s_lists.to_vec(),
-                }
+            match_factors(&multiplicant, s_lists, m).map(|ordered_multiplicant| GeneralReduction {
+                multiplicant: ordered_multiplicant,
+                multiplier: multiplier.clone(),
+                s_lists: s_lists.to_vec(),
             })
         })
     })
@@ -331,7 +329,7 @@ fn factorizations_of(value: u32) -> Vec<Vec<u32>> {
         }
         let mut f = max.min(value);
         while f >= 2 {
-            if value % f == 0 {
+            if value.is_multiple_of(f) {
                 current.push(f);
                 go(value / f, f, current, out);
                 current.pop();
@@ -348,11 +346,7 @@ fn factorizations_of(value: u32) -> Vec<Vec<u32>> {
 /// distinct multiplicant component such that the resulting multiset of host
 /// components equals `m`. On success returns the multiplicant reordered so
 /// that the paired components come first, in factor order.
-fn match_factors(
-    multiplicant: &[u32],
-    s_lists: &[Vec<u32>],
-    m: &Shape,
-) -> Option<Vec<u32>> {
+fn match_factors(multiplicant: &[u32], s_lists: &[Vec<u32>], m: &Shape) -> Option<Vec<u32>> {
     let s: Vec<u32> = s_lists.iter().flatten().copied().collect();
     let mut remaining: Vec<u32> = m.radices().to_vec();
     let mut used = vec![false; multiplicant.len()];

@@ -23,9 +23,7 @@ use topology::{Coord, Grid, Shape};
 use crate::basic::{f_l, g_l, h_l};
 use crate::embedding::Embedding;
 use crate::error::{EmbeddingError, Result};
-use crate::expansion::{
-    find_expansion_factor, find_expansion_factor_even_first, ExpansionFactor,
-};
+use crate::expansion::{find_expansion_factor, find_expansion_factor_even_first, ExpansionFactor};
 
 /// Which per-dimension basic sequence an increasing-dimension embedding uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,11 +55,7 @@ impl IncreaseFunction {
 ///
 /// Panics if the coordinate's dimension differs from the factor's list count
 /// or a digit is out of range for its sub-shape.
-pub fn map_increase(
-    factor: &ExpansionFactor,
-    function: IncreaseFunction,
-    coord: &Coord,
-) -> Digits {
+pub fn map_increase(factor: &ExpansionFactor, function: IncreaseFunction, coord: &Coord) -> Digits {
     assert_eq!(
         coord.dim(),
         factor.len(),
@@ -137,10 +131,7 @@ pub fn embed_increasing(guest: &Grid, host: &Grid) -> Result<Embedding> {
     embed_increasing_with(guest, host, &factor, function)
 }
 
-fn plan_increasing(
-    guest: &Grid,
-    host: &Grid,
-) -> Result<(ExpansionFactor, IncreaseFunction, u64)> {
+fn plan_increasing(guest: &Grid, host: &Grid) -> Result<(ExpansionFactor, IncreaseFunction, u64)> {
     if guest.size() != host.size() {
         return Err(EmbeddingError::SizeMismatch {
             guest: guest.size(),
@@ -159,11 +150,7 @@ fn plan_increasing(
     let base_factor = find_expansion_factor(guest.shape(), host.shape()).ok_or(
         EmbeddingError::ConditionNotSatisfied {
             condition: "expansion",
-            details: format!(
-                "{} is not an expansion of {}",
-                host.shape(),
-                guest.shape()
-            ),
+            details: format!("{} is not an expansion of {}", host.shape(), guest.shape()),
         },
     )?;
     if guest.is_mesh() {
@@ -173,9 +160,8 @@ fn plan_increasing(
         return Ok((base_factor, IncreaseFunction::H, 1));
     }
     // Torus guest, mesh host.
-    if guest.size() % 2 == 0 {
-        if let Some(even_factor) = find_expansion_factor_even_first(guest.shape(), host.shape())
-        {
+    if guest.size().is_multiple_of(2) {
+        if let Some(even_factor) = find_expansion_factor_even_first(guest.shape(), host.shape()) {
             return Ok((even_factor, IncreaseFunction::H, 1));
         }
     }
@@ -207,26 +193,58 @@ mod tests {
 
     #[test]
     fn theorem_32_i_mesh_guests_unit_dilation() {
-        check(Grid::mesh(shape(&[4, 6])), Grid::mesh(shape(&[2, 2, 2, 3])), 1);
-        check(Grid::mesh(shape(&[4, 6])), Grid::torus(shape(&[2, 2, 2, 3])), 1);
-        check(Grid::mesh(shape(&[8, 9])), Grid::mesh(shape(&[2, 4, 3, 3])), 1);
+        check(
+            Grid::mesh(shape(&[4, 6])),
+            Grid::mesh(shape(&[2, 2, 2, 3])),
+            1,
+        );
+        check(
+            Grid::mesh(shape(&[4, 6])),
+            Grid::torus(shape(&[2, 2, 2, 3])),
+            1,
+        );
+        check(
+            Grid::mesh(shape(&[8, 9])),
+            Grid::mesh(shape(&[2, 4, 3, 3])),
+            1,
+        );
         check(Grid::mesh(shape(&[12])), Grid::torus(shape(&[3, 4])), 1);
-        check(Grid::mesh(shape(&[6, 6])), Grid::mesh(shape(&[2, 3, 3, 2])), 1);
+        check(
+            Grid::mesh(shape(&[6, 6])),
+            Grid::mesh(shape(&[2, 3, 3, 2])),
+            1,
+        );
     }
 
     #[test]
     fn theorem_32_ii_torus_into_torus_unit_dilation() {
-        check(Grid::torus(shape(&[4, 6])), Grid::torus(shape(&[2, 2, 2, 3])), 1);
-        check(Grid::torus(shape(&[9, 4])), Grid::torus(shape(&[3, 3, 2, 2])), 1);
+        check(
+            Grid::torus(shape(&[4, 6])),
+            Grid::torus(shape(&[2, 2, 2, 3])),
+            1,
+        );
+        check(
+            Grid::torus(shape(&[9, 4])),
+            Grid::torus(shape(&[3, 3, 2, 2])),
+            1,
+        );
         check(Grid::torus(shape(&[8])), Grid::torus(shape(&[2, 2, 2])), 1);
-        check(Grid::torus(shape(&[15, 4])), Grid::torus(shape(&[3, 5, 4])), 1);
+        check(
+            Grid::torus(shape(&[15, 4])),
+            Grid::torus(shape(&[3, 5, 4])),
+            1,
+        );
     }
 
     #[test]
     fn theorem_32_iii_even_torus_into_mesh_unit_dilation_with_even_factor() {
         // Each dimension of G has even length and the factor lists can be
         // chosen with at least two components and an even first component.
-        check(Grid::torus(shape(&[4, 6])), Grid::mesh(shape(&[2, 2, 2, 3])), 1);
+        check(
+            Grid::torus(shape(&[4, 6])),
+            Grid::mesh(shape(&[2, 2, 2, 3])),
+            1,
+        );
         check(
             Grid::torus(shape(&[6, 12])),
             Grid::mesh(shape(&[6, 3, 2, 2])),
@@ -241,9 +259,17 @@ mod tests {
 
     #[test]
     fn theorem_32_iii_odd_torus_into_mesh_dilation_two() {
-        check(Grid::torus(shape(&[9, 15])), Grid::mesh(shape(&[3, 3, 3, 5])), 2);
+        check(
+            Grid::torus(shape(&[9, 15])),
+            Grid::mesh(shape(&[3, 3, 3, 5])),
+            2,
+        );
         check(Grid::torus(shape(&[9])), Grid::mesh(shape(&[3, 3])), 2);
-        check(Grid::torus(shape(&[25, 3])), Grid::mesh(shape(&[5, 5, 3])), 2);
+        check(
+            Grid::torus(shape(&[25, 3])),
+            Grid::mesh(shape(&[5, 5, 3])),
+            2,
+        );
     }
 
     #[test]
@@ -251,7 +277,11 @@ mod tests {
         // G = (2, 8): the dimension of length 2 cannot receive a factor list
         // with two components, so H_V is unavailable and G_V's dilation 2 is
         // used.
-        check(Grid::torus(shape(&[2, 8])), Grid::mesh(shape(&[2, 4, 2])), 2);
+        check(
+            Grid::torus(shape(&[2, 8])),
+            Grid::mesh(shape(&[2, 4, 2])),
+            2,
+        );
     }
 
     #[test]
@@ -285,16 +315,18 @@ mod tests {
         let host_mesh = Grid::mesh(shape(&[2, 2, 2, 3]));
         let host_torus = Grid::torus(shape(&[2, 2, 2, 3]));
 
-        let f = embed_increasing_with(&guest_mesh, &host_mesh, &factor, IncreaseFunction::F)
-            .unwrap();
-        let g = embed_increasing_with(&guest_torus, &host_mesh, &factor, IncreaseFunction::G)
-            .unwrap();
-        let h = embed_increasing_with(&guest_torus, &host_torus, &factor, IncreaseFunction::H)
-            .unwrap();
+        let f =
+            embed_increasing_with(&guest_mesh, &host_mesh, &factor, IncreaseFunction::F).unwrap();
+        let g =
+            embed_increasing_with(&guest_torus, &host_mesh, &factor, IncreaseFunction::G).unwrap();
+        let h =
+            embed_increasing_with(&guest_torus, &host_torus, &factor, IncreaseFunction::H).unwrap();
 
         // Spot-check the map structure: node (1, 4) of G maps under F_V to
         // f_{(2,2)}(1) ∘ f_{(2,3)}(4) = (0,1) ∘ (1,1) = (0,1,1,1).
-        let x = shape(&[4, 6]).to_index(&Digits::from_slice(&[1, 4]).unwrap()).unwrap();
+        let x = shape(&[4, 6])
+            .to_index(&Digits::from_slice(&[1, 4]).unwrap())
+            .unwrap();
         assert_eq!(f.map(x).as_slice(), &[0, 1, 1, 1]);
 
         assert_eq!(f.dilation(), 1);
@@ -332,14 +364,12 @@ mod tests {
         let host = Grid::mesh(shape(&[6, 3, 2, 2]));
 
         let bad_factor = ExpansionFactor::new(vec![vec![6], vec![3, 2, 2]]).unwrap();
-        let bad =
-            embed_increasing_with(&guest, &host, &bad_factor, IncreaseFunction::G).unwrap();
+        let bad = embed_increasing_with(&guest, &host, &bad_factor, IncreaseFunction::G).unwrap();
         assert!(bad.is_injective());
         assert_eq!(bad.dilation(), 2);
 
         let good_factor = ExpansionFactor::new(vec![vec![2, 3], vec![6, 2]]).unwrap();
-        let good =
-            embed_increasing_with(&guest, &host, &good_factor, IncreaseFunction::H).unwrap();
+        let good = embed_increasing_with(&guest, &host, &good_factor, IncreaseFunction::H).unwrap();
         assert!(good.is_injective());
         assert_eq!(good.dilation(), 1);
 

@@ -80,12 +80,12 @@ pub mod prelude {
     pub use crate::chain::{ChainStep, EmbeddingChain};
     pub use crate::congestion::{congestion, CongestionReport};
     pub use crate::embedding::Embedding;
-    pub use crate::metrics::EmbeddingMetrics;
     pub use crate::error::EmbeddingError;
     pub use crate::expansion::{find_expansion_factor, ExpansionFactor};
     pub use crate::general_reduction::{embed_general_reduction, GeneralReduction};
     pub use crate::increase::embed_increasing;
     pub use crate::lower_bound::dilation_lower_bound;
+    pub use crate::metrics::EmbeddingMetrics;
     pub use crate::reduction::embed_simple_reduction;
     pub use crate::same_shape::embed_same_shape;
     pub use crate::square::embed_square;

@@ -85,11 +85,7 @@ pub fn dilation_lower_bound(guest: &Grid, host: &Grid) -> Result<u64> {
             details: "the Theorem 47 bound applies to lowering-dimension embeddings".into(),
         });
     }
-    let base = mesh_to_mesh_lower_bound(
-        guest.dim(),
-        host.dim(),
-        guest.shape().min_radix() as u64,
-    );
+    let base = mesh_to_mesh_lower_bound(guest.dim(), host.dim(), guest.shape().min_radix() as u64);
     Ok(if host.is_torus() {
         (base / 2).max(1)
     } else {
@@ -133,7 +129,10 @@ mod tests {
     fn ball_bound_is_actually_a_lower_bound_on_real_meshes() {
         // Count the ball around the corner of a (5,5)-mesh and a (4,4,4)-mesh
         // and compare with C(k + d, d).
-        for (shape, d) in [(Shape::square(5, 2).unwrap(), 2), (Shape::square(4, 3).unwrap(), 3)] {
+        for (shape, d) in [
+            (Shape::square(5, 2).unwrap(), 2),
+            (Shape::square(4, 3).unwrap(), 3),
+        ] {
             let mesh = Grid::mesh(shape);
             for k in 1..4u64 {
                 let count = mesh
@@ -159,10 +158,7 @@ mod tests {
                 square_grid(GraphKind::Mesh, 4, 3),
                 square_grid(GraphKind::Mesh, 8, 2),
             ),
-            (
-                square_grid(GraphKind::Torus, 4, 2),
-                Grid::ring(16).unwrap(),
-            ),
+            (square_grid(GraphKind::Torus, 4, 2), Grid::ring(16).unwrap()),
         ];
         for (guest, host) in cases {
             let bound = dilation_lower_bound(&guest, &host).unwrap();

@@ -179,10 +179,7 @@ mod tests {
         let host = Grid::mesh(shape(&[3, 3]));
         let e = embed(&guest, &host).unwrap();
         let m = EmbeddingMetrics::measure(&e).unwrap();
-        assert_eq!(
-            m.dilation_histogram.values().sum::<u64>(),
-            m.guest_edges
-        );
+        assert_eq!(m.dilation_histogram.values().sum::<u64>(), m.guest_edges);
         assert_eq!(*m.dilation_histogram.keys().max().unwrap(), m.dilation);
     }
 

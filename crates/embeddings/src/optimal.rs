@@ -72,12 +72,16 @@ pub fn c_k(k: u32) -> f64 {
     if k == 0 {
         return 1.0;
     }
-    if k % 2 == 0 {
+    if k.is_multiple_of(2) {
         // k even: C_k = Π_{j=1}^{k/2} (1 − 1/(2j + 2)).
-        (1..=k / 2).map(|j| 1.0 - 1.0 / (2.0 * j as f64 + 2.0)).product()
+        (1..=k / 2)
+            .map(|j| 1.0 - 1.0 / (2.0 * j as f64 + 2.0))
+            .product()
     } else {
         // k odd: C_k = Π_{j=2}^{(k+1)/2} (1 − 1/(2j)).
-        (2..=k.div_ceil(2)).map(|j| 1.0 - 1.0 / (2.0 * j as f64)).product()
+        (2..=k.div_ceil(2))
+            .map(|j| 1.0 - 1.0 / (2.0 * j as f64))
+            .product()
     }
 }
 

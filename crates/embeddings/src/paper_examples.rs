@@ -96,8 +96,7 @@ pub fn definition41_example() -> Result<(Shape, Shape)> {
 /// `(6,3,2,2)`-mesh reaches dilation 1 with the expansion factor
 /// `((2,3), (6,2))` but only dilation 2 with `((6), (3,2,2))`. Returns
 /// `(guest shape, host shape, good factor, weak factor)`.
-pub fn theorem32_even_first_example(
-) -> Result<(Shape, Shape, ExpansionFactor, ExpansionFactor)> {
+pub fn theorem32_even_first_example() -> Result<(Shape, Shape, ExpansionFactor, ExpansionFactor)> {
     Ok((
         Shape::new(vec![6, 12])?,
         Shape::new(vec![6, 3, 2, 2])?,
@@ -109,11 +108,11 @@ pub fn theorem32_even_first_example(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::auto::embed;
     use crate::expansion::is_expansion;
     use crate::general_reduction::is_general_reduction;
     use crate::increase::embed_increasing_with;
     use crate::increase::IncreaseFunction;
-    use crate::auto::embed;
 
     #[test]
     fn running_example_matches_the_figures() {
@@ -169,11 +168,9 @@ mod tests {
         let host = Grid::mesh(m);
         assert!(good.validate(guest.shape(), host.shape()).is_ok());
         assert!(weak.validate(guest.shape(), host.shape()).is_ok());
-        let with_good =
-            embed_increasing_with(&guest, &host, &good, IncreaseFunction::H).unwrap();
+        let with_good = embed_increasing_with(&guest, &host, &good, IncreaseFunction::H).unwrap();
         assert_eq!(with_good.dilation(), 1);
-        let with_weak =
-            embed_increasing_with(&guest, &host, &weak, IncreaseFunction::G).unwrap();
+        let with_weak = embed_increasing_with(&guest, &host, &weak, IncreaseFunction::G).unwrap();
         assert_eq!(with_weak.dilation(), 2);
     }
 }

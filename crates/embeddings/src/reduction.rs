@@ -114,7 +114,11 @@ pub fn embed_simple_reduction_with(
         },
     )?;
     let use_t = guest.is_torus() && host.is_mesh() && !guest.is_hypercube();
-    let name = if use_t { "U_V ∘ T_L ∘ π" } else { "U_V ∘ π" };
+    let name = if use_t {
+        "U_V ∘ T_L ∘ π"
+    } else {
+        "U_V ∘ π"
+    };
     let guest_shape = guest.shape().clone();
     let factor = factor.clone();
     Embedding::new(
@@ -208,7 +212,11 @@ mod tests {
         // max{4/4, 6/3} = 2.
         check_at_most(Grid::mesh(shape(&[4, 2, 3])), Grid::mesh(shape(&[4, 6])), 2);
         // (2,2,2,2)-mesh into (4,4)-mesh: bound 4/2 = 2.
-        check_at_most(Grid::mesh(shape(&[2, 2, 2, 2])), Grid::mesh(shape(&[4, 4])), 2);
+        check_at_most(
+            Grid::mesh(shape(&[2, 2, 2, 2])),
+            Grid::mesh(shape(&[4, 4])),
+            2,
+        );
         // (3,3,3)-mesh into (9,3)-mesh: bound 9/3 = 3.
         check_at_most(Grid::mesh(shape(&[3, 3, 3])), Grid::mesh(shape(&[9, 3])), 3);
     }
@@ -216,11 +224,27 @@ mod tests {
     #[test]
     fn theorem_39_other_type_combinations() {
         // Mesh into torus and torus into torus share the same bound.
-        check_at_most(Grid::mesh(shape(&[4, 2, 3])), Grid::torus(shape(&[4, 6])), 2);
-        check_at_most(Grid::torus(shape(&[4, 2, 3])), Grid::torus(shape(&[4, 6])), 2);
+        check_at_most(
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[4, 6])),
+            2,
+        );
+        check_at_most(
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[4, 6])),
+            2,
+        );
         // Torus into mesh doubles the bound.
-        check_at_most(Grid::torus(shape(&[4, 2, 3])), Grid::mesh(shape(&[4, 6])), 4);
-        check_at_most(Grid::torus(shape(&[3, 3, 3])), Grid::mesh(shape(&[9, 3])), 6);
+        check_at_most(
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[4, 6])),
+            4,
+        );
+        check_at_most(
+            Grid::torus(shape(&[3, 3, 3])),
+            Grid::mesh(shape(&[9, 3])),
+            6,
+        );
     }
 
     #[test]

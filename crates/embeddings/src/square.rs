@@ -112,7 +112,7 @@ pub fn predicted_dilation_square(guest: &Grid, host: &Grid) -> Result<u64> {
         return Ok(if torus_into_mesh { 2 * base } else { base });
     }
     // Increasing dimension.
-    if c % d == 0 {
+    if c.is_multiple_of(d) {
         // Theorem 52.
         return Ok(if torus_into_mesh && guest.size() % 2 == 1 {
             2
@@ -151,7 +151,7 @@ pub fn embed_square(guest: &Grid, host: &Grid) -> Result<Embedding> {
         return embed_same_shape(guest, host);
     }
     if d > c {
-        if d % c == 0 {
+        if d.is_multiple_of(c) {
             // Theorem 48: the square host shape is a simple reduction of the
             // square guest shape.
             return embed_simple_reduction(guest, host);
@@ -159,7 +159,7 @@ pub fn embed_square(guest: &Grid, host: &Grid) -> Result<Embedding> {
         return embed_square_lowering_chain(guest, host);
     }
     // Increasing dimension.
-    if c % d == 0 {
+    if c.is_multiple_of(d) {
         // Theorem 52: the host shape is an expansion of the guest shape.
         return embed_increasing(guest, host);
     }
@@ -189,7 +189,7 @@ fn embed_square_lowering_chain(guest: &Grid, host: &Grid) -> Result<Embedding> {
             limit: u32::MAX as u64,
         })?;
         let mut radices = vec![big; a * v];
-        radices.extend(std::iter::repeat(ell).take(a * (u - v - k)));
+        radices.extend(std::iter::repeat_n(ell, a * (u - v - k)));
         Ok(Shape::new(radices)?)
     };
 
@@ -223,7 +223,7 @@ fn embed_square_lowering_chain(guest: &Grid, host: &Grid) -> Result<Embedding> {
         // a·v large components first (they are the ones multiplied).
         let big = current.shape().max_radix();
         let mut multiplicant = vec![big; a * v];
-        multiplicant.extend(std::iter::repeat(ell).take(a * (u - v - k - 1)));
+        multiplicant.extend(std::iter::repeat_n(ell, a * (u - v - k - 1)));
         let multiplier = vec![ell; a];
         let s_lists = vec![vec![r; v]; a];
         let witness = GeneralReduction::new(multiplicant, multiplier, s_lists)?;
@@ -502,7 +502,12 @@ mod tests {
     fn corollary_49_hypercube_into_square_grids() {
         // A hypercube of size 2^6 into an (8,8)-mesh or torus: dilation 8/2 = 4.
         let hypercube = Grid::hypercube(6).unwrap();
-        check(hypercube.clone(), square_grid(GraphKind::Mesh, 8, 2), 4, false);
+        check(
+            hypercube.clone(),
+            square_grid(GraphKind::Mesh, 8, 2),
+            4,
+            false,
+        );
         check(hypercube, square_grid(GraphKind::Torus, 8, 2), 4, false);
     }
 }

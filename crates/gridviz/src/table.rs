@@ -259,9 +259,6 @@ mod tests {
         let text = table.to_text();
         let lines: Vec<&str> = text.lines().collect();
         // Both data lines end with the numeric cell in the same column.
-        assert_eq!(
-            lines[2].chars().count(),
-            lines[3].chars().count(),
-        );
+        assert_eq!(lines[2].chars().count(), lines[3].chars().count(),);
     }
 }

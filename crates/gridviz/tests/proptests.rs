@@ -9,10 +9,10 @@ use topology::{Grid, Shape};
 
 /// Strategy producing a small host grid of dimension 1–4.
 fn small_host() -> impl Strategy<Value = Grid> {
-    let shape = proptest::collection::vec(2u32..=5, 1..=4).prop_filter(
-        "keep sizes manageable",
-        |radices| radices.iter().map(|&l| l as u64).product::<u64>() <= 200,
-    );
+    let shape = proptest::collection::vec(2u32..=5, 1..=4)
+        .prop_filter("keep sizes manageable", |radices| {
+            radices.iter().map(|&l| l as u64).product::<u64>() <= 200
+        });
     (shape, proptest::bool::ANY).prop_map(|(radices, torus)| {
         let shape = Shape::new(radices).unwrap();
         if torus {

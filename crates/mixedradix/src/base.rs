@@ -139,7 +139,7 @@ impl RadixBase {
 
     /// Whether the size `n` is even.
     pub fn has_even_size(&self) -> bool {
-        self.size % 2 == 0
+        self.size.is_multiple_of(2)
     }
 
     /// Whether at least one radix is even (equivalent to
@@ -219,8 +219,7 @@ impl RadixBase {
     /// Whether a digit list is a valid radix-`L` number (correct dimension and
     /// every digit within its radix).
     pub fn contains(&self, digits: &Digits) -> bool {
-        digits.dim() == self.dim()
-            && (0..self.dim()).all(|j| digits.get(j) < self.radices[j])
+        digits.dim() == self.dim() && (0..self.dim()).all(|j| digits.get(j) < self.radices[j])
     }
 
     /// Concatenation of two bases — the `∘` operator applied to shape lists.

@@ -73,10 +73,7 @@ impl Digits {
         }
         let mut d = [0u32; MAX_DIM];
         d[..dim].fill(value);
-        Ok(Digits {
-            len: dim as u8,
-            d,
-        })
+        Ok(Digits { len: dim as u8, d })
     }
 
     /// Creates the all-zero digit list of dimension `dim` (the origin node).

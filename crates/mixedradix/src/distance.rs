@@ -188,9 +188,7 @@ mod tests {
         let base = base423();
         for x in 0..base.size() {
             for y in 0..base.size() {
-                assert!(
-                    delta_m_index(&base, x, y).unwrap() >= delta_t_index(&base, x, y).unwrap()
-                );
+                assert!(delta_m_index(&base, x, y).unwrap() >= delta_t_index(&base, x, y).unwrap());
             }
         }
     }

@@ -94,7 +94,12 @@ mod tests {
         for i in 0..1023u64 {
             let a = binary_gray(i);
             let b = binary_gray(i + 1);
-            assert_eq!((a ^ b).count_ones(), 1, "codewords {i} and {} differ", i + 1);
+            assert_eq!(
+                (a ^ b).count_ones(),
+                1,
+                "codewords {i} and {} differ",
+                i + 1
+            );
         }
     }
 
@@ -145,7 +150,10 @@ mod tests {
     fn first_codewords_match_the_classic_table() {
         let seq = BinaryGraySequence::new(3).unwrap();
         let codes: Vec<u64> = (0..8).map(|i| seq.codeword(i)).collect();
-        assert_eq!(codes, vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+        assert_eq!(
+            codes,
+            vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        );
         assert_eq!(seq.at(3).as_slice(), &[0, 1, 0]);
         assert_eq!(seq.at(4).as_slice(), &[1, 1, 0]);
         assert_eq!(seq.bits(), 3);

@@ -62,7 +62,5 @@ pub mod prelude {
     pub use crate::error::MixedRadixError;
     pub use crate::gray::{binary_gray, binary_gray_inverse, BinaryGraySequence};
     pub use crate::perm::Permutation;
-    pub use crate::sequence::{
-        ExplicitSequence, FnSequence, NaturalSequence, RadixSequence,
-    };
+    pub use crate::sequence::{ExplicitSequence, FnSequence, NaturalSequence, RadixSequence};
 }

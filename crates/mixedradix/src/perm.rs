@@ -205,7 +205,10 @@ mod tests {
     fn identity_acts_trivially() {
         let p = Permutation::identity(4);
         assert!(p.is_identity());
-        assert_eq!(p.apply_slice(&[10, 20, 30, 40]).unwrap(), vec![10, 20, 30, 40]);
+        assert_eq!(
+            p.apply_slice(&[10, 20, 30, 40]).unwrap(),
+            vec![10, 20, 30, 40]
+        );
     }
 
     #[test]
@@ -219,7 +222,10 @@ mod tests {
     fn apply_matches_paper_convention() {
         // π with map [2, 0, 1]: result[0] = x[2], result[1] = x[0], result[2] = x[1].
         let p = Permutation::new(vec![2, 0, 1]).unwrap();
-        assert_eq!(p.apply_slice(&['a', 'b', 'c']).unwrap(), vec!['c', 'a', 'b']);
+        assert_eq!(
+            p.apply_slice(&['a', 'b', 'c']).unwrap(),
+            vec!['c', 'a', 'b']
+        );
         let d = Digits::from_slice(&[5, 6, 7]).unwrap();
         assert_eq!(p.apply_digits(&d).unwrap().as_slice(), &[7, 5, 6]);
     }

@@ -341,8 +341,7 @@ mod tests {
         )
         .unwrap();
         assert!(!dup.is_bijection());
-        let short =
-            ExplicitSequence::new(base.clone(), vec![d(&[0, 0]), d(&[0, 1])]).unwrap();
+        let short = ExplicitSequence::new(base.clone(), vec![d(&[0, 0]), d(&[0, 1])]).unwrap();
         assert!(!short.is_bijection());
     }
 

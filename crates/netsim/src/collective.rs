@@ -51,7 +51,10 @@ impl RingOrder {
         let n = nodes.len() as u64;
         let mut seen = vec![false; nodes.len()];
         for &node in &nodes {
-            assert!(node < n, "ring order references node {node} outside [0, {n})");
+            assert!(
+                node < n,
+                "ring order references node {node} outside [0, {n})"
+            );
             assert!(!seen[node as usize], "ring order repeats node {node}");
             seen[node as usize] = true;
         }
@@ -170,11 +173,7 @@ pub fn simulate_ring_reduce_scatter(network: &Network, order: &RingOrder) -> Col
     simulate_ring_collective(network, order, network.size().saturating_sub(1))
 }
 
-fn simulate_ring_collective(
-    network: &Network,
-    order: &RingOrder,
-    phases: u64,
-) -> CollectiveStats {
+fn simulate_ring_collective(network: &Network, order: &RingOrder, phases: u64) -> CollectiveStats {
     assert_eq!(
         order.len() as u64,
         network.size(),

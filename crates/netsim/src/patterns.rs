@@ -166,7 +166,10 @@ pub fn all_to_all(tasks: u64) -> Workload {
 pub fn broadcast(tasks: u64, root: u64) -> Workload {
     assert!(tasks >= 2, "broadcast needs at least two tasks");
     assert!(root < tasks, "root task out of range");
-    let pairs = (0..tasks).filter(|&i| i != root).map(|i| (root, i)).collect();
+    let pairs = (0..tasks)
+        .filter(|&i| i != root)
+        .map(|i| (root, i))
+        .collect();
     Workload::new(tasks, pairs)
 }
 
@@ -201,7 +204,10 @@ mod tests {
         for (rows, cols) in [(2, 3), (3, 5), (4, 2)] {
             let w = transpose(rows, cols);
             assert!(is_permutation(&w), "{rows}×{cols}");
-            assert!(w.pairs().iter().all(|&(a, b)| a < rows * cols && b < rows * cols));
+            assert!(w
+                .pairs()
+                .iter()
+                .all(|&(a, b)| a < rows * cols && b < rows * cols));
         }
     }
 

@@ -136,11 +136,18 @@ pub fn simulate(
 
     let total_messages = messages.len() as u64;
     let total_hops: u64 = messages.iter().map(|m| m.route.len() as u64).sum();
-    let max_hops: u64 = messages.iter().map(|m| m.route.len() as u64).max().unwrap_or(0);
+    let max_hops: u64 = messages
+        .iter()
+        .map(|m| m.route.len() as u64)
+        .max()
+        .unwrap_or(0);
 
     // Cycle loop with one-message-per-directed-link arbitration.
     let mut cycles = 0u64;
-    let mut remaining: usize = messages.iter().filter(|m| m.position < m.route.len()).count();
+    let mut remaining: usize = messages
+        .iter()
+        .filter(|m| m.position < m.route.len())
+        .count();
     let mut claimed: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
     while remaining > 0 {
         cycles += 1;

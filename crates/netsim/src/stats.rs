@@ -224,10 +224,17 @@ pub fn simulate_detailed(
 
     let total_messages = messages.len() as u64;
     let total_hops: u64 = messages.iter().map(|m| m.route.len() as u64).sum();
-    let max_hops: u64 = messages.iter().map(|m| m.route.len() as u64).max().unwrap_or(0);
+    let max_hops: u64 = messages
+        .iter()
+        .map(|m| m.route.len() as u64)
+        .max()
+        .unwrap_or(0);
 
     let mut cycles = 0u64;
-    let mut remaining: usize = messages.iter().filter(|m| m.position < m.route.len()).count();
+    let mut remaining: usize = messages
+        .iter()
+        .filter(|m| m.position < m.route.len())
+        .count();
     let mut claimed: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
     while remaining > 0 {
         cycles += 1;
@@ -341,7 +348,10 @@ mod tests {
         assert!(offered.max_load() >= 1);
         let histogram = offered.histogram();
         assert_eq!(
-            histogram.iter().map(|(load, links)| load * links).sum::<u64>(),
+            histogram
+                .iter()
+                .map(|(load, links)| load * links)
+                .sum::<u64>(),
             offered.total_traversals()
         );
     }
@@ -393,8 +403,7 @@ mod tests {
         assert!(stats.latency.max > stats.latency.p50);
         // The two links entering node 0 (from node 1 and node 4) carry all 15
         // messages between them.
-        let into_hotspot =
-            stats.link_loads.load(1, 0) + stats.link_loads.load(4, 0);
+        let into_hotspot = stats.link_loads.load(1, 0) + stats.link_loads.load(4, 0);
         assert_eq!(into_hotspot, 15);
     }
 }

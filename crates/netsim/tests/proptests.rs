@@ -2,19 +2,17 @@
 //! walks of the right length, permutation patterns are permutations, and the
 //! simulator's conservation laws hold for random workloads and placements.
 
-use proptest::prelude::*;
 use netsim::patterns;
-use netsim::{
-    simulate, simulate_detailed, Network, Placement, Router, RoutingAlgorithm, Workload,
-};
+use netsim::{simulate, simulate_detailed, Network, Placement, Router, RoutingAlgorithm, Workload};
+use proptest::prelude::*;
 use topology::{Grid, Shape};
 
 /// Strategy producing a small network (torus or mesh, ≤ 128 nodes).
 fn small_network() -> impl Strategy<Value = Network> {
-    let shape = proptest::collection::vec(2u32..=5, 1..=3).prop_filter(
-        "keep sizes manageable",
-        |radices| radices.iter().map(|&l| l as u64).product::<u64>() <= 128,
-    );
+    let shape = proptest::collection::vec(2u32..=5, 1..=3)
+        .prop_filter("keep sizes manageable", |radices| {
+            radices.iter().map(|&l| l as u64).product::<u64>() <= 128
+        });
     (shape, proptest::bool::ANY).prop_map(|(radices, torus)| {
         let shape = Shape::new(radices).unwrap();
         Network::new(if torus {

@@ -154,7 +154,11 @@ mod tests {
             Grid::mesh(shape(&[2, 5])),
             Grid::hypercube(3).unwrap(),
         ] {
-            assert_eq!(bfs_diameter(&grid).unwrap(), grid.diameter(), "diameter of {grid}");
+            assert_eq!(
+                bfs_diameter(&grid).unwrap(),
+                grid.diameter(),
+                "diameter of {grid}"
+            );
         }
     }
 

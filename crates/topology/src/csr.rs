@@ -37,9 +37,10 @@ impl CsrAdjacency {
             for y in grid.neighbors(x)? {
                 targets.push(y as u32);
             }
-            let len = u32::try_from(targets.len()).map_err(|_| TopologyError::InvalidCoordinate {
-                reason: "edge count exceeds u32::MAX".to_string(),
-            })?;
+            let len =
+                u32::try_from(targets.len()).map_err(|_| TopologyError::InvalidCoordinate {
+                    reason: "edge count exceeds u32::MAX".to_string(),
+                })?;
             offsets.push(len);
         }
         Ok(CsrAdjacency { offsets, targets })
@@ -100,8 +101,11 @@ mod tests {
             assert_eq!(csr.num_entries() as u64, 2 * grid.num_edges());
             for x in grid.nodes() {
                 let mut expected = grid.neighbors(x).unwrap();
-                let mut actual: Vec<u64> =
-                    csr.neighbors(x as usize).iter().map(|&y| y as u64).collect();
+                let mut actual: Vec<u64> = csr
+                    .neighbors(x as usize)
+                    .iter()
+                    .map(|&y| y as u64)
+                    .collect();
                 expected.sort_unstable();
                 actual.sort_unstable();
                 assert_eq!(expected, actual, "adjacency of node {x} in {grid}");

@@ -101,9 +101,7 @@ mod tests {
     }
 
     fn edge_set(grid: &Grid) -> HashSet<(u64, u64)> {
-        grid.edges()
-            .map(|(a, b)| (a.min(b), a.max(b)))
-            .collect()
+        grid.edges().map(|(a, b)| (a.min(b), a.max(b))).collect()
     }
 
     #[test]
@@ -134,7 +132,11 @@ mod tests {
             Grid::hypercube(4).unwrap(),
         ] {
             for (a, b) in grid.edges() {
-                assert_eq!(grid.distance_index(a, b).unwrap(), 1, "edge ({a},{b}) in {grid}");
+                assert_eq!(
+                    grid.distance_index(a, b).unwrap(),
+                    1,
+                    "edge ({a},{b}) in {grid}"
+                );
             }
         }
     }

@@ -13,9 +13,7 @@
 
 use core::fmt;
 
-use mixedradix::distance::{
-    delta_m_unchecked, delta_t_unchecked, mesh_diameter, torus_diameter,
-};
+use mixedradix::distance::{delta_m_unchecked, delta_t_unchecked, mesh_diameter, torus_diameter};
 
 use crate::error::{Result, TopologyError};
 use crate::{Coord, Shape};
@@ -540,7 +538,11 @@ mod tests {
             Grid::line(9).unwrap(),
         ] {
             let degree_sum: usize = grid.nodes().map(|x| grid.degree(x).unwrap()).sum();
-            assert_eq!(degree_sum as u64, 2 * grid.num_edges(), "handshake for {grid}");
+            assert_eq!(
+                degree_sum as u64,
+                2 * grid.num_edges(),
+                "handshake for {grid}"
+            );
         }
     }
 

@@ -33,7 +33,7 @@ pub fn admits_hamiltonian_circuit(grid: &Grid) -> bool {
         return false;
     }
     // Corollaries 18 and 25.
-    grid.size() % 2 == 0
+    grid.size().is_multiple_of(2)
 }
 
 /// Checks whether `order` is a Hamiltonian circuit of `grid`: a permutation of
@@ -142,16 +142,16 @@ mod tests {
     #[test]
     fn predicate_matches_exhaustive_search_on_small_graphs() {
         let cases = vec![
-            Grid::torus(shape(&[3, 3])),     // odd torus: has circuit (Cor. 29)
-            Grid::torus(shape(&[2, 3])),     // torus: has circuit
-            Grid::mesh(shape(&[3, 3])),      // odd mesh: none (Cor. 18)
-            Grid::mesh(shape(&[3, 5])),      // odd mesh: none
-            Grid::mesh(shape(&[2, 3])),      // even mesh, dim 2: has circuit (Cor. 25)
-            Grid::mesh(shape(&[4, 3])),      // even mesh: has circuit
-            Grid::mesh(shape(&[2, 2, 3])),   // even mesh, dim 3: has circuit
-            Grid::line(6).unwrap(),          // line: none
-            Grid::ring(6).unwrap(),          // ring: trivially a circuit
-            Grid::hypercube(3).unwrap(),     // hypercube: has circuit
+            Grid::torus(shape(&[3, 3])),   // odd torus: has circuit (Cor. 29)
+            Grid::torus(shape(&[2, 3])),   // torus: has circuit
+            Grid::mesh(shape(&[3, 3])),    // odd mesh: none (Cor. 18)
+            Grid::mesh(shape(&[3, 5])),    // odd mesh: none
+            Grid::mesh(shape(&[2, 3])),    // even mesh, dim 2: has circuit (Cor. 25)
+            Grid::mesh(shape(&[4, 3])),    // even mesh: has circuit
+            Grid::mesh(shape(&[2, 2, 3])), // even mesh, dim 3: has circuit
+            Grid::line(6).unwrap(),        // line: none
+            Grid::ring(6).unwrap(),        // ring: trivially a circuit
+            Grid::hypercube(3).unwrap(),   // hypercube: has circuit
         ];
         for grid in cases {
             let expected = admits_hamiltonian_circuit(&grid);
@@ -162,7 +162,10 @@ mod tests {
                 "predicate disagrees with search on {grid}"
             );
             if let Some(circuit) = found {
-                assert!(is_hamiltonian_circuit(&grid, &circuit), "bad circuit for {grid}");
+                assert!(
+                    is_hamiltonian_circuit(&grid, &circuit),
+                    "bad circuit for {grid}"
+                );
             }
         }
     }

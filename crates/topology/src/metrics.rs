@@ -131,7 +131,7 @@ pub fn mean_distance_mesh_dimension(l: u64) -> f64 {
 /// over ordered pairs of coordinate values: `l/4` for even `l`,
 /// `(l² − 1) / 4l` for odd `l`.
 pub fn mean_distance_torus_dimension(l: u64) -> f64 {
-    if l % 2 == 0 {
+    if l.is_multiple_of(2) {
         l as f64 / 4.0
     } else {
         ((l * l - 1) as f64) / (4.0 * l as f64)
@@ -289,11 +289,7 @@ mod tests {
     #[test]
     fn min_degree_matches_node_sweep() {
         for grid in all_grids() {
-            let swept = grid
-                .nodes()
-                .map(|x| grid.degree(x).unwrap())
-                .min()
-                .unwrap();
+            let swept = grid.nodes().map(|x| grid.degree(x).unwrap()).min().unwrap();
             assert_eq!(min_degree(&grid), swept, "{grid}");
         }
     }
@@ -319,7 +315,9 @@ mod tests {
     #[test]
     fn per_dimension_means_match_direct_sums() {
         for l in 2..20u64 {
-            let mesh: u64 = (0..l).flat_map(|i| (0..l).map(move |j| i.abs_diff(j))).sum();
+            let mesh: u64 = (0..l)
+                .flat_map(|i| (0..l).map(move |j| i.abs_diff(j)))
+                .sum();
             assert!((mean_distance_mesh_dimension(l) - mesh as f64 / (l * l) as f64).abs() < 1e-12);
             let torus: u64 = (0..l)
                 .flat_map(|i| (0..l).map(move |j| i.abs_diff(j).min(l - i.abs_diff(j))))

@@ -25,7 +25,9 @@ pub fn split_range(total: u64, parts: usize) -> Vec<Range<u64>> {
     if total == 0 || parts == 0 {
         return Vec::new();
     }
-    let parts = parts.min(usize::try_from(total).unwrap_or(usize::MAX)).max(1);
+    let parts = parts
+        .min(usize::try_from(total).unwrap_or(usize::MAX))
+        .max(1);
     let chunk = total / parts as u64;
     let remainder = total % parts as u64;
     let mut ranges = Vec::with_capacity(parts);

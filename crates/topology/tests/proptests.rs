@@ -8,10 +8,10 @@ use topology::prelude::*;
 /// Strategy producing a small torus or mesh (size capped for exhaustive
 /// checks).
 fn small_grid() -> impl Strategy<Value = Grid> {
-    let shape = proptest::collection::vec(2u32..=6, 1..=4).prop_filter(
-        "keep sizes manageable",
-        |radices| radices.iter().map(|&l| l as u64).product::<u64>() <= 300,
-    );
+    let shape = proptest::collection::vec(2u32..=6, 1..=4)
+        .prop_filter("keep sizes manageable", |radices| {
+            radices.iter().map(|&l| l as u64).product::<u64>() <= 300
+        });
     (shape, proptest::bool::ANY).prop_map(|(radices, torus)| {
         let shape = Shape::new(radices).unwrap();
         if torus {

@@ -79,7 +79,10 @@ fn main() {
     // Comparison with Harper's optimal hypercube-in-line numbering.
     // ------------------------------------------------------------------
     println!("== Hypercube in a line: paper vs. Harper's optimum ==");
-    println!("{:>4} {:>16} {:>16} {:>8}", "d", "paper 2^(d-1)", "optimal", "ratio");
+    println!(
+        "{:>4} {:>16} {:>16} {:>8}",
+        "d", "paper 2^(d-1)", "optimal", "ratio"
+    );
     for d in 1..=12u32 {
         let paper = embeddings::optimal::paper_hypercube_in_line(d);
         let optimal = embeddings::optimal::optimal_hypercube_in_line(d);

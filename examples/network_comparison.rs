@@ -19,8 +19,14 @@ fn networks() -> Vec<(String, Grid)> {
     vec![
         ("ring(64)".into(), Grid::ring(64).unwrap()),
         ("line(64)".into(), Grid::line(64).unwrap()),
-        ("(8,8)-torus".into(), Grid::torus(Shape::new(vec![8, 8]).unwrap())),
-        ("(8,8)-mesh".into(), Grid::mesh(Shape::new(vec![8, 8]).unwrap())),
+        (
+            "(8,8)-torus".into(),
+            Grid::torus(Shape::new(vec![8, 8]).unwrap()),
+        ),
+        (
+            "(8,8)-mesh".into(),
+            Grid::mesh(Shape::new(vec![8, 8]).unwrap()),
+        ),
         (
             "(4,4,4)-torus".into(),
             Grid::torus(Shape::new(vec![4, 4, 4]).unwrap()),

@@ -21,7 +21,10 @@ fn metrics_agree_with_the_verification_report_across_construction_families() {
     let cases: Vec<(Grid, Grid)> = vec![
         (Grid::ring(24).unwrap(), Grid::mesh(shape(&[4, 2, 3]))),
         (Grid::line(24).unwrap(), Grid::torus(shape(&[4, 2, 3]))),
-        (Grid::torus(shape(&[4, 6])), Grid::mesh(shape(&[2, 2, 2, 3]))),
+        (
+            Grid::torus(shape(&[4, 6])),
+            Grid::mesh(shape(&[2, 2, 2, 3])),
+        ),
         (Grid::mesh(shape(&[3, 3, 6])), Grid::mesh(shape(&[6, 9]))),
         (Grid::hypercube(6).unwrap(), Grid::torus(shape(&[8, 8]))),
         (Grid::mesh(shape(&[4, 4, 4])), Grid::mesh(shape(&[8, 8]))),
@@ -117,8 +120,8 @@ fn tables_render_the_experiment_rows_they_are_given() {
     // The gridviz table is what the examples and the repro harness print;
     // make sure a realistic experiment table round-trips through all three
     // output formats without losing rows.
-    let mut table = Table::new(vec!["guest", "host", "predicted", "measured"])
-        .with_alignments(vec![
+    let mut table =
+        Table::new(vec!["guest", "host", "predicted", "measured"]).with_alignments(vec![
             Alignment::Left,
             Alignment::Left,
             Alignment::Right,
@@ -145,7 +148,10 @@ fn tables_render_the_experiment_rows_they_are_given() {
     let markdown = table.to_markdown();
     let csv = table.to_csv();
     for output in [&text, &markdown, &csv] {
-        assert_eq!(output.lines().count(), cases.len() + 2 - usize::from(output == &csv));
+        assert_eq!(
+            output.lines().count(),
+            cases.len() + 2 - usize::from(output == &csv)
+        );
         assert!(output.contains("ring(24)") || output.contains("(24)"));
     }
 

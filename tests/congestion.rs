@@ -60,10 +60,7 @@ fn congestion_total_path_length_matches_simulated_hops() {
 fn lowering_dimension_increases_congestion_monotonically_with_guest_dim() {
     // Collapsing higher-dimensional meshes onto a line funnels more and more
     // traffic through the middle link.
-    let line_hosts = [
-        Grid::mesh(shape(&[4, 4])),
-        Grid::mesh(shape(&[4, 4, 4])),
-    ];
+    let line_hosts = [Grid::mesh(shape(&[4, 4])), Grid::mesh(shape(&[4, 4, 4]))];
     let mut previous = 0;
     for guest in line_hosts {
         let host = Grid::line(guest.size()).unwrap();

@@ -13,10 +13,7 @@ fn unit_dilation_embeddings_route_neighbor_exchange_in_one_hop() {
     let cases = vec![
         (Grid::ring(24).unwrap(), Grid::mesh(shape(&[4, 2, 3]))),
         (Grid::ring(36).unwrap(), Grid::torus(shape(&[6, 6]))),
-        (
-            Grid::mesh(shape(&[4, 6])),
-            Grid::mesh(shape(&[2, 2, 2, 3])),
-        ),
+        (Grid::mesh(shape(&[4, 6])), Grid::mesh(shape(&[2, 2, 2, 3]))),
         (Grid::mesh(shape(&[8, 8])), Grid::hypercube(6).unwrap()),
     ];
     for (guest, host) in cases {
@@ -89,10 +86,7 @@ fn simulation_statistics_are_internally_consistent() {
     let embedding = embed(&guest, &host).unwrap();
     let rounds = 3;
     let stats = simulate_embedding(&embedding, rounds);
-    assert_eq!(
-        stats.messages,
-        rounds as u64 * 2 * guest.num_edges()
-    );
+    assert_eq!(stats.messages, rounds as u64 * 2 * guest.num_edges());
     assert!(stats.cycles >= stats.max_hops);
     assert!(stats.average_hops() <= stats.max_hops as f64);
     assert!(stats.average_hops() >= 1.0);

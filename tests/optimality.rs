@@ -79,7 +79,11 @@ fn section_5_comparison_square_mesh_in_line() {
         let guest = Grid::mesh(Shape::square(ell, 2).unwrap());
         let host = Grid::line(guest.size()).unwrap();
         let ours = embed(&guest, &host).unwrap().dilation();
-        assert_eq!(ours as u64, optimal_square_mesh_in_line(ell as u64), "ℓ = {ell}");
+        assert_eq!(
+            ours as u64,
+            optimal_square_mesh_in_line(ell as u64),
+            "ℓ = {ell}"
+        );
     }
 }
 
@@ -91,7 +95,11 @@ fn section_5_comparison_square_torus_in_ring() {
         let guest = Grid::torus(Shape::square(ell, 2).unwrap());
         let host = Grid::ring(guest.size()).unwrap();
         let ours = embed(&guest, &host).unwrap().dilation();
-        assert_eq!(ours as u64, optimal_square_torus_in_ring(ell as u64), "ℓ = {ell}");
+        assert_eq!(
+            ours as u64,
+            optimal_square_torus_in_ring(ell as u64),
+            "ℓ = {ell}"
+        );
     }
 }
 

@@ -20,7 +20,10 @@ fn neighbor_exchange_max_hops_equals_dilation_for_every_construction_family() {
         // increasing dimension: mesh → mesh expansion (F_V)
         (Grid::mesh(shape(&[4, 6])), Grid::mesh(shape(&[2, 2, 2, 3]))),
         // increasing dimension: torus → torus (H_V)
-        (Grid::torus(shape(&[4, 6])), Grid::torus(shape(&[2, 2, 2, 3]))),
+        (
+            Grid::torus(shape(&[4, 6])),
+            Grid::torus(shape(&[2, 2, 2, 3])),
+        ),
         // same shape: torus → mesh (T_L)
         (Grid::torus(shape(&[4, 4])), Grid::mesh(shape(&[4, 4]))),
         // simple reduction: hypercube → mesh (U_V)

@@ -179,12 +179,72 @@ fn hamiltonian_corollaries_from_ring_embeddings() {
             // A unit-dilation ring embedding is exactly a Hamiltonian circuit.
             assert_eq!(embedding.dilation() == 1, is_circuit);
             assert_eq!(
-                is_circuit, expected,
+                is_circuit,
+                expected,
                 "Hamiltonicity mismatch for {grid} (dilation {})",
                 embedding.dilation()
             );
         }
     }
+}
+
+/// Pins the paper's running example `L = (4, 2, 3)` to exact values:
+/// the δ_m/δ_t distances of Lemmas 5–6 and the unit-dilation ring-in-mesh
+/// embedding of Theorem 24. These are hard-coded regressions — if a
+/// refactor changes any of these numbers it has broken the paper's math,
+/// not the test.
+#[test]
+fn running_example_4_2_3_pins_lemmas_5_6_and_theorem_24() {
+    use mixedradix::distance::{delta_m_index, delta_t_index, mesh_diameter, torus_diameter};
+    use mixedradix::{Digits, RadixBase};
+    use topology::bfs::bfs;
+
+    let base = RadixBase::new(vec![4, 2, 3]).unwrap();
+    assert_eq!(base.size(), 24);
+
+    // Lemmas 5–6: hand-computed distances for concrete digit pairs.
+    // Each entry is (a, b, δ_m, δ_t) with δ_m = Σ|a_k − b_k| and
+    // δ_t = Σ min{|a_k − b_k|, l_k − |a_k − b_k|}.
+    let pinned: [(&[u32], &[u32], u64, u64); 4] = [
+        // Opposite corners: mesh walks the full diameter, the torus
+        // wraps every dimension it can.
+        (&[0, 0, 0], &[3, 1, 2], 6, 3),
+        // Differ in the first (wrappable) dimension only.
+        (&[0, 0, 0], &[3, 0, 0], 3, 1),
+        // Mixed pair where wrapping never strictly helps (dimension 0
+        // ties: min{2, 4−2} = 2), so δ_t = δ_m.
+        (&[1, 1, 2], &[3, 0, 1], 4, 4),
+        // Adjacent nodes agree under both metrics.
+        (&[2, 1, 0], &[2, 1, 1], 1, 1),
+    ];
+    let torus = Grid::torus(shape(&[4, 2, 3]));
+    let mesh = Grid::mesh(shape(&[4, 2, 3]));
+    for (a, b, dm, dt) in pinned {
+        let x = base.to_index(&Digits::from_slice(a).unwrap()).unwrap();
+        let y = base.to_index(&Digits::from_slice(b).unwrap()).unwrap();
+        assert_eq!(delta_m_index(&base, x, y).unwrap(), dm, "δ_m({a:?}, {b:?})");
+        assert_eq!(delta_t_index(&base, x, y).unwrap(), dt, "δ_t({a:?}, {b:?})");
+        // The lemmas' real content: δ_m/δ_t *are* the graph distances in
+        // the (4,2,3)-mesh and (4,2,3)-torus.
+        assert_eq!(bfs(&mesh, x).unwrap().distance(y).unwrap(), dm);
+        assert_eq!(bfs(&torus, x).unwrap().distance(y).unwrap(), dt);
+    }
+
+    // The diameters those distances imply: Σ(l_k − 1) and Σ⌊l_k/2⌋.
+    assert_eq!(mesh_diameter(&base), 6);
+    assert_eq!(torus_diameter(&base), 4);
+
+    // Theorem 24: the 24-ring embeds in the (4,2,3)-mesh with dilation
+    // exactly 1, i.e. the image walk is a Hamiltonian circuit.
+    let ring = Grid::ring(24).unwrap();
+    let plan = embed(&ring, &mesh).unwrap();
+    let report = verify(&plan, 0).unwrap();
+    assert!(report.injective);
+    assert_eq!(
+        report.dilation, 1,
+        "Theorem 24: ring in (4,2,3)-mesh is unit-dilation"
+    );
+    assert_eq!(plan.dilation(), 1);
 }
 
 #[test]

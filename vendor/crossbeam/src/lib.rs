@@ -1,0 +1,80 @@
+//! Offline stand-in for the `crossbeam` crate, covering only
+//! `crossbeam::thread::scope`, backed by `std::thread::scope` (which has
+//! provided the same structured-concurrency guarantee since Rust 1.63).
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// A fork–join scope handle, mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope again so workers can spawn nested workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    ///
+    /// Unlike crossbeam this never returns `Err`: an unjoined panicking
+    /// child propagates its panic here (std semantics) rather than being
+    /// collected. Every call site in this workspace joins its handles and
+    /// `.expect()`s the result, so the two behaviours coincide.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = crate::thread::scope(|scope| {
+            let a = scope.spawn(|_| data[..50].iter().sum::<u64>());
+            let b = scope.spawn(|_| data[50..].iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u64).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,262 @@
+//! The [`Strategy`] trait and combinators.
+//!
+//! A strategy generates values of an associated type from a seeded RNG.
+//! `sample` returns `None` when a filter rejects the draw; the runner
+//! retries (up to `ProptestConfig::max_local_rejects`). No shrinking.
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value, or `None` if a filter rejected this draw.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`; `whence` labels the filter
+    /// in diagnostics (accepted for API compatibility).
+    fn prop_filter<R, F>(self, whence: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            _whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Chains into a dependent strategy derived from each generated value.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Boxes the strategy, erasing its concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}
+
+/// As in real proptest, a `&str` is a strategy generating strings matching
+/// it as a regex. Only the subset the workspace uses is supported: a
+/// concatenation of literal characters and character classes
+/// (`[a-z0-9_]`-style, with ranges), each optionally quantified with
+/// `{m}` or `{m,n}`.
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<String> {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            // Atom: a character class or a literal character.
+            let class: Vec<char> = if c == '[' {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next().expect("unterminated character class");
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            assert!(lo <= hi, "reversed range in character class");
+                            set.extend(lo..=hi);
+                        }
+                        c => {
+                            if let Some(p) = prev.replace(c) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty character class");
+                set
+            } else {
+                vec![c]
+            };
+            // Quantifier: {m} or {m,n}; default exactly one.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad quantifier"),
+                        n.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let m = spec.trim().parse::<usize>().expect("bad quantifier");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                let idx = (rng.next_u64() % class.len() as u64) as usize;
+                out.push(class[idx]);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    _whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O::Value> {
+        let first = self.inner.sample(rng)?;
+        (self.f)(first).sample(rng)
+    }
+}
+
+/// A type-erased strategy, see [`Strategy::boxed`].
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.sample(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $(let $v = $s.sample(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / v0);
+impl_tuple_strategy!(S0 / v0, S1 / v1);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+impl_tuple_strategy!(
+    S0 / v0,
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6
+);
+impl_tuple_strategy!(
+    S0 / v0,
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7
+);

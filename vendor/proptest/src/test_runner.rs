@@ -1,0 +1,99 @@
+//! Test-runner configuration, case errors and the deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-suite configuration, mirroring `proptest::test_runner::Config`.
+///
+/// The `PROPTEST_CASES` environment variable, when set to a positive
+/// integer, overrides `cases` for every suite — CI pins a small count,
+/// local deep runs can pin thousands.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum consecutive filter rejections tolerated per case.
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_local_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (subject to the `PROPTEST_CASES`
+    /// environment override).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// The case count actually used: `PROPTEST_CASES` when set and valid,
+    /// otherwise the configured count.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded (e.g. a failed `prop_assume!`).
+    Reject(String),
+    /// The property was falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG handed to strategies. Seeded deterministically from the test
+/// name so failures reproduce run-to-run without a persistence file.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name gives each property its own stream.
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// The underlying seedable generator (for range sampling).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
