@@ -1,0 +1,133 @@
+//! The pre-batching, per-call evaluation paths, preserved verbatim for the
+//! `pipeline_throughput` benchmark only.
+//!
+//! These functions reproduce how `verify` and `congestion` were computed
+//! before the batched pipeline existed: one [`Embedding::map`] call per edge
+//! endpoint, neighbor enumeration through freshly-allocated `Vec`s, a
+//! `BTreeMap` update per measured edge, and congestion loads in a
+//! `HashMap` keyed on node pairs. They are **not** part of the library API —
+//! they exist so the benchmark can quantify what the batched path buys.
+
+use std::collections::{BTreeMap, HashMap};
+
+use embeddings::congestion::CongestionReport;
+use embeddings::verify::VerificationReport;
+use embeddings::Embedding;
+use topology::{Coord, Grid};
+
+/// The old sequential verification sweep: per-call `map` on both endpoints
+/// of every guest edge, histogram in a `BTreeMap`.
+pub fn verify_per_call(embedding: &Embedding) -> VerificationReport {
+    let mut histogram = BTreeMap::new();
+    let mut total = 0u64;
+    let mut edges = 0u64;
+    let mut dilation = 0u64;
+    for (a, b) in embedding.guest().edges() {
+        let d = embedding
+            .host()
+            .distance(&embedding.map(a), &embedding.map(b));
+        *histogram.entry(d).or_insert(0) += 1;
+        total += d;
+        edges += 1;
+        dilation = dilation.max(d);
+    }
+    VerificationReport {
+        injective: embedding.is_injective(),
+        dilation,
+        average_dilation: if edges == 0 {
+            0.0
+        } else {
+            total as f64 / edges as f64
+        },
+        edges,
+        histogram,
+        invalid_images: 0,
+    }
+}
+
+/// The old per-call dimension-ordered next hop, rebuilding a coordinate per
+/// step.
+fn next_hop(host: &Grid, from: &Coord, to: &Coord) -> Option<Coord> {
+    for j in 0..host.dim() {
+        let (x, y) = (from.get(j), to.get(j));
+        if x == y {
+            continue;
+        }
+        let l = host.shape().radix(j);
+        let step: i64 = if host.is_torus() {
+            let forward = (y as i64 - x as i64).rem_euclid(l as i64);
+            let backward = (x as i64 - y as i64).rem_euclid(l as i64);
+            if forward <= backward {
+                1
+            } else {
+                -1
+            }
+        } else if y > x {
+            1
+        } else {
+            -1
+        };
+        let mut next = *from;
+        next.set(j, (x as i64 + step).rem_euclid(l as i64) as u32);
+        return Some(next);
+    }
+    None
+}
+
+/// The old congestion measurement: per-call `map`, per-hop `Grid::index`
+/// re-encoding, loads in a `HashMap` keyed on (min, max) node pairs.
+pub fn congestion_per_call(embedding: &Embedding) -> CongestionReport {
+    let host = embedding.host();
+    let mut loads: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut guest_edges = 0u64;
+    let mut total_path_length = 0u64;
+    for (a, b) in embedding.guest().edges() {
+        guest_edges += 1;
+        let mut current = embedding.map(a);
+        let target = embedding.map(b);
+        let mut current_index = host.index(&current).expect("valid host node");
+        while let Some(next) = next_hop(host, &current, &target) {
+            let next_index = host.index(&next).expect("valid host node");
+            let key = (current_index.min(next_index), current_index.max(next_index));
+            *loads.entry(key).or_insert(0) += 1;
+            total_path_length += 1;
+            current = next;
+            current_index = next_index;
+        }
+    }
+    let used_host_edges = loads.len() as u64;
+    let max_congestion = loads.values().copied().max().unwrap_or(0);
+    let average_congestion = if used_host_edges == 0 {
+        0.0
+    } else {
+        total_path_length as f64 / used_host_edges as f64
+    };
+    CongestionReport {
+        guest_edges,
+        max_congestion,
+        average_congestion,
+        used_host_edges,
+        total_path_length,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mesh, torus};
+    use embeddings::auto::embed;
+    use embeddings::congestion::congestion_sequential;
+    use embeddings::verify::verify_sequential;
+
+    #[test]
+    fn compat_paths_agree_with_the_batched_pipeline() {
+        for (guest, host) in [
+            (torus(&[4, 2, 3]), mesh(&[4, 2, 3])),
+            (mesh(&[5, 3]), torus(&[5, 3])),
+        ] {
+            let e = embed(&guest, &host).unwrap();
+            assert_eq!(verify_per_call(&e), verify_sequential(&e));
+            assert_eq!(congestion_per_call(&e), congestion_sequential(&e).unwrap());
+        }
+    }
+}

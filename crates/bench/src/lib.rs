@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark suite and the `repro` experiment harness.
 
+pub mod compat;
+
 use topology::{GraphKind, Grid, Shape};
 
 /// Builds a shape from a slice, panicking on invalid input (benchmarks and

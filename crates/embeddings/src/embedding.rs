@@ -1,12 +1,37 @@
 //! The [`Embedding`] type: an injection of the nodes of a guest graph `G`
 //! into the nodes of a host graph `H`, together with its dilation cost
 //! (Definition 1 of the paper).
+//!
+//! # Batched evaluation
+//!
+//! Every construction in the paper evaluates in `O(dimension of H)` time per
+//! node, so consumers should sweep embeddings rather than materialize them.
+//! Two API tiers support this:
+//!
+//! * **Per-call**: [`Embedding::map`] / [`Embedding::map_index`] evaluate one
+//!   node. Convenient for spot checks, but a sweep built on them pays one
+//!   dynamic call per lookup plus (for neighbor enumeration through
+//!   [`Grid::neighbors`]) a `Vec` allocation per node.
+//! * **Batched**: [`Embedding::map_into`] writes into a caller-owned scratch
+//!   [`Coord`], and [`Embedding::for_each_edge_mapped`] walks a contiguous
+//!   chunk of guest nodes, visiting every incident guest edge exactly once
+//!   with both endpoint images already evaluated — no allocation anywhere in
+//!   the loop. `verify`, `congestion`, [`Embedding::dilation`] and
+//!   [`Embedding::to_table`] are all built on this path; prefer it whenever
+//!   you touch more than a handful of nodes, and hand disjoint chunks to the
+//!   crossbeam fork–join pool (as [`Embedding::dilation_parallel`] does) to
+//!   scale with memory bandwidth.
+//!
+//! Evaluation never trusts the mapping function: [`Embedding::try_map_index`]
+//! reports images outside the host as [`EmbeddingError::InvalidImage`], and
+//! the sweeps above degrade to failure reports instead of panicking.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::Arc;
 
 use topology::parallel::{parallel_map_reduce, recommended_threads};
-use topology::{Coord, Grid};
+use topology::{Coord, GraphKind, Grid};
 
 use crate::error::{EmbeddingError, Result};
 
@@ -105,11 +130,147 @@ impl Embedding {
         (self.map)(x)
     }
 
+    /// Writes the image of guest node `x` into a caller-owned scratch
+    /// coordinate.
+    ///
+    /// This is the batched twin of [`Embedding::map`]: hot loops keep one
+    /// `Coord` alive per endpoint and overwrite it per lookup instead of
+    /// binding a fresh value per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range (constructions map exactly `[0, n)`).
+    #[inline]
+    pub fn map_into(&self, x: u64, out: &mut Coord) {
+        *out = (self.map)(x);
+    }
+
     /// The image of guest node `x` as a host linear index.
-    pub fn map_index(&self, x: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::InvalidImage`] if the mapping function
+    /// produced a coordinate that is not a node of the host — the fallible
+    /// path for code that must not abort on a buggy construction.
+    pub fn try_map_index(&self, x: u64) -> Result<u64> {
+        let image = self.map(x);
         self.host
-            .index(&self.map(x))
+            .index(&image)
+            .map_err(|_| EmbeddingError::InvalidImage {
+                guest: x,
+                image: Box::new(image),
+            })
+    }
+
+    /// The image of guest node `x` as a host linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not a valid host node; use
+    /// [`Embedding::try_map_index`] to handle that case as an error.
+    pub fn map_index(&self, x: u64) -> u64 {
+        self.try_map_index(x)
             .expect("embedding images must be valid host nodes")
+    }
+
+    /// Visits every node in `nodes` and every guest edge incident to it,
+    /// with all images already evaluated — the chunked core of the batched
+    /// pipeline.
+    ///
+    /// The range is processed in fixed-size chunks. Per chunk, the images of
+    /// the chunk's nodes are materialized once into an internal scratch
+    /// buffer (one dynamic `map` call per node); then for each node `x` (in
+    /// increasing order) `node(x, f(x))` is called, followed by
+    /// `edge(x, y, f(x), f(y))` for each edge obtained by *increasing* `x`'s
+    /// coordinate in some dimension (modulo the length for toruses) — the
+    /// same enumeration as [`Grid::edges`], so sweeping `0..size()` visits
+    /// every edge exactly once and disjoint chunks partition the edge set
+    /// for fork–join parallelism. Neighbors inside the current chunk reuse
+    /// the materialized image; only edges leaving the chunk re-evaluate the
+    /// map, so a sweep costs roughly one `map` call per node instead of two
+    /// per edge, and nothing in the loop touches the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk contains an out-of-range node index.
+    pub fn for_each_mapped<N, E>(&self, nodes: Range<u64>, mut node: N, mut edge: E)
+    where
+        N: FnMut(u64, &Coord),
+        E: FnMut(u64, u64, &Coord, &Coord),
+    {
+        // 2¹⁴ images ≈ 2 MiB of scratch: large enough that the common
+        // least-significant-dimension neighbors stay in-chunk, small enough
+        // to live in cache.
+        const CHUNK: u64 = 1 << 14;
+        let shape = self.guest.shape();
+        let kind = self.guest.kind();
+        let d = shape.dim();
+        let mut images: Vec<Coord> = Vec::new();
+        let mut coord = Coord::empty();
+        let mut fy = Coord::empty();
+        let mut start = nodes.start;
+        while start < nodes.end {
+            let end = nodes.end.min(start + CHUNK);
+            images.clear();
+            for x in start..end {
+                images.push((self.map)(x));
+            }
+            for x in start..end {
+                let slot = (x - start) as usize;
+                shape.to_digits_into(x, &mut coord).expect("node in range");
+                node(x, &images[slot]);
+                for j in 0..d {
+                    let l = shape.radix(j);
+                    let i = coord.get(j);
+                    let w = shape.weight(j + 1);
+                    let y = match kind {
+                        GraphKind::Mesh => {
+                            if i < l - 1 {
+                                x + w
+                            } else {
+                                continue;
+                            }
+                        }
+                        GraphKind::Torus => {
+                            if l == 2 {
+                                if i == 0 {
+                                    x + w
+                                } else {
+                                    continue;
+                                }
+                            } else if i < l - 1 {
+                                x + w
+                            } else {
+                                // Wrap-around edge back to coordinate 0.
+                                x - (l as u64 - 1) * w
+                            }
+                        }
+                    };
+                    let fy_ref: &Coord = if y >= start && y < end {
+                        &images[(y - start) as usize]
+                    } else {
+                        self.map_into(y, &mut fy);
+                        &fy
+                    };
+                    edge(x, y, &images[slot], fy_ref);
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Visits every guest edge incident to a node in `nodes`, with both
+    /// endpoint images already evaluated — [`Embedding::for_each_mapped`]
+    /// without the per-node callback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk contains an out-of-range node index.
+    pub fn for_each_edge_mapped<F>(&self, nodes: Range<u64>, visit: F)
+    where
+        F: FnMut(u64, u64, &Coord, &Coord),
+    {
+        self.for_each_mapped(nodes, |_, _| (), visit);
     }
 
     /// The images of all guest nodes, as host linear indices.
@@ -117,7 +278,8 @@ impl Embedding {
     /// # Errors
     ///
     /// Returns [`EmbeddingError::TooLarge`] for graphs with more than
-    /// 2³⁰ nodes.
+    /// 2³⁰ nodes, and [`EmbeddingError::InvalidImage`] if the mapping
+    /// function produces a coordinate outside the host.
     pub fn to_table(&self) -> Result<Vec<u64>> {
         const LIMIT: u64 = 1 << 30;
         if self.size() > LIMIT {
@@ -126,20 +288,26 @@ impl Embedding {
                 limit: LIMIT,
             });
         }
-        Ok((0..self.size()).map(|x| self.map_index(x)).collect())
+        let mut table = Vec::with_capacity(self.size() as usize);
+        for x in 0..self.size() {
+            table.push(self.try_map_index(x)?);
+        }
+        Ok(table)
     }
 
     /// Whether the mapping is injective (and therefore bijective, since the
-    /// graphs have equal size).
+    /// graphs have equal size). Images outside the host make the mapping
+    /// non-injective into the host's node set, so they return `false`
+    /// rather than panicking.
     pub fn is_injective(&self) -> bool {
         let n = self.size();
         let words = n.div_ceil(64) as usize;
         let mut seen = vec![0u64; words];
         for x in 0..n {
-            let y = self.map_index(x);
-            if y >= n {
-                return false;
-            }
+            let y = match self.try_map_index(x) {
+                Ok(y) => y,
+                Err(_) => return false,
+            };
             let (w, b) = ((y / 64) as usize, y % 64);
             if seen[w] >> b & 1 == 1 {
                 return false;
@@ -150,18 +318,19 @@ impl Embedding {
     }
 
     /// The dilation cost: the maximum host distance between the images of
-    /// adjacent guest nodes (Definition 1), computed sequentially.
+    /// adjacent guest nodes (Definition 1), computed sequentially with the
+    /// batched edge sweep.
     pub fn dilation(&self) -> u64 {
-        self.guest
-            .edges()
-            .map(|(a, b)| self.host.distance(&self.map(a), &self.map(b)))
-            .max()
-            .unwrap_or(0)
+        let mut worst = 0u64;
+        self.for_each_edge_mapped(0..self.size(), |_, _, fx, fy| {
+            worst = worst.max(self.host.distance(fx, fy));
+        });
+        worst
     }
 
     /// The dilation cost, computed with a crossbeam fork–join sweep over the
-    /// guest's nodes (each worker enumerates the edges incident to its node
-    /// range). `threads = 0` selects [`recommended_threads`].
+    /// guest's nodes (each worker runs [`Embedding::for_each_edge_mapped`]
+    /// on its node range). `threads = 0` selects [`recommended_threads`].
     pub fn dilation_parallel(&self, threads: usize) -> u64 {
         let threads = if threads == 0 {
             recommended_threads()
@@ -174,19 +343,9 @@ impl Embedding {
             0u64,
             |range| {
                 let mut worst = 0u64;
-                for x in range {
-                    let fx = self.map(x);
-                    // Enumerate each incident edge from its lower endpoint the
-                    // same way EdgeIter does: neighbors with a larger index,
-                    // plus wrap-around edges pointing back to index 0 of a
-                    // dimension.
-                    for y in self.guest.neighbors(x).expect("node in range") {
-                        if y > x {
-                            let fy = self.map(y);
-                            worst = worst.max(self.host.distance(&fx, &fy));
-                        }
-                    }
-                }
+                self.for_each_edge_mapped(range, |_, _, fx, fy| {
+                    worst = worst.max(self.host.distance(fx, fy));
+                });
                 worst
             },
             u64::max,
@@ -198,10 +357,10 @@ impl Embedding {
     pub fn average_dilation(&self) -> (f64, u64) {
         let mut total = 0u64;
         let mut edges = 0u64;
-        for (a, b) in self.guest.edges() {
-            total += self.host.distance(&self.map(a), &self.map(b));
+        self.for_each_edge_mapped(0..self.size(), |_, _, fx, fy| {
+            total += self.host.distance(fx, fy);
             edges += 1;
-        }
+        });
         if edges == 0 {
             (0.0, 0)
         } else {
@@ -213,10 +372,9 @@ impl Embedding {
     /// guest edges dilated to that distance.
     pub fn dilation_histogram(&self) -> BTreeMap<u64, u64> {
         let mut histogram = BTreeMap::new();
-        for (a, b) in self.guest.edges() {
-            let d = self.host.distance(&self.map(a), &self.map(b));
-            *histogram.entry(d).or_insert(0) += 1;
-        }
+        self.for_each_edge_mapped(0..self.size(), |_, _, fx, fy| {
+            *histogram.entry(self.host.distance(fx, fy)).or_insert(0) += 1;
+        });
         histogram
     }
 
@@ -388,6 +546,69 @@ mod tests {
             .with_name("custom");
         assert_eq!(e.name(), "custom");
         assert!(format!("{e:?}").contains("custom"));
+    }
+
+    #[test]
+    fn map_into_matches_map() {
+        let e = row_major(12, Grid::mesh(shape(&[3, 4])));
+        let mut scratch = Coord::empty();
+        for x in 0..e.size() {
+            e.map_into(x, &mut scratch);
+            assert_eq!(scratch, e.map(x));
+        }
+    }
+
+    #[test]
+    fn for_each_edge_mapped_enumerates_every_edge_once() {
+        for host in [
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[4, 2, 3])),
+        ] {
+            let guest_kind = host.kind();
+            let guest = Grid::new(guest_kind, shape(&[4, 2, 3]));
+            let e = Embedding::identity(guest.clone(), host).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            e.for_each_edge_mapped(0..e.size(), |x, y, fx, fy| {
+                assert_eq!(*fx, e.map(x));
+                assert_eq!(*fy, e.map(y));
+                assert!(seen.insert((x.min(y), x.max(y))), "duplicate edge {x}-{y}");
+            });
+            let expected: std::collections::HashSet<(u64, u64)> =
+                guest.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
+            assert_eq!(seen, expected);
+        }
+    }
+
+    #[test]
+    fn chunked_edge_sweep_partitions_the_edge_set() {
+        let e = row_major(24, Grid::mesh(shape(&[4, 6])));
+        let mut all = 0u64;
+        for range in [0..7, 7..8, 8..24] {
+            e.for_each_edge_mapped(range, |_, _, _, _| all += 1);
+        }
+        assert_eq!(all, e.guest().num_edges());
+    }
+
+    #[test]
+    fn invalid_images_surface_as_errors_not_panics() {
+        let line = Grid::line(4).unwrap();
+        let host = Grid::line(4).unwrap();
+        let e = Embedding::new(
+            line,
+            host,
+            "out-of-host",
+            Arc::new(|x| Coord::from_slice(&[x as u32 + 7]).unwrap()),
+        )
+        .unwrap();
+        assert!(matches!(
+            e.try_map_index(0),
+            Err(EmbeddingError::InvalidImage { guest: 0, .. })
+        ));
+        assert!(matches!(
+            e.to_table(),
+            Err(EmbeddingError::InvalidImage { .. })
+        ));
+        assert!(!e.is_injective());
     }
 
     #[test]

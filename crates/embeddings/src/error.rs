@@ -40,6 +40,17 @@ pub enum EmbeddingError {
         /// Human-readable description of the problem.
         details: String,
     },
+    /// A mapping function produced an image that is not a node of the host
+    /// graph (a buggy custom construction). Surfaced by the fallible
+    /// evaluation paths ([`crate::Embedding::try_map_index`],
+    /// [`crate::Embedding::to_table`], [`crate::congestion::congestion`])
+    /// instead of aborting the process.
+    InvalidImage {
+        /// The guest node whose image is invalid.
+        guest: u64,
+        /// The offending image coordinate (boxed to keep the error small).
+        image: Box<mixedradix::Digits>,
+    },
     /// The requested graph is too large for the requested operation (e.g.
     /// materializing a table or running an exhaustive search).
     TooLarge {
@@ -70,6 +81,12 @@ impl fmt::Display for EmbeddingError {
             }
             EmbeddingError::InvalidFactor { details } => {
                 write!(f, "invalid factor: {details}")
+            }
+            EmbeddingError::InvalidImage { guest, image } => {
+                write!(
+                    f,
+                    "guest node {guest} maps to {image}, which is not a host node"
+                )
             }
             EmbeddingError::TooLarge { size, limit } => {
                 write!(
@@ -136,5 +153,11 @@ mod tests {
             details: "bad".into(),
         };
         assert!(e.to_string().contains("invalid factor"));
+        let e = EmbeddingError::InvalidImage {
+            guest: 3,
+            image: Box::new(mixedradix::Digits::from_slice(&[9, 9]).unwrap()),
+        };
+        assert!(e.to_string().contains("guest node 3"));
+        assert!(e.to_string().contains("(9, 9)"));
     }
 }

@@ -26,8 +26,10 @@
 //! * [`auto`] — the planner: [`auto::embed`] picks the right construction for
 //!   an arbitrary pair.
 //! * [`verify`] — independent (parallel) measurement of dilation and
-//!   injectivity.
-//! * [`congestion`] — edge congestion under dimension-ordered routing, a
+//!   injectivity on the batched allocation-free edge sweep
+//!   ([`Embedding::for_each_edge_mapped`]).
+//! * [`congestion`] — edge congestion under dimension-ordered routing (the
+//!   next-hop rule shared with `netsim` via `topology::routing`), a
 //!   library-level extension of the paper's cost model.
 //! * [`metrics`] — a one-stop [`metrics::EmbeddingMetrics`] quality report
 //!   (dilation, distribution, congestion, prediction, lower bound).
@@ -78,7 +80,9 @@ pub mod prelude {
     pub use crate::auto::{embed, predicted_dilation};
     pub use crate::basic::{embed_line_in, embed_ring_in};
     pub use crate::chain::{ChainStep, EmbeddingChain};
-    pub use crate::congestion::{congestion, CongestionReport};
+    pub use crate::congestion::{
+        congestion, congestion_parallel, congestion_sequential, CongestionReport,
+    };
     pub use crate::embedding::Embedding;
     pub use crate::error::EmbeddingError;
     pub use crate::expansion::{find_expansion_factor, ExpansionFactor};

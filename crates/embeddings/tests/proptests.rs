@@ -170,6 +170,33 @@ proptest! {
     }
 
     #[test]
+    fn parallel_congestion_agrees_with_sequential(host in small_grid(), threads in 1usize..6) {
+        use embeddings::congestion::{congestion_parallel, congestion_sequential};
+        for e in [embed_ring_in(&host).unwrap(), embed_line_in(&host).unwrap()] {
+            let sequential = congestion_sequential(&e).unwrap();
+            let parallel = congestion_parallel(&e, threads).unwrap();
+            prop_assert_eq!(sequential, parallel);
+        }
+    }
+
+    #[test]
+    fn batched_edge_sweep_agrees_with_per_call_dilation(host in small_grid()) {
+        // The chunk-materializing sweep must measure exactly what naive
+        // per-call arithmetic measures.
+        let e = embed_ring_in(&host).unwrap();
+        let report = verify_sequential(&e);
+        let per_call: u64 = e
+            .guest()
+            .edges()
+            .map(|(a, b)| e.host().distance(&e.map(a), &e.map(b)))
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(report.dilation, per_call);
+        prop_assert_eq!(report.edges, e.guest().num_edges());
+        prop_assert!(report.injective);
+    }
+
+    #[test]
     fn square_lowering_respects_the_formula(ell in 2u32..=4, d in 2usize..=3, torus in proptest::bool::ANY) {
         // Square guest of dimension d and side ℓ into a line/ring of the same
         // size: dilation ℓ^{d-1} (×2 for torus into line).

@@ -170,20 +170,39 @@ impl RadixBase {
     ///
     /// Returns [`MixedRadixError::IndexOutOfRange`] if `x >= n`.
     pub fn to_digits(&self, x: u64) -> Result<Digits> {
+        let mut out = Digits::empty();
+        self.to_digits_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes the radix-`L` representation of `x` into an existing digit
+    /// list, resizing it to this base's dimension.
+    ///
+    /// This is the scratch-buffer twin of [`RadixBase::to_digits`], intended
+    /// for hot loops that decode millions of indices: the caller keeps one
+    /// `Digits` value alive and overwrites it per index instead of
+    /// constructing a fresh value per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedRadixError::IndexOutOfRange`] if `x >= n`; `out` is left
+    /// untouched in that case.
+    #[inline]
+    pub fn to_digits_into(&self, x: u64, out: &mut Digits) -> Result<()> {
         if x >= self.size {
             return Err(MixedRadixError::IndexOutOfRange {
                 index: x,
                 size: self.size,
             });
         }
-        let mut out = Digits::zero(self.dim()).expect("dim <= MAX_DIM");
+        *out = Digits::zero(self.dim()).expect("dim <= MAX_DIM");
         for j in 0..self.dim() {
             // x̂_j = ⌊x / w_j⌋ mod l_j, using the 1-based weights of the paper;
             // with 0-based indexing digit j uses weights[j + 1].
             let digit = (x / self.weights[j + 1]) % self.radices[j] as u64;
             out.set(j, digit as u32);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The integer represented by a digit list (the paper's `u_L⁻¹`):
@@ -354,6 +373,21 @@ mod tests {
         assert_eq!(base.to_digits(3).unwrap().as_slice(), &[0, 1, 0]);
         assert_eq!(base.to_digits(6).unwrap().as_slice(), &[1, 0, 0]);
         assert_eq!(base.to_digits(23).unwrap().as_slice(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn to_digits_into_reuses_the_scratch_buffer() {
+        let base = paper_base();
+        let mut scratch = Digits::from_slice(&[9, 9, 9, 9, 9]).unwrap();
+        for x in 0..base.size() {
+            base.to_digits_into(x, &mut scratch).unwrap();
+            assert_eq!(scratch, base.to_digits(x).unwrap());
+            assert_eq!(base.to_index(&scratch).unwrap(), x);
+        }
+        // Out-of-range indices leave the scratch untouched.
+        let before = scratch;
+        assert!(base.to_digits_into(base.size(), &mut scratch).is_err());
+        assert_eq!(scratch, before);
     }
 
     #[test]

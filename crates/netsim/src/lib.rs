@@ -51,7 +51,7 @@ pub use collective::{
 };
 pub use network::Network;
 pub use routing::{Router, RoutingAlgorithm};
-pub use sim::{simulate, simulate_embedding, Placement, SimStats};
+pub use sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};
 pub use stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
 pub use traffic::Workload;
 
@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::network::Network;
     pub use crate::patterns;
     pub use crate::routing::{Router, RoutingAlgorithm};
-    pub use crate::sim::{simulate, simulate_embedding, Placement, SimStats};
+    pub use crate::sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};
     pub use crate::stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
     pub use crate::traffic::Workload;
 }

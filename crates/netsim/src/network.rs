@@ -1,6 +1,11 @@
 //! A torus/mesh interconnection network with dimension-ordered routing.
+//!
+//! The next-hop rule itself lives in [`topology::routing`] and is shared
+//! with the congestion model in the `embeddings` crate, so the simulator and
+//! the analytical model can never disagree about which arc a route takes.
 
 use topology::csr::CsrAdjacency;
+use topology::routing::{advance_toward, next_hop_toward};
 use topology::{Coord, Grid};
 
 /// A network instance: a torus or mesh topology plus the routing metadata the
@@ -9,6 +14,7 @@ use topology::{Coord, Grid};
 pub struct Network {
     grid: Grid,
     adjacency: CsrAdjacency,
+    forward_dims: Vec<usize>,
 }
 
 impl Network {
@@ -21,7 +27,12 @@ impl Network {
     /// memory.
     pub fn new(grid: Grid) -> Self {
         let adjacency = CsrAdjacency::build(&grid).expect("network fits in memory");
-        Network { grid, adjacency }
+        let forward_dims = (0..grid.dim()).collect();
+        Network {
+            grid,
+            adjacency,
+            forward_dims,
+        }
     }
 
     /// The underlying topology.
@@ -41,53 +52,52 @@ impl Network {
 
     /// The next hop from `from` toward `to` under dimension-ordered routing:
     /// correct the lowest-index dimension whose coordinate differs, moving in
-    /// the shorter direction (with wrap-around only on toruses).
+    /// the shorter direction (with wrap-around only on toruses, equidistant
+    /// arcs forward) — the shared rule of [`topology::routing`].
     ///
     /// Returns `None` if `from == to`.
     pub fn next_hop(&self, from: u64, to: u64) -> Option<u64> {
-        if from == to {
-            return None;
-        }
         let a: Coord = self.grid.coord(from).expect("node in range");
         let b: Coord = self.grid.coord(to).expect("node in range");
-        for j in 0..self.grid.dim() {
-            let (x, y) = (a.get(j), b.get(j));
-            if x == y {
-                continue;
-            }
-            let l = self.grid.shape().radix(j);
-            let step: i64 = if self.grid.is_torus() {
-                // Move in the direction of the shorter arc.
-                let forward = (y as i64 - x as i64).rem_euclid(l as i64);
-                let backward = (x as i64 - y as i64).rem_euclid(l as i64);
-                if forward <= backward {
-                    1
-                } else {
-                    -1
-                }
-            } else if y > x {
-                1
-            } else {
-                -1
-            };
-            let next_digit = (x as i64 + step).rem_euclid(l as i64) as u32;
-            let mut next = a;
-            next.set(j, next_digit);
-            return Some(self.grid.index(&next).expect("valid coordinate"));
-        }
-        None
+        let next = next_hop_toward(&self.grid, &a, &b, &self.forward_dims)?;
+        Some(self.grid.index(&next).expect("valid coordinate"))
     }
 
     /// The full dimension-ordered route from `from` to `to`, excluding the
     /// source and including the destination.
     pub fn route(&self, from: u64, to: u64) -> Vec<u64> {
         let mut path = Vec::new();
-        let mut current = from;
-        while let Some(next) = self.next_hop(current, to) {
-            path.push(next);
-            current = next;
-        }
+        self.route_into(from, to, &mut path);
         path
+    }
+
+    /// Appends the dimension-ordered route from `from` to `to` (excluding
+    /// the source, including the destination) to `out`.
+    ///
+    /// This is the batched form of [`Network::route`]: the route expansion
+    /// advances a coordinate and its index in place, so expanding millions
+    /// of routes into reused (or shared, flat) hop buffers never touches the
+    /// allocator beyond the buffer's own growth.
+    pub fn route_into(&self, from: u64, to: u64, out: &mut Vec<u64>) {
+        self.route_ordered_into(from, to, &self.forward_dims, out);
+    }
+
+    /// The one route-expansion loop shared by [`Network::route_into`] and
+    /// the `Router` variants: appends the hops from `from` to `to`
+    /// correcting dimensions in the order given by `dims`.
+    pub(crate) fn route_ordered_into(
+        &self,
+        from: u64,
+        to: u64,
+        dims: &[usize],
+        out: &mut Vec<u64>,
+    ) {
+        let mut current = self.grid.coord(from).expect("node in range");
+        let target = self.grid.coord(to).expect("node in range");
+        let mut index = from;
+        while advance_toward(&self.grid, &mut current, &mut index, &target, dims).is_some() {
+            out.push(index);
+        }
     }
 
     /// The number of hops of the dimension-ordered route — equal to the
@@ -162,5 +172,27 @@ mod tests {
     fn next_hop_of_identical_nodes_is_none() {
         let net = network(true, &[3, 3]);
         assert_eq!(net.next_hop(4, 4), None);
+    }
+
+    #[test]
+    fn route_into_appends_to_a_reused_buffer() {
+        let net = network(true, &[4, 2, 3]);
+        let mut buffer = Vec::new();
+        for from in 0..net.size() {
+            for to in 0..net.size() {
+                let start = buffer.len();
+                net.route_into(from, to, &mut buffer);
+                assert_eq!(&buffer[start..], net.route(from, to).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn equidistant_arcs_route_forward() {
+        // Even radix: node 0 to its antipode 2 on a 4-ring has two length-2
+        // arcs; the shared tie-break must take the forward one through 1.
+        let net = network(true, &[4]);
+        assert_eq!(net.next_hop(0, 2), Some(1));
+        assert_eq!(net.route(0, 2), vec![1, 2]);
     }
 }

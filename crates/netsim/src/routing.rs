@@ -18,7 +18,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use topology::Coord;
 
 use crate::network::Network;
 
@@ -50,48 +49,14 @@ impl RoutingAlgorithm {
     }
 }
 
-/// The next hop from `from` toward `to`, correcting dimensions in the given
-/// order and taking the shorter arc on toruses.
-fn next_hop_ordered(network: &Network, from: &Coord, to: &Coord, dims: &[usize]) -> Option<Coord> {
-    let grid = network.grid();
-    for &j in dims {
-        let (x, y) = (from.get(j), to.get(j));
-        if x == y {
-            continue;
-        }
-        let l = grid.shape().radix(j);
-        let step: i64 = if grid.is_torus() {
-            let forward = (y as i64 - x as i64).rem_euclid(l as i64);
-            let backward = (x as i64 - y as i64).rem_euclid(l as i64);
-            if forward <= backward {
-                1
-            } else {
-                -1
-            }
-        } else if y > x {
-            1
-        } else {
-            -1
-        };
-        let mut next = *from;
-        next.set(j, (x as i64 + step).rem_euclid(l as i64) as u32);
-        return Some(next);
-    }
-    None
-}
-
-/// The full path from `from` to `to` (excluding the source, including the
-/// destination) correcting dimensions in the order given by `dims`.
-fn route_ordered(network: &Network, from: u64, to: u64, dims: &[usize]) -> Vec<u64> {
-    let grid = network.grid();
-    let mut current = grid.coord(from).expect("node in range");
-    let target = grid.coord(to).expect("node in range");
-    let mut path = Vec::new();
-    while let Some(next) = next_hop_ordered(network, &current, &target, dims) {
-        path.push(grid.index(&next).expect("valid coordinate"));
-        current = next;
-    }
-    path
+/// Appends the path from `from` to `to` (excluding the source, including the
+/// destination) to `out`, correcting dimensions in the order given by
+/// `dims`. Delegates to the network's single route-expansion loop, which
+/// uses the shared next-hop rule of [`topology::routing`] — the same rule
+/// the congestion model applies — advancing coordinate and index in place,
+/// so repeated expansion into a reused buffer never allocates.
+fn route_ordered_into(network: &Network, from: u64, to: u64, dims: &[usize], out: &mut Vec<u64>) {
+    network.route_ordered_into(from, to, dims, out);
 }
 
 /// The pseudo-random Valiant intermediate node for the message `from → to`.
@@ -131,21 +96,29 @@ impl Router {
     /// The hop-by-hop route from `from` to `to` (excluding the source,
     /// including the destination). Empty when `from == to`.
     pub fn route(&self, network: &Network, from: u64, to: u64) -> Vec<u64> {
+        let mut path = Vec::new();
+        self.route_into(network, from, to, &mut path);
+        path
+    }
+
+    /// Appends the hop-by-hop route from `from` to `to` to `out` — the
+    /// batched form of [`Router::route`] for expanding many routes into a
+    /// reused (or shared, flat) hop buffer without per-route allocation.
+    pub fn route_into(&self, network: &Network, from: u64, to: u64, out: &mut Vec<u64>) {
         match self.algorithm {
             RoutingAlgorithm::DimensionOrdered => {
-                route_ordered(network, from, to, &self.forward_dims)
+                route_ordered_into(network, from, to, &self.forward_dims, out);
             }
             RoutingAlgorithm::ReverseDimensionOrdered => {
-                route_ordered(network, from, to, &self.reverse_dims)
+                route_ordered_into(network, from, to, &self.reverse_dims, out);
             }
             RoutingAlgorithm::Valiant { seed } => {
                 if from == to {
-                    return Vec::new();
+                    return;
                 }
                 let middle = valiant_intermediate(network, from, to, seed);
-                let mut path = route_ordered(network, from, middle, &self.forward_dims);
-                path.extend(route_ordered(network, middle, to, &self.forward_dims));
-                path
+                route_ordered_into(network, from, middle, &self.forward_dims, out);
+                route_ordered_into(network, middle, to, &self.forward_dims, out);
             }
         }
     }

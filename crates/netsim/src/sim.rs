@@ -18,6 +18,38 @@ use embeddings::Embedding;
 use crate::network::Network;
 use crate::traffic::Workload;
 
+/// Why an explicit placement table was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Two tasks were assigned to the same network node.
+    NotInjective {
+        /// The first task assigned to the node.
+        first_task: u64,
+        /// The later task assigned to the same node.
+        second_task: u64,
+        /// The doubly-assigned node.
+        node: u64,
+    },
+}
+
+impl core::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlacementError::NotInjective {
+                first_task,
+                second_task,
+                node,
+            } => write!(
+                f,
+                "placement must be injective: tasks {first_task} and {second_task} \
+                 are both assigned to node {node}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// An assignment of logical tasks to network nodes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Placement {
@@ -32,18 +64,37 @@ impl Placement {
         }
     }
 
+    /// A placement defined by an explicit table, rejecting non-injective
+    /// tables as an error — the fallible path for library code assembling
+    /// placements from untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::NotInjective`] naming the colliding tasks
+    /// if two tasks share a node.
+    pub fn try_from_table(map: Vec<u64>) -> Result<Self, PlacementError> {
+        let mut first_assignment = std::collections::HashMap::new();
+        for (task, &node) in map.iter().enumerate() {
+            if let Some(&first_task) = first_assignment.get(&node) {
+                return Err(PlacementError::NotInjective {
+                    first_task,
+                    second_task: task as u64,
+                    node,
+                });
+            }
+            first_assignment.insert(node, task as u64);
+        }
+        Ok(Placement { map })
+    }
+
     /// A placement defined by an explicit table.
     ///
     /// # Panics
     ///
-    /// Panics if the table is not injective.
+    /// Panics if the table is not injective; use
+    /// [`Placement::try_from_table`] to handle that case as an error.
     pub fn from_table(map: Vec<u64>) -> Self {
-        let mut seen = std::collections::HashSet::new();
-        assert!(
-            map.iter().all(|&node| seen.insert(node)),
-            "placement must be injective"
-        );
-        Placement { map }
+        Self::try_from_table(map).expect("placement must be injective")
     }
 
     /// The placement induced by an embedding: task `x` (a guest node) runs on
@@ -115,53 +166,68 @@ pub fn simulate(
         "placement references nodes outside the network"
     );
 
+    // All routes live in one flat hop buffer (expanded with the shared,
+    // in-place next-hop primitive via `route_into`); messages are just
+    // (offset, length) views plus their traversal state. One round's routes
+    // are identical every round, so they are expanded once and the
+    // remaining rounds reference the same hops.
     struct Message {
-        route: Vec<u64>,
+        start: usize,
+        len: usize,
         position: usize, // number of hops already taken
         current: u64,
     }
 
-    let mut messages: Vec<Message> = Vec::with_capacity(rounds * workload.messages_per_round());
-    for _ in 0..rounds {
+    let pairs_per_round = workload.pairs().len();
+    let mut hops: Vec<u64> = Vec::new();
+    let mut messages: Vec<Message> = Vec::with_capacity(rounds * pairs_per_round);
+    if rounds > 0 {
         for &(src_task, dst_task) in workload.pairs() {
             let src = placement.node_of(src_task);
             let dst = placement.node_of(dst_task);
+            let start = hops.len();
+            network.route_into(src, dst, &mut hops);
             messages.push(Message {
-                route: network.route(src, dst),
+                start,
+                len: hops.len() - start,
                 position: 0,
                 current: src,
             });
         }
     }
+    for _ in 1..rounds {
+        for i in 0..pairs_per_round {
+            let Message { start, len, .. } = messages[i];
+            messages.push(Message {
+                start,
+                len,
+                position: 0,
+                current: placement.node_of(workload.pairs()[i].0),
+            });
+        }
+    }
 
     let total_messages = messages.len() as u64;
-    let total_hops: u64 = messages.iter().map(|m| m.route.len() as u64).sum();
-    let max_hops: u64 = messages
-        .iter()
-        .map(|m| m.route.len() as u64)
-        .max()
-        .unwrap_or(0);
+    let total_hops: u64 = messages.iter().map(|m| m.len as u64).sum();
+    let max_hops: u64 = messages.iter().map(|m| m.len as u64).max().unwrap_or(0);
 
     // Cycle loop with one-message-per-directed-link arbitration.
     let mut cycles = 0u64;
-    let mut remaining: usize = messages
-        .iter()
-        .filter(|m| m.position < m.route.len())
-        .count();
+    let mut remaining: usize = messages.iter().filter(|m| m.position < m.len).count();
     let mut claimed: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
     while remaining > 0 {
         cycles += 1;
         claimed.clear();
         for message in &mut messages {
-            if message.position >= message.route.len() {
+            if message.position >= message.len {
                 continue;
             }
-            let next = message.route[message.position];
+            let next = hops[message.start + message.position];
             let link = (message.current, next);
             if claimed.insert(link) {
                 message.current = next;
                 message.position += 1;
-                if message.position == message.route.len() {
+                if message.position == message.len {
                     remaining -= 1;
                 }
             }
@@ -270,5 +336,37 @@ mod tests {
     #[should_panic(expected = "injective")]
     fn non_injective_placement_panics() {
         let _ = Placement::from_table(vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn try_from_table_reports_the_collision() {
+        let placement = Placement::try_from_table(vec![3, 0, 2]).unwrap();
+        assert_eq!(placement.tasks(), 3);
+        assert_eq!(placement.node_of(0), 3);
+        match Placement::try_from_table(vec![0, 5, 1, 5]) {
+            Err(PlacementError::NotInjective {
+                first_task,
+                second_task,
+                node,
+            }) => {
+                assert_eq!((first_task, second_task, node), (1, 3, 5));
+            }
+            other => panic!("expected NotInjective, got {other:?}"),
+        }
+        let message = Placement::try_from_table(vec![0, 0])
+            .unwrap_err()
+            .to_string();
+        assert!(message.contains("injective"));
+        assert!(message.contains("node 0"));
+    }
+
+    #[test]
+    fn zero_rounds_deliver_nothing() {
+        let ring = Grid::ring(4).unwrap();
+        let network = Network::new(ring.clone());
+        let workload = Workload::from_task_graph(&ring);
+        let stats = simulate(&network, &workload, &Placement::identity(4), 0);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.cycles, 0);
     }
 }

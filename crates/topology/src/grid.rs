@@ -400,6 +400,55 @@ impl Grid {
     pub fn edges(&self) -> crate::edges::EdgeIter<'_> {
         crate::edges::EdgeIter::new(self)
     }
+
+    /// The number of slots in the dense *directed*-edge indexing scheme:
+    /// `2 · d · n`, one slot per (node, dimension, direction) triple.
+    ///
+    /// The scheme is dense over triples, not over existing edges: mesh
+    /// boundary slots and the duplicate backward slots of length-2 torus
+    /// dimensions are simply never produced by a valid route. This lets load
+    /// accounting use a flat `Vec` indexed by [`Grid::edge_index`] instead of
+    /// a hash map keyed on coordinate pairs.
+    pub fn directed_edge_count(&self) -> u64 {
+        2 * self.dim() as u64 * self.size()
+    }
+
+    /// The dense index of the directed edge leaving node `from` along
+    /// dimension `dim` in the forward (`+1`, wrapping on toruses) or backward
+    /// (`−1`) direction: `(from · d + dim) · 2 + (forward ? 0 : 1)`, in
+    /// `[0, directed_edge_count())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range (node indices are not checked; the
+    /// scheme is a pure arithmetic encoding).
+    #[inline]
+    pub fn edge_index(&self, from: u64, dim: usize, forward: bool) -> u64 {
+        assert!(dim < self.dim(), "dimension {dim} out of range");
+        (from * self.dim() as u64 + dim as u64) * 2 + if forward { 0 } else { 1 }
+    }
+
+    /// The number of slots in the dense *undirected*-link indexing scheme:
+    /// `d · n`, one slot per (tail node, dimension) pair — the forward half
+    /// of [`Grid::directed_edge_count`].
+    pub fn link_count(&self) -> u64 {
+        self.dim() as u64 * self.size()
+    }
+
+    /// The dense index of the undirected link whose canonical *tail* is
+    /// `tail` along dimension `dim`: `tail · d + dim`, in
+    /// `[0, link_count())`. The canonical tail of a link is the endpoint
+    /// whose forward step reaches the other endpoint (see
+    /// [`crate::routing::link_slot_of_hop`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    #[inline]
+    pub fn link_index(&self, tail: u64, dim: usize) -> u64 {
+        assert!(dim < self.dim(), "dimension {dim} out of range");
+        tail * self.dim() as u64 + dim as u64
+    }
 }
 
 impl fmt::Debug for Grid {
@@ -590,6 +639,42 @@ mod tests {
         assert!(t.same_type(&h));
         assert!(m.same_type(&h));
         assert!(t.same_type(&t));
+    }
+
+    #[test]
+    fn edge_indexing_is_dense_and_consistent_with_link_indexing() {
+        for grid in [
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[5, 3])),
+            Grid::hypercube(4).unwrap(),
+        ] {
+            let d = grid.dim();
+            assert_eq!(grid.directed_edge_count(), 2 * grid.link_count());
+            assert_eq!(grid.link_count(), d as u64 * grid.size());
+            let mut seen = std::collections::HashSet::new();
+            for from in grid.nodes() {
+                for dim in 0..d {
+                    for forward in [true, false] {
+                        let slot = grid.edge_index(from, dim, forward);
+                        assert!(slot < grid.directed_edge_count());
+                        assert!(seen.insert(slot), "duplicate slot {slot}");
+                        // The forward half of the directed scheme *is* the
+                        // undirected link scheme.
+                        if forward {
+                            assert_eq!(slot, 2 * grid.link_index(from, dim));
+                        }
+                    }
+                }
+            }
+            assert_eq!(seen.len() as u64, grid.directed_edge_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_index_rejects_bad_dimension() {
+        let grid = Grid::torus(shape(&[3, 3]));
+        let _ = grid.edge_index(0, 2, true);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`csr`] — materialized adjacency for cache-friendly traversals;
 //! * [`metrics`] — closed-form network figures of merit (links per dimension,
 //!   degree distribution, mean distance, bisection width);
-//! * [`parallel`] — crossbeam-based fork–join helpers used for edge sweeps.
+//! * [`parallel`] — crossbeam-based fork–join helpers used for edge sweeps;
+//! * [`routing`] — the dimension-ordered next-hop rule shared by the
+//!   congestion model and the network simulator, with in-place batched
+//!   stepping and dense link indexing for flat-array load accounting.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod grid;
 pub mod hamiltonian;
 pub mod metrics;
 pub mod parallel;
+pub mod routing;
 
 /// The shape `(l_1, …, l_d)` of a torus or mesh — identical to a mixed-radix
 /// base (Definition 7 of the paper equips shapes with weights, which is all a
@@ -59,5 +63,6 @@ pub mod prelude {
     pub use crate::grid::{GraphKind, Grid};
     pub use crate::hamiltonian::{admits_hamiltonian_circuit, is_hamiltonian_circuit};
     pub use crate::metrics::GridMetrics;
+    pub use crate::routing::{advance_toward, next_hop_toward};
     pub use crate::{Coord, Shape};
 }

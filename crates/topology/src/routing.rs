@@ -1,0 +1,297 @@
+//! The shared dimension-ordered next-hop rule.
+//!
+//! Both the congestion model in the `embeddings` crate and the simulator in
+//! the `netsim` crate route along dimension-ordered shortest paths: correct
+//! the first differing dimension (in a caller-chosen order), moving along the
+//! shorter arc on toruses and breaking equidistant-arc ties in the *forward*
+//! (+1) direction. Keeping the rule in one place guarantees the two crates
+//! can never silently disagree about which arc a tied route takes.
+//!
+//! Two entry points are provided:
+//!
+//! * [`next_hop_toward`] — the simple form: build and return the next
+//!   coordinate (`Coord` is `Copy`, so this never allocates);
+//! * [`advance_toward`] — the batched form: mutate a coordinate *and* its
+//!   linear index in place and report which dimension/direction was taken,
+//!   so sweeps over millions of hops never re-encode a coordinate.
+
+use crate::grid::Grid;
+use crate::Coord;
+
+/// One dimension-ordered hop, as reported by [`advance_toward`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopTaken {
+    /// The dimension that was corrected.
+    pub dim: usize,
+    /// Whether the step went in the forward (+1) direction. Equidistant
+    /// torus arcs always step forward (the tie-break rule).
+    pub forward: bool,
+    /// Whether the step used a torus wrap-around edge.
+    pub wrapped: bool,
+}
+
+/// The dimension to correct and the direction to step, under the shared
+/// rule: the first dimension in `dims` whose coordinates differ, stepping
+/// `+1` on meshes when the target is larger (else `-1`), and along the
+/// shorter arc on toruses with ties broken toward `+1`.
+///
+/// Returns `None` when `from == to` on every dimension in `dims`.
+#[inline]
+fn dor_step(grid: &Grid, from: &Coord, to: &Coord, dims: &[usize]) -> Option<(usize, bool)> {
+    for &j in dims {
+        let (x, y) = (from.get(j), to.get(j));
+        if x == y {
+            continue;
+        }
+        let forward = if grid.is_torus() {
+            let l = grid.shape().radix(j) as i64;
+            let ahead = (y as i64 - x as i64).rem_euclid(l);
+            let behind = (x as i64 - y as i64).rem_euclid(l);
+            // Shorter arc; equidistant arcs take the forward direction.
+            ahead <= behind
+        } else {
+            y > x
+        };
+        return Some((j, forward));
+    }
+    None
+}
+
+/// The next hop from `from` toward `to`, correcting dimensions in the order
+/// given by `dims` and taking the shorter arc on toruses (ties forward).
+///
+/// Returns `None` when the coordinates already agree on every dimension in
+/// `dims`. This is the one dimension-ordered routing rule shared by
+/// `embeddings::congestion` and `netsim`.
+///
+/// # Panics
+///
+/// Panics if a coordinate has the wrong dimension or a dimension index in
+/// `dims` is out of range.
+pub fn next_hop_toward(grid: &Grid, from: &Coord, to: &Coord, dims: &[usize]) -> Option<Coord> {
+    let (j, forward) = dor_step(grid, from, to, dims)?;
+    let l = grid.shape().radix(j);
+    let x = from.get(j);
+    let step: i64 = if forward { 1 } else { -1 };
+    let mut next = *from;
+    next.set(j, (x as i64 + step).rem_euclid(l as i64) as u32);
+    Some(next)
+}
+
+/// Takes one dimension-ordered hop in place: advances `current` (and its
+/// linear index `current_index`) one step toward `target` and reports the
+/// dimension, direction and wrap-around status of the step.
+///
+/// The index is updated incrementally from the shape's weights, so a routed
+/// sweep costs `O(d)` per hop with no re-encoding and no allocation.
+/// Returns `None` (leaving both values untouched) once `current == target`.
+///
+/// # Panics
+///
+/// Panics if a coordinate has the wrong dimension, a dimension index in
+/// `dims` is out of range, or `current_index` is not the index of `current`.
+pub fn advance_toward(
+    grid: &Grid,
+    current: &mut Coord,
+    current_index: &mut u64,
+    target: &Coord,
+    dims: &[usize],
+) -> Option<HopTaken> {
+    let (j, forward) = dor_step(grid, current, target, dims)?;
+    let l = grid.shape().radix(j);
+    let w = grid.shape().weight(j + 1);
+    let x = current.get(j);
+    let (next_digit, wrapped) = if forward {
+        if x + 1 == l {
+            (0, true)
+        } else {
+            (x + 1, false)
+        }
+    } else if x == 0 {
+        (l - 1, true)
+    } else {
+        (x - 1, false)
+    };
+    debug_assert!(!wrapped || grid.is_torus(), "meshes never wrap");
+    current.set(j, next_digit);
+    *current_index = match (forward, wrapped) {
+        (true, false) => *current_index + w,
+        (true, true) => *current_index - (l as u64 - 1) * w,
+        (false, false) => *current_index - w,
+        (false, true) => *current_index + (l as u64 - 1) * w,
+    };
+    Some(HopTaken {
+        dim: j,
+        forward,
+        wrapped,
+    })
+}
+
+/// The canonical undirected-link slot of the hop that [`advance_toward`]
+/// just took, for use with a flat `Vec` of [`Grid::link_count`] load
+/// counters.
+///
+/// Every physical link is identified with its forward traversal, i.e. the
+/// [`Grid::link_index`] of the endpoint whose step along `hop.dim` in the
+/// `+1` direction (wrapping on toruses) reaches the other endpoint. For the
+/// doubly-covered links of length-2 torus dimensions the endpoint with
+/// coordinate 0 is the canonical tail. `before` and `after` are the node
+/// indices on either side of the hop.
+#[inline]
+pub fn link_slot_of_hop(grid: &Grid, hop: HopTaken, before: u64, after: u64) -> u64 {
+    let l = grid.shape().radix(hop.dim);
+    let tail = if hop.forward && !(hop.wrapped && l == 2) {
+        before
+    } else {
+        after
+    };
+    grid.link_index(tail, hop.dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    fn coord(digits: &[u32]) -> Coord {
+        Coord::from_slice(digits).unwrap()
+    }
+
+    fn forward_dims(grid: &Grid) -> Vec<usize> {
+        (0..grid.dim()).collect()
+    }
+
+    #[test]
+    fn equidistant_torus_arcs_break_ties_forward() {
+        // Even radices put the antipode at exactly l/2 in both directions;
+        // the rule must pick the forward (+1) arc, never the backward one.
+        let ring = Grid::ring(4).unwrap();
+        let next = next_hop_toward(&ring, &coord(&[0]), &coord(&[2]), &[0]).unwrap();
+        assert_eq!(next, coord(&[1]));
+
+        let torus = Grid::torus(shape(&[6, 6]));
+        let next = next_hop_toward(&torus, &coord(&[0, 0]), &coord(&[3, 0]), &[0, 1]).unwrap();
+        assert_eq!(next, coord(&[1, 0]));
+        // … including from a nonzero starting coordinate.
+        let next = next_hop_toward(&torus, &coord(&[5, 2]), &coord(&[2, 2]), &[0, 1]).unwrap();
+        assert_eq!(next, coord(&[0, 2]));
+    }
+
+    #[test]
+    fn hops_walk_shortest_paths() {
+        for grid in [
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[5, 3])),
+            Grid::hypercube(4).unwrap(),
+        ] {
+            let dims = forward_dims(&grid);
+            for a in grid.nodes() {
+                for b in grid.nodes() {
+                    let target = grid.coord(b).unwrap();
+                    let mut current = grid.coord(a).unwrap();
+                    let mut hops = 0u64;
+                    while let Some(next) = next_hop_toward(&grid, &current, &target, &dims) {
+                        assert_eq!(grid.distance(&current, &next), 1);
+                        current = next;
+                        hops += 1;
+                        assert!(hops <= grid.diameter(), "non-terminating route");
+                    }
+                    assert_eq!(current, target);
+                    assert_eq!(hops, grid.distance_index(a, b).unwrap(), "{grid} {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_toward_agrees_with_next_hop_toward() {
+        for grid in [
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[3, 5])),
+            Grid::ring(8).unwrap(),
+        ] {
+            let dims = forward_dims(&grid);
+            for a in grid.nodes() {
+                for b in grid.nodes() {
+                    let target = grid.coord(b).unwrap();
+                    let mut current = grid.coord(a).unwrap();
+                    let mut index = a;
+                    loop {
+                        let expected = next_hop_toward(&grid, &current, &target, &dims);
+                        let before = index;
+                        match advance_toward(&grid, &mut current, &mut index, &target, &dims) {
+                            None => {
+                                assert!(expected.is_none());
+                                break;
+                            }
+                            Some(hop) => {
+                                assert_eq!(Some(current), expected);
+                                assert_eq!(grid.index(&current).unwrap(), index);
+                                // The canonical link slot is shared by both
+                                // traversal directions of the same link.
+                                let slot = link_slot_of_hop(&grid, hop, before, index);
+                                assert!(slot < grid.link_count());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_slots_are_direction_independent() {
+        // Route every adjacent pair in both directions: the two traversals
+        // of one physical link must land in the same canonical slot.
+        for grid in [
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[3, 4])),
+            Grid::ring(2).unwrap(),
+            Grid::torus(shape(&[2, 2])),
+        ] {
+            let dims = forward_dims(&grid);
+            for a in grid.nodes() {
+                for b in grid.neighbors(a).unwrap() {
+                    let slot_ab = {
+                        let mut c = grid.coord(a).unwrap();
+                        let mut i = a;
+                        let hop =
+                            advance_toward(&grid, &mut c, &mut i, &grid.coord(b).unwrap(), &dims)
+                                .unwrap();
+                        link_slot_of_hop(&grid, hop, a, i)
+                    };
+                    let slot_ba = {
+                        let mut c = grid.coord(b).unwrap();
+                        let mut i = b;
+                        let hop =
+                            advance_toward(&grid, &mut c, &mut i, &grid.coord(a).unwrap(), &dims)
+                                .unwrap();
+                        link_slot_of_hop(&grid, hop, b, i)
+                    };
+                    assert_eq!(slot_ab, slot_ba, "{grid} link {a}-{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn respects_dimension_order() {
+        let mesh = Grid::mesh(shape(&[3, 3]));
+        let from = coord(&[0, 0]);
+        let to = coord(&[2, 2]);
+        // Forward order corrects dimension 0 first, reverse order dimension 1.
+        assert_eq!(
+            next_hop_toward(&mesh, &from, &to, &[0, 1]).unwrap(),
+            coord(&[1, 0])
+        );
+        assert_eq!(
+            next_hop_toward(&mesh, &from, &to, &[1, 0]).unwrap(),
+            coord(&[0, 1])
+        );
+    }
+}
