@@ -1,0 +1,43 @@
+//! Benchmark: sweep-engine throughput (trials/second) on the built-in
+//! `bench` plan — a fixed small family (`ring_into` + `same_shape` up to 24
+//! nodes, 123 trials, neighbor workload).
+//!
+//! `expand` measures plan expansion alone (family enumeration); `run_1` and
+//! `run_4` measure the full sweep — planner, batched verify + congestion,
+//! chain report and one netsim round per trial — on 1 worker and on 4
+//! crossbeam workers. Results are recorded in `BENCH_explab.json` at the
+//! repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use explab::executor::{expand, run};
+use explab::plan::SweepPlan;
+
+fn bench_explab(c: &mut Criterion) {
+    let plan = SweepPlan::builtin("bench").expect("built-in plan");
+    let trials = expand(&plan).len() as u64;
+
+    let mut group = c.benchmark_group("explab_throughput");
+    group.throughput(Throughput::Elements(trials));
+
+    group.bench_function(BenchmarkId::new("plan", "expand"), |b| {
+        b.iter(|| expand(&plan).len())
+    });
+    group.bench_function(BenchmarkId::new("sweep", "run_1"), |b| {
+        b.iter(|| run(&plan, 1).supported())
+    });
+    group.bench_function(BenchmarkId::new("sweep", "run_4"), |b| {
+        b.iter(|| run(&plan, 4).supported())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(8))
+        .sample_size(10);
+    targets = bench_explab
+}
+criterion_main!(benches);

@@ -6,9 +6,11 @@
 //! reduction (Section 4.2.2), and `G = I₀ → I₁ → … → I_{u−v} = H` for square
 //! graphs whose dimensions are not divisible (Theorem 51). The composed
 //! [`Embedding`] hides the intermediates; an [`EmbeddingChain`] keeps them,
-//! so that examples, benchmarks and EXPERIMENTS.md can report the dilation
-//! paid at every step and check it against the multiplicative bound
-//! `dilation(chain) ≤ Π dilation(step)`.
+//! so that the examples and the `explab` sweep engine (whose `lab report`
+//! subcommand regenerates the checked-in `EXPERIMENTS.md` at the repository
+//! root) can report the dilation paid at every step and check it against the
+//! multiplicative bound `dilation(chain) ≤ Π dilation(step)` — see
+//! [`ChainReport`].
 
 use topology::Grid;
 
@@ -27,6 +29,31 @@ pub struct ChainStep {
     pub host: String,
     /// The measured dilation of the step on its own.
     pub dilation: u64,
+}
+
+/// The structured per-step report of a chain: the measured dilation of every
+/// step, the multiplicative bound their product implies, and whether the
+/// composed embedding actually honors that bound. Consumers (trial records in
+/// `explab`, the examples) read these fields instead of parsing ad-hoc
+/// strings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainReport {
+    /// One entry per step of the chain, in order.
+    pub steps: Vec<ChainStep>,
+    /// `Π dilation(step)` — the upper bound the chain guarantees for the
+    /// composed embedding.
+    pub product_bound: u64,
+    /// The measured dilation of the composed embedding.
+    pub composed_dilation: u64,
+}
+
+impl ChainReport {
+    /// Whether the composed embedding honors the multiplicative bound
+    /// (`composed_dilation ≤ product_bound`). `false` would indicate a bug in
+    /// a step construction or in composition, never a property of the inputs.
+    pub fn within_bound(&self) -> bool {
+        self.composed_dilation <= self.product_bound
+    }
 }
 
 /// A chain of embeddings `G = G₀ → G₁ → … → G_k = H` whose composition is an
@@ -131,9 +158,12 @@ impl EmbeddingChain {
         self.steps.iter().map(|step| step.dilation()).product()
     }
 
-    /// Measures each step and returns the per-step report.
-    pub fn report(&self) -> Vec<ChainStep> {
-        self.steps
+    /// Measures each step and the composition, and returns the structured
+    /// [`ChainReport`] (per-step dilations plus the multiplicative bound
+    /// check).
+    pub fn report(&self) -> ChainReport {
+        let steps: Vec<ChainStep> = self
+            .steps
             .iter()
             .map(|step| ChainStep {
                 name: step.name().to_string(),
@@ -141,7 +171,16 @@ impl EmbeddingChain {
                 host: step.host().to_string(),
                 dilation: step.dilation(),
             })
-            .collect()
+            .collect();
+        let composed_dilation = self
+            .compose()
+            .expect("a constructed chain always composes")
+            .dilation();
+        ChainReport {
+            steps,
+            product_bound: self.dilation_product_bound(),
+            composed_dilation,
+        }
     }
 }
 
@@ -167,8 +206,11 @@ mod tests {
         assert_eq!(chain.host().shape().radices(), &[4, 2, 3]);
 
         let report = chain.report();
-        assert_eq!(report.len(), 2);
-        assert!(report.iter().all(|step| step.dilation == 1));
+        assert_eq!(report.steps.len(), 2);
+        assert!(report.steps.iter().all(|step| step.dilation == 1));
+        assert_eq!(report.product_bound, 1);
+        assert_eq!(report.composed_dilation, 1);
+        assert!(report.within_bound());
 
         let composed = chain.compose().unwrap();
         assert!(composed.is_injective());
@@ -186,7 +228,10 @@ mod tests {
         let composed = chain.compose().unwrap();
         assert!(composed.is_injective());
         assert!(composed.dilation() <= chain.dilation_product_bound());
-        assert!(chain.report().iter().any(|step| step.dilation > 1));
+        let report = chain.report();
+        assert!(report.steps.iter().any(|step| step.dilation > 1));
+        assert_eq!(report.composed_dilation, composed.dilation());
+        assert!(report.within_bound());
     }
 
     #[test]

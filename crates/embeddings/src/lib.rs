@@ -79,7 +79,7 @@ pub use error::{EmbeddingError, Result};
 pub mod prelude {
     pub use crate::auto::{embed, predicted_dilation};
     pub use crate::basic::{embed_line_in, embed_ring_in};
-    pub use crate::chain::{ChainStep, EmbeddingChain};
+    pub use crate::chain::{ChainReport, ChainStep, EmbeddingChain};
     pub use crate::congestion::{
         congestion, congestion_parallel, congestion_sequential, CongestionReport,
     };

@@ -1,0 +1,294 @@
+//! `lab` — the experiment-sweep CLI.
+//!
+//! ```text
+//! lab plans                                list the built-in sweep plans
+//! lab expand [--plan NAME|--plan-file F]   print the trials a plan expands to
+//! lab run    [--plan NAME|--plan-file F]   run a sweep and print the summary
+//!            [--workers N] [--jsonl PATH] [--format text|md|csv]
+//! lab report [--out PATH] [--check]        regenerate (or verify) EXPERIMENTS.md
+//! ```
+//!
+//! `lab report` runs the built-in `report` plan twice — with 1 worker and
+//! with 4 workers — and refuses to write anything unless the two sweeps
+//! produce bit-identical records; the resulting document states the check.
+//! Exit codes: `0` success, `1` usage or plan errors, `2` a failed check
+//! (report drift, bound violation, or shard mismatch).
+
+use std::process::ExitCode;
+
+use explab::executor::{expand, run};
+use explab::plan::SweepPlan;
+use explab::report::{experiments_markdown, family_overview};
+use explab::ExplabError;
+use gridviz::Table;
+
+/// The worker counts `lab report` cross-checks; the note is embedded in the
+/// generated document, so both are fixed rather than machine-derived.
+const REPORT_WORKERS: (usize, usize) = (1, 4);
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("usage: lab <plans|expand|run|report> [options]");
+        return ExitCode::from(1);
+    };
+    let result = match command.as_str() {
+        "plans" => cmd_plans(rest),
+        "expand" => cmd_expand(rest),
+        "run" => cmd_run(rest),
+        "report" => cmd_report(rest),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("lab: {message}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Plan(error)) => {
+            eprintln!("lab: {error}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Check(message)) => {
+            eprintln!("lab: CHECK FAILED: {message}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Io(message)) => {
+            eprintln!("lab: {message}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Plan(ExplabError),
+    Check(String),
+    Io(String),
+}
+
+impl From<ExplabError> for CliError {
+    fn from(error: ExplabError) -> Self {
+        CliError::Plan(error)
+    }
+}
+
+/// Pulls `--flag value` out of an option list; the remaining options must be
+/// empty when the caller is done.
+struct Options {
+    args: Vec<String>,
+}
+
+impl Options {
+    fn new(rest: &[String]) -> Options {
+        Options {
+            args: rest.to_vec(),
+        }
+    }
+
+    fn take_value(&mut self, flag: &str) -> Result<Option<String>, CliError> {
+        if let Some(index) = self.args.iter().position(|a| a == flag) {
+            if index + 1 >= self.args.len() {
+                return Err(CliError::Usage(format!("{flag} needs a value")));
+            }
+            let value = self.args.remove(index + 1);
+            self.args.remove(index);
+            return Ok(Some(value));
+        }
+        Ok(None)
+    }
+
+    fn take_flag(&mut self, flag: &str) -> bool {
+        if let Some(index) = self.args.iter().position(|a| a == flag) {
+            self.args.remove(index);
+            return true;
+        }
+        false
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        if let Some(stray) = self.args.first() {
+            return Err(CliError::Usage(format!("unexpected argument {stray:?}")));
+        }
+        Ok(())
+    }
+}
+
+/// Resolves `--plan NAME` / `--plan-file PATH` (default: the `smoke`
+/// built-in).
+fn load_plan(options: &mut Options) -> Result<SweepPlan, CliError> {
+    let name = options.take_value("--plan")?;
+    let file = options.take_value("--plan-file")?;
+    match (name, file) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--plan and --plan-file are mutually exclusive".into(),
+        )),
+        (Some(name), None) => Ok(SweepPlan::builtin(&name)?),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+            Ok(SweepPlan::parse(&text)?)
+        }
+        (None, None) => Ok(SweepPlan::builtin("smoke")?),
+    }
+}
+
+fn cmd_plans(rest: &[String]) -> Result<(), CliError> {
+    Options::new(rest).finish()?;
+    let mut table = Table::new(vec!["plan", "families", "workloads", "trials"]);
+    for name in SweepPlan::BUILTIN_NAMES {
+        let plan = SweepPlan::builtin(name)?;
+        table.push_row(vec![
+            name.to_string(),
+            plan.families
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join(", "),
+            plan.workloads
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", "),
+            expand(&plan).len().to_string(),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+fn cmd_expand(rest: &[String]) -> Result<(), CliError> {
+    let mut options = Options::new(rest);
+    let plan = load_plan(&mut options)?;
+    options.finish()?;
+    let specs = expand(&plan);
+    let mut table = Table::new(vec!["id", "family", "guest", "host", "nodes", "seed"]);
+    for spec in &specs {
+        table.push_row(vec![
+            spec.id.to_string(),
+            spec.family.to_string(),
+            spec.guest.to_string(),
+            spec.host.to_string(),
+            spec.guest.size().to_string(),
+            format!("{:#018x}", spec.seed),
+        ]);
+    }
+    print!("{table}");
+    eprintln!("{} trials", specs.len());
+    Ok(())
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), CliError> {
+    let mut options = Options::new(rest);
+    let plan = load_plan(&mut options)?;
+    let workers: usize = match options.take_value("--workers")? {
+        None => 0,
+        Some(value) => value
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--workers must be an integer, got {value:?}")))?,
+    };
+    let jsonl = options.take_value("--jsonl")?;
+    let format = options
+        .take_value("--format")?
+        .unwrap_or_else(|| "text".into());
+    options.finish()?;
+    // Reject a bad --format before the sweep runs, not after minutes of work.
+    if !matches!(format.as_str(), "text" | "md" | "csv") {
+        return Err(CliError::Usage(format!(
+            "--format must be text, md or csv, got {format:?}"
+        )));
+    }
+
+    let outcome = run(&plan, workers);
+    let streaming_jsonl = jsonl.as_deref() == Some("-");
+    if let Some(path) = jsonl {
+        if streaming_jsonl {
+            print!("{}", outcome.to_jsonl());
+        } else {
+            std::fs::write(&path, outcome.to_jsonl())
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote {} records to {path}", outcome.records.len());
+        }
+    }
+    // When records stream to stdout, the overview table would corrupt the
+    // JSONL for downstream parsers; the stderr summary below still reports
+    // the totals.
+    if !streaming_jsonl {
+        let overview = family_overview(&outcome);
+        match format.as_str() {
+            "text" => print!("{overview}"),
+            "md" => print!("{}", overview.to_markdown()),
+            _ => print!("{}", overview.to_csv()),
+        }
+    }
+    eprintln!(
+        "plan {}: {} trials, {} supported, {} bound violations",
+        outcome.plan_name,
+        outcome.records.len(),
+        outcome.supported(),
+        outcome.bound_violations().len()
+    );
+    if !outcome.bound_violations().is_empty() {
+        return Err(CliError::Check(format!(
+            "{} trials violate their dilation bound",
+            outcome.bound_violations().len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_report(rest: &[String]) -> Result<(), CliError> {
+    let mut options = Options::new(rest);
+    let out_path = options
+        .take_value("--out")?
+        .unwrap_or_else(|| "EXPERIMENTS.md".into());
+    let check = options.take_flag("--check");
+    options.finish()?;
+
+    let plan = SweepPlan::builtin("report")?;
+    let (a, b) = REPORT_WORKERS;
+    let sequential = run(&plan, a);
+    let sharded = run(&plan, b);
+    if sequential.records != sharded.records {
+        return Err(CliError::Check(
+            ExplabError::ShardMismatch { workers: (a, b) }.to_string(),
+        ));
+    }
+    let violations = sharded.bound_violations().len();
+    if violations > 0 {
+        return Err(CliError::Check(format!(
+            "{violations} trials violate their dilation bound"
+        )));
+    }
+    let note = format!("identical records with {a} and {b} workers");
+    let document = experiments_markdown(&sharded, &note);
+
+    if check {
+        let existing = std::fs::read_to_string(&out_path)
+            .map_err(|e| CliError::Io(format!("cannot read {out_path}: {e}")))?;
+        if existing != document {
+            let line = existing
+                .lines()
+                .zip(document.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or_else(|| existing.lines().count().min(document.lines().count()) + 1);
+            return Err(CliError::Check(
+                ExplabError::ReportDrift { line }.to_string(),
+            ));
+        }
+        eprintln!(
+            "{out_path} is up to date ({} trials)",
+            sharded.records.len()
+        );
+        return Ok(());
+    }
+    std::fs::write(&out_path, &document)
+        .map_err(|e| CliError::Io(format!("cannot write {out_path}: {e}")))?;
+    eprintln!(
+        "wrote {out_path}: {} trials, {} supported, 0 bound violations",
+        sharded.records.len(),
+        sharded.supported()
+    );
+    Ok(())
+}

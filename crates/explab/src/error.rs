@@ -1,0 +1,93 @@
+//! Error type of the sweep engine.
+
+use core::fmt;
+
+/// `Result` specialized to [`ExplabError`].
+pub type Result<T> = core::result::Result<T, ExplabError>;
+
+/// Everything that can go wrong while parsing a plan, expanding it into
+/// trials, or rendering a report.
+///
+/// Note that a shape pair the paper's constructions do not cover is *not* an
+/// error: the executor records such trials as unsupported and carries on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExplabError {
+    /// A sweep-plan file could not be parsed.
+    PlanParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A plan value was syntactically fine but semantically unusable
+    /// (e.g. an empty family list or a zero-trial expansion).
+    InvalidPlan {
+        /// What was wrong with the plan.
+        message: String,
+    },
+    /// No built-in plan has the requested name.
+    UnknownPlan {
+        /// The requested name.
+        name: String,
+    },
+    /// The regenerated report differs from the checked-in file
+    /// (`lab report --check`).
+    ReportDrift {
+        /// The first line (1-based) at which the two documents differ.
+        line: usize,
+    },
+    /// Sharded runs disagreed — the executor's determinism guarantee was
+    /// violated (this indicates a bug, never a property of the plan).
+    ShardMismatch {
+        /// Worker counts whose results differed.
+        workers: (usize, usize),
+    },
+}
+
+impl fmt::Display for ExplabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplabError::PlanParse { line, message } => {
+                write!(f, "plan line {line}: {message}")
+            }
+            ExplabError::InvalidPlan { message } => write!(f, "invalid plan: {message}"),
+            ExplabError::UnknownPlan { name } => {
+                write!(
+                    f,
+                    "unknown built-in plan {name:?} (run `lab plans` for the list)"
+                )
+            }
+            ExplabError::ReportDrift { line } => write!(
+                f,
+                "regenerated report differs from the checked-in file starting at line {line}"
+            ),
+            ExplabError::ShardMismatch { workers } => write!(
+                f,
+                "sweeps with {} and {} workers produced different results",
+                workers.0, workers.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExplabError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_context() {
+        let e = ExplabError::PlanParse {
+            line: 3,
+            message: "bad key".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(ExplabError::UnknownPlan { name: "x".into() }
+            .to_string()
+            .contains("lab plans"));
+        assert!(ExplabError::ShardMismatch { workers: (1, 8) }
+            .to_string()
+            .contains("8 workers"));
+    }
+}

@@ -1,0 +1,676 @@
+//! Declarative sweep plans: which shape pairs to evaluate, under which
+//! workloads.
+//!
+//! A [`SweepPlan`] is a seed plus a list of [`Family`] generators (each
+//! expands into concrete guest/host [`Grid`] pairs) and a list of
+//! [`WorkloadSpec`]s (each builds a `netsim` workload over the guest's
+//! tasks). Plans come from three places: the built-ins of
+//! [`SweepPlan::builtin`], a plan file parsed by [`SweepPlan::parse`], or
+//! library code constructing the types directly (see
+//! `examples/sweep_small.rs`).
+//!
+//! # Plan file format
+//!
+//! Line-oriented, `#` starts a comment:
+//!
+//! ```text
+//! name = my-sweep
+//! seed = 42
+//! rounds = 1
+//! workloads = neighbor, tornado, transpose
+//! family paper
+//! family ring_into max_size=32 max_dim=3
+//! family torus_to_mesh max_size=24 max_dim=3
+//! family same_shape max_size=32 max_dim=3
+//! family hypercube max_dim=5
+//! family random count=16 max_size=40 max_dim=3
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topology::families::{distinct_shapes_of_size, grids_of_size, shapes_of_size};
+use topology::{GraphKind, Grid, Shape};
+
+use crate::error::{ExplabError, Result};
+
+/// A generator of guest/host shape pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// The paper's worked instances: the summary-table pairs of Sections 3–5.
+    Paper,
+    /// `ring(n)` into every distinct mesh and torus of size `n`, for every
+    /// `n ≤ max_size` — the Section 3 basic-embedding family.
+    RingInto {
+        /// Largest ring size to sweep.
+        max_size: u64,
+        /// Largest host dimension.
+        max_dim: usize,
+    },
+    /// Every distinct torus shape into every distinct mesh shape of the same
+    /// size, for every size `≤ max_size` — the paper's headline direction.
+    TorusToMesh {
+        /// Largest pair size to sweep.
+        max_size: u64,
+        /// Largest shape dimension on either side.
+        max_dim: usize,
+    },
+    /// Each torus into the mesh of the *identical* shape (Lemma 36: dilation
+    /// 2 whenever some dimension exceeds 2).
+    SameShape {
+        /// Largest pair size to sweep.
+        max_size: u64,
+        /// Largest shape dimension.
+        max_dim: usize,
+    },
+    /// `hypercube(d)` into every distinct mesh and torus of size `2^d`, for
+    /// `2 ≤ d ≤ max_dim`.
+    Hypercube {
+        /// Largest hypercube dimension to sweep.
+        max_dim: usize,
+    },
+    /// `count` random same-size pairs: a random size in `[4, max_size]`, a
+    /// random ordered shape of that size for each side, and random kinds.
+    /// Fully determined by the seed. A parameterization that cannot produce
+    /// shapes (e.g. `max_dim = 0`) yields fewer — possibly zero — pairs
+    /// rather than retrying forever.
+    Random {
+        /// How many pairs to draw.
+        count: usize,
+        /// Largest pair size to draw from.
+        max_size: u64,
+        /// Largest shape dimension on either side.
+        max_dim: usize,
+    },
+}
+
+fn shape(radices: &[u32]) -> Shape {
+    Shape::new(radices.to_vec()).expect("static shapes are valid")
+}
+
+impl Family {
+    /// The family's name, as used in plan files and trial records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Paper => "paper",
+            Family::RingInto { .. } => "ring_into",
+            Family::TorusToMesh { .. } => "torus_to_mesh",
+            Family::SameShape { .. } => "same_shape",
+            Family::Hypercube { .. } => "hypercube",
+            Family::Random { .. } => "random",
+        }
+    }
+
+    /// Expands the family into concrete guest/host pairs. `seed` only
+    /// matters for [`Family::Random`]; every other family is a pure
+    /// enumeration.
+    pub fn pairs(&self, seed: u64) -> Vec<(Grid, Grid)> {
+        match *self {
+            Family::Paper => paper_pairs(),
+            Family::RingInto { max_size, max_dim } => {
+                let mut out = Vec::new();
+                for n in 4..=max_size {
+                    let ring = Grid::ring(n).expect("n >= 4");
+                    for host in grids_of_size(GraphKind::Mesh, n, max_dim)
+                        .into_iter()
+                        .chain(grids_of_size(GraphKind::Torus, n, max_dim))
+                    {
+                        // Skip the identity ring-in-ring pair but keep
+                        // ring-in-line (dilation 2) and everything else.
+                        if host.is_ring() {
+                            continue;
+                        }
+                        out.push((ring.clone(), host));
+                    }
+                }
+                out
+            }
+            Family::TorusToMesh { max_size, max_dim } => {
+                let mut out = Vec::new();
+                for n in 4..=max_size {
+                    let guests = distinct_shapes_of_size(n, max_dim);
+                    for guest_shape in &guests {
+                        for host_shape in &guests {
+                            out.push((
+                                Grid::torus(guest_shape.clone()),
+                                Grid::mesh(host_shape.clone()),
+                            ));
+                        }
+                    }
+                }
+                out
+            }
+            Family::SameShape { max_size, max_dim } => {
+                let mut out = Vec::new();
+                for n in 4..=max_size {
+                    for s in distinct_shapes_of_size(n, max_dim) {
+                        out.push((Grid::torus(s.clone()), Grid::mesh(s)));
+                    }
+                }
+                out
+            }
+            Family::Hypercube { max_dim } => {
+                let mut out = Vec::new();
+                for d in 2..=max_dim {
+                    let cube = match Grid::hypercube(d) {
+                        Ok(cube) => cube,
+                        Err(_) => break,
+                    };
+                    let n = cube.size();
+                    for host in grids_of_size(GraphKind::Mesh, n, d)
+                        .into_iter()
+                        .chain(grids_of_size(GraphKind::Torus, n, d))
+                    {
+                        // The hypercube itself appears as the all-2s shape on
+                        // both lists; skip the identity pairs.
+                        if host.shape().is_binary() {
+                            continue;
+                        }
+                        out.push((cube.clone(), host));
+                    }
+                }
+                out
+            }
+            Family::Random {
+                count,
+                max_size,
+                max_dim,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_fa71_11e5);
+                let mut out = Vec::with_capacity(count);
+                // Sizes without a usable shape (e.g. `max_dim = 0`, or a
+                // prime too large for one radix) are redrawn; the attempt
+                // budget keeps a family that can never produce shapes from
+                // spinning forever — it yields fewer (possibly zero) pairs
+                // instead.
+                let mut attempts = count.saturating_mul(64).max(1024);
+                // The smallest pair has 4 nodes; a tighter cap can't be
+                // honored, so it produces nothing rather than pairs larger
+                // than the caller asked for.
+                if max_size < 4 {
+                    attempts = 0;
+                }
+                while out.len() < count && attempts > 0 {
+                    attempts -= 1;
+                    let n = rng.gen_range(4u64..=max_size);
+                    let shapes = shapes_of_size(n, max_dim);
+                    if shapes.is_empty() {
+                        continue;
+                    }
+                    let guest = shapes[rng.gen_range(0..shapes.len())].clone();
+                    let host = shapes[rng.gen_range(0..shapes.len())].clone();
+                    let guest_kind = if rng.gen_bool(0.5) {
+                        GraphKind::Torus
+                    } else {
+                        GraphKind::Mesh
+                    };
+                    let host_kind = if rng.gen_bool(0.5) {
+                        GraphKind::Torus
+                    } else {
+                        GraphKind::Mesh
+                    };
+                    out.push((Grid::new(guest_kind, guest), Grid::new(host_kind, host)));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The paper's summary-table pairs (Sections 3–5), the rows EXPERIMENTS.md
+/// reproduces in detail.
+fn paper_pairs() -> Vec<(Grid, Grid)> {
+    vec![
+        (Grid::line(24).unwrap(), Grid::mesh(shape(&[4, 2, 3]))),
+        (Grid::ring(24).unwrap(), Grid::mesh(shape(&[4, 2, 3]))),
+        (Grid::ring(24).unwrap(), Grid::torus(shape(&[4, 2, 3]))),
+        (Grid::ring(9).unwrap(), Grid::mesh(shape(&[3, 3]))),
+        (
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[4, 2, 3])),
+        ),
+        (
+            Grid::torus(shape(&[4, 6])),
+            Grid::mesh(shape(&[2, 2, 2, 3])),
+        ),
+        (
+            Grid::torus(shape(&[4, 6])),
+            Grid::torus(shape(&[2, 2, 2, 3])),
+        ),
+        (
+            Grid::torus(shape(&[9, 15])),
+            Grid::mesh(shape(&[3, 3, 3, 5])),
+        ),
+        (Grid::hypercube(4).unwrap(), Grid::mesh(shape(&[4, 4]))),
+        (Grid::hypercube(4).unwrap(), Grid::ring(16).unwrap()),
+        (Grid::torus(shape(&[4, 2, 3])), Grid::mesh(shape(&[4, 6]))),
+        (Grid::mesh(shape(&[4, 2, 3])), Grid::mesh(shape(&[4, 6]))),
+        (Grid::mesh(shape(&[3, 3, 6])), Grid::mesh(shape(&[6, 9]))),
+        (Grid::mesh(shape(&[4, 4, 4])), Grid::mesh(shape(&[8, 8]))),
+    ]
+}
+
+/// A workload generator applied to every trial's guest graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// Neighbor exchange over the guest's edges — the traffic whose hop count
+    /// the dilation theorems bound.
+    Neighbor,
+    /// Tornado traffic (worst case for minimal routing on rings/toruses).
+    Tornado,
+    /// Matrix transpose over the guest's first dimension × the rest.
+    /// Inapplicable to 1-dimensional guests.
+    Transpose,
+    /// Bit-reversal permutation. Applicable only when the guest size is a
+    /// power of two.
+    BitReversal,
+    /// All-to-all personalized exchange. Applicable only up to 64 tasks (the
+    /// message count is quadratic).
+    AllToAll,
+    /// Uniformly random pairs, two messages per task, seeded per trial.
+    Random,
+}
+
+/// Every workload spec, in the order used by plan listings.
+pub const ALL_WORKLOADS: [WorkloadSpec; 6] = [
+    WorkloadSpec::Neighbor,
+    WorkloadSpec::Tornado,
+    WorkloadSpec::Transpose,
+    WorkloadSpec::BitReversal,
+    WorkloadSpec::AllToAll,
+    WorkloadSpec::Random,
+];
+
+impl WorkloadSpec {
+    /// The spec's name, as used in plan files and trial records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Neighbor => "neighbor",
+            WorkloadSpec::Tornado => "tornado",
+            WorkloadSpec::Transpose => "transpose",
+            WorkloadSpec::BitReversal => "bitrev",
+            WorkloadSpec::AllToAll => "alltoall",
+            WorkloadSpec::Random => "random",
+        }
+    }
+
+    /// Parses a spec name.
+    pub fn from_name(name: &str) -> Option<WorkloadSpec> {
+        ALL_WORKLOADS.iter().copied().find(|w| w.name() == name)
+    }
+}
+
+/// A declarative sweep: families × workloads, a seed, and a round count for
+/// the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepPlan {
+    /// The plan's name (echoed in reports and JSONL records).
+    pub name: String,
+    /// The master seed; per-trial seeds are derived from it and the trial id.
+    pub seed: u64,
+    /// Simulated rounds per workload.
+    pub rounds: usize,
+    /// The shape-pair generators.
+    pub families: Vec<Family>,
+    /// The workloads run on every supported pair.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl SweepPlan {
+    /// The names of the built-in plans.
+    pub const BUILTIN_NAMES: [&'static str; 3] = ["smoke", "report", "bench"];
+
+    /// Looks up a built-in plan by name.
+    ///
+    /// * `smoke` — a seconds-scale sweep over tiny (≤ 16-node) families, used
+    ///   by the CI smoke job;
+    /// * `report` — the plan behind `lab report` / the checked-in
+    ///   EXPERIMENTS.md;
+    /// * `bench` — the fixed small family measured by the
+    ///   `explab_throughput` criterion bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExplabError::UnknownPlan`] for any other name.
+    pub fn builtin(name: &str) -> Result<SweepPlan> {
+        match name {
+            // Every smoke shape has at most 64 nodes, so the CI smoke job
+            // stays seconds-scale even on one core.
+            "smoke" => Ok(SweepPlan {
+                name: "smoke".into(),
+                seed: 7,
+                rounds: 1,
+                families: vec![
+                    Family::Hypercube { max_dim: 4 },
+                    Family::RingInto {
+                        max_size: 16,
+                        max_dim: 3,
+                    },
+                    Family::SameShape {
+                        max_size: 16,
+                        max_dim: 3,
+                    },
+                    Family::TorusToMesh {
+                        max_size: 12,
+                        max_dim: 3,
+                    },
+                ],
+                workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
+            }),
+            "report" => Ok(SweepPlan {
+                name: "report".into(),
+                seed: 1987, // the paper's publication year
+                rounds: 1,
+                families: vec![
+                    Family::Paper,
+                    Family::RingInto {
+                        max_size: 32,
+                        max_dim: 3,
+                    },
+                    Family::TorusToMesh {
+                        max_size: 24,
+                        max_dim: 3,
+                    },
+                    Family::SameShape {
+                        max_size: 36,
+                        max_dim: 3,
+                    },
+                    Family::Hypercube { max_dim: 6 },
+                    Family::Random {
+                        count: 24,
+                        max_size: 40,
+                        max_dim: 3,
+                    },
+                ],
+                workloads: vec![
+                    WorkloadSpec::Neighbor,
+                    WorkloadSpec::Tornado,
+                    WorkloadSpec::Transpose,
+                    WorkloadSpec::BitReversal,
+                ],
+            }),
+            "bench" => Ok(SweepPlan {
+                name: "bench".into(),
+                seed: 11,
+                rounds: 1,
+                families: vec![
+                    Family::RingInto {
+                        max_size: 24,
+                        max_dim: 3,
+                    },
+                    Family::SameShape {
+                        max_size: 24,
+                        max_dim: 3,
+                    },
+                ],
+                workloads: vec![WorkloadSpec::Neighbor],
+            }),
+            other => Err(ExplabError::UnknownPlan { name: other.into() }),
+        }
+    }
+
+    /// Parses a plan file (see the module docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExplabError::PlanParse`] with the offending line, or
+    /// [`ExplabError::InvalidPlan`] if the parsed plan has no families.
+    pub fn parse(text: &str) -> Result<SweepPlan> {
+        let mut plan = SweepPlan {
+            name: "custom".into(),
+            seed: 0,
+            rounds: 1,
+            families: Vec::new(),
+            workloads: vec![WorkloadSpec::Neighbor],
+        };
+        for (index, raw) in text.lines().enumerate() {
+            let line = index + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            if let Some(rest) = content.strip_prefix("family ") {
+                plan.families.push(parse_family(rest.trim(), line)?);
+                continue;
+            }
+            let (key, value) = content
+                .split_once('=')
+                .ok_or_else(|| ExplabError::PlanParse {
+                    line,
+                    message: format!("expected `key = value` or `family …`, got {content:?}"),
+                })?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "name" => plan.name = value.to_string(),
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| ExplabError::PlanParse {
+                        line,
+                        message: format!("seed must be a u64, got {value:?}"),
+                    })?;
+                }
+                "rounds" => {
+                    plan.rounds = value.parse().map_err(|_| ExplabError::PlanParse {
+                        line,
+                        message: format!("rounds must be a usize, got {value:?}"),
+                    })?;
+                }
+                "workloads" => {
+                    let mut specs = Vec::new();
+                    for name in value.split(',') {
+                        let name = name.trim();
+                        let spec = WorkloadSpec::from_name(name).ok_or_else(|| {
+                            ExplabError::PlanParse {
+                                line,
+                                message: format!("unknown workload {name:?}"),
+                            }
+                        })?;
+                        specs.push(spec);
+                    }
+                    plan.workloads = specs;
+                }
+                other => {
+                    return Err(ExplabError::PlanParse {
+                        line,
+                        message: format!("unknown key {other:?}"),
+                    });
+                }
+            }
+        }
+        if plan.families.is_empty() {
+            return Err(ExplabError::InvalidPlan {
+                message: "a plan needs at least one `family` line".into(),
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// Parses one `family` line body: a family name followed by `key=value`
+/// arguments.
+fn parse_family(body: &str, line: usize) -> Result<Family> {
+    let mut parts = body.split_whitespace();
+    let name = parts.next().ok_or_else(|| ExplabError::PlanParse {
+        line,
+        message: "missing family name".into(),
+    })?;
+    let mut args: Vec<(&str, &str)> = Vec::new();
+    for part in parts {
+        let (key, value) = part.split_once('=').ok_or_else(|| ExplabError::PlanParse {
+            line,
+            message: format!("family argument {part:?} is not key=value"),
+        })?;
+        args.push((key, value));
+    }
+    let get = |key: &str, default: u64| -> Result<u64> {
+        match args.iter().find(|(k, _)| *k == key) {
+            None => Ok(default),
+            Some((_, value)) => value.parse().map_err(|_| ExplabError::PlanParse {
+                line,
+                message: format!("family argument {key}={value:?} is not an integer"),
+            }),
+        }
+    };
+    let family = match name {
+        "paper" => Family::Paper,
+        "ring_into" => Family::RingInto {
+            max_size: get("max_size", 16)?,
+            max_dim: get("max_dim", 3)? as usize,
+        },
+        "torus_to_mesh" => Family::TorusToMesh {
+            max_size: get("max_size", 12)?,
+            max_dim: get("max_dim", 3)? as usize,
+        },
+        "same_shape" => Family::SameShape {
+            max_size: get("max_size", 16)?,
+            max_dim: get("max_dim", 3)? as usize,
+        },
+        "hypercube" => Family::Hypercube {
+            max_dim: get("max_dim", 5)? as usize,
+        },
+        "random" => Family::Random {
+            count: get("count", 8)? as usize,
+            max_size: get("max_size", 24)?,
+            max_dim: get("max_dim", 3)? as usize,
+        },
+        other => {
+            return Err(ExplabError::PlanParse {
+                line,
+                message: format!("unknown family {other:?}"),
+            });
+        }
+    };
+    // Reject arguments the family does not understand.
+    let known: &[&str] = match family {
+        Family::Paper => &[],
+        Family::RingInto { .. } | Family::TorusToMesh { .. } | Family::SameShape { .. } => {
+            &["max_size", "max_dim"]
+        }
+        Family::Hypercube { .. } => &["max_dim"],
+        Family::Random { .. } => &["count", "max_size", "max_dim"],
+    };
+    if let Some((key, _)) = args.iter().find(|(k, _)| !known.contains(k)) {
+        return Err(ExplabError::PlanParse {
+            line,
+            message: format!("family {name:?} does not take argument {key:?}"),
+        });
+    }
+    Ok(family)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_plans_exist_and_expand() {
+        for name in SweepPlan::BUILTIN_NAMES {
+            let plan = SweepPlan::builtin(name).unwrap();
+            assert_eq!(plan.name, name);
+            assert!(!plan.families.is_empty());
+            let pairs: usize = plan.families.iter().map(|f| f.pairs(plan.seed).len()).sum();
+            assert!(pairs > 0, "{name} expands to no pairs");
+        }
+        assert!(SweepPlan::builtin("nope").is_err());
+    }
+
+    #[test]
+    fn paper_family_pairs_have_equal_sizes() {
+        for (guest, host) in Family::Paper.pairs(0) {
+            assert_eq!(guest.size(), host.size(), "{guest} -> {host}");
+        }
+    }
+
+    #[test]
+    fn ring_into_family_covers_meshes_and_toruses() {
+        let pairs = Family::RingInto {
+            max_size: 8,
+            max_dim: 3,
+        }
+        .pairs(0);
+        assert!(pairs.iter().all(|(g, _)| g.is_ring()));
+        assert!(pairs.iter().any(|(_, h)| h.is_mesh()));
+        assert!(pairs.iter().any(|(_, h)| h.is_torus() && !h.is_ring()));
+        assert!(pairs.iter().all(|(g, h)| g.size() == h.size()));
+    }
+
+    #[test]
+    fn random_family_without_producible_shapes_terminates_empty() {
+        let family = Family::Random {
+            count: 4,
+            max_size: 10,
+            max_dim: 0,
+        };
+        assert!(family.pairs(1).is_empty());
+        // A size cap below the smallest possible pair likewise yields
+        // nothing instead of pairs larger than the cap.
+        let capped = Family::Random {
+            count: 4,
+            max_size: 3,
+            max_dim: 3,
+        };
+        assert!(capped.pairs(1).is_empty());
+    }
+
+    #[test]
+    fn random_family_is_seed_deterministic() {
+        let family = Family::Random {
+            count: 10,
+            max_size: 24,
+            max_dim: 3,
+        };
+        assert_eq!(family.pairs(5), family.pairs(5));
+        assert_ne!(family.pairs(5), family.pairs(6));
+        assert_eq!(family.pairs(5).len(), 10);
+    }
+
+    #[test]
+    fn plan_files_round_trip_the_builtins_shape() {
+        let text = "
+            # a comment
+            name = parsed
+            seed = 99
+            rounds = 2
+            workloads = neighbor, bitrev
+            family paper
+            family ring_into max_size=12 max_dim=2
+            family random count=3 max_size=16 max_dim=3
+        ";
+        let plan = SweepPlan::parse(text).unwrap();
+        assert_eq!(plan.name, "parsed");
+        assert_eq!(plan.seed, 99);
+        assert_eq!(plan.rounds, 2);
+        assert_eq!(
+            plan.workloads,
+            vec![WorkloadSpec::Neighbor, WorkloadSpec::BitReversal]
+        );
+        assert_eq!(plan.families.len(), 3);
+        assert_eq!(
+            plan.families[1],
+            Family::RingInto {
+                max_size: 12,
+                max_dim: 2
+            }
+        );
+    }
+
+    #[test]
+    fn plan_parse_errors_name_the_line() {
+        let err = SweepPlan::parse("seed = x\nfamily paper").unwrap_err();
+        assert!(matches!(err, ExplabError::PlanParse { line: 1, .. }));
+        let err = SweepPlan::parse("family nope").unwrap_err();
+        assert!(matches!(err, ExplabError::PlanParse { line: 1, .. }));
+        let err = SweepPlan::parse("family paper max_size=4").unwrap_err();
+        assert!(matches!(err, ExplabError::PlanParse { line: 1, .. }));
+        let err = SweepPlan::parse("workloads = warp\nfamily paper").unwrap_err();
+        assert!(matches!(err, ExplabError::PlanParse { line: 1, .. }));
+        let err = SweepPlan::parse("# only comments").unwrap_err();
+        assert!(matches!(err, ExplabError::InvalidPlan { .. }));
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for spec in ALL_WORKLOADS {
+            assert_eq!(WorkloadSpec::from_name(spec.name()), Some(spec));
+        }
+        assert_eq!(WorkloadSpec::from_name("warp"), None);
+    }
+}

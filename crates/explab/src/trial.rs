@@ -1,0 +1,435 @@
+//! One trial: a guest/host pair measured end to end.
+//!
+//! [`run_trial`] drives the batched evaluation pipeline for a single pair —
+//! planner prediction, construction, independent verification
+//! ([`embeddings::verify`]), congestion under dimension-ordered routing, the
+//! chain report, and one `netsim` run per applicable workload — and collects
+//! everything into a flat [`TrialRecord`] that serializes to one JSON line.
+//!
+//! A pair the paper's constructions do not cover is a first-class outcome
+//! ([`TrialOutcome::Unsupported`]), not an error: sweeps over whole families
+//! must keep going and report coverage honestly.
+
+use embeddings::auto::{embed, predicted_dilation};
+use embeddings::chain::{ChainReport, ChainStep};
+use embeddings::congestion::congestion_sequential;
+use embeddings::verify::verify_sequential;
+use netsim::sim::{simulate, Placement};
+use netsim::{patterns, Network, Workload};
+use topology::Grid;
+
+use crate::json::{array, Object};
+use crate::plan::WorkloadSpec;
+
+/// The input of one trial, produced by expanding a plan.
+#[derive(Clone, Debug)]
+pub struct TrialSpec {
+    /// Position of the trial in the expanded plan (stable across worker
+    /// counts; the JSONL line order).
+    pub id: usize,
+    /// The name of the family that generated the pair.
+    pub family: &'static str,
+    /// The guest graph.
+    pub guest: Grid,
+    /// The host graph.
+    pub host: Grid,
+    /// The trial's private seed, derived from the plan seed and `id`.
+    pub seed: u64,
+    /// Simulated rounds per workload.
+    pub rounds: usize,
+    /// The workloads to simulate.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+/// One workload's simulation results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadResult {
+    /// The workload name (see [`WorkloadSpec::name`]).
+    pub workload: &'static str,
+    /// Messages delivered over all rounds.
+    pub messages: u64,
+    /// Sum of route lengths.
+    pub total_hops: u64,
+    /// Longest route.
+    pub max_hops: u64,
+    /// Mean hops per message.
+    pub average_hops: f64,
+    /// Makespan in cycles under one-message-per-link arbitration.
+    pub cycles: u64,
+}
+
+/// The measurements of a supported pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialMetrics {
+    /// The construction name the planner chose.
+    pub construction: String,
+    /// The dilation the paper's theorem guarantees for the pair.
+    pub predicted_dilation: u64,
+    /// The dilation measured by independent verification.
+    pub measured_dilation: u64,
+    /// The mean host distance over guest edges.
+    pub average_dilation: f64,
+    /// Whether the mapping verified as injective (always expected).
+    pub injective: bool,
+    /// The number of guest edges measured.
+    pub guest_edges: u64,
+    /// Maximum routed paths sharing one host link.
+    pub max_congestion: u64,
+    /// Mean load over used host links.
+    pub average_congestion: f64,
+    /// Distinct host links carrying at least one path.
+    pub used_host_links: u64,
+    /// The per-step chain report (single-step for directly planned pairs).
+    pub chain: ChainReport,
+    /// One entry per applicable workload.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// What happened to a trial.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrialOutcome {
+    /// The pair was embedded and measured.
+    Supported(Box<TrialMetrics>),
+    /// The pair falls outside the paper's constructions (or failed to
+    /// measure); the reason is the planner's error message.
+    Unsupported {
+        /// Why the pair could not be measured.
+        reason: String,
+    },
+}
+
+/// The full, JSONL-serializable result of one trial.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialRecord {
+    /// Trial id (the position in the expanded plan).
+    pub id: usize,
+    /// The generating family's name.
+    pub family: &'static str,
+    /// The guest graph, rendered (e.g. `"(4, 2, 3)-torus"`).
+    pub guest: String,
+    /// The host graph, rendered.
+    pub host: String,
+    /// The number of nodes on each side.
+    pub nodes: u64,
+    /// The trial's derived seed.
+    pub seed: u64,
+    /// Supported measurements or the unsupported reason.
+    pub outcome: TrialOutcome,
+}
+
+impl TrialRecord {
+    /// Whether the trial was measured (as opposed to unsupported).
+    pub fn is_supported(&self) -> bool {
+        matches!(self.outcome, TrialOutcome::Supported(_))
+    }
+
+    /// The metrics of a supported trial.
+    pub fn metrics(&self) -> Option<&TrialMetrics> {
+        match &self.outcome {
+            TrialOutcome::Supported(metrics) => Some(metrics),
+            TrialOutcome::Unsupported { .. } => None,
+        }
+    }
+
+    /// Whether the trial honors the theorem's bound: unsupported trials
+    /// vacuously do; supported trials must measure a dilation within the
+    /// prediction *and* a chain within its multiplicative bound *and* verify
+    /// injective.
+    pub fn bound_ok(&self) -> bool {
+        match self.metrics() {
+            None => true,
+            Some(m) => {
+                m.injective && m.measured_dilation <= m.predicted_dilation && m.chain.within_bound()
+            }
+        }
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut object = Object::new()
+            .u64("id", self.id as u64)
+            .string("family", self.family)
+            .string("guest", &self.guest)
+            .string("host", &self.host)
+            .u64("nodes", self.nodes)
+            .u64("seed", self.seed)
+            .bool("supported", self.is_supported())
+            .bool("bound_ok", self.bound_ok());
+        match &self.outcome {
+            TrialOutcome::Unsupported { reason } => {
+                object = object.string("reason", reason);
+            }
+            TrialOutcome::Supported(m) => {
+                let steps = array(m.chain.steps.iter().map(|step| {
+                    Object::new()
+                        .string("name", &step.name)
+                        .string("guest", &step.guest)
+                        .string("host", &step.host)
+                        .u64("dilation", step.dilation)
+                        .finish()
+                }));
+                let chain = Object::new()
+                    .raw("steps", steps)
+                    .u64("product_bound", m.chain.product_bound)
+                    .u64("composed_dilation", m.chain.composed_dilation)
+                    .bool("within_bound", m.chain.within_bound())
+                    .finish();
+                let workloads = array(m.workloads.iter().map(|w| {
+                    Object::new()
+                        .string("workload", w.workload)
+                        .u64("messages", w.messages)
+                        .u64("total_hops", w.total_hops)
+                        .u64("max_hops", w.max_hops)
+                        .f64("average_hops", w.average_hops)
+                        .u64("cycles", w.cycles)
+                        .finish()
+                }));
+                object = object
+                    .string("construction", &m.construction)
+                    .u64("predicted_dilation", m.predicted_dilation)
+                    .u64("measured_dilation", m.measured_dilation)
+                    .f64("average_dilation", m.average_dilation)
+                    .bool("injective", m.injective)
+                    .u64("guest_edges", m.guest_edges)
+                    .u64("max_congestion", m.max_congestion)
+                    .f64("average_congestion", m.average_congestion)
+                    .u64("used_host_links", m.used_host_links)
+                    .raw("chain", chain)
+                    .raw("workloads", workloads);
+            }
+        }
+        object.finish()
+    }
+}
+
+/// Builds the workload a spec denotes for a guest of `guest.size()` tasks,
+/// or `None` when the spec does not apply to that guest.
+///
+/// The neighbor-exchange workload is assembled through the fallible
+/// [`Workload::try_new`] — pair lists here are generated, so explab treats
+/// range errors as impossible-by-construction rather than panicking deep in
+/// `netsim`.
+pub fn build_workload(spec: WorkloadSpec, guest: &Grid, seed: u64) -> Option<Workload> {
+    let n = guest.size();
+    match spec {
+        WorkloadSpec::Neighbor => {
+            let mut pairs = Vec::with_capacity(2 * guest.num_edges() as usize);
+            for (a, b) in guest.edges() {
+                pairs.push((a, b));
+                pairs.push((b, a));
+            }
+            Some(Workload::try_new(n, pairs).expect("guest edges are in range"))
+        }
+        WorkloadSpec::Tornado => (n >= 3).then(|| patterns::tornado(n)),
+        WorkloadSpec::Transpose => {
+            if guest.dim() < 2 {
+                return None;
+            }
+            let rows = u64::from(guest.shape().radix(0));
+            Some(patterns::transpose(rows, n / rows))
+        }
+        WorkloadSpec::BitReversal => {
+            (n.is_power_of_two() && n >= 4).then(|| patterns::bit_reversal(n.trailing_zeros()))
+        }
+        WorkloadSpec::AllToAll => (n <= 64).then(|| patterns::all_to_all(n)),
+        WorkloadSpec::Random => Some(Workload::uniform_random(n, 2 * n as usize, seed)),
+    }
+}
+
+/// Runs one trial to completion. Never panics on unsupported pairs — they
+/// come back as [`TrialOutcome::Unsupported`].
+pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
+    let record = |outcome: TrialOutcome| TrialRecord {
+        id: spec.id,
+        family: spec.family,
+        guest: spec.guest.to_string(),
+        host: spec.host.to_string(),
+        nodes: spec.guest.size(),
+        seed: spec.seed,
+        outcome,
+    };
+
+    let predicted = match predicted_dilation(&spec.guest, &spec.host) {
+        Ok(predicted) => predicted,
+        Err(error) => {
+            return record(TrialOutcome::Unsupported {
+                reason: error.to_string(),
+            });
+        }
+    };
+    let embedding = match embed(&spec.guest, &spec.host) {
+        Ok(embedding) => embedding,
+        Err(error) => {
+            return record(TrialOutcome::Unsupported {
+                reason: error.to_string(),
+            });
+        }
+    };
+
+    // Independent verification and congestion on the batched sequential
+    // sweeps: bit-identical to the parallel paths by construction, and the
+    // executor already parallelizes across trials.
+    let verification = verify_sequential(&embedding);
+    let congestion = match congestion_sequential(&embedding) {
+        Ok(congestion) => congestion,
+        Err(error) => {
+            return record(TrialOutcome::Unsupported {
+                reason: format!("congestion measurement failed: {error}"),
+            });
+        }
+    };
+
+    // The single-step chain report, assembled from the verification sweep:
+    // `EmbeddingChain::through(guest, &[], host)` would invoke the same
+    // planner and sweep the same edges two more times for identical numbers
+    // (for a one-step chain, step dilation = composed dilation = measured
+    // dilation). Multi-step chains with real waypoints go through
+    // `EmbeddingChain::report` (see `report::chain_tables`).
+    let chain = ChainReport {
+        steps: vec![ChainStep {
+            name: embedding.name().to_string(),
+            guest: spec.guest.to_string(),
+            host: spec.host.to_string(),
+            dilation: verification.dilation,
+        }],
+        product_bound: verification.dilation,
+        composed_dilation: verification.dilation,
+    };
+
+    let network = Network::new(spec.host.clone());
+    let placement = Placement::from_embedding(&embedding);
+    let mut workloads = Vec::with_capacity(spec.workloads.len());
+    for &workload_spec in &spec.workloads {
+        let Some(workload) = build_workload(workload_spec, &spec.guest, spec.seed) else {
+            continue;
+        };
+        let stats = simulate(&network, &workload, &placement, spec.rounds);
+        workloads.push(WorkloadResult {
+            workload: workload_spec.name(),
+            messages: stats.messages,
+            total_hops: stats.total_hops,
+            max_hops: stats.max_hops,
+            average_hops: stats.average_hops(),
+            cycles: stats.cycles,
+        });
+    }
+
+    record(TrialOutcome::Supported(Box::new(TrialMetrics {
+        construction: embedding.name().to_string(),
+        predicted_dilation: predicted,
+        measured_dilation: verification.dilation,
+        average_dilation: verification.average_dilation,
+        injective: verification.injective,
+        guest_edges: verification.edges,
+        max_congestion: congestion.max_congestion,
+        average_congestion: congestion.average_congestion,
+        used_host_links: congestion.used_host_edges,
+        chain,
+        workloads,
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    fn spec(guest: Grid, host: Grid) -> TrialSpec {
+        TrialSpec {
+            id: 0,
+            family: "test",
+            guest,
+            host,
+            seed: 42,
+            rounds: 1,
+            workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
+        }
+    }
+
+    #[test]
+    fn supported_trial_measures_everything() {
+        let record = run_trial(&spec(
+            Grid::ring(24).unwrap(),
+            Grid::mesh(shape(&[4, 2, 3])),
+        ));
+        let metrics = record.metrics().expect("supported");
+        assert_eq!(metrics.predicted_dilation, 1);
+        assert_eq!(metrics.measured_dilation, 1);
+        assert!(metrics.injective);
+        assert_eq!(metrics.guest_edges, 24);
+        assert!(metrics.max_congestion >= 1);
+        assert_eq!(metrics.chain.steps.len(), 1);
+        assert!(metrics.chain.within_bound());
+        assert_eq!(metrics.workloads.len(), 2);
+        assert!(record.bound_ok());
+        // Unit dilation: neighbor exchange is all single hops.
+        let neighbor = &metrics.workloads[0];
+        assert_eq!(neighbor.workload, "neighbor");
+        assert_eq!(neighbor.max_hops, 1);
+        assert_eq!(neighbor.messages, 48);
+    }
+
+    #[test]
+    fn unsupported_trial_records_the_reason() {
+        let record = run_trial(&spec(
+            Grid::mesh(shape(&[4, 9])),
+            Grid::mesh(shape(&[6, 6])),
+        ));
+        assert!(!record.is_supported());
+        assert!(record.bound_ok(), "unsupported is vacuously within bound");
+        match &record.outcome {
+            TrialOutcome::Unsupported { reason } => {
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+        let json = record.to_json_line();
+        assert!(json.contains("\"supported\":false"));
+        assert!(json.contains("\"reason\""));
+    }
+
+    #[test]
+    fn json_lines_are_flat_and_complete() {
+        let record = run_trial(&spec(
+            Grid::torus(shape(&[4, 6])),
+            Grid::mesh(shape(&[2, 2, 2, 3])),
+        ));
+        let json = record.to_json_line();
+        for key in [
+            "\"id\":0",
+            "\"family\":\"test\"",
+            "\"predicted_dilation\"",
+            "\"measured_dilation\"",
+            "\"max_congestion\"",
+            "\"chain\"",
+            "\"workloads\"",
+            "\"bound_ok\":true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn workload_applicability_gates() {
+        let ring = Grid::ring(24).unwrap();
+        let cube = Grid::hypercube(4).unwrap();
+        assert!(build_workload(WorkloadSpec::Transpose, &ring, 0).is_none());
+        assert!(build_workload(WorkloadSpec::Transpose, &cube, 0).is_some());
+        assert!(build_workload(WorkloadSpec::BitReversal, &ring, 0).is_none());
+        assert!(build_workload(WorkloadSpec::BitReversal, &cube, 0).is_some());
+        assert!(build_workload(WorkloadSpec::AllToAll, &ring, 0).is_some());
+        let big = Grid::torus(shape(&[10, 10]));
+        assert!(build_workload(WorkloadSpec::AllToAll, &big, 0).is_none());
+        let random = build_workload(WorkloadSpec::Random, &ring, 7).unwrap();
+        assert_eq!(random.messages_per_round(), 48);
+        assert_eq!(
+            build_workload(WorkloadSpec::Random, &ring, 7),
+            Some(Workload::uniform_random(24, 48, 7))
+        );
+    }
+}

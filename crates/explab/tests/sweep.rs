@@ -1,0 +1,156 @@
+//! Integration tests of the sweep executor: determinism, shard-count
+//! invariance, and a differential check against direct library calls.
+
+use embeddings::auto::{embed, predicted_dilation};
+use embeddings::congestion::congestion;
+use embeddings::verify::verify;
+use explab::executor::{expand, run};
+use explab::plan::{Family, SweepPlan, WorkloadSpec};
+use explab::report::experiments_markdown;
+
+fn test_plan() -> SweepPlan {
+    SweepPlan {
+        name: "test".into(),
+        seed: 20260729,
+        rounds: 1,
+        families: vec![
+            Family::Paper,
+            Family::RingInto {
+                max_size: 12,
+                max_dim: 3,
+            },
+            Family::TorusToMesh {
+                max_size: 12,
+                max_dim: 3,
+            },
+            Family::Random {
+                count: 8,
+                max_size: 20,
+                max_dim: 3,
+            },
+        ],
+        workloads: vec![
+            WorkloadSpec::Neighbor,
+            WorkloadSpec::Tornado,
+            WorkloadSpec::Random,
+        ],
+    }
+}
+
+#[test]
+fn same_plan_and_seed_produce_bit_identical_jsonl() {
+    let plan = test_plan();
+    let first = run(&plan, 2);
+    let second = run(&plan, 2);
+    assert_eq!(first.records, second.records);
+    assert_eq!(first.to_jsonl(), second.to_jsonl());
+
+    // A different seed changes at least the random family's trials.
+    let mut reseeded = plan.clone();
+    reseeded.seed = 1;
+    assert_ne!(run(&reseeded, 2).to_jsonl(), first.to_jsonl());
+}
+
+#[test]
+fn worker_count_never_changes_the_records() {
+    let plan = test_plan();
+    let reference = run(&plan, 1);
+    for workers in [2, 3, 5, 8, 0] {
+        let sharded = run(&plan, workers);
+        assert_eq!(
+            sharded.records, reference.records,
+            "workers={workers} diverged from the sequential sweep"
+        );
+        assert_eq!(sharded.to_jsonl(), reference.to_jsonl());
+    }
+    // The rendered report is likewise shard-invariant.
+    let note = "shard-invariance test";
+    assert_eq!(
+        experiments_markdown(&reference, note),
+        experiments_markdown(&run(&plan, 4), note)
+    );
+}
+
+#[test]
+fn trial_metrics_match_direct_library_calls() {
+    let plan = test_plan();
+    let outcome = run(&plan, 3);
+    let specs = expand(&plan);
+    assert_eq!(outcome.records.len(), specs.len());
+    let mut checked = 0;
+    for record in &outcome.records {
+        let spec = &specs[record.id];
+        let Some(metrics) = record.metrics() else {
+            // The planner must agree that the pair is unsupported.
+            assert!(
+                embed(&spec.guest, &spec.host).is_err()
+                    || predicted_dilation(&spec.guest, &spec.host).is_err(),
+                "trial {} unsupported but the planner covers {} -> {}",
+                record.id,
+                spec.guest,
+                spec.host
+            );
+            continue;
+        };
+        let embedding = embed(&spec.guest, &spec.host).expect("supported pair");
+        let verification = verify(&embedding, 0).expect("in-budget guest");
+        let congestion_report = congestion(&embedding).expect("valid embedding");
+        assert_eq!(metrics.construction, embedding.name());
+        assert_eq!(
+            metrics.predicted_dilation,
+            predicted_dilation(&spec.guest, &spec.host).unwrap()
+        );
+        assert_eq!(metrics.measured_dilation, verification.dilation);
+        assert_eq!(metrics.average_dilation, verification.average_dilation);
+        assert_eq!(metrics.guest_edges, verification.edges);
+        assert_eq!(metrics.injective, verification.injective);
+        assert_eq!(metrics.max_congestion, congestion_report.max_congestion);
+        assert_eq!(
+            metrics.average_congestion,
+            congestion_report.average_congestion
+        );
+        assert_eq!(metrics.used_host_links, congestion_report.used_host_edges);
+        assert!(record.bound_ok());
+        checked += 1;
+    }
+    assert!(checked > 50, "only {checked} supported trials checked");
+}
+
+#[test]
+fn jsonl_has_one_line_per_trial_in_id_order() {
+    let plan = SweepPlan::builtin("smoke").unwrap();
+    let outcome = run(&plan, 4);
+    let jsonl = outcome.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), outcome.records.len());
+    for (index, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"id\":{index},")),
+            "line {index} out of order: {line}"
+        );
+        assert!(line.ends_with('}'));
+    }
+}
+
+#[test]
+fn parsed_plan_files_run_end_to_end() {
+    let text = "
+        name = from-file
+        seed = 3
+        workloads = neighbor, alltoall
+        family same_shape max_size=10 max_dim=2
+    ";
+    let plan = SweepPlan::parse(text).unwrap();
+    let outcome = run(&plan, 2);
+    assert_eq!(outcome.plan_name, "from-file");
+    assert!(outcome.supported() > 0);
+    assert!(outcome.bound_violations().is_empty());
+    // alltoall applies to every guest here (all sizes <= 64).
+    let with_alltoall = outcome
+        .records
+        .iter()
+        .filter_map(|r| r.metrics())
+        .filter(|m| m.workloads.iter().any(|w| w.workload == "alltoall"))
+        .count();
+    assert_eq!(with_alltoall, outcome.supported());
+}

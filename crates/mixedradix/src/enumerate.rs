@@ -1,0 +1,131 @@
+//! Enumeration of radix bases: every way to factor a size into radices.
+//!
+//! The experiment-sweep engine (`explab`) runs the paper's constructions over
+//! *families* of shape pairs — "every torus→mesh pair with `n ≤ 2^k`" — so it
+//! needs to list all shapes of a given size. A shape of size `n` is exactly an
+//! ordered factorization of `n` into factors `≥ 2` (Definition 7 requires
+//! every radix `l_j > 1`), which is what this module enumerates.
+
+use crate::base::RadixBase;
+
+/// All ordered factorizations of `n` into at most `max_dim` factors, each
+/// `≥ 2`, in lexicographic order. `(2, 12)` and `(12, 2)` are distinct
+/// entries: they denote different (if isomorphic) shapes.
+///
+/// Returns an empty list for `n < 2`, `max_dim == 0`, or prime `n` larger
+/// than `u32::MAX` (no factor fits in a radix).
+pub fn ordered_factorizations(n: u64, max_dim: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    if n < 2 || max_dim == 0 {
+        return out;
+    }
+    let mut prefix = Vec::new();
+    extend(n, max_dim, &mut prefix, &mut out);
+    out
+}
+
+fn extend(rest: u64, slots: usize, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+    if rest == 1 {
+        if !prefix.is_empty() {
+            out.push(prefix.clone());
+        }
+        return;
+    }
+    if slots == 0 {
+        return;
+    }
+    for factor in 2..=rest {
+        if factor > u64::from(u32::MAX) {
+            break;
+        }
+        if !rest.is_multiple_of(factor) {
+            continue;
+        }
+        prefix.push(factor as u32);
+        extend(rest / factor, slots - 1, prefix, out);
+        prefix.pop();
+    }
+}
+
+/// All *distinct* factorizations of `n` (one canonical representative per
+/// multiset of factors, with factors non-increasing), at most `max_dim`
+/// factors, each `≥ 2`. `(12, 2)` is listed; `(2, 12)` is not.
+///
+/// This is the deduplicated family used when isomorphic shapes should be
+/// counted once.
+pub fn distinct_factorizations(n: u64, max_dim: usize) -> Vec<Vec<u32>> {
+    let mut out = ordered_factorizations(n, max_dim);
+    for factors in &mut out {
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// All radix bases of size `n` with dimension at most `max_dim` — one
+/// [`RadixBase`] per entry of [`ordered_factorizations`].
+pub fn bases_of_size(n: u64, max_dim: usize) -> Vec<RadixBase> {
+    ordered_factorizations(n, max_dim.min(crate::MAX_DIM))
+        .into_iter()
+        .map(|radices| RadixBase::new(radices).expect("factors >= 2 form a valid base"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_factorizations_of_12() {
+        let f = ordered_factorizations(12, 3);
+        // 12, 2·6, 6·2, 3·4, 4·3, 2·2·3, 2·3·2, 3·2·2.
+        assert_eq!(f.len(), 8);
+        assert!(f.contains(&vec![12]));
+        assert!(f.contains(&vec![2, 6]));
+        assert!(f.contains(&vec![6, 2]));
+        assert!(f.contains(&vec![2, 2, 3]));
+        for factors in &f {
+            assert_eq!(factors.iter().map(|&x| u64::from(x)).product::<u64>(), 12);
+            assert!(factors.iter().all(|&x| x >= 2));
+        }
+    }
+
+    #[test]
+    fn dimension_cap_limits_factor_count() {
+        let f = ordered_factorizations(16, 2);
+        assert!(f.iter().all(|factors| factors.len() <= 2));
+        assert_eq!(f.len(), 4); // 16, 2·8, 8·2, 4·4.
+    }
+
+    #[test]
+    fn distinct_factorizations_canonicalize() {
+        let f = distinct_factorizations(12, 3);
+        // {12}, {6,2}, {4,3}, {3,2,2}, sorted lexicographically.
+        assert_eq!(f, vec![vec![3, 2, 2], vec![4, 3], vec![6, 2], vec![12]]);
+    }
+
+    #[test]
+    fn primes_have_one_factorization() {
+        assert_eq!(ordered_factorizations(13, 4), vec![vec![13]]);
+        assert_eq!(distinct_factorizations(13, 4), vec![vec![13]]);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_empty() {
+        assert!(ordered_factorizations(0, 3).is_empty());
+        assert!(ordered_factorizations(1, 3).is_empty());
+        assert!(ordered_factorizations(12, 0).is_empty());
+    }
+
+    #[test]
+    fn bases_match_factorizations() {
+        let bases = bases_of_size(24, 3);
+        let factorizations = ordered_factorizations(24, 3);
+        assert_eq!(bases.len(), factorizations.len());
+        for (base, factors) in bases.iter().zip(&factorizations) {
+            assert_eq!(base.radices(), factors.as_slice());
+            assert_eq!(base.size(), 24);
+        }
+    }
+}

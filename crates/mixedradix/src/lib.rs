@@ -13,7 +13,9 @@
 //!   once a sequence is read as an embedding;
 //! * [`gray`] — the classic binary reflected Gray code, the radix-2 special
 //!   case that the paper generalizes;
-//! * [`Permutation`] — dimension permutations used to reorder shapes.
+//! * [`Permutation`] — dimension permutations used to reorder shapes;
+//! * [`enumerate`] — every radix base of a given size (ordered and distinct
+//!   factorizations), the generator behind `explab`'s shape families.
 //!
 //! The actual embedding functions (`f_L`, `g_L`, `h_L`, …) live in the
 //! `embeddings` crate; this crate provides the arithmetic they are built from.
@@ -42,6 +44,7 @@
 pub mod base;
 pub mod digits;
 pub mod distance;
+pub mod enumerate;
 pub mod error;
 pub mod gray;
 pub mod iter;

@@ -53,7 +53,7 @@ pub use network::Network;
 pub use routing::{Router, RoutingAlgorithm};
 pub use sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};
 pub use stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
-pub use traffic::Workload;
+pub use traffic::{Workload, WorkloadError};
 
 /// Commonly used items.
 pub mod prelude {
@@ -65,5 +65,5 @@ pub mod prelude {
     pub use crate::routing::{Router, RoutingAlgorithm};
     pub use crate::sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};
     pub use crate::stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
-    pub use crate::traffic::Workload;
+    pub use crate::traffic::{Workload, WorkloadError};
 }

@@ -10,6 +10,37 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use topology::Grid;
 
+/// Why an explicit workload pair list was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A pair references a task outside `[0, tasks)`.
+    TaskOutOfRange {
+        /// The position of the offending pair in the list.
+        pair_index: usize,
+        /// The offending pair.
+        pair: (u64, u64),
+        /// The declared number of tasks.
+        tasks: u64,
+    },
+}
+
+impl core::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorkloadError::TaskOutOfRange {
+                pair_index,
+                pair: (a, b),
+                tasks,
+            } => write!(
+                f,
+                "workload pair #{pair_index} ({a}, {b}) references tasks outside [0, {tasks})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// A communication workload over `tasks` logical tasks: a list of directed
 /// (source task, destination task) pairs, each carrying one message per
 /// simulated round.
@@ -20,17 +51,36 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// Creates a workload from explicit pairs, rejecting out-of-range task
+    /// references as an error — the fallible path for library code (such as
+    /// `explab` trial construction) assembling workloads from generated or
+    /// untrusted pair lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::TaskOutOfRange`] naming the first offending
+    /// pair if any pair references a task `>= tasks`.
+    pub fn try_new(tasks: u64, pairs: Vec<(u64, u64)>) -> Result<Self, WorkloadError> {
+        for (pair_index, &(a, b)) in pairs.iter().enumerate() {
+            if a >= tasks || b >= tasks {
+                return Err(WorkloadError::TaskOutOfRange {
+                    pair_index,
+                    pair: (a, b),
+                    tasks,
+                });
+            }
+        }
+        Ok(Workload { tasks, pairs })
+    }
+
     /// Creates a workload from explicit pairs.
     ///
     /// # Panics
     ///
-    /// Panics if any pair references a task `>= tasks`.
+    /// Panics if any pair references a task `>= tasks`; use
+    /// [`Workload::try_new`] to handle that case as an error.
     pub fn new(tasks: u64, pairs: Vec<(u64, u64)>) -> Self {
-        assert!(
-            pairs.iter().all(|&(a, b)| a < tasks && b < tasks),
-            "workload references tasks outside [0, {tasks})"
-        );
-        Workload { tasks, pairs }
+        Self::try_new(tasks, pairs).expect("workload references tasks outside the task range")
     }
 
     /// The neighbor-exchange workload of a task graph: every edge of `graph`
@@ -119,5 +169,25 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn out_of_range_pairs_panic() {
         let _ = Workload::new(4, vec![(0, 4)]);
+    }
+
+    #[test]
+    fn try_new_reports_the_offending_pair() {
+        let ok = Workload::try_new(4, vec![(0, 1), (3, 2)]).unwrap();
+        assert_eq!(ok.tasks(), 4);
+        assert_eq!(ok.messages_per_round(), 2);
+        match Workload::try_new(4, vec![(0, 1), (5, 2)]) {
+            Err(WorkloadError::TaskOutOfRange {
+                pair_index,
+                pair,
+                tasks,
+            }) => {
+                assert_eq!((pair_index, pair, tasks), (1, (5, 2), 4));
+            }
+            other => panic!("expected TaskOutOfRange, got {other:?}"),
+        }
+        let message = Workload::try_new(2, vec![(0, 2)]).unwrap_err().to_string();
+        assert!(message.contains("outside [0, 2)"));
+        assert!(message.contains("pair #0"));
     }
 }

@@ -13,6 +13,8 @@
 //! * [`hamiltonian`] — the Hamiltonian-circuit predicates of Corollaries 18,
 //!   25 and 29, plus a checker and an exhaustive search for tiny instances;
 //! * [`csr`] — materialized adjacency for cache-friendly traversals;
+//! * [`families`] — shape/graph family iterators (every torus or mesh of a
+//!   given size), the substrate of `explab`'s sweep generators;
 //! * [`metrics`] — closed-form network figures of merit (links per dimension,
 //!   degree distribution, mean distance, bisection width);
 //! * [`parallel`] — crossbeam-based fork–join helpers used for edge sweeps;
@@ -38,6 +40,7 @@ pub mod bfs;
 pub mod csr;
 pub mod edges;
 pub mod error;
+pub mod families;
 pub mod grid;
 pub mod hamiltonian;
 pub mod metrics;

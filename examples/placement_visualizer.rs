@@ -69,13 +69,16 @@ fn main() {
             Alignment::Left,
             Alignment::Right,
         ]);
-    for (i, step) in chain.report().into_iter().enumerate() {
+    // Iterate the steps directly: the full `chain.report()` would also
+    // compose the chain and sweep the composed dilation, which the code
+    // below already does once for `show`.
+    for (i, step) in chain.steps().iter().enumerate() {
         steps.push_row(vec![
             (i + 1).to_string(),
-            step.name,
-            step.guest,
-            step.host,
-            step.dilation.to_string(),
+            step.name().to_string(),
+            step.guest().to_string(),
+            step.host().to_string(),
+            step.dilation().to_string(),
         ]);
     }
     println!("{steps}");

@@ -1,0 +1,79 @@
+//! Driving `explab` as a library: build a sweep plan in code, run it
+//! sharded, and inspect trials, tables and JSONL without the `lab` CLI.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example sweep_small
+//! ```
+
+use explab::executor::{expand, run};
+use explab::plan::{Family, SweepPlan, WorkloadSpec};
+use explab::report::family_overview;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A plan is plain data: families × workloads × a seed. This one
+    //    sweeps every ring-into-grid pair up to 16 nodes and every
+    //    torus-into-same-shape-mesh pair up to 16 nodes.
+    // ------------------------------------------------------------------
+    let plan = SweepPlan {
+        name: "sweep-small".into(),
+        seed: 42,
+        rounds: 1,
+        families: vec![
+            Family::RingInto {
+                max_size: 16,
+                max_dim: 3,
+            },
+            Family::SameShape {
+                max_size: 16,
+                max_dim: 3,
+            },
+        ],
+        workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
+    };
+    println!(
+        "plan {:?} expands to {} trials\n",
+        plan.name,
+        expand(&plan).len()
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Run it across 4 workers. The records come back in trial order
+    //    and are bit-identical for any worker count.
+    // ------------------------------------------------------------------
+    let outcome = run(&plan, 4);
+    assert_eq!(outcome.records, run(&plan, 1).records);
+    println!("{}", family_overview(&outcome));
+
+    // ------------------------------------------------------------------
+    // 3. Each record carries the full measurement of one pair.
+    // ------------------------------------------------------------------
+    let record = outcome
+        .records
+        .iter()
+        .filter_map(|r| r.metrics().map(|m| (r, m)))
+        .max_by_key(|(_, m)| m.measured_dilation)
+        .expect("some trial is supported");
+    println!(
+        "worst pair: {} -> {} via {} (dilation {} <= predicted {}, max congestion {})",
+        record.0.guest,
+        record.0.host,
+        record.1.construction,
+        record.1.measured_dilation,
+        record.1.predicted_dilation,
+        record.1.max_congestion,
+    );
+    println!(
+        "bound violations: {} (always 0 unless a theorem is broken)\n",
+        outcome.bound_violations().len()
+    );
+
+    // ------------------------------------------------------------------
+    // 4. The same records serialize to one JSON line per trial — what
+    //    `lab run --jsonl` writes to disk.
+    // ------------------------------------------------------------------
+    let jsonl = outcome.to_jsonl();
+    println!("first JSONL record:\n{}", jsonl.lines().next().unwrap());
+}

@@ -16,6 +16,8 @@
 //!   examples and benches to show the effect of dilation on routed latency.
 //! * [`gridviz`] — text tables and ASCII renderings of embeddings
 //!   (Figure 10/12-style pictures).
+//! * [`explab`] — the declarative experiment-sweep engine behind the `lab`
+//!   CLI and the generated `EXPERIMENTS.md`.
 //!
 //! ## Quickstart
 //!
@@ -30,6 +32,7 @@
 //! ```
 
 pub use embeddings;
+pub use explab;
 pub use gridviz;
 pub use mixedradix;
 pub use netsim;
@@ -38,6 +41,7 @@ pub use topology;
 /// Commonly used items from every member crate.
 pub mod prelude {
     pub use embeddings::prelude::*;
+    pub use explab::prelude::*;
     pub use gridviz::prelude::*;
     pub use mixedradix::prelude::*;
     pub use netsim::prelude::*;

@@ -62,13 +62,16 @@ fn paper_example_chain_reports_every_intermediate_step() {
     assert_eq!(chain.len(), 3);
 
     let report = chain.report();
-    assert_eq!(report.len(), 3);
-    assert!(report.iter().all(|step| step.dilation >= 1));
+    assert_eq!(report.steps.len(), 3);
+    assert!(report.steps.iter().all(|step| step.dilation >= 1));
+    assert_eq!(report.product_bound, chain.dilation_product_bound());
+    assert!(report.within_bound());
 
     let composed = chain.compose().unwrap();
     let verified = verify(&composed, 0).unwrap();
     assert!(verified.injective);
     assert_eq!(verified.dilation, composed.dilation());
+    assert_eq!(report.composed_dilation, composed.dilation());
     assert!(composed.dilation() <= chain.dilation_product_bound());
 
     // The direct planner result for the same endpoints cannot be worse than
