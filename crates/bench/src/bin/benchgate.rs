@@ -1,0 +1,192 @@
+//! `benchgate` — the CI bench-regression gate.
+//!
+//! ```text
+//! benchgate [--min-ratio R] BENCH_pipeline.json BENCH_explab.json BENCH_optim.json
+//! ```
+//!
+//! For every baseline file, re-measures the gated throughput figures with
+//! plain wall-clock timing (best of N repetitions, so one scheduler hiccup
+//! cannot fail the gate) and compares them against the checked-in numbers.
+//! Exits non-zero when any measurement drops below `min_ratio` × baseline
+//! (default 0.7, i.e. a >30% regression) or a baseline file is unreadable.
+//!
+//! The measurements mirror the criterion benches (`pipeline_throughput`,
+//! `explab_throughput`, `optim_throughput`) but use much shorter runs: the
+//! gate exists to catch collapses, not single-digit drift — nightly bench
+//! runs against `BENCH_*.json` remain the precision instrument.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use emb_bench::gate::{check, extract_metrics, parse_json, BaselineMetric, GateCheck};
+use emb_bench::{mesh, torus};
+use embeddings::auto::embed;
+use embeddings::congestion::congestion_sequential;
+use embeddings::optim::{CongestionObjective, Optimizer, OptimizerConfig};
+use embeddings::verify::verify_sequential;
+use explab::executor::run;
+use explab::plan::SweepPlan;
+use gridviz::Table;
+
+/// Times `work` `repetitions` times and returns the fastest wall-clock
+/// seconds (the least-noise estimator for throughput comparisons).
+fn best_seconds(repetitions: usize, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        work();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures the metric a baseline names, in the baseline's unit.
+fn measure(metric: &BaselineMetric) -> Result<f64, String> {
+    match (metric.benchmark.as_str(), metric.metric.as_str()) {
+        ("pipeline_throughput", which) => {
+            // The same ~2²⁰-node workload as the criterion bench.
+            let embedding = embed(&torus(&[1024, 1024]), &torus(&[32, 32, 32, 32]))
+                .map_err(|e| e.to_string())?;
+            let edges = embedding.guest().num_edges() as f64;
+            let seconds = match which {
+                "verify_melem_per_s" => best_seconds(3, || {
+                    std::hint::black_box(verify_sequential(&embedding).dilation);
+                }),
+                "congestion_melem_per_s" => best_seconds(3, || {
+                    std::hint::black_box(
+                        congestion_sequential(&embedding)
+                            .expect("valid")
+                            .max_congestion,
+                    );
+                }),
+                other => return Err(format!("unknown pipeline metric {other:?}")),
+            };
+            Ok(edges / seconds / 1e6)
+        }
+        ("explab_throughput", "trials_per_s") => {
+            let plan = SweepPlan::builtin("bench").map_err(|e| e.to_string())?;
+            let trials = explab::executor::expand(&plan).len() as f64;
+            let seconds = best_seconds(5, || {
+                std::hint::black_box(run(&plan, 1).supported());
+            });
+            Ok(trials / seconds)
+        }
+        ("optim_throughput", "moves_per_s") => {
+            // The same workload and config as the criterion bench.
+            let guest = torus(&[16, 16]);
+            let host = mesh(&[16, 16]);
+            let embedding = embed(&guest, &host).map_err(|e| e.to_string())?;
+            let steps = 5_000u64;
+            let config = OptimizerConfig {
+                seed: 1987,
+                steps,
+                ..OptimizerConfig::default()
+            };
+            let seconds = best_seconds(3, || {
+                let mut objective = CongestionObjective::new(&guest, &host).expect("equal sizes");
+                std::hint::black_box(
+                    Optimizer::new(config)
+                        .optimize(&embedding, &mut objective)
+                        .expect("optimize")
+                        .report
+                        .best,
+                );
+            });
+            Ok(steps as f64 / seconds)
+        }
+        (benchmark, metric) => Err(format!("unknown metric {benchmark}/{metric}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_ratio = 0.7f64;
+    if let Some(index) = args.iter().position(|a| a == "--min-ratio") {
+        if index + 1 >= args.len() {
+            eprintln!("benchgate: --min-ratio needs a value");
+            return ExitCode::from(1);
+        }
+        let value = args.remove(index + 1);
+        args.remove(index);
+        min_ratio = match value.parse() {
+            Ok(ratio) => ratio,
+            Err(_) => {
+                eprintln!("benchgate: --min-ratio must be a number, got {value:?}");
+                return ExitCode::from(1);
+            }
+        };
+    }
+    if args.is_empty() {
+        eprintln!("usage: benchgate [--min-ratio R] <BENCH_*.json>...");
+        return ExitCode::from(1);
+    }
+
+    let mut checks: Vec<GateCheck> = Vec::new();
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("benchgate: cannot read {path}: {error}");
+                return ExitCode::from(1);
+            }
+        };
+        let metrics = match parse_json(&text).and_then(|json| extract_metrics(&json)) {
+            Ok(metrics) => metrics,
+            Err(error) => {
+                eprintln!("benchgate: {path}: {error}");
+                return ExitCode::from(1);
+            }
+        };
+        for metric in metrics {
+            let measured = match measure(&metric) {
+                Ok(measured) => measured,
+                Err(error) => {
+                    eprintln!("benchgate: {path}: {error}");
+                    return ExitCode::from(1);
+                }
+            };
+            checks.push(check(metric, measured, min_ratio));
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "metric",
+        "baseline",
+        "measured",
+        "ratio",
+        "verdict",
+    ]);
+    let mut failures = 0usize;
+    for c in &checks {
+        if !c.pass {
+            failures += 1;
+        }
+        table.push_row(vec![
+            c.baseline.benchmark.clone(),
+            c.baseline.metric.clone(),
+            format!("{:.0}", c.baseline.throughput),
+            format!("{:.0}", c.measured),
+            format!("{:.2}", c.ratio),
+            if c.pass {
+                "ok".into()
+            } else {
+                "REGRESSION".to_string()
+            },
+        ]);
+    }
+    print!("{table}");
+    if failures > 0 {
+        eprintln!(
+            "benchgate: {failures} metric(s) fell below {:.0}% of baseline",
+            min_ratio * 100.0
+        );
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "benchgate: all {} metric(s) within {:.0}% of baseline",
+        checks.len(),
+        min_ratio * 100.0
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,520 @@
+//! The bench-regression gate: parse checked-in `BENCH_*.json` baselines and
+//! compare freshly measured throughput against them.
+//!
+//! The workspace is offline (no serde), so this module carries a minimal
+//! recursive-descent JSON parser — just enough for the baseline files the
+//! repo checks in — plus the baseline-extraction and ratio-check logic the
+//! `benchgate` binary drives in CI. A measurement passes when it reaches at
+//! least `min_ratio` of its baseline (the CI default, 0.7, fails a >30%
+//! throughput regression).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; baseline magnitudes fit easily).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. `BTreeMap` keeps lookups simple; baseline files never
+    /// rely on duplicate keys.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Why a baseline file could not be used.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GateError {
+    /// The file is not valid JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The JSON parsed but a required field is missing or mistyped.
+    Schema {
+        /// A dotted path describing the missing field.
+        field: String,
+    },
+    /// The `benchmark` field names a benchmark the gate cannot measure.
+    UnknownBenchmark {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl core::fmt::Display for GateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GateError::Parse { offset, message } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            GateError::Schema { field } => {
+                write!(f, "baseline is missing required field {field:?}")
+            }
+            GateError::UnknownBenchmark { name } => {
+                write!(f, "no gate measurement is defined for benchmark {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// Parses a JSON document (the subset the baseline files use: objects,
+/// arrays, strings with `\"`-style escapes, numbers, booleans, null).
+pub fn parse_json(text: &str) -> Result<Json, GateError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_whitespace(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(GateError::Parse {
+            offset: pos,
+            message: "trailing characters after the document".into(),
+        });
+    }
+    Ok(value)
+}
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), GateError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(GateError::Parse {
+            offset: *pos,
+            message: format!("expected {:?}", byte as char),
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, GateError> {
+    skip_whitespace(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(GateError::Parse {
+            offset: *pos,
+            message: "unexpected end of input".into(),
+        }),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, GateError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(GateError::Parse {
+            offset: *pos,
+            message: format!("expected {literal:?}"),
+        })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, GateError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number characters");
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| GateError::Parse {
+            offset: start,
+            message: format!("invalid number {text:?}"),
+        })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, GateError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = Vec::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| GateError::Parse {
+                    offset: *pos,
+                    message: "invalid UTF-8 in string".into(),
+                });
+            }
+            b'\\' => {
+                *pos += 1;
+                let escaped = bytes.get(*pos).ok_or(GateError::Parse {
+                    offset: *pos,
+                    message: "unterminated escape".into(),
+                })?;
+                match escaped {
+                    b'"' | b'\\' | b'/' => out.push(*escaped),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'u' => {
+                        // Baseline files only use BMP escapes; decode the
+                        // four hex digits directly.
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or(GateError::Parse {
+                            offset: *pos,
+                            message: "truncated \\u escape".into(),
+                        })?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| GateError::Parse {
+                                offset: *pos,
+                                message: "non-ascii \\u escape".into(),
+                            })?,
+                            16,
+                        )
+                        .map_err(|_| GateError::Parse {
+                            offset: *pos,
+                            message: "invalid \\u escape".into(),
+                        })?;
+                        let ch = char::from_u32(code).ok_or(GateError::Parse {
+                            offset: *pos,
+                            message: "non-scalar \\u escape".into(),
+                        })?;
+                        let mut buffer = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buffer).as_bytes());
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(GateError::Parse {
+                            offset: *pos,
+                            message: format!("unsupported escape \\{}", *other as char),
+                        });
+                    }
+                }
+                *pos += 1;
+            }
+            _ => {
+                out.push(bytes[*pos]);
+                *pos += 1;
+            }
+        }
+    }
+    Err(GateError::Parse {
+        offset: *pos,
+        message: "unterminated string".into(),
+    })
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, GateError> {
+    expect(bytes, pos, b'{')?;
+    let mut members = BTreeMap::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(members));
+    }
+    loop {
+        skip_whitespace(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_whitespace(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.insert(key, value);
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(members));
+            }
+            _ => {
+                return Err(GateError::Parse {
+                    offset: *pos,
+                    message: "expected ',' or '}' in object".into(),
+                });
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, GateError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => {
+                return Err(GateError::Parse {
+                    offset: *pos,
+                    message: "expected ',' or ']' in array".into(),
+                });
+            }
+        }
+    }
+}
+
+/// One gated throughput figure extracted from a baseline file. Units vary by
+/// benchmark (elements/s, trials/s, moves/s); the gate only ever compares a
+/// measurement against its own baseline, so the unit never crosses metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineMetric {
+    /// Which benchmark family the metric belongs to (the file's `benchmark`
+    /// field).
+    pub benchmark: String,
+    /// The metric's name within the family (e.g. `"verify_melem_per_s"`).
+    pub metric: String,
+    /// The baseline throughput (higher is better).
+    pub throughput: f64,
+}
+
+fn number_at(root: &Json, path: &[&str]) -> Result<f64, GateError> {
+    let mut value = root;
+    for key in path {
+        value = value.get(key).ok_or_else(|| GateError::Schema {
+            field: path.join("."),
+        })?;
+    }
+    value.as_f64().ok_or_else(|| GateError::Schema {
+        field: path.join("."),
+    })
+}
+
+/// Finds the element of `results` whose `group` field equals `group`.
+fn result_group<'a>(root: &'a Json, group: &str) -> Result<&'a Json, GateError> {
+    let results = root
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| GateError::Schema {
+            field: "results".into(),
+        })?;
+    results
+        .iter()
+        .find(|r| r.get("group").and_then(Json::as_str) == Some(group))
+        .ok_or_else(|| GateError::Schema {
+            field: format!("results[group={group}]"),
+        })
+}
+
+/// Extracts the gated metrics of one parsed baseline file, dispatching on
+/// its `benchmark` field.
+///
+/// # Errors
+///
+/// Returns [`GateError::Schema`] when a required field is absent and
+/// [`GateError::UnknownBenchmark`] for files the gate cannot measure.
+pub fn extract_metrics(root: &Json) -> Result<Vec<BaselineMetric>, GateError> {
+    let benchmark = root
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or_else(|| GateError::Schema {
+            field: "benchmark".into(),
+        })?
+        .to_string();
+    let metric = |metric: &str, throughput: f64| BaselineMetric {
+        benchmark: benchmark.clone(),
+        metric: metric.to_string(),
+        throughput,
+    };
+    match benchmark.as_str() {
+        "pipeline_throughput" => Ok(vec![
+            metric(
+                "verify_melem_per_s",
+                number_at(result_group(root, "verify")?, &["batched_melem_per_s"])?,
+            ),
+            metric(
+                "congestion_melem_per_s",
+                number_at(result_group(root, "congestion")?, &["batched_melem_per_s"])?,
+            ),
+        ]),
+        "explab_throughput" => Ok(vec![metric(
+            "trials_per_s",
+            number_at(root, &["summary", "trials_per_second_single_worker"])?,
+        )]),
+        "optim_throughput" => Ok(vec![metric(
+            "moves_per_s",
+            number_at(root, &["summary", "moves_per_second"])?,
+        )]),
+        other => Err(GateError::UnknownBenchmark { name: other.into() }),
+    }
+}
+
+/// The verdict on one gated metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateCheck {
+    /// The metric that was checked.
+    pub baseline: BaselineMetric,
+    /// The freshly measured throughput, in the baseline's unit.
+    pub measured: f64,
+    /// `measured / baseline` (1.0 = exactly at baseline).
+    pub ratio: f64,
+    /// Whether the measurement clears `min_ratio × baseline`.
+    pub pass: bool,
+}
+
+/// Compares a measurement against its baseline: pass when `measured` is at
+/// least `min_ratio` of the baseline throughput.
+pub fn check(baseline: BaselineMetric, measured: f64, min_ratio: f64) -> GateCheck {
+    let ratio = if baseline.throughput > 0.0 {
+        measured / baseline.throughput
+    } else {
+        f64::INFINITY
+    };
+    GateCheck {
+        baseline,
+        measured,
+        ratio,
+        pass: ratio >= min_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_nesting() {
+        let doc = r#"{"a": 1.5, "b": [true, false, null, "x\n\"y\""], "c": {"d": -2e3}}"#;
+        let json = parse_json(doc).unwrap();
+        assert_eq!(json.get("a").unwrap().as_f64(), Some(1.5));
+        let items = json.get("b").unwrap().as_array().unwrap();
+        assert_eq!(items[0], Json::Bool(true));
+        assert_eq!(items[2], Json::Null);
+        assert_eq!(items[3].as_str(), Some("x\n\"y\""));
+        assert_eq!(
+            json.get("c").unwrap().get("d").unwrap().as_f64(),
+            Some(-2000.0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "{\"a\":1} trailing",
+            "\"open",
+        ] {
+            assert!(
+                matches!(parse_json(bad), Err(GateError::Parse { .. })),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_the_checked_in_baselines() {
+        for file in [
+            "BENCH_pipeline.json",
+            "BENCH_explab.json",
+            "BENCH_optim.json",
+        ] {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
+            let text = std::fs::read_to_string(&path).expect(file);
+            let json = parse_json(&text).expect(file);
+            let metrics = extract_metrics(&json).expect(file);
+            assert!(!metrics.is_empty(), "{file}");
+            assert!(metrics.iter().all(|m| m.throughput > 0.0), "{file}");
+        }
+    }
+
+    #[test]
+    fn extraction_dispatches_on_benchmark_name() {
+        let doc = r#"{
+            "benchmark": "explab_throughput",
+            "summary": {"trials_per_second_single_worker": 24748}
+        }"#;
+        let metrics = extract_metrics(&parse_json(doc).unwrap()).unwrap();
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].metric, "trials_per_s");
+        assert_eq!(metrics[0].throughput, 24748.0);
+
+        let unknown = r#"{"benchmark": "mystery"}"#;
+        assert!(matches!(
+            extract_metrics(&parse_json(unknown).unwrap()),
+            Err(GateError::UnknownBenchmark { .. })
+        ));
+        let missing = r#"{"benchmark": "optim_throughput", "summary": {}}"#;
+        assert!(matches!(
+            extract_metrics(&parse_json(missing).unwrap()),
+            Err(GateError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn ratio_check_applies_the_threshold() {
+        let metric = BaselineMetric {
+            benchmark: "optim_throughput".into(),
+            metric: "moves_per_s".into(),
+            throughput: 1000.0,
+        };
+        assert!(check(metric.clone(), 900.0, 0.7).pass);
+        assert!(check(metric.clone(), 700.0, 0.7).pass);
+        let fail = check(metric, 699.0, 0.7);
+        assert!(!fail.pass);
+        assert!((fail.ratio - 0.699).abs() < 1e-9);
+    }
+}

@@ -1,6 +1,8 @@
-//! Shared helpers for the benchmark suite and the `repro` experiment harness.
+//! Shared helpers for the benchmark suite, the `repro` experiment harness
+//! and the `benchgate` bench-regression gate.
 
 pub mod compat;
+pub mod gate;
 
 use topology::{GraphKind, Grid, Shape};
 

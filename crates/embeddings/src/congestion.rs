@@ -9,7 +9,7 @@
 //! congestion model and the simulator can never disagree about a route.
 //!
 //! Load accounting is allocation-free per hop: every host link has a dense
-//! slot in a flat `Vec<u64>` (see [`Grid::link_index`]), routes advance a
+//! slot in a flat `Vec<u64>` (see [`topology::Grid::link_index`]), routes advance a
 //! coordinate and its linear index in place ([`advance_toward`]), and the
 //! parallel path gives each fork–join worker its own flat load vector,
 //! merged elementwise at the end — so sequential and parallel reports are

@@ -33,6 +33,9 @@
 //!   library-level extension of the paper's cost model.
 //! * [`metrics`] — a one-stop [`metrics::EmbeddingMetrics`] quality report
 //!   (dilation, distribution, congestion, prediction, lower bound).
+//! * [`optim`] — seeded local-search / simulated-annealing refinement of any
+//!   embedding's placement table under pluggable, incrementally-evaluated
+//!   objectives (max congestion, average dilation, …).
 //! * [`chain`] — multi-step embedding chains with per-step dilation reports.
 //! * [`paper_examples`] — the paper's worked instances (Figures 1–12,
 //!   Definitions 30 and 41) as reusable constructors.
@@ -65,6 +68,7 @@ pub mod general_reduction;
 pub mod increase;
 pub mod lower_bound;
 pub mod metrics;
+pub mod optim;
 pub mod optimal;
 pub mod paper_examples;
 pub mod reduction;
@@ -90,6 +94,10 @@ pub mod prelude {
     pub use crate::increase::embed_increasing;
     pub use crate::lower_bound::dilation_lower_bound;
     pub use crate::metrics::EmbeddingMetrics;
+    pub use crate::optim::{
+        CongestionObjective, Cost, DilationObjective, Objective, OptimOutcome, OptimReport,
+        Optimizer, OptimizerConfig,
+    };
     pub use crate::reduction::embed_simple_reduction;
     pub use crate::same_shape::embed_same_shape;
     pub use crate::square::embed_square;

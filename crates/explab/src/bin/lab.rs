@@ -26,6 +26,10 @@ use gridviz::Table;
 /// generated document, so both are fixed rather than machine-derived.
 const REPORT_WORKERS: (usize, usize) = (1, 4);
 
+/// Upper bound on `--workers` (one OS thread each; sweeps saturate memory
+/// bandwidth far below this).
+const MAX_WORKERS: usize = 1024;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -183,9 +187,20 @@ fn cmd_run(rest: &[String]) -> Result<(), CliError> {
     let plan = load_plan(&mut options)?;
     let workers: usize = match options.take_value("--workers")? {
         None => 0,
-        Some(value) => value
-            .parse()
-            .map_err(|_| CliError::Usage(format!("--workers must be an integer, got {value:?}")))?,
+        Some(value) => {
+            let workers = value.parse().map_err(|_| {
+                CliError::Usage(format!("--workers must be an integer, got {value:?}"))
+            })?;
+            // Each worker is one OS thread; a runaway value would die in a
+            // thread-spawn panic deep inside the executor instead of a
+            // usage error here.
+            if workers > MAX_WORKERS {
+                return Err(CliError::Usage(format!(
+                    "--workers must be at most {MAX_WORKERS}, got {workers}"
+                )));
+            }
+            workers
+        }
     };
     let jsonl = options.take_value("--jsonl")?;
     let format = options
@@ -230,7 +245,8 @@ fn cmd_run(rest: &[String]) -> Result<(), CliError> {
     );
     if !outcome.bound_violations().is_empty() {
         return Err(CliError::Check(format!(
-            "{} trials violate their dilation bound",
+            "{} trials violate a bound (dilation/chain prediction, injectivity, \
+             or optimizer congestion monotonicity)",
             outcome.bound_violations().len()
         )));
     }
@@ -245,6 +261,17 @@ fn cmd_report(rest: &[String]) -> Result<(), CliError> {
     let check = options.take_flag("--check");
     options.finish()?;
 
+    // In check mode, fail on an unreadable target *before* the two report
+    // sweeps run, not after ~20 seconds of work.
+    let existing = if check {
+        Some(
+            std::fs::read_to_string(&out_path)
+                .map_err(|e| CliError::Io(format!("cannot read {out_path}: {e}")))?,
+        )
+    } else {
+        None
+    };
+
     let plan = SweepPlan::builtin("report")?;
     let (a, b) = REPORT_WORKERS;
     let sequential = run(&plan, a);
@@ -257,15 +284,14 @@ fn cmd_report(rest: &[String]) -> Result<(), CliError> {
     let violations = sharded.bound_violations().len();
     if violations > 0 {
         return Err(CliError::Check(format!(
-            "{violations} trials violate their dilation bound"
+            "{violations} trials violate a bound (dilation/chain prediction, \
+             injectivity, or optimizer congestion monotonicity)"
         )));
     }
     let note = format!("identical records with {a} and {b} workers");
     let document = experiments_markdown(&sharded, &note);
 
-    if check {
-        let existing = std::fs::read_to_string(&out_path)
-            .map_err(|e| CliError::Io(format!("cannot read {out_path}: {e}")))?;
+    if let Some(existing) = existing {
         if existing != document {
             let line = existing
                 .lines()

@@ -46,6 +46,7 @@ pub fn expand(plan: &SweepPlan) -> Vec<TrialSpec> {
                 seed: splitmix64(plan.seed ^ (id as u64)),
                 rounds: plan.rounds,
                 workloads: plan.workloads.clone(),
+                optimize: plan.optimize,
             });
         }
     }
@@ -154,6 +155,7 @@ mod tests {
             rounds: 1,
             families: vec![random.clone(), random],
             workloads: vec![crate::plan::WorkloadSpec::Neighbor],
+            optimize: None,
         };
         let specs = expand(&plan);
         assert_eq!(specs.len(), 12);

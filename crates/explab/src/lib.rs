@@ -35,6 +35,7 @@
 //!     rounds: 1,
 //!     families: vec![Family::RingInto { max_size: 8, max_dim: 2 }],
 //!     workloads: vec![WorkloadSpec::Neighbor],
+//!     optimize: None,
 //! };
 //! let outcome = run(&plan, 2);
 //! assert!(outcome.supported() > 0);
@@ -55,14 +56,14 @@ pub mod trial;
 
 pub use error::{ExplabError, Result};
 pub use executor::{run, SweepOutcome};
-pub use plan::{Family, SweepPlan, WorkloadSpec};
+pub use plan::{Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
 pub use trial::{TrialOutcome, TrialRecord, TrialSpec};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::error::ExplabError;
     pub use crate::executor::{expand, run, SweepOutcome};
-    pub use crate::plan::{Family, SweepPlan, WorkloadSpec};
+    pub use crate::plan::{Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
     pub use crate::report::experiments_markdown;
     pub use crate::trial::{run_trial, TrialOutcome, TrialRecord, TrialSpec};
 }

@@ -18,6 +18,8 @@
 //! seed = 42
 //! rounds = 1
 //! workloads = neighbor, tornado, transpose
+//! optimize = congestion      # none (default) | congestion | dilation | makespan
+//! optim_steps = 800          # annealing steps per trial
 //! family paper
 //! family ring_into max_size=32 max_dim=3
 //! family torus_to_mesh max_size=24 max_dim=3
@@ -270,6 +272,53 @@ pub enum WorkloadSpec {
     Random,
 }
 
+/// Which objective the optimizer refines a trial's placement table under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectiveKind {
+    /// Minimize max link congestion (ties: total routed path length);
+    /// incremental delta evaluation, the default.
+    Congestion,
+    /// Minimize total path length / average dilation (ties: max dilation);
+    /// incremental delta evaluation.
+    Dilation,
+    /// Minimize the simulated makespan of the guest's neighbor-exchange
+    /// workload; every move re-simulates, so prefer small step counts.
+    Makespan,
+}
+
+impl ObjectiveKind {
+    /// The objective's name, as used in plan files and trial records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObjectiveKind::Congestion => "congestion",
+            ObjectiveKind::Dilation => "dilation",
+            ObjectiveKind::Makespan => "makespan",
+        }
+    }
+
+    /// Parses an objective name.
+    pub fn from_name(name: &str) -> Option<ObjectiveKind> {
+        [
+            ObjectiveKind::Congestion,
+            ObjectiveKind::Dilation,
+            ObjectiveKind::Makespan,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+}
+
+/// The optimizer stage of a plan: refine every supported trial's placement
+/// under `objective` for `steps` annealing steps (seeded per trial, so
+/// records stay bit-identical for any worker count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptimSpec {
+    /// The objective to refine under.
+    pub objective: ObjectiveKind,
+    /// Proposed moves per trial.
+    pub steps: u64,
+}
+
 /// Every workload spec, in the order used by plan listings.
 pub const ALL_WORKLOADS: [WorkloadSpec; 6] = [
     WorkloadSpec::Neighbor,
@@ -299,6 +348,10 @@ impl WorkloadSpec {
     }
 }
 
+/// The optimizer step count a plan file gets when `optimize` is set without
+/// an explicit `optim_steps`.
+pub const DEFAULT_OPTIM_STEPS: u64 = 800;
+
 /// A declarative sweep: families × workloads, a seed, and a round count for
 /// the simulator.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -313,6 +366,10 @@ pub struct SweepPlan {
     pub families: Vec<Family>,
     /// The workloads run on every supported pair.
     pub workloads: Vec<WorkloadSpec>,
+    /// When set, every supported trial additionally refines its placement
+    /// with the seeded local-search optimizer and records
+    /// constructive-vs-optimized measurements.
+    pub optimize: Option<OptimSpec>,
 }
 
 impl SweepPlan {
@@ -355,6 +412,10 @@ impl SweepPlan {
                     },
                 ],
                 workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
+                optimize: Some(OptimSpec {
+                    objective: ObjectiveKind::Congestion,
+                    steps: 200,
+                }),
             }),
             "report" => Ok(SweepPlan {
                 name: "report".into(),
@@ -387,6 +448,10 @@ impl SweepPlan {
                     WorkloadSpec::Transpose,
                     WorkloadSpec::BitReversal,
                 ],
+                optimize: Some(OptimSpec {
+                    objective: ObjectiveKind::Congestion,
+                    steps: 1_200,
+                }),
             }),
             "bench" => Ok(SweepPlan {
                 name: "bench".into(),
@@ -403,6 +468,10 @@ impl SweepPlan {
                     },
                 ],
                 workloads: vec![WorkloadSpec::Neighbor],
+                // The bench plan feeds the `explab_throughput` baseline;
+                // keeping it optimizer-free keeps BENCH_explab.json
+                // comparable across PRs (the optimizer has its own bench).
+                optimize: None,
             }),
             other => Err(ExplabError::UnknownPlan { name: other.into() }),
         }
@@ -421,7 +490,9 @@ impl SweepPlan {
             rounds: 1,
             families: Vec::new(),
             workloads: vec![WorkloadSpec::Neighbor],
+            optimize: None,
         };
+        let mut optim_steps: Option<u64> = None;
         for (index, raw) in text.lines().enumerate() {
             let line = index + 1;
             let content = raw.split('#').next().unwrap_or("").trim();
@@ -467,6 +538,33 @@ impl SweepPlan {
                     }
                     plan.workloads = specs;
                 }
+                "optimize" => {
+                    plan.optimize = match value {
+                        "none" => None,
+                        name => {
+                            let objective = ObjectiveKind::from_name(name).ok_or_else(|| {
+                                ExplabError::PlanParse {
+                                    line,
+                                    message: format!(
+                                        "optimize must be none, congestion, dilation or \
+                                         makespan, got {name:?}"
+                                    ),
+                                }
+                            })?;
+                            Some(OptimSpec {
+                                objective,
+                                steps: DEFAULT_OPTIM_STEPS,
+                            })
+                        }
+                    };
+                }
+                "optim_steps" => {
+                    let steps = value.parse().map_err(|_| ExplabError::PlanParse {
+                        line,
+                        message: format!("optim_steps must be a u64, got {value:?}"),
+                    })?;
+                    optim_steps = Some(steps);
+                }
                 other => {
                     return Err(ExplabError::PlanParse {
                         line,
@@ -474,6 +572,15 @@ impl SweepPlan {
                     });
                 }
             }
+        }
+        match (&mut plan.optimize, optim_steps) {
+            (Some(spec), Some(steps)) => spec.steps = steps,
+            (None, Some(_)) => {
+                return Err(ExplabError::InvalidPlan {
+                    message: "optim_steps requires an `optimize = <objective>` line".into(),
+                });
+            }
+            _ => {}
         }
         if plan.families.is_empty() {
             return Err(ExplabError::InvalidPlan {

@@ -13,13 +13,18 @@
 use embeddings::auto::{embed, predicted_dilation};
 use embeddings::chain::{ChainReport, ChainStep};
 use embeddings::congestion::congestion_sequential;
+use embeddings::optim::{
+    CongestionObjective, DilationObjective, Objective, Optimizer, OptimizerConfig,
+};
 use embeddings::verify::verify_sequential;
+use embeddings::Embedding;
+use netsim::optimize::MakespanObjective;
 use netsim::sim::{simulate, Placement};
 use netsim::{patterns, Network, Workload};
 use topology::Grid;
 
 use crate::json::{array, Object};
-use crate::plan::WorkloadSpec;
+use crate::plan::{ObjectiveKind, OptimSpec, WorkloadSpec};
 
 /// The input of one trial, produced by expanding a plan.
 #[derive(Clone, Debug)]
@@ -39,6 +44,9 @@ pub struct TrialSpec {
     pub rounds: usize,
     /// The workloads to simulate.
     pub workloads: Vec<WorkloadSpec>,
+    /// When set, refine the placement with the local-search optimizer and
+    /// record constructive-vs-optimized measurements.
+    pub optimize: Option<OptimSpec>,
 }
 
 /// One workload's simulation results.
@@ -56,6 +64,32 @@ pub struct WorkloadResult {
     pub average_hops: f64,
     /// Makespan in cycles under one-message-per-link arbitration.
     pub cycles: u64,
+}
+
+/// Independent measurements of the optimizer-refined placement, taken with
+/// the same `verify`/`congestion` sweeps as the constructive embedding —
+/// the comparison never trusts the optimizer's own bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimizedMetrics {
+    /// The objective the optimizer refined under.
+    pub objective: &'static str,
+    /// Proposed annealing steps.
+    pub steps: u64,
+    /// Accepted moves.
+    pub accepted: u64,
+    /// Times the best-so-far cost strictly improved.
+    pub improvements: u64,
+    /// Max link congestion of the refined placement (independent re-sweep).
+    pub max_congestion: u64,
+    /// Mean load over used host links of the refined placement.
+    pub average_congestion: f64,
+    /// Measured dilation of the refined placement.
+    pub measured_dilation: u64,
+    /// Mean host distance over guest edges of the refined placement.
+    pub average_dilation: f64,
+    /// Whether the refined mapping verified as injective (every optimizer
+    /// move is a permutation, so this must always hold).
+    pub injective: bool,
 }
 
 /// The measurements of a supported pair.
@@ -83,6 +117,9 @@ pub struct TrialMetrics {
     pub chain: ChainReport,
     /// One entry per applicable workload.
     pub workloads: Vec<WorkloadResult>,
+    /// Constructive-vs-optimized comparison, when the plan enables the
+    /// optimizer stage.
+    pub optimized: Option<OptimizedMetrics>,
 }
 
 /// What happened to a trial.
@@ -134,12 +171,26 @@ impl TrialRecord {
     /// Whether the trial honors the theorem's bound: unsupported trials
     /// vacuously do; supported trials must measure a dilation within the
     /// prediction *and* a chain within its multiplicative bound *and* verify
-    /// injective.
+    /// injective. When the optimizer stage ran, the refined placement must
+    /// additionally verify injective, and under the congestion objective its
+    /// independently measured max congestion must not exceed the
+    /// constructive embedding's (the optimizer's monotone guarantee,
+    /// re-checked from the outside).
     pub fn bound_ok(&self) -> bool {
         match self.metrics() {
             None => true,
             Some(m) => {
-                m.injective && m.measured_dilation <= m.predicted_dilation && m.chain.within_bound()
+                let constructive_ok = m.injective
+                    && m.measured_dilation <= m.predicted_dilation
+                    && m.chain.within_bound();
+                let optimized_ok = match &m.optimized {
+                    None => true,
+                    Some(o) => {
+                        o.injective
+                            && (o.objective != "congestion" || o.max_congestion <= m.max_congestion)
+                    }
+                };
+                constructive_ok && optimized_ok
             }
         }
     }
@@ -196,6 +247,20 @@ impl TrialRecord {
                     .u64("used_host_links", m.used_host_links)
                     .raw("chain", chain)
                     .raw("workloads", workloads);
+                if let Some(o) = &m.optimized {
+                    let optimized = Object::new()
+                        .string("objective", o.objective)
+                        .u64("steps", o.steps)
+                        .u64("accepted", o.accepted)
+                        .u64("improvements", o.improvements)
+                        .u64("max_congestion", o.max_congestion)
+                        .f64("average_congestion", o.average_congestion)
+                        .u64("measured_dilation", o.measured_dilation)
+                        .f64("average_dilation", o.average_dilation)
+                        .bool("injective", o.injective)
+                        .finish();
+                    object = object.raw("optimized", optimized);
+                }
             }
         }
         object.finish()
@@ -296,6 +361,18 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
         composed_dilation: verification.dilation,
     };
 
+    let optimized = match spec.optimize {
+        None => None,
+        Some(optim_spec) => match optimize_trial(spec, &embedding, optim_spec) {
+            Ok(metrics) => Some(metrics),
+            Err(error) => {
+                return record(TrialOutcome::Unsupported {
+                    reason: format!("optimizer failed: {error}"),
+                });
+            }
+        },
+    };
+
     let network = Network::new(spec.host.clone());
     let placement = Placement::from_embedding(&embedding);
     let mut workloads = Vec::with_capacity(spec.workloads.len());
@@ -326,7 +403,62 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
         used_host_links: congestion.used_host_edges,
         chain,
         workloads,
+        optimized,
     })))
+}
+
+/// Runs the optimizer stage of one trial: refine the constructive placement
+/// under the plan's objective (seeded from the trial seed, so the stage is a
+/// pure function of the spec), then re-measure the refined embedding with
+/// the same independent sweeps used for the constructive one.
+fn optimize_trial(
+    spec: &TrialSpec,
+    embedding: &Embedding,
+    optim_spec: OptimSpec,
+) -> embeddings::error::Result<OptimizedMetrics> {
+    let config = OptimizerConfig {
+        // Decorrelate the optimizer walk from the random-workload draws that
+        // also consume the trial seed.
+        seed: crate::executor::splitmix64(spec.seed ^ 0x0971_a71e_5eed_c0de),
+        steps: optim_spec.steps,
+        ..OptimizerConfig::default()
+    };
+    let optimizer = Optimizer::new(config);
+    let mut congestion_objective;
+    let mut dilation_objective;
+    let mut makespan_objective;
+    let objective: &mut dyn Objective = match optim_spec.objective {
+        ObjectiveKind::Congestion => {
+            congestion_objective = CongestionObjective::new(&spec.guest, &spec.host)?;
+            &mut congestion_objective
+        }
+        ObjectiveKind::Dilation => {
+            dilation_objective = DilationObjective::new(&spec.guest, &spec.host)?;
+            &mut dilation_objective
+        }
+        ObjectiveKind::Makespan => {
+            makespan_objective = MakespanObjective::new(
+                Network::new(spec.host.clone()),
+                Workload::from_task_graph(&spec.guest),
+                spec.rounds.max(1),
+            );
+            &mut makespan_objective
+        }
+    };
+    let outcome = optimizer.optimize(embedding, objective)?;
+    let verification = verify_sequential(&outcome.embedding);
+    let congestion = congestion_sequential(&outcome.embedding)?;
+    Ok(OptimizedMetrics {
+        objective: outcome.report.objective,
+        steps: outcome.report.steps,
+        accepted: outcome.report.accepted,
+        improvements: outcome.report.improvements,
+        max_congestion: congestion.max_congestion,
+        average_congestion: congestion.average_congestion,
+        measured_dilation: verification.dilation,
+        average_dilation: verification.average_dilation,
+        injective: verification.injective,
+    })
 }
 
 #[cfg(test)]
@@ -347,6 +479,7 @@ mod tests {
             seed: 42,
             rounds: 1,
             workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
+            optimize: None,
         }
     }
 

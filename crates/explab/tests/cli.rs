@@ -1,0 +1,157 @@
+//! Exit-code and error-message tests of the `lab` CLI.
+//!
+//! Every failure mode must print a `Display`-rendered message to stderr and
+//! exit non-zero — never panic. Exit codes follow the contract documented in
+//! `src/bin/lab.rs`: `1` for usage/plan/IO errors, `2` for failed checks.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn lab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lab"))
+        .args(args)
+        .output()
+        .expect("spawn lab")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A throwaway file path in the target temp dir.
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("lab-cli-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp plan");
+    path
+}
+
+#[test]
+fn no_subcommand_is_a_usage_error() {
+    let out = lab(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("usage"));
+}
+
+#[test]
+fn unknown_subcommand_and_stray_arguments_exit_one() {
+    let out = lab(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("unknown subcommand"));
+
+    let out = lab(&["plans", "--what"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("unexpected argument"));
+}
+
+#[test]
+fn unknown_builtin_plan_prints_display_message() {
+    let out = lab(&["run", "--plan", "nope"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("unknown built-in plan"), "{stderr}");
+    assert!(stderr.contains("nope"));
+}
+
+#[test]
+fn plan_file_parse_failures_name_the_line_and_exit_one() {
+    let path = temp_file("bad-seed.plan", "seed = x\nfamily paper\n");
+    let out = lab(&["run", "--plan-file", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("line 1"), "{stderr}");
+    assert!(stderr.contains("seed must be a u64"), "{stderr}");
+}
+
+#[test]
+fn invalid_optimizer_settings_exit_one() {
+    let path = temp_file("bad-optimize.plan", "optimize = warp\nfamily paper\n");
+    let out = lab(&["expand", "--plan-file", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("optimize must be"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let path = temp_file("stray-steps.plan", "optim_steps = 10\nfamily paper\n");
+    let out = lab(&["expand", "--plan-file", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("optim_steps requires"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn missing_plan_file_exits_one_with_io_message() {
+    let out = lab(&["run", "--plan-file", "/definitely/not/here.plan"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("cannot read"));
+}
+
+#[test]
+fn invalid_workers_values_exit_one() {
+    for bad in ["x", "-3", "1.5", ""] {
+        let out = lab(&["run", "--plan", "smoke", "--workers", bad]);
+        assert_eq!(out.status.code(), Some(1), "--workers {bad:?}");
+        assert!(
+            stderr_of(&out).contains("--workers must be an integer"),
+            "--workers {bad:?}: {}",
+            stderr_of(&out)
+        );
+    }
+    // A value that parses but would spawn an absurd number of OS threads is
+    // rejected up front instead of panicking in the executor.
+    let out = lab(&["run", "--plan", "smoke", "--workers", "1000000"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("at most"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn mutually_exclusive_plan_flags_exit_one() {
+    let out = lab(&["run", "--plan", "smoke", "--plan-file", "x.plan"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("mutually exclusive"));
+}
+
+#[test]
+fn bad_format_is_rejected_before_the_sweep_runs() {
+    let out = lab(&["run", "--plan", "smoke", "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("--format must be"));
+}
+
+#[test]
+fn report_check_against_a_missing_file_exits_one() {
+    let out = lab(&[
+        "report",
+        "--check",
+        "--out",
+        "/definitely/not/EXPERIMENTS.md",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("cannot read"));
+}
+
+#[test]
+fn successful_tiny_run_exits_zero() {
+    let path = temp_file(
+        "tiny.plan",
+        "name = tiny\nseed = 3\noptimize = congestion\noptim_steps = 50\n\
+         family ring_into max_size=8 max_dim=2\n",
+    );
+    let out = lab(&[
+        "run",
+        "--plan-file",
+        path.to_str().unwrap(),
+        "--workers",
+        "2",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("0 bound violations"));
+}

@@ -5,7 +5,7 @@ use embeddings::auto::{embed, predicted_dilation};
 use embeddings::congestion::congestion;
 use embeddings::verify::verify;
 use explab::executor::{expand, run};
-use explab::plan::{Family, SweepPlan, WorkloadSpec};
+use explab::plan::{Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
 use explab::report::experiments_markdown;
 
 fn test_plan() -> SweepPlan {
@@ -34,6 +34,10 @@ fn test_plan() -> SweepPlan {
             WorkloadSpec::Tornado,
             WorkloadSpec::Random,
         ],
+        optimize: Some(OptimSpec {
+            objective: ObjectiveKind::Congestion,
+            steps: 150,
+        }),
     }
 }
 

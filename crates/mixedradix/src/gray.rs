@@ -3,7 +3,7 @@
 //! Section 2 of the paper notes that for `n = 2^d` and `L = (2, 2, …, 2)`, a
 //! function `f : [n] → Ω_L` with unit δ_t-spread (equal to the δ_m-spread in
 //! this case) is a *Gray code*. The embeddings of meshes in hypercubes in
-//! [CS86] are built from binary reflected Gray codes; the paper's `f_L` is the
+//! \[CS86\] are built from binary reflected Gray codes; the paper's `f_L` is the
 //! mixed-radix generalization. This module provides the classic binary code
 //! both as bit arithmetic and as a [`RadixSequence`], so that tests and
 //! benchmarks can check that `f_L` specializes to it.

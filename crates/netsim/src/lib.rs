@@ -18,6 +18,9 @@
 //!   hot spot, all-to-all, broadcast);
 //! * [`stats`] — detailed runs recording per-message latency distributions
 //!   and per-link loads;
+//! * [`optimize`] — a simulated-makespan [`embeddings::optim::Objective`],
+//!   so the local-search optimizer can refine placements against the
+//!   simulator itself;
 //! * [`collective`] — ring reduce-scatter / allreduce schedules built on the
 //!   paper's Hamiltonian-circuit embeddings (Corollaries 25 and 29).
 //!
@@ -40,6 +43,7 @@
 
 pub mod collective;
 pub mod network;
+pub mod optimize;
 pub mod patterns;
 pub mod routing;
 pub mod sim;
@@ -50,6 +54,7 @@ pub use collective::{
     simulate_ring_allreduce, simulate_ring_reduce_scatter, CollectiveStats, RingOrder,
 };
 pub use network::Network;
+pub use optimize::MakespanObjective;
 pub use routing::{Router, RoutingAlgorithm};
 pub use sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};
 pub use stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};

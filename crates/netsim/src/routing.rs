@@ -1,6 +1,6 @@
 //! Routing algorithms for torus and mesh networks.
 //!
-//! The base [`Network`](crate::network::Network) routes with dimension-ordered
+//! The base [`Network`] routes with dimension-ordered
 //! routing (DOR), correcting the lowest-index dimension first. That is the
 //! discipline assumed by the congestion analysis in the `embeddings` crate and
 //! by most real mesh/torus routers (e-cube routing). This module adds two

@@ -8,7 +8,7 @@
 //! ```
 
 use explab::executor::{expand, run};
-use explab::plan::{Family, SweepPlan, WorkloadSpec};
+use explab::plan::{Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
 use explab::report::family_overview;
 
 fn main() {
@@ -32,6 +32,12 @@ fn main() {
             },
         ],
         workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
+        // Refine every supported placement with 200 annealing steps under
+        // the max-congestion objective (set to `None` to skip the stage).
+        optimize: Some(OptimSpec {
+            objective: ObjectiveKind::Congestion,
+            steps: 200,
+        }),
     };
     println!(
         "plan {:?} expands to {} trials\n",
