@@ -22,6 +22,7 @@ use emb_bench::gate::{check, extract_metrics, parse_json, BaselineMetric, GateCh
 use emb_bench::{mesh, torus};
 use embeddings::auto::embed;
 use embeddings::congestion::congestion_sequential;
+use embeddings::optim::parallel::{optimize_sharded, ShardedConfig};
 use embeddings::optim::{CongestionObjective, Optimizer, OptimizerConfig};
 use embeddings::verify::verify_sequential;
 use explab::executor::run;
@@ -93,6 +94,40 @@ fn measure(metric: &BaselineMetric) -> Result<f64, String> {
                 );
             });
             Ok(steps as f64 / seconds)
+        }
+        ("shard_scaling", "sharded_moves_per_s") => {
+            // The same workload as the criterion bench: 4 independently
+            // seeded 5000-step walks, one worker thread per shard, reduced
+            // to the lexicographically best table. Throughput counts every
+            // proposed move across shards.
+            let guest = torus(&[16, 16]);
+            let host = mesh(&[16, 16]);
+            let embedding = embed(&guest, &host).map_err(|e| e.to_string())?;
+            let steps = 5_000u64;
+            let shards = 4u32;
+            let config = ShardedConfig {
+                base: OptimizerConfig {
+                    seed: 1987,
+                    steps,
+                    ..OptimizerConfig::default()
+                },
+                shards,
+                workers: shards as usize,
+            };
+            let seconds = best_seconds(3, || {
+                std::hint::black_box(
+                    optimize_sharded(
+                        &embedding,
+                        || CongestionObjective::new(&guest, &host),
+                        &config,
+                    )
+                    .expect("optimize")
+                    .outcome
+                    .report
+                    .best,
+                );
+            });
+            Ok(u64::from(shards) as f64 * steps as f64 / seconds)
         }
         (benchmark, metric) => Err(format!("unknown metric {benchmark}/{metric}")),
     }

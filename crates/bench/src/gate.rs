@@ -396,6 +396,10 @@ pub fn extract_metrics(root: &Json) -> Result<Vec<BaselineMetric>, GateError> {
             "moves_per_s",
             number_at(root, &["summary", "moves_per_second"])?,
         )]),
+        "shard_scaling" => Ok(vec![metric(
+            "sharded_moves_per_s",
+            number_at(root, &["summary", "sharded_moves_per_second"])?,
+        )]),
         other => Err(GateError::UnknownBenchmark { name: other.into() }),
     }
 }
@@ -471,6 +475,7 @@ mod tests {
             "BENCH_pipeline.json",
             "BENCH_explab.json",
             "BENCH_optim.json",
+            "BENCH_shards.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
             let text = std::fs::read_to_string(&path).expect(file);
@@ -491,6 +496,15 @@ mod tests {
         assert_eq!(metrics.len(), 1);
         assert_eq!(metrics[0].metric, "trials_per_s");
         assert_eq!(metrics[0].throughput, 24748.0);
+
+        let shards = r#"{
+            "benchmark": "shard_scaling",
+            "summary": {"sharded_moves_per_second": 96795}
+        }"#;
+        let metrics = extract_metrics(&parse_json(shards).unwrap()).unwrap();
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].metric, "sharded_moves_per_s");
+        assert_eq!(metrics[0].throughput, 96795.0);
 
         let unknown = r#"{"benchmark": "mystery"}"#;
         assert!(matches!(

@@ -1,5 +1,40 @@
-//! Shared helpers for the benchmark suite, the `repro` experiment harness
-//! and the `benchgate` bench-regression gate.
+//! Measurement infrastructure: the criterion benchmark suite, the `repro`
+//! paper-reproduction harness, and the `benchgate` bench-regression gate.
+//!
+//! This crate (`emb-bench`) is where the repository's performance claims
+//! live and are *enforced*:
+//!
+//! * **benches/** — seventeen criterion benchmarks covering every layer:
+//!   mixed-radix sequence generation, basic/increasing/lowering-dimension
+//!   embeddings, the batched `verify`/`congestion` pipeline
+//!   (`pipeline_throughput`), the sweep engine (`explab_throughput`), the
+//!   annealing optimizer (`optim_throughput`), sharded annealing and the
+//!   delta-aware makespan objective (`shard_scaling`), routing ablations and
+//!   `netsim` latency;
+//! * **`repro` bin** — regenerates the paper's figures and summary tables as
+//!   text (Figures 1–2 and 9, the Section 3 basic-embedding table) with the
+//!   repo-wide three-way [`check_mark`] markers;
+//! * **`benchgate` bin** — the CI regression gate: re-measures the
+//!   throughput figures recorded in the checked-in `BENCH_pipeline.json`,
+//!   `BENCH_explab.json`, `BENCH_optim.json` and `BENCH_shards.json`
+//!   baselines (best-of-N wall-clock, so one scheduler hiccup cannot fail
+//!   the gate) and exits non-zero when any metric drops below
+//!   `--min-ratio` × baseline (CI: 0.7). Its measured-throughput table is
+//!   uploaded as a per-run CI artifact, giving a cheap longitudinal perf
+//!   history without a dashboard service.
+//!
+//! Library-side, the crate carries two modules the binaries and benches
+//! share:
+//!
+//! * [`compat`] — the pre-batching per-call evaluation paths, kept so the
+//!   pipeline benches can report batched-vs-per-call speedups honestly;
+//! * [`gate`] — a minimal offline JSON parser (the workspace vendors no
+//!   serde) plus the baseline-extraction and ratio-check logic `benchgate`
+//!   drives.
+//!
+//! Everything here measures; nothing here is measured. The crate is not
+//! published and exports no stability guarantees — benches and gates may
+//! reshape freely as the hot paths move.
 
 pub mod compat;
 pub mod gate;

@@ -81,7 +81,7 @@ pub use error::{EmbeddingError, Result};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::auto::{embed, predicted_dilation};
+    pub use crate::auto::{embed, embed_with_budget, predicted_dilation, TieBreakBudget};
     pub use crate::basic::{embed_line_in, embed_ring_in};
     pub use crate::chain::{ChainReport, ChainStep, EmbeddingChain};
     pub use crate::congestion::{
@@ -94,6 +94,7 @@ pub mod prelude {
     pub use crate::increase::embed_increasing;
     pub use crate::lower_bound::dilation_lower_bound;
     pub use crate::metrics::EmbeddingMetrics;
+    pub use crate::optim::parallel::{optimize_sharded, ShardedConfig, ShardedOutcome};
     pub use crate::optim::{
         CongestionObjective, Cost, DilationObjective, Objective, OptimOutcome, OptimReport,
         Optimizer, OptimizerConfig,

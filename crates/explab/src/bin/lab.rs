@@ -6,13 +6,23 @@
 //! lab run    [--plan NAME|--plan-file F]   run a sweep and print the summary
 //!            [--workers N] [--jsonl PATH] [--format text|md|csv]
 //! lab report [--out PATH] [--check]        regenerate (or verify) EXPERIMENTS.md
+//! lab doccheck [FILE ...]                  validate markdown cross-references
 //! ```
 //!
 //! `lab report` runs the built-in `report` plan twice — with 1 worker and
 //! with 4 workers — and refuses to write anything unless the two sweeps
 //! produce bit-identical records; the resulting document states the check.
+//!
+//! `lab doccheck` (default files: `EXPERIMENTS.md`, `ARCHITECTURE.md`,
+//! `README.md`) guards the hand-written documents against drift: every
+//! relative markdown link and every back-ticked repo path must name an
+//! existing file, and every `Table N` reference must match a `## Table N`
+//! heading in the EXPERIMENTS.md next to the checked file — so renumbering
+//! the generated tables without updating the architecture notes fails CI.
+//!
 //! Exit codes: `0` success, `1` usage or plan errors, `2` a failed check
-//! (report drift, bound violation, or shard mismatch).
+//! (report drift, bound violation, shard mismatch, or a dangling doc
+//! reference).
 
 use std::process::ExitCode;
 
@@ -41,6 +51,7 @@ fn main() -> ExitCode {
         "expand" => cmd_expand(rest),
         "run" => cmd_run(rest),
         "report" => cmd_report(rest),
+        "doccheck" => cmd_doccheck(rest),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     };
     match result {
@@ -250,6 +261,166 @@ fn cmd_run(rest: &[String]) -> Result<(), CliError> {
             outcome.bound_violations().len()
         )));
     }
+    Ok(())
+}
+
+/// The files `lab doccheck` validates when none are given.
+const DOCCHECK_DEFAULTS: [&str; 3] = ["EXPERIMENTS.md", "ARCHITECTURE.md", "README.md"];
+
+/// Extracts the targets of markdown links (`[text](target)`) from `text`.
+fn markdown_link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                targets.push(text[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Extracts back-ticked spans that look like repo paths: no whitespace, a
+/// path separator or a doc/data extension, and none of the placeholder
+/// characters that mark patterns rather than files.
+fn backticked_paths(text: &str) -> Vec<String> {
+    text.split('`')
+        .skip(1)
+        .step_by(2)
+        .filter(|span| {
+            !span.is_empty()
+                && !span.contains(char::is_whitespace)
+                && !span.contains(['{', '}', '<', '>', '*', ':', '|'])
+                && (span.contains('/')
+                    || span.ends_with(".md")
+                    || span.ends_with(".json")
+                    || span.ends_with(".toml"))
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// Extracts the numbers of every `Table N` reference in `text`.
+fn table_references(text: &str) -> Vec<u32> {
+    let mut numbers = Vec::new();
+    for (index, _) in text.match_indices("Table ") {
+        let digits: String = text[index + "Table ".len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(number) = digits.parse() {
+            numbers.push(number);
+        }
+    }
+    numbers
+}
+
+/// The table numbers EXPERIMENTS.md actually defines (`## Table N` headings).
+fn table_headings(text: &str) -> Vec<u32> {
+    text.lines()
+        .filter_map(|line| line.strip_prefix("## Table "))
+        .filter_map(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .collect()
+}
+
+/// `lab doccheck`: every relative link and back-ticked repo path in the
+/// given markdown files must exist, and every `Table N` reference must have
+/// a matching heading in the EXPERIMENTS.md that sits next to the file.
+fn cmd_doccheck(rest: &[String]) -> Result<(), CliError> {
+    if let Some(flag) = rest.iter().find(|a| a.starts_with("--")) {
+        return Err(CliError::Usage(format!(
+            "doccheck takes file paths only, got {flag:?}"
+        )));
+    }
+    let files: Vec<String> = if rest.is_empty() {
+        DOCCHECK_DEFAULTS.iter().map(|f| f.to_string()).collect()
+    } else {
+        rest.to_vec()
+    };
+    let mut problems: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?;
+        let dir = std::path::Path::new(file)
+            .parent()
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_default();
+
+        for target in markdown_link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path = target.split('#').next().unwrap_or("");
+            if path.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !dir.join(path).exists() {
+                problems.push(format!("{file}: link target {path:?} does not exist"));
+            }
+        }
+
+        for path in backticked_paths(&text) {
+            checked += 1;
+            if !dir.join(&path).exists() {
+                problems.push(format!("{file}: referenced path {path:?} does not exist"));
+            }
+        }
+
+        let references = table_references(&text);
+        if !references.is_empty() {
+            let experiments = dir.join("EXPERIMENTS.md");
+            let headings = if file.ends_with("EXPERIMENTS.md") {
+                table_headings(&text)
+            } else {
+                match std::fs::read_to_string(&experiments) {
+                    Ok(text) => table_headings(&text),
+                    Err(e) => {
+                        problems.push(format!(
+                            "{file}: references tables but {} is unreadable: {e}",
+                            experiments.display()
+                        ));
+                        continue;
+                    }
+                }
+            };
+            for number in references {
+                checked += 1;
+                if !headings.contains(&number) {
+                    problems.push(format!(
+                        "{file}: references Table {number}, but EXPERIMENTS.md has no \
+                         `## Table {number}` heading (tables renumbered?)"
+                    ));
+                }
+            }
+        }
+    }
+    for problem in &problems {
+        eprintln!("lab: doccheck: {problem}");
+    }
+    if !problems.is_empty() {
+        return Err(CliError::Check(format!(
+            "{} dangling documentation reference(s)",
+            problems.len()
+        )));
+    }
+    eprintln!(
+        "doccheck: {} files, {checked} references, all valid",
+        files.len()
+    );
     Ok(())
 }
 

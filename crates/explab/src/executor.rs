@@ -20,13 +20,10 @@ use crate::trial::{run_trial, TrialRecord, TrialSpec};
 
 /// SplitMix64: the per-trial seed derivation. Mixing the trial id through a
 /// full-avalanche permutation keeps neighboring trials' random workloads
-/// uncorrelated.
-pub fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// uncorrelated. Re-exported from [`topology::parallel`] — the same mixer
+/// derives per-shard seeds in `embeddings::optim::parallel`, and one shared
+/// copy keeps the constants from drifting apart.
+pub use topology::parallel::splitmix64;
 
 /// Expands a plan into its trial list: every family's pairs, in family
 /// order, with ids `0..len` and derived seeds.

@@ -19,7 +19,8 @@
 //! rounds = 1
 //! workloads = neighbor, tornado, transpose
 //! optimize = congestion      # none (default) | congestion | dilation | makespan
-//! optim_steps = 800          # annealing steps per trial
+//! optim_steps = 800          # annealing steps per shard
+//! optim_shards = 4           # independently-seeded annealing walks per trial
 //! family paper
 //! family ring_into max_size=32 max_dim=3
 //! family torus_to_mesh max_size=24 max_dim=3
@@ -309,14 +310,19 @@ impl ObjectiveKind {
 }
 
 /// The optimizer stage of a plan: refine every supported trial's placement
-/// under `objective` for `steps` annealing steps (seeded per trial, so
-/// records stay bit-identical for any worker count).
+/// under `objective`, running `shards` independently-seeded annealing walks
+/// of `steps` moves each and keeping the lexicographically best result
+/// (seeded per trial and per shard, so records stay bit-identical for any
+/// worker count — see `embeddings::optim::parallel`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OptimSpec {
     /// The objective to refine under.
     pub objective: ObjectiveKind,
-    /// Proposed moves per trial.
+    /// Proposed moves per shard.
     pub steps: u64,
+    /// Independently-seeded walks per trial (`optim_shards`; 1 = the
+    /// sequential optimizer).
+    pub shards: u32,
 }
 
 /// Every workload spec, in the order used by plan listings.
@@ -351,6 +357,10 @@ impl WorkloadSpec {
 /// The optimizer step count a plan file gets when `optimize` is set without
 /// an explicit `optim_steps`.
 pub const DEFAULT_OPTIM_STEPS: u64 = 800;
+
+/// The shard count a plan file gets when `optimize` is set without an
+/// explicit `optim_shards`.
+pub const DEFAULT_OPTIM_SHARDS: u32 = 1;
 
 /// A declarative sweep: families × workloads, a seed, and a round count for
 /// the simulator.
@@ -415,6 +425,7 @@ impl SweepPlan {
                 optimize: Some(OptimSpec {
                     objective: ObjectiveKind::Congestion,
                     steps: 200,
+                    shards: 2,
                 }),
             }),
             "report" => Ok(SweepPlan {
@@ -451,6 +462,7 @@ impl SweepPlan {
                 optimize: Some(OptimSpec {
                     objective: ObjectiveKind::Congestion,
                     steps: 1_200,
+                    shards: 4,
                 }),
             }),
             "bench" => Ok(SweepPlan {
@@ -493,6 +505,7 @@ impl SweepPlan {
             optimize: None,
         };
         let mut optim_steps: Option<u64> = None;
+        let mut optim_shards: Option<u32> = None;
         for (index, raw) in text.lines().enumerate() {
             let line = index + 1;
             let content = raw.split('#').next().unwrap_or("").trim();
@@ -554,6 +567,7 @@ impl SweepPlan {
                             Some(OptimSpec {
                                 objective,
                                 steps: DEFAULT_OPTIM_STEPS,
+                                shards: DEFAULT_OPTIM_SHARDS,
                             })
                         }
                     };
@@ -564,6 +578,19 @@ impl SweepPlan {
                         message: format!("optim_steps must be a u64, got {value:?}"),
                     })?;
                     optim_steps = Some(steps);
+                }
+                "optim_shards" => {
+                    let shards: u32 = value.parse().map_err(|_| ExplabError::PlanParse {
+                        line,
+                        message: format!("optim_shards must be a u32, got {value:?}"),
+                    })?;
+                    if shards == 0 {
+                        return Err(ExplabError::PlanParse {
+                            line,
+                            message: "optim_shards must be at least 1".into(),
+                        });
+                    }
+                    optim_shards = Some(shards);
                 }
                 other => {
                     return Err(ExplabError::PlanParse {
@@ -578,6 +605,15 @@ impl SweepPlan {
             (None, Some(_)) => {
                 return Err(ExplabError::InvalidPlan {
                     message: "optim_steps requires an `optimize = <objective>` line".into(),
+                });
+            }
+            _ => {}
+        }
+        match (&mut plan.optimize, optim_shards) {
+            (Some(spec), Some(shards)) => spec.shards = shards,
+            (None, Some(_)) => {
+                return Err(ExplabError::InvalidPlan {
+                    message: "optim_shards requires an `optimize = <objective>` line".into(),
                 });
             }
             _ => {}
@@ -771,6 +807,36 @@ mod tests {
         assert!(matches!(err, ExplabError::PlanParse { line: 1, .. }));
         let err = SweepPlan::parse("# only comments").unwrap_err();
         assert!(matches!(err, ExplabError::InvalidPlan { .. }));
+    }
+
+    #[test]
+    fn optimizer_plan_keys_parse_and_validate() {
+        let plan = SweepPlan::parse(
+            "family paper\noptimize = makespan\noptim_steps = 64\noptim_shards = 3",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.optimize,
+            Some(OptimSpec {
+                objective: ObjectiveKind::Makespan,
+                steps: 64,
+                shards: 3,
+            })
+        );
+        // Defaults apply without the explicit keys.
+        let defaulted = SweepPlan::parse("family paper\noptimize = congestion").unwrap();
+        assert_eq!(
+            defaulted.optimize,
+            Some(OptimSpec {
+                objective: ObjectiveKind::Congestion,
+                steps: DEFAULT_OPTIM_STEPS,
+                shards: DEFAULT_OPTIM_SHARDS,
+            })
+        );
+        // Shards without an objective, zero shards, and junk are rejected.
+        assert!(SweepPlan::parse("family paper\noptim_shards = 2").is_err());
+        assert!(SweepPlan::parse("family paper\noptimize = congestion\noptim_shards = 0").is_err());
+        assert!(SweepPlan::parse("family paper\noptimize = congestion\noptim_shards = x").is_err());
     }
 
     #[test]

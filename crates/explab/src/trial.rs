@@ -13,9 +13,8 @@
 use embeddings::auto::{embed, predicted_dilation};
 use embeddings::chain::{ChainReport, ChainStep};
 use embeddings::congestion::congestion_sequential;
-use embeddings::optim::{
-    CongestionObjective, DilationObjective, Objective, Optimizer, OptimizerConfig,
-};
+use embeddings::optim::parallel::{optimize_sharded, ShardedConfig, ShardedOutcome};
+use embeddings::optim::{CongestionObjective, DilationObjective, Objective, OptimizerConfig};
 use embeddings::verify::verify_sequential;
 use embeddings::Embedding;
 use netsim::optimize::MakespanObjective;
@@ -66,6 +65,25 @@ pub struct WorkloadResult {
     pub cycles: u64,
 }
 
+/// One annealing shard's walk in a trial's provenance trail: which seed it
+/// ran and what it found, so the JSONL records show not just the winning
+/// table but the full sharded search that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSummary {
+    /// The shard index (`0..shards`; shard 0 is the sequential walk).
+    pub shard: u32,
+    /// The seed the shard annealed with.
+    pub seed: u64,
+    /// The shard's best primary cost (e.g. max congestion).
+    pub best_primary: u64,
+    /// The shard's best secondary (tie-break) cost.
+    pub best_secondary: u64,
+    /// Accepted moves in the shard's walk.
+    pub accepted: u64,
+    /// Times the shard's best-so-far cost strictly improved.
+    pub improvements: u64,
+}
+
 /// Independent measurements of the optimizer-refined placement, taken with
 /// the same `verify`/`congestion` sweeps as the constructive embedding —
 /// the comparison never trusts the optimizer's own bookkeeping.
@@ -73,12 +91,20 @@ pub struct WorkloadResult {
 pub struct OptimizedMetrics {
     /// The objective the optimizer refined under.
     pub objective: &'static str,
-    /// Proposed annealing steps.
+    /// Proposed annealing steps per shard.
     pub steps: u64,
-    /// Accepted moves.
+    /// Accepted moves (of the winning shard's walk).
     pub accepted: u64,
-    /// Times the best-so-far cost strictly improved.
+    /// Times the best-so-far cost strictly improved (winning shard).
     pub improvements: u64,
+    /// Independently-seeded annealing walks run for this trial.
+    pub shards: u32,
+    /// The shard whose table won the lexicographic reduce.
+    pub winner_shard: u32,
+    /// The winning shard's seed.
+    pub winner_seed: u64,
+    /// Every shard's walk, ordered by shard index.
+    pub shard_reports: Vec<ShardSummary>,
     /// Max link congestion of the refined placement (independent re-sweep).
     pub max_congestion: u64,
     /// Mean load over used host links of the refined placement.
@@ -248,11 +274,25 @@ impl TrialRecord {
                     .raw("chain", chain)
                     .raw("workloads", workloads);
                 if let Some(o) = &m.optimized {
+                    let shard_reports = array(o.shard_reports.iter().map(|s| {
+                        Object::new()
+                            .u64("shard", u64::from(s.shard))
+                            .u64("seed", s.seed)
+                            .u64("best_primary", s.best_primary)
+                            .u64("best_secondary", s.best_secondary)
+                            .u64("accepted", s.accepted)
+                            .u64("improvements", s.improvements)
+                            .finish()
+                    }));
                     let optimized = Object::new()
                         .string("objective", o.objective)
                         .u64("steps", o.steps)
                         .u64("accepted", o.accepted)
                         .u64("improvements", o.improvements)
+                        .u64("shards", u64::from(o.shards))
+                        .u64("winner_shard", u64::from(o.winner_shard))
+                        .u64("winner_seed", o.winner_seed)
+                        .raw("shard_reports", shard_reports)
                         .u64("max_congestion", o.max_congestion)
                         .f64("average_congestion", o.average_congestion)
                         .u64("measured_dilation", o.measured_dilation)
@@ -408,51 +448,73 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
 }
 
 /// Runs the optimizer stage of one trial: refine the constructive placement
-/// under the plan's objective (seeded from the trial seed, so the stage is a
-/// pure function of the spec), then re-measure the refined embedding with
-/// the same independent sweeps used for the constructive one.
+/// under the plan's objective with `optim_spec.shards` independently-seeded
+/// annealing walks (seeded from the trial seed, so the stage is a pure
+/// function of the spec and bit-identical for any worker count), then
+/// re-measure the winning refined embedding with the same independent sweeps
+/// used for the constructive one.
 fn optimize_trial(
     spec: &TrialSpec,
     embedding: &Embedding,
     optim_spec: OptimSpec,
 ) -> embeddings::error::Result<OptimizedMetrics> {
-    let config = OptimizerConfig {
-        // Decorrelate the optimizer walk from the random-workload draws that
-        // also consume the trial seed.
-        seed: crate::executor::splitmix64(spec.seed ^ 0x0971_a71e_5eed_c0de),
-        steps: optim_spec.steps,
-        ..OptimizerConfig::default()
+    let config = ShardedConfig {
+        base: OptimizerConfig {
+            // Decorrelate the optimizer walks from the random-workload draws
+            // that also consume the trial seed; per-shard seeds derive from
+            // this base via `optim::parallel::shard_seed`.
+            seed: crate::executor::splitmix64(spec.seed ^ 0x0971_a71e_5eed_c0de),
+            steps: optim_spec.steps,
+            ..OptimizerConfig::default()
+        },
+        shards: optim_spec.shards,
+        // Shards run sequentially inside each trial: the executor already
+        // parallelizes across trials (spawning shard threads on top would
+        // oversubscribe the cores and pay a scope spawn per trial), and the
+        // result is worker-count invariant either way.
+        workers: 1,
     };
-    let optimizer = Optimizer::new(config);
-    let mut congestion_objective;
-    let mut dilation_objective;
-    let mut makespan_objective;
-    let objective: &mut dyn Objective = match optim_spec.objective {
-        ObjectiveKind::Congestion => {
-            congestion_objective = CongestionObjective::new(&spec.guest, &spec.host)?;
-            &mut congestion_objective
-        }
-        ObjectiveKind::Dilation => {
-            dilation_objective = DilationObjective::new(&spec.guest, &spec.host)?;
-            &mut dilation_objective
-        }
-        ObjectiveKind::Makespan => {
-            makespan_objective = MakespanObjective::new(
+    // One factory for all three objective kinds: each shard builds its own
+    // boxed objective on its worker thread (objectives carry mutable
+    // incremental state and must never be shared across walks).
+    let factory = || -> embeddings::error::Result<Box<dyn Objective>> {
+        Ok(match optim_spec.objective {
+            ObjectiveKind::Congestion => {
+                Box::new(CongestionObjective::new(&spec.guest, &spec.host)?)
+            }
+            ObjectiveKind::Dilation => Box::new(DilationObjective::new(&spec.guest, &spec.host)?),
+            ObjectiveKind::Makespan => Box::new(MakespanObjective::new(
                 Network::new(spec.host.clone()),
                 Workload::from_task_graph(&spec.guest),
                 spec.rounds.max(1),
-            );
-            &mut makespan_objective
-        }
+            )),
+        })
     };
-    let outcome = optimizer.optimize(embedding, objective)?;
+    let sharded: ShardedOutcome = optimize_sharded(embedding, factory, &config)?;
+    let outcome = &sharded.outcome;
     let verification = verify_sequential(&outcome.embedding);
     let congestion = congestion_sequential(&outcome.embedding)?;
+    let winner = &sharded.shards[sharded.winner as usize];
     Ok(OptimizedMetrics {
         objective: outcome.report.objective,
         steps: outcome.report.steps,
         accepted: outcome.report.accepted,
         improvements: outcome.report.improvements,
+        shards: optim_spec.shards.max(1),
+        winner_shard: sharded.winner,
+        winner_seed: winner.seed,
+        shard_reports: sharded
+            .shards
+            .iter()
+            .map(|s| ShardSummary {
+                shard: s.shard,
+                seed: s.seed,
+                best_primary: s.report.best.primary,
+                best_secondary: s.report.best.secondary,
+                accepted: s.report.accepted,
+                improvements: s.report.improvements,
+            })
+            .collect(),
         max_congestion: congestion.max_congestion,
         average_congestion: congestion.average_congestion,
         measured_dilation: verification.dilation,

@@ -142,7 +142,7 @@ fn successful_tiny_run_exits_zero() {
     let path = temp_file(
         "tiny.plan",
         "name = tiny\nseed = 3\noptimize = congestion\noptim_steps = 50\n\
-         family ring_into max_size=8 max_dim=2\n",
+         optim_shards = 2\nfamily ring_into max_size=8 max_dim=2\n",
     );
     let out = lab(&[
         "run",
@@ -154,4 +154,83 @@ fn successful_tiny_run_exits_zero() {
     std::fs::remove_file(&path).ok();
     assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
     assert!(stderr_of(&out).contains("0 bound violations"));
+}
+
+#[test]
+fn invalid_shard_settings_exit_one() {
+    let path = temp_file(
+        "zero-shards.plan",
+        "optimize = congestion\noptim_shards = 0\nfamily paper\n",
+    );
+    let out = lab(&["expand", "--plan-file", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("optim_shards must be at least 1"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let path = temp_file("stray-shards.plan", "optim_shards = 2\nfamily paper\n");
+    let out = lab(&["expand", "--plan-file", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("optim_shards requires"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn doccheck_accepts_valid_cross_references() {
+    let experiments = temp_file(
+        "EXPERIMENTS.md",
+        "# EXPERIMENTS\n\n## Table 1 — things\n\n## Table 2 — more things\n",
+    );
+    // Validate the generated file against itself (self-references only).
+    let out = lab(&["doccheck", experiments.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("all valid"));
+    std::fs::remove_file(&experiments).ok();
+}
+
+#[test]
+fn doccheck_rejects_dangling_links_tables_and_paths() {
+    let doc = temp_file(
+        "dangling.md",
+        "see [gone](no-such-file.md) and `crates/nope/src/lib.rs`\n",
+    );
+    let out = lab(&["doccheck", doc.to_str().unwrap()]);
+    std::fs::remove_file(&doc).ok();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("no-such-file.md"), "{stderr}");
+    assert!(stderr.contains("crates/nope/src/lib.rs"), "{stderr}");
+
+    // A table reference with no matching heading in the sibling
+    // EXPERIMENTS.md is drift, not a typo to ignore.
+    let dir = std::env::temp_dir().join(format!("lab-doccheck-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("EXPERIMENTS.md"), "## Table 1 — only\n").unwrap();
+    std::fs::write(
+        dir.join("ARCH.md"),
+        "results in Table 9 of EXPERIMENTS.md\n",
+    )
+    .unwrap();
+    let out = lab(&["doccheck", dir.join("ARCH.md").to_str().unwrap()]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("Table 9"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn doccheck_rejects_flags_and_missing_files() {
+    let out = lab(&["doccheck", "--strict"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("file paths only"));
+
+    let out = lab(&["doccheck", "/definitely/not/here.md"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("cannot read"));
 }

@@ -37,6 +37,7 @@ fn test_plan() -> SweepPlan {
         optimize: Some(OptimSpec {
             objective: ObjectiveKind::Congestion,
             steps: 150,
+            shards: 2,
         }),
     }
 }
@@ -118,6 +119,113 @@ fn trial_metrics_match_direct_library_calls() {
         checked += 1;
     }
     assert!(checked > 50, "only {checked} supported trials checked");
+}
+
+#[test]
+fn sharded_optimizer_records_are_worker_invariant_and_consistent() {
+    // The per-trial sharded annealing stage must keep records bit-identical
+    // for any executor worker count, carry one provenance entry per shard,
+    // and reduce to the lexicographically best (cost, seed, shard) walk.
+    let mut plan = test_plan();
+    plan.optimize = Some(OptimSpec {
+        objective: ObjectiveKind::Congestion,
+        steps: 120,
+        shards: 3,
+    });
+    let reference = run(&plan, 1);
+    assert_eq!(run(&plan, 4).records, reference.records);
+
+    let mut optimized_trials = 0;
+    for record in &reference.records {
+        let Some(o) = record.metrics().and_then(|m| m.optimized.as_ref()) else {
+            continue;
+        };
+        optimized_trials += 1;
+        assert_eq!(o.shards, 3);
+        assert_eq!(o.shard_reports.len(), 3);
+        let min = o
+            .shard_reports
+            .iter()
+            .map(|s| (s.best_primary, s.best_secondary, s.seed, s.shard))
+            .min()
+            .unwrap();
+        let winner = &o.shard_reports[o.winner_shard as usize];
+        assert_eq!(
+            (
+                winner.best_primary,
+                winner.best_secondary,
+                winner.seed,
+                winner.shard
+            ),
+            min,
+            "winner is not the lexicographic best in trial {}",
+            record.id
+        );
+        assert_eq!(o.winner_seed, winner.seed);
+        // The JSONL line exposes the provenance.
+        let json = record.to_json_line();
+        assert!(json.contains("\"shard_reports\":["));
+        assert!(json.contains("\"winner_shard\""));
+    }
+    assert!(optimized_trials > 20, "only {optimized_trials} optimized");
+
+    // One shard reproduces the sequential walk: shard_reports[0] of an
+    // N-shard run equals the single entry of a 1-shard run (same base seed).
+    let mut single = plan.clone();
+    single.optimize = Some(OptimSpec {
+        objective: ObjectiveKind::Congestion,
+        steps: 120,
+        shards: 1,
+    });
+    let single_outcome = run(&single, 2);
+    for (sharded, sequential) in reference.records.iter().zip(&single_outcome.records) {
+        let (Some(s), Some(q)) = (
+            sharded.metrics().and_then(|m| m.optimized.as_ref()),
+            sequential.metrics().and_then(|m| m.optimized.as_ref()),
+        ) else {
+            continue;
+        };
+        assert_eq!(
+            s.shard_reports[0], q.shard_reports[0],
+            "trial {}",
+            sharded.id
+        );
+        // Best-of-3 never measures worse than the sequential walk.
+        assert!(s.max_congestion <= q.max_congestion, "trial {}", sharded.id);
+    }
+}
+
+#[test]
+fn makespan_objective_runs_sharded_in_sweeps() {
+    // The delta-aware makespan objective is usable as a first-class sweep
+    // objective: a small sharded plan completes with no bound violations.
+    let plan = SweepPlan {
+        name: "makespan".into(),
+        seed: 5,
+        rounds: 2,
+        families: vec![Family::SameShape {
+            max_size: 12,
+            max_dim: 2,
+        }],
+        workloads: vec![WorkloadSpec::Neighbor],
+        optimize: Some(OptimSpec {
+            objective: ObjectiveKind::Makespan,
+            steps: 150,
+            shards: 2,
+        }),
+    };
+    let outcome = run(&plan, 2);
+    assert!(outcome.supported() > 0);
+    assert!(outcome.bound_violations().is_empty());
+    assert_eq!(run(&plan, 1).records, outcome.records);
+    let optimized = outcome
+        .records
+        .iter()
+        .filter_map(|r| r.metrics())
+        .filter_map(|m| m.optimized.as_ref())
+        .filter(|o| o.objective == "makespan")
+        .count();
+    assert_eq!(optimized, outcome.supported());
 }
 
 #[test]

@@ -13,7 +13,19 @@
 //!   guest node mapped onto it (2-D hosts as one block, higher-dimensional
 //!   hosts as a series of 2-D slices).
 //!
-//! # Example
+//! The crate deliberately depends only on `topology` and `embeddings` and
+//! allocates nothing fancier than strings: it is the presentation layer for
+//! every human-readable artifact in the workspace. The `repro` harness
+//! prints its figure reproductions through [`render`]; the `lab` CLI, the
+//! `benchgate` gate and the generated EXPERIMENTS.md render every summary
+//! through [`Table`] — which is why [`Table`] output is byte-stable across
+//! runs and machines (fixed column widths from content, fixed float
+//! formatting at the call sites, no locale dependence). If a diffable
+//! document drifts, the drift is in the numbers, never the renderer.
+//!
+//! # Examples
+//!
+//! An embedding picture (Figure 10's line-in-mesh view):
 //!
 //! ```
 //! use embeddings::basic::embed_ring_in;
@@ -24,6 +36,19 @@
 //! let embedding = embed_ring_in(&host).unwrap();
 //! let picture = render_embedding(&embedding).unwrap();
 //! assert!(picture.contains("23"));  // every guest label appears
+//! ```
+//!
+//! A table in all three output formats:
+//!
+//! ```
+//! use gridviz::{Alignment, Table};
+//!
+//! let mut table = Table::new(vec!["guest", "dilation"])
+//!     .with_alignments(vec![Alignment::Left, Alignment::Right]);
+//! table.push_row(vec!["ring(24)", "1"]);
+//! assert!(table.to_markdown().starts_with("| guest | dilation |"));
+//! assert!(table.to_csv().contains("ring(24),1"));
+//! assert!(format!("{table}").contains("ring(24)"));
 //! ```
 
 #![warn(missing_docs)]

@@ -1,51 +1,231 @@
-//! The simulated-makespan optimization objective.
+//! The simulated-makespan optimization objective, with delta-aware
+//! re-evaluation.
 //!
 //! [`MakespanObjective`] plugs the store-and-forward simulator into the
 //! [`embeddings::optim`] local-search engine: the cost of a placement table
-//! is the makespan (cycles) of simulating a fixed workload with that table
-//! as the task placement, validated through [`Placement::try_from_table`].
+//! is the makespan (cycles) of delivering a fixed workload with that table
+//! as the task placement, with the total routed hop count as the
+//! tie-breaker — exactly the numbers [`crate::sim::simulate`] reports.
 //!
-//! Unlike the congestion and dilation objectives, the makespan has no useful
-//! incremental decomposition — a single swap can rearrange arbitration
-//! outcomes across the whole schedule — so both [`Objective::rebuild`] and
-//! [`Objective::apply_swap`] re-simulate from scratch. The trait allows
-//! full-recompute implementations; they are simply slower per move, which is
-//! why sweep configurations default this objective to fewer steps.
+//! Earlier revisions re-simulated the whole workload from scratch on every
+//! proposed move (route expansion, placement validation and a
+//! hash-set-arbitrated cycle loop per swap), which capped the objective at
+//! small step counts. This version makes makespan a first-class objective by
+//! splitting an evaluation into its two halves and making the first one
+//! incremental:
+//!
+//! * **routes** are cached per workload pair as `(next node, directed link
+//!   slot)` hop lists. A swap of the images of tasks `a` and `b` re-routes
+//!   *only the message pairs whose source or destination is one of the two
+//!   moved tasks* (every simulated round injects the same pairs, so those
+//!   pairs cover every touched round) — `O(degree × path length)` instead of
+//!   re-expanding every route;
+//! * **arbitration** is re-run over the cached routes — link contention is
+//!   global, so a changed route can displace any message — but on flat,
+//!   clock-stamped claim vectors indexed by directed link slot, with an
+//!   order-preserving active list that drops delivered messages. No hashing,
+//!   no allocation after warm-up, and a swap that touches no workload pair
+//!   (possible when the optimizer's guest has more nodes than the workload
+//!   has tasks) skips re-arbitration entirely.
+//!
+//! The arbitration pass replays the exact priority rule of
+//! [`crate::sim::simulate`] (message-index order, one message per directed
+//! link per cycle, FIFO blocking), so the incremental path is bit-identical
+//! to full re-simulation — `rebuild` recomputes everything from scratch and
+//! is the differential anchor, and the netsim proptest suite checks
+//! `apply_swap` against [`crate::sim::simulate`] on random walks.
 
 use embeddings::optim::{Cost, Objective};
+use topology::routing::{advance_toward, link_slot_of_hop};
 
 use crate::network::Network;
-use crate::sim::{simulate, Placement};
 use crate::traffic::Workload;
 
+/// One cached hop: the node the message moves to and the directed-link claim
+/// slot the move occupies for one cycle.
+type Hop = (u64, u64);
+
 /// Minimize the simulated makespan (cycles to deliver the workload under
-/// one-message-per-link arbitration), with the total routed hop count as the
-/// tie-breaker.
+/// one-message-per-directed-link arbitration), with the total routed hop
+/// count as the tie-breaker.
+///
+/// See the [module docs](self) for the delta-aware evaluation strategy.
 pub struct MakespanObjective {
     network: Network,
     workload: Workload,
     rounds: usize,
+    dims: Vec<usize>,
+    /// Cached route of each workload pair under the current table (hop
+    /// buffers keep their capacity across re-routes).
+    routes: Vec<Vec<Hop>>,
+    /// `task_pairs[t]` = indices of the workload pairs with source or
+    /// destination task `t`.
+    task_pairs: Vec<Vec<u32>>,
+    /// Sum of cached route lengths (per round).
+    route_hops: u64,
+    /// Dedup stamps so a pair touching both swapped tasks re-routes once.
+    pair_epoch: Vec<u64>,
+    epoch: u64,
+    /// Directed-link claim stamps: `stamp[slot] == clock` means the slot is
+    /// taken in the current cycle. Never reset — the clock only grows.
+    stamp: Vec<u64>,
+    clock: u64,
+    /// Arbitration scratch, reused across evaluations.
+    position: Vec<u32>,
+    active: Vec<u32>,
+    next_active: Vec<u32>,
+    affected: Vec<u32>,
+    touched: Vec<u64>,
+    cost: Cost,
 }
 
 impl MakespanObjective {
-    /// Creates the objective: `workload` is simulated on `network` for
+    /// Creates the objective: `workload` is delivered on `network` for
     /// `rounds` rounds per evaluation.
     pub fn new(network: Network, workload: Workload, rounds: usize) -> Self {
+        let pairs = workload.pairs().len();
+        let mut task_pairs: Vec<Vec<u32>> = vec![Vec::new(); workload.tasks() as usize];
+        for (index, &(src, dst)) in workload.pairs().iter().enumerate() {
+            task_pairs[src as usize].push(index as u32);
+            if dst != src {
+                task_pairs[dst as usize].push(index as u32);
+            }
+        }
+        let dims = (0..network.grid().dim()).collect();
+        let stamp = vec![0; 2 * network.grid().link_count() as usize];
         MakespanObjective {
             network,
             workload,
             rounds,
+            dims,
+            routes: vec![Vec::new(); pairs],
+            task_pairs,
+            route_hops: 0,
+            pair_epoch: vec![0; pairs],
+            epoch: 0,
+            stamp,
+            clock: 0,
+            position: Vec::new(),
+            active: Vec::new(),
+            next_active: Vec::new(),
+            affected: Vec::new(),
+            touched: Vec::new(),
+            cost: Cost {
+                primary: 0,
+                secondary: 0,
+            },
         }
     }
 
-    fn evaluate(&self, table: &[u64]) -> Cost {
-        let placement = Placement::try_from_table(table.to_vec())
-            .expect("optimizer tables are permutations, hence injective");
-        let stats = simulate(&self.network, &self.workload, &placement, self.rounds);
-        Cost {
-            primary: stats.cycles,
-            secondary: stats.total_hops,
+    /// Re-expands the cached route of pair `pair` under `table`, keeping
+    /// `route_hops` in sync. Hops are stored with their directed claim slot
+    /// (`2 × canonical link slot + direction bit`) so arbitration needs no
+    /// coordinate math.
+    fn route_pair(&mut self, pair: usize, table: &[u64]) {
+        let (src_task, dst_task) = self.workload.pairs()[pair];
+        let from = table[src_task as usize];
+        let to = table[dst_task as usize];
+        let grid = self.network.grid();
+        let route = &mut self.routes[pair];
+        self.route_hops -= route.len() as u64;
+        route.clear();
+        let mut current = grid.coord(from).expect("placement node in range");
+        let target = grid.coord(to).expect("placement node in range");
+        let mut index = from;
+        loop {
+            let before = index;
+            match advance_toward(grid, &mut current, &mut index, &target, &self.dims) {
+                None => break,
+                Some(hop) => {
+                    let link = link_slot_of_hop(grid, hop, before, index);
+                    let slot = 2 * link + u64::from(before < index);
+                    route.push((index, slot));
+                }
+            }
         }
+        self.route_hops += route.len() as u64;
+    }
+
+    /// Replays the arbitration of [`crate::sim::simulate`] over the cached
+    /// routes: every round injects one message per pair at cycle 1, messages
+    /// contend in message-index order (round-major, pair-minor — the order
+    /// the full simulator builds its message list in), each directed link
+    /// carries one message per cycle, and blocked messages retry in place.
+    fn arbitrate(&mut self) -> u64 {
+        let pairs = self.routes.len();
+        let total = pairs * self.rounds;
+        self.position.clear();
+        self.position.resize(total, 0);
+        self.active.clear();
+        for m in 0..total {
+            if !self.routes[m % pairs].is_empty() {
+                self.active.push(m as u32);
+            }
+        }
+        let mut cycles = 0u64;
+        while !self.active.is_empty() {
+            cycles += 1;
+            self.clock += 1;
+            self.next_active.clear();
+            for &m in &self.active {
+                let route = &self.routes[m as usize % pairs];
+                let (_, slot) = route[self.position[m as usize] as usize];
+                if self.stamp[slot as usize] != self.clock {
+                    self.stamp[slot as usize] = self.clock;
+                    self.position[m as usize] += 1;
+                    if (self.position[m as usize] as usize) < route.len() {
+                        self.next_active.push(m);
+                    }
+                } else {
+                    self.next_active.push(m);
+                }
+            }
+            std::mem::swap(&mut self.active, &mut self.next_active);
+        }
+        cycles
+    }
+
+    /// Recomputes the cost from the cached routes.
+    fn evaluate(&mut self) -> Cost {
+        self.cost = Cost {
+            primary: self.arbitrate(),
+            secondary: self.route_hops * self.rounds as u64,
+        };
+        self.cost
+    }
+
+    /// The shared delta path: re-routes every workload pair touched by any
+    /// task in `touched` (deduplicated), then re-arbitrates once. Returns
+    /// the cached cost untouched when no pair is affected.
+    fn resync_touched(&mut self, table: &[u64], touched: &[u64]) -> Cost {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut affected = std::mem::take(&mut self.affected);
+        affected.clear();
+        for &task in touched {
+            let Some(pairs) = self.task_pairs.get(task as usize) else {
+                // The guest has more nodes than the workload has tasks, and
+                // this task is outside the workload: nothing to re-route.
+                continue;
+            };
+            for &pair in pairs {
+                if self.pair_epoch[pair as usize] != epoch {
+                    self.pair_epoch[pair as usize] = epoch;
+                    affected.push(pair);
+                }
+            }
+        }
+        if affected.is_empty() {
+            // No touched task sends or receives: routes — and therefore the
+            // schedule — are unchanged.
+            self.affected = affected;
+            return self.cost;
+        }
+        for &pair in &affected {
+            self.route_pair(pair as usize, table);
+        }
+        self.affected = affected;
+        self.evaluate()
     }
 }
 
@@ -55,11 +235,51 @@ impl Objective for MakespanObjective {
     }
 
     fn rebuild(&mut self, table: &[u64]) -> Cost {
-        self.evaluate(table)
+        // The old full-re-simulation objective validated injectivity through
+        // `Placement::try_from_table` on every evaluation; the delta path
+        // keeps the loud contract violation (two tasks on one node would
+        // otherwise yield a plausible-looking but meaningless schedule) as a
+        // debug-build check at rebuild time, off the per-move hot path.
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; self.network.size() as usize];
+            for (task, &node) in table.iter().enumerate() {
+                assert!(
+                    !std::mem::replace(&mut seen[node as usize], true),
+                    "placement table must be injective: task {task} re-uses node {node}"
+                );
+            }
+        }
+        for pair in 0..self.routes.len() {
+            self.route_pair(pair, table);
+        }
+        self.evaluate()
     }
 
-    fn apply_swap(&mut self, table: &[u64], _a: u64, _b: u64) -> Cost {
-        self.evaluate(table)
+    fn apply_swap(&mut self, table: &[u64], a: u64, b: u64) -> Cost {
+        if a == b {
+            return self.cost;
+        }
+        self.resync_touched(table, &[a, b])
+    }
+
+    fn apply_disjoint_swaps(&mut self, table: &mut [u64], swaps: &[(u64, u64)]) -> Cost {
+        // A compound move (segment reversal) re-routes the pairs of *every*
+        // transposed task but pays the arbitration pass once — the override
+        // the default per-swap loop exists for, since arbitration dominates
+        // this objective's evaluation.
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+        for &(a, b) in swaps {
+            table.swap(a as usize, b as usize);
+            if a != b {
+                touched.push(a);
+                touched.push(b);
+            }
+        }
+        let cost = self.resync_touched(table, &touched);
+        self.touched = touched;
+        cost
     }
 }
 
@@ -68,10 +288,24 @@ mod tests {
     use super::*;
     use embeddings::auto::embed;
     use embeddings::optim::{Optimizer, OptimizerConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use topology::{Grid, Shape};
+
+    use crate::sim::{simulate, Placement};
 
     fn shape(radices: &[u32]) -> Shape {
         Shape::new(radices.to_vec()).unwrap()
+    }
+
+    /// The full-re-simulation reference: what the old objective computed.
+    fn full_cost(network: &Network, workload: &Workload, rounds: usize, table: &[u64]) -> Cost {
+        let placement = Placement::try_from_table(table.to_vec()).expect("injective");
+        let stats = simulate(network, workload, &placement, rounds);
+        Cost {
+            primary: stats.cycles,
+            secondary: stats.total_hops,
+        }
     }
 
     #[test]
@@ -94,6 +328,123 @@ mod tests {
     }
 
     #[test]
+    fn delta_swaps_match_full_resimulation_exactly() {
+        // Differential check: a long random walk of incremental swap
+        // updates must report, at every step, exactly the cost a full
+        // re-simulation computes — including multi-round schedules.
+        for (guest, host, rounds) in [
+            (Grid::torus(shape(&[3, 4])), Grid::mesh(shape(&[3, 4])), 1),
+            (Grid::torus(shape(&[4, 6])), Grid::mesh(shape(&[4, 6])), 2),
+            (Grid::ring(16).unwrap(), Grid::mesh(shape(&[4, 4])), 3),
+        ] {
+            let e = embed(&guest, &host).unwrap();
+            let workload = Workload::from_task_graph(&guest);
+            let network = Network::new(host.clone());
+            let mut objective =
+                MakespanObjective::new(Network::new(host.clone()), workload.clone(), rounds);
+            let mut table = e.to_table().unwrap();
+            let mut cost = objective.rebuild(&table);
+            assert_eq!(cost, full_cost(&network, &workload, rounds, &table));
+            let n = guest.size();
+            let mut rng = StdRng::seed_from_u64(23);
+            for _ in 0..120 {
+                let a = rng.gen_range(0u64..n);
+                let mut b = rng.gen_range(0u64..n - 1);
+                if b >= a {
+                    b += 1;
+                }
+                table.swap(a as usize, b as usize);
+                cost = objective.apply_swap(&table, a, b);
+                assert_eq!(
+                    cost,
+                    full_cost(&network, &workload, rounds, &table),
+                    "{guest} -> {host} rounds={rounds} after swapping {a},{b}"
+                );
+            }
+            // And the incremental end state equals a fresh rebuild.
+            let mut fresh =
+                MakespanObjective::new(Network::new(host.clone()), workload.clone(), rounds);
+            assert_eq!(cost, fresh.rebuild(&table));
+        }
+    }
+
+    #[test]
+    fn swaps_outside_the_workload_are_free_and_exact() {
+        // A workload over fewer tasks than the placement has nodes: swapping
+        // two unused tasks must keep the cached cost — and agree with the
+        // full simulator, which never sees the unused tasks at all.
+        let host = Grid::mesh(shape(&[4, 4]));
+        let workload = Workload::uniform_random(8, 24, 5);
+        let network = Network::new(host.clone());
+        let mut objective = MakespanObjective::new(Network::new(host), workload.clone(), 1);
+        let mut table: Vec<u64> = (0..16).collect();
+        let before = objective.rebuild(&table);
+        table.swap(12, 15);
+        let after = objective.apply_swap(&table, 12, 15);
+        assert_eq!(before, after);
+        assert_eq!(after, full_cost(&network, &workload, 1, &table));
+        // A swap moving one workload task and one unused task re-routes
+        // only the touched pairs and still matches.
+        table.swap(2, 14);
+        let mixed = objective.apply_swap(&table, 2, 14);
+        assert_eq!(mixed, full_cost(&network, &workload, 1, &table));
+    }
+
+    #[test]
+    fn disjoint_swap_batches_match_full_resimulation_and_undo() {
+        // A segment reversal reaches the objective as one batch of disjoint
+        // transpositions (one arbitration pass); it must price the final
+        // table exactly like the full simulator and undo by re-applying.
+        let guest = Grid::torus(shape(&[4, 6]));
+        let host = Grid::mesh(shape(&[4, 6]));
+        let e = embed(&guest, &host).unwrap();
+        let workload = Workload::from_task_graph(&guest);
+        let network = Network::new(host.clone());
+        let mut objective = MakespanObjective::new(Network::new(host), workload.clone(), 2);
+        let mut table = e.to_table().unwrap();
+        let before = objective.rebuild(&table);
+        // Reverse the run 5..=10: transpositions (5,10), (6,9), (7,8).
+        let swaps = [(5u64, 10u64), (6, 9), (7, 8)];
+        let batched = objective.apply_disjoint_swaps(&mut table, &swaps);
+        assert_eq!(batched, full_cost(&network, &workload, 2, &table));
+        // Matches the per-swap default path on a fresh objective.
+        let mut sequential = MakespanObjective::new(
+            Network::new(Grid::mesh(shape(&[4, 6]))),
+            workload.clone(),
+            2,
+        );
+        let mut seq_table = e.to_table().unwrap();
+        sequential.rebuild(&seq_table);
+        let mut seq_cost = before;
+        for &(a, b) in &swaps {
+            seq_table.swap(a as usize, b as usize);
+            seq_cost = sequential.apply_swap(&seq_table, a, b);
+        }
+        assert_eq!(batched, seq_cost);
+        assert_eq!(table, seq_table);
+        // Re-applying the same batch undoes the reversal exactly.
+        let undone = objective.apply_disjoint_swaps(&mut table, &swaps);
+        assert_eq!(undone, before);
+        assert_eq!(table, e.to_table().unwrap());
+    }
+
+    #[test]
+    fn rejected_moves_undo_exactly() {
+        let guest = Grid::torus(shape(&[3, 4]));
+        let host = Grid::mesh(shape(&[3, 4]));
+        let e = embed(&guest, &host).unwrap();
+        let workload = Workload::from_task_graph(&guest);
+        let mut objective = MakespanObjective::new(Network::new(host), workload, 1);
+        let mut table = e.to_table().unwrap();
+        let before = objective.rebuild(&table);
+        table.swap(3, 9);
+        objective.apply_swap(&table, 3, 9);
+        table.swap(3, 9);
+        let after = objective.apply_swap(&table, 3, 9);
+        assert_eq!(before, after);
+    }
+
+    #[test]
     fn optimizer_never_worsens_the_makespan() {
         let guest = Grid::torus(shape(&[3, 4]));
         let host = Grid::mesh(shape(&[3, 4]));
@@ -102,7 +453,7 @@ mod tests {
         let mut objective = MakespanObjective::new(Network::new(host.clone()), workload, 1);
         let outcome = Optimizer::new(OptimizerConfig {
             seed: 5,
-            steps: 60,
+            steps: 400,
             ..OptimizerConfig::default()
         })
         .optimize(&e, &mut objective)
@@ -111,5 +462,22 @@ mod tests {
         assert!(outcome.embedding.is_injective());
         // The returned table reproduces the reported best cost.
         assert_eq!(objective.rebuild(&outcome.table), outcome.report.best);
+    }
+
+    #[test]
+    fn zero_rounds_cost_nothing() {
+        let guest = Grid::ring(6).unwrap();
+        let host = Grid::mesh(shape(&[2, 3]));
+        let workload = Workload::from_task_graph(&guest);
+        let mut objective = MakespanObjective::new(Network::new(host), workload, 0);
+        let table: Vec<u64> = (0..6).collect();
+        let cost = objective.rebuild(&table);
+        assert_eq!(
+            cost,
+            Cost {
+                primary: 0,
+                secondary: 0
+            }
+        );
     }
 }

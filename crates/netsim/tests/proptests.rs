@@ -135,6 +135,44 @@ proptest! {
     }
 
     #[test]
+    fn delta_makespan_equals_full_resimulation(
+        network in small_network(),
+        messages in 4usize..48,
+        rounds in 1usize..3,
+        seed in 0u64..1000,
+        swaps in proptest::collection::vec((0u64..128, 0u64..127), 1..40),
+    ) {
+        // The delta-aware MakespanObjective must report, after every
+        // incremental swap, exactly the (cycles, total hops) a full
+        // re-simulation of the same table computes.
+        use embeddings::optim::{Cost, Objective};
+        use netsim::MakespanObjective;
+
+        let n = network.size();
+        let workload = Workload::uniform_random(n, messages, seed);
+        let mut table: Vec<u64> = (0..n).collect();
+        let mut objective =
+            MakespanObjective::new(network.clone(), workload.clone(), rounds);
+        let mut cost = objective.rebuild(&table);
+        let full = |table: &[u64]| -> Cost {
+            let placement = Placement::try_from_table(table.to_vec()).unwrap();
+            let stats = simulate(&network, &workload, &placement, rounds);
+            Cost { primary: stats.cycles, secondary: stats.total_hops }
+        };
+        prop_assert_eq!(cost, full(&table));
+        for (raw_a, raw_b) in swaps {
+            let a = raw_a % n;
+            let mut b = raw_b % (n - 1).max(1);
+            if b >= a {
+                b = (b + 1) % n;
+            }
+            table.swap(a as usize, b as usize);
+            cost = objective.apply_swap(&table, a, b);
+            prop_assert_eq!(cost, full(&table), "after swapping {} and {}", a, b);
+        }
+    }
+
+    #[test]
     fn embedding_placements_keep_max_hops_at_the_dilation(
         torus_guest in proptest::bool::ANY,
         torus_host in proptest::bool::ANY,

@@ -10,6 +10,17 @@
 use std::num::NonZeroUsize;
 use std::ops::Range;
 
+/// SplitMix64: a full-avalanche bit mixer for deriving independent seeds
+/// from a base seed and an index (per explab trial, per annealing shard).
+/// One shared copy lives here — the crate every seeded fan-out already
+/// depends on — so the constants can never drift apart between consumers.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A reasonable default worker count: the machine's available parallelism,
 /// capped at 16 (the sweeps here saturate memory bandwidth well before that).
 pub fn recommended_threads() -> usize {

@@ -32,11 +32,13 @@ fn main() {
             },
         ],
         workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
-        // Refine every supported placement with 200 annealing steps under
-        // the max-congestion objective (set to `None` to skip the stage).
+        // Refine every supported placement with two independently-seeded
+        // 200-step annealing walks under the max-congestion objective,
+        // keeping the best (set to `None` to skip the stage).
         optimize: Some(OptimSpec {
             objective: ObjectiveKind::Congestion,
             steps: 200,
+            shards: 2,
         }),
     };
     println!(
