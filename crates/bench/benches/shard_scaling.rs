@@ -85,7 +85,8 @@ fn bench_makespan(c: &mut Criterion) {
         };
         b.iter(|| {
             let mut objective =
-                MakespanObjective::new(Network::new(host.clone()), workload.clone(), 1);
+                MakespanObjective::new(Network::new(host.clone()), workload.clone(), 1)
+                    .expect("schedule fits");
             embeddings::optim::Optimizer::new(config)
                 .optimize(&embedding, &mut objective)
                 .unwrap()
@@ -113,7 +114,8 @@ fn bench_makespan(c: &mut Criterion) {
     // One delta evaluation via the incremental path, for the per-move rate:
     // rebuild once outside, then time swap/undo pairs.
     group.bench_function(BenchmarkId::new("makespan", "delta_swap_pair"), |b| {
-        let mut objective = MakespanObjective::new(Network::new(host.clone()), workload.clone(), 1);
+        let mut objective = MakespanObjective::new(Network::new(host.clone()), workload.clone(), 1)
+            .expect("schedule fits");
         let mut swap_table = table.clone();
         objective.rebuild(&swap_table);
         b.iter(|| {

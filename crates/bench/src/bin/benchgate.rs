@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use emb_bench::gate::{check, extract_metrics, parse_json, BaselineMetric, GateCheck};
 use emb_bench::{mesh, torus};
+use embd::{Client, PlanRegistry};
 use embeddings::auto::embed;
 use embeddings::congestion::congestion_sequential;
 use embeddings::optim::parallel::{optimize_sharded, ShardedConfig};
@@ -128,6 +129,35 @@ fn measure(metric: &BaselineMetric) -> Result<f64, String> {
                 );
             });
             Ok(u64::from(shards) as f64 * steps as f64 / seconds)
+        }
+        ("embd_load", "queries_per_s") => {
+            // A scaled-down embd-bench: loopback server, 2 clients, MAP
+            // queries over one paper pair. Short on purpose — the gate
+            // catches collapses; BENCH_embd.json records the full run.
+            let guest = torus(&[4, 2, 3]);
+            let host = mesh(&[4, 6]);
+            let clients = 2usize;
+            let queries_per_client = 500u64;
+            let server = embd::spawn("127.0.0.1:0", std::sync::Arc::new(PlanRegistry::new()))
+                .map_err(|e| e.to_string())?;
+            let seconds = best_seconds(3, || {
+                std::thread::scope(|scope| {
+                    for c in 0..clients {
+                        let (guest, host, addr) = (&guest, &host, server.addr());
+                        scope.spawn(move || {
+                            let mut client = Client::connect(addr).expect("connect loopback");
+                            for i in 0..queries_per_client {
+                                let v = (c as u64 * 17 + i * 13) % guest.size();
+                                std::hint::black_box(
+                                    client.map(guest, host, v).expect("MAP query"),
+                                );
+                            }
+                        });
+                    }
+                });
+            });
+            server.shutdown();
+            Ok(clients as f64 * queries_per_client as f64 / seconds)
         }
         (benchmark, metric) => Err(format!("unknown metric {benchmark}/{metric}")),
     }

@@ -136,6 +136,25 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), GateError> {
     }
 }
 
+/// Decodes the four hex digits of a `\uXXXX` escape whose `u` is at `*pos`,
+/// leaving `*pos` on the last digit (the caller's loop advances past it).
+fn hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, GateError> {
+    let hex = bytes.get(*pos + 1..*pos + 5).ok_or(GateError::Parse {
+        offset: *pos,
+        message: "truncated \\u escape".into(),
+    })?;
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err(GateError::Parse {
+            offset: *pos,
+            message: "invalid \\u escape".into(),
+        });
+    }
+    let code = u32::from_str_radix(std::str::from_utf8(hex).expect("hex digits are ASCII"), 16)
+        .expect("four hex digits fit in u32");
+    *pos += 4;
+    Ok(code)
+}
+
 fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, GateError> {
     skip_whitespace(bytes, pos);
     match bytes.get(*pos) {
@@ -210,30 +229,47 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, GateError> {
                     b't' => out.push(b'\t'),
                     b'r' => out.push(b'\r'),
                     b'u' => {
-                        // Baseline files only use BMP escapes; decode the
-                        // four hex digits directly.
-                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or(GateError::Parse {
-                            offset: *pos,
-                            message: "truncated \\u escape".into(),
-                        })?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|_| GateError::Parse {
-                                offset: *pos,
-                                message: "non-ascii \\u escape".into(),
-                            })?,
-                            16,
-                        )
-                        .map_err(|_| GateError::Parse {
-                            offset: *pos,
-                            message: "invalid \\u escape".into(),
-                        })?;
+                        let first = hex4(bytes, pos)?;
+                        let code = match first {
+                            0xD800..=0xDBFF => {
+                                // A high surrogate encodes an astral code
+                                // point together with an immediately
+                                // following escaped low surrogate.
+                                if bytes.get(*pos + 1) != Some(&b'\\')
+                                    || bytes.get(*pos + 2) != Some(&b'u')
+                                {
+                                    return Err(GateError::Parse {
+                                        offset: *pos,
+                                        message: "lone high surrogate in \\u escape".into(),
+                                    });
+                                }
+                                *pos += 2;
+                                let second = hex4(bytes, pos)?;
+                                if !(0xDC00..=0xDFFF).contains(&second) {
+                                    return Err(GateError::Parse {
+                                        offset: *pos,
+                                        message: format!(
+                                            "high surrogate {first:04x} followed by \
+                                             non-surrogate {second:04x}"
+                                        ),
+                                    });
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(GateError::Parse {
+                                    offset: *pos,
+                                    message: "lone low surrogate in \\u escape".into(),
+                                });
+                            }
+                            code => code,
+                        };
                         let ch = char::from_u32(code).ok_or(GateError::Parse {
                             offset: *pos,
                             message: "non-scalar \\u escape".into(),
                         })?;
                         let mut buffer = [0u8; 4];
                         out.extend_from_slice(ch.encode_utf8(&mut buffer).as_bytes());
-                        *pos += 4;
                     }
                     other => {
                         return Err(GateError::Parse {
@@ -400,6 +436,10 @@ pub fn extract_metrics(root: &Json) -> Result<Vec<BaselineMetric>, GateError> {
             "sharded_moves_per_s",
             number_at(root, &["summary", "sharded_moves_per_second"])?,
         )]),
+        "embd_load" => Ok(vec![metric(
+            "queries_per_s",
+            number_at(root, &["summary", "queries_per_second"])?,
+        )]),
         other => Err(GateError::UnknownBenchmark { name: other.into() }),
     }
 }
@@ -453,6 +493,39 @@ mod tests {
     }
 
     #[test]
+    fn unicode_escapes_decode_to_utf8() {
+        // BMP escapes: µ (two UTF-8 bytes) and ✓ (three).
+        let doc = r#"{"unit": "\u00b5s", "mark": "\u2713"}"#;
+        let json = parse_json(doc).unwrap();
+        assert_eq!(json.get("unit").unwrap().as_str(), Some("µs"));
+        assert_eq!(json.get("mark").unwrap().as_str(), Some("✓"));
+        // Astral code points arrive as surrogate pairs (RFC 8259 §7).
+        let doc = r#"{"emoji": "\ud83d\ude00"}"#;
+        let json = parse_json(doc).unwrap();
+        assert_eq!(json.get("emoji").unwrap().as_str(), Some("😀"));
+        // Escaped and raw spellings agree.
+        let json = parse_json(r#"{"raw": "µ✓😀", "esc": "\u00b5\u2713\ud83d\ude00"}"#).unwrap();
+        assert_eq!(json.get("raw"), json.get("esc"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_parse_errors() {
+        for bad in [
+            r#"{"s": "\ud800"}"#,  // lone high surrogate
+            r#"{"s": "\ud800x"}"#, // high surrogate, no second escape
+            r#"{"s": "\ud800A"}"#, // high surrogate + non-surrogate
+            r#"{"s": "\udc00"}"#,  // lone low surrogate
+            r#"{"s": "\uzzzz"}"#,  // non-hex digits
+            r#"{"s": "\ud8"}"#,    // truncated
+        ] {
+            assert!(
+                matches!(parse_json(bad), Err(GateError::Parse { .. })),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_malformed_documents() {
         for bad in [
             "{",
@@ -476,6 +549,7 @@ mod tests {
             "BENCH_explab.json",
             "BENCH_optim.json",
             "BENCH_shards.json",
+            "BENCH_embd.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
             let text = std::fs::read_to_string(&path).expect(file);

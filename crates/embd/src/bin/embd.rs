@@ -1,0 +1,146 @@
+//! The `embd` command: serve placements, or query a running server.
+//!
+//! ```text
+//! embd serve [--addr HOST:PORT]             # default 127.0.0.1:4087
+//! embd map   <v> <guest> <host> [--addr A]  # print the host node index
+//! embd plan  <guest> <host> [--addr A]      # print the serialized plan
+//! embd stats [--addr A]                     # print registry counters
+//! ```
+//!
+//! Graph specs are `torus:4x2x3` / `mesh:4x6`. `serve` prints the bound
+//! address on stdout (one line) so scripts can bind port 0 and discover the
+//! port. Exit codes: 0 success, 1 request failed, 2 usage error.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use embd::{Client, PlanRegistry};
+use embeddings::plan::parse_grid_spec;
+use topology::Grid;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:4087";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Failure::Request(message)) => {
+            eprintln!("embd: {message}");
+            ExitCode::from(1)
+        }
+        Err(Failure::Usage(message)) => {
+            eprintln!("embd: {message}");
+            eprintln!("usage: embd serve|map|plan|stats [operands] [--addr HOST:PORT]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum Failure {
+    /// The request was well-formed but failed (connection, server error).
+    Request(String),
+    /// The command line itself is wrong.
+    Usage(String),
+}
+
+fn run(args: &[String]) -> Result<(), Failure> {
+    let (addr, positional) = split_addr(args)?;
+    let mut positional = positional.into_iter();
+    let verb = positional
+        .next()
+        .ok_or(Failure::Usage("no command".into()))?;
+    let positional: Vec<String> = positional.collect();
+    match verb.as_str() {
+        "serve" => {
+            expect_operands(&positional, 0)?;
+            serve(&addr)
+        }
+        "map" => {
+            let [v, guest, host] = positional.as_slice() else {
+                return Err(Failure::Usage("map takes <v> <guest> <host>".into()));
+            };
+            let v: u64 = v
+                .parse()
+                .map_err(|_| Failure::Usage(format!("bad node index {v:?}")))?;
+            let image = connect(&addr)?
+                .map(&grid(guest)?, &grid(host)?, v)
+                .map_err(|e| Failure::Request(e.to_string()))?;
+            println!("{image}");
+            Ok(())
+        }
+        "plan" => {
+            let [guest, host] = positional.as_slice() else {
+                return Err(Failure::Usage("plan takes <guest> <host>".into()));
+            };
+            let plan = connect(&addr)?
+                .plan(&grid(guest)?, &grid(host)?)
+                .map_err(|e| Failure::Request(e.to_string()))?;
+            println!("{plan}");
+            Ok(())
+        }
+        "stats" => {
+            expect_operands(&positional, 0)?;
+            let stats = connect(&addr)?
+                .stats()
+                .map_err(|e| Failure::Request(e.to_string()))?;
+            println!(
+                "plans={} hits={} misses={}",
+                stats.plans, stats.hits, stats.misses
+            );
+            Ok(())
+        }
+        other => Err(Failure::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn serve(addr: &str) -> Result<(), Failure> {
+    let handle = embd::spawn(addr, Arc::new(PlanRegistry::new()))
+        .map_err(|e| Failure::Request(format!("cannot bind {addr}: {e}")))?;
+    println!("{}", handle.addr());
+    // Serve until killed; the handle's Drop handles the (unreachable in
+    // practice) unwind path.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn connect(addr: &str) -> Result<Client, Failure> {
+    Client::connect(addr).map_err(|e| Failure::Request(format!("cannot connect to {addr}: {e}")))
+}
+
+fn grid(spec: &str) -> Result<Grid, Failure> {
+    parse_grid_spec(spec).map_err(|e| Failure::Usage(format!("bad graph spec {spec:?}: {e}")))
+}
+
+/// Pulls `--addr VALUE` out of the argument list, leaving the positionals.
+fn split_addr(args: &[String]) -> Result<(String, Vec<String>), Failure> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--addr" {
+            addr = iter
+                .next()
+                .ok_or(Failure::Usage("--addr needs a value".into()))?
+                .clone();
+        } else if let Some(value) = arg.strip_prefix("--addr=") {
+            addr = value.to_string();
+        } else if arg.starts_with("--") {
+            return Err(Failure::Usage(format!("unknown flag {arg:?}")));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((addr, positional))
+}
+
+fn expect_operands(positional: &[String], count: usize) -> Result<(), Failure> {
+    if positional.len() == count {
+        Ok(())
+    } else {
+        Err(Failure::Usage(format!(
+            "expected {count} operands, got {}",
+            positional.len()
+        )))
+    }
+}

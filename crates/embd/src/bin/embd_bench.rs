@@ -1,0 +1,317 @@
+//! `embd-bench`: a load generator for the placement server.
+//!
+//! Spawns an in-process loopback server (or targets `--addr`), drives N
+//! concurrent client connections issuing `MAP` queries over a rotating set
+//! of paper-family graph pairs, and reports per-query latency (p50/p99) and
+//! aggregate queries/s.
+//!
+//! ```text
+//! embd-bench [--clients N] [--queries M] [--addr HOST:PORT]
+//!            [--check] [--json PATH] [--seed S]
+//! ```
+//!
+//! * `--clients` — concurrent connections (default 4);
+//! * `--queries` — queries per client (default 2500);
+//! * `--check` — precompute each pair's placement with a direct
+//!   [`embeddings::auto::embed`] and compare every wire answer against it;
+//!   any mismatch fails the run. This is the differential acceptance mode:
+//!   the service must be bit-identical to the library;
+//! * `--json` — also write the summary as a `BENCH_embd.json`-shaped
+//!   document (the bench-regression gate's input).
+//!
+//! Exit codes: 0 success, 1 when any query errored or (under `--check`)
+//! any answer mismatched.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use embd::{Client, PlanRegistry};
+use embeddings::plan::{format_grid_spec, parse_grid_spec};
+use topology::Grid;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match Options::parse(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("embd-bench: {message}");
+            eprintln!(
+                "usage: embd-bench [--clients N] [--queries M] [--addr HOST:PORT] \
+                 [--check] [--json PATH] [--seed S]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("embd-bench: {message}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+struct Options {
+    clients: usize,
+    queries: u64,
+    addr: Option<String>,
+    check: bool,
+    json: Option<String>,
+    seed: u64,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut options = Options {
+            clients: 4,
+            queries: 2500,
+            addr: None,
+            check: false,
+            json: None,
+            seed: 7,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--clients" => {
+                    options.clients = value("--clients")?
+                        .parse()
+                        .map_err(|_| "bad --clients value".to_string())?;
+                }
+                "--queries" => {
+                    options.queries = value("--queries")?
+                        .parse()
+                        .map_err(|_| "bad --queries value".to_string())?;
+                }
+                "--addr" => options.addr = Some(value("--addr")?),
+                "--check" => options.check = true,
+                "--json" => options.json = Some(value("--json")?),
+                "--seed" => {
+                    options.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "bad --seed value".to_string())?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if options.clients == 0 || options.queries == 0 {
+            return Err("--clients and --queries must be positive".into());
+        }
+        Ok(options)
+    }
+}
+
+/// The query mix: paper shape families of assorted sizes, each `(guest,
+/// host)` answerable by the planner.
+fn pairs() -> Vec<(Grid, Grid)> {
+    [
+        ("torus:4x2x3", "mesh:4x6"),
+        ("mesh:4x6", "torus:4x2x3"),
+        ("torus:8x8", "mesh:8x8"),
+        ("mesh:16x4", "torus:2x2x2x2x2x2"),
+        ("torus:6x4", "torus:24"),
+        ("mesh:4x3x2", "mesh:12x2"),
+    ]
+    .into_iter()
+    .map(|(g, h)| {
+        (
+            parse_grid_spec(g).expect("well-formed spec"),
+            parse_grid_spec(h).expect("well-formed spec"),
+        )
+    })
+    .collect()
+}
+
+/// Per-client results: latencies in nanoseconds, plus error and mismatch
+/// counts.
+struct ClientOutcome {
+    latencies_ns: Vec<u64>,
+    errors: u64,
+    mismatches: u64,
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    // Spawn the loopback server unless aimed at a running one.
+    let server = match &options.addr {
+        Some(_) => None,
+        None => Some(
+            embd::spawn("127.0.0.1:0", Arc::new(PlanRegistry::new()))
+                .map_err(|e| format!("cannot spawn loopback server: {e}"))?,
+        ),
+    };
+    let addr = match (&options.addr, &server) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(handle)) => handle.addr().to_string(),
+        (None, None) => unreachable!("no addr and no server"),
+    };
+    let pairs = pairs();
+    // Under --check, precompute the reference tables once, directly from
+    // the library, with no service in the loop.
+    let reference: Vec<Vec<u64>> = if options.check {
+        pairs
+            .iter()
+            .map(|(guest, host)| {
+                embeddings::auto::embed(guest, host)
+                    .and_then(|e| e.to_table())
+                    .map_err(|e| format!("reference embed failed: {e}"))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+    let reference = Arc::new(reference);
+    let pairs = Arc::new(pairs);
+
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|c| {
+                let pairs = pairs.clone();
+                let reference = reference.clone();
+                let addr = addr.clone();
+                let seed = options.seed.wrapping_add(c as u64);
+                let queries = options.queries;
+                let check = options.check;
+                scope.spawn(move || drive_client(&addr, &pairs, &reference, queries, seed, check))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let elapsed = started.elapsed().as_secs_f64();
+    if let Some(handle) = server {
+        handle.shutdown();
+    }
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+    let mismatches: u64 = outcomes.iter().map(|o| o.mismatches).sum();
+    let queries = latencies.len() as u64;
+    let qps = queries as f64 / elapsed;
+    let p50_us = percentile_ns(&latencies, 50) as f64 / 1_000.0;
+    let p99_us = percentile_ns(&latencies, 99) as f64 / 1_000.0;
+
+    println!(
+        "embd-bench: {queries} queries, {} clients, {:.2}s wall",
+        options.clients, elapsed
+    );
+    println!("  queries/s : {qps:.0}");
+    println!("  p50       : {p50_us:.1} us");
+    println!("  p99       : {p99_us:.1} us");
+    println!("  errors    : {errors}");
+    if options.check {
+        println!("  mismatches: {mismatches} (checked against direct auto::embed)");
+    }
+
+    if let Some(path) = &options.json {
+        let json = format!(
+            "{{\n  \"benchmark\": \"embd_load\",\n  \"config\": {{\n    \"clients\": {},\n    \
+             \"queries_per_client\": {},\n    \"pairs\": {},\n    \"check\": {}\n  }},\n  \
+             \"summary\": {{\n    \"queries\": {},\n    \"errors\": {},\n    \
+             \"mismatches\": {},\n    \"queries_per_second\": {:.1},\n    \
+             \"p50_us\": {:.1},\n    \"p99_us\": {:.1}\n  }}\n}}\n",
+            options.clients,
+            options.queries,
+            pairs.len(),
+            options.check,
+            queries,
+            errors,
+            mismatches,
+            qps,
+            p50_us,
+            p99_us,
+        );
+        std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+
+    if errors > 0 {
+        return Err(format!("{errors} queries failed"));
+    }
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} answers disagreed with direct auto::embed"
+        ));
+    }
+    Ok(())
+}
+
+/// One client: `queries` MAP calls over pseudo-random (pair, node) picks.
+fn drive_client(
+    addr: &str,
+    pairs: &[(Grid, Grid)],
+    reference: &[Vec<u64>],
+    queries: u64,
+    seed: u64,
+    check: bool,
+) -> Result<ClientOutcome, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut outcome = ClientOutcome {
+        latencies_ns: Vec::with_capacity(queries as usize),
+        errors: 0,
+        mismatches: 0,
+    };
+    let mut state = seed;
+    for _ in 0..queries {
+        let pick = splitmix64(&mut state);
+        let (guest, host) = &pairs[(pick % pairs.len() as u64) as usize];
+        let v = splitmix64(&mut state) % guest.size();
+        let start = Instant::now();
+        match client.map(guest, host, v) {
+            Ok(image) => {
+                outcome.latencies_ns.push(start.elapsed().as_nanos() as u64);
+                if check {
+                    let table = &reference[(pick % pairs.len() as u64) as usize];
+                    if table[v as usize] != image {
+                        outcome.mismatches += 1;
+                        eprintln!(
+                            "mismatch: MAP {v} {} {} answered {image}, expected {}",
+                            format_grid_spec(guest),
+                            format_grid_spec(host),
+                            table[v as usize]
+                        );
+                    }
+                }
+            }
+            Err(error) => {
+                outcome.errors += 1;
+                eprintln!("query failed: {error}");
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// The value at the `p`-th percentile of sorted `latencies` (nearest-rank).
+fn percentile_ns(latencies: &[u64], p: u64) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    let rank = (latencies.len() as u64 * p).div_ceil(100).max(1) as usize;
+    latencies[rank.min(latencies.len()) - 1]
+}
+
+/// splitmix64: the standard 64-bit mixing step (public domain constants),
+/// kept local so the load generator depends only on the service crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

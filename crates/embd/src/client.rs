@@ -1,0 +1,110 @@
+//! A blocking client for the placement service.
+//!
+//! One [`Client`] wraps one connection and issues one request at a time
+//! (the protocol is strictly request/response, so pipelining would buy
+//! nothing but reordering bugs). Clients are cheap; open one per thread.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use embeddings::plan::{format_grid_spec, Plan};
+use topology::Grid;
+
+use crate::error::{EmbdError, Result};
+use crate::proto::{parse_response, read_frame, write_frame, Request};
+use crate::registry::RegistryStats;
+
+/// A blocking connection to a placement server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`EmbdError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Asks where guest node `v` of `guest` lands in `host`: the remote
+    /// `MAP` query, answering the host node index.
+    ///
+    /// # Errors
+    ///
+    /// [`EmbdError::Remote`] for server-side rejections (unsupported pair,
+    /// out-of-range node), [`EmbdError::Io`] / [`EmbdError::Protocol`] for
+    /// transport failures.
+    pub fn map(&mut self, guest: &Grid, host: &Grid, v: u64) -> Result<u64> {
+        let payload = self.round_trip(
+            &Request::Map {
+                v,
+                guest: guest.clone(),
+                host: host.clone(),
+            }
+            .to_line(),
+        )?;
+        payload.parse::<u64>().map_err(|_| EmbdError::Protocol {
+            message: format!("MAP answered non-index {payload:?}"),
+        })
+    }
+
+    /// Fetches the full serialized plan for the pair and parses it — after
+    /// which [`Plan::to_embedding`] answers every node locally.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::map`], plus [`EmbdError::Plan`] when the served text
+    /// does not parse back into a plan.
+    pub fn plan(&mut self, guest: &Grid, host: &Grid) -> Result<Plan> {
+        let payload = self.round_trip(&format!(
+            "PLAN {} {}",
+            format_grid_spec(guest),
+            format_grid_spec(host)
+        ))?;
+        Ok(Plan::parse(&payload)?)
+    }
+
+    /// Fetches the server's registry counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::map`]; also [`EmbdError::Protocol`] when the payload
+    /// does not have the `plans=N hits=N misses=N` shape.
+    pub fn stats(&mut self) -> Result<RegistryStats> {
+        let payload = self.round_trip("STATS")?;
+        let mut numbers = [0u64; 3];
+        let mut fields = payload.split(' ');
+        for (slot, prefix) in numbers.iter_mut().zip(["plans=", "hits=", "misses="]) {
+            *slot = fields
+                .next()
+                .and_then(|f| f.strip_prefix(prefix))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| EmbdError::Protocol {
+                    message: format!("malformed STATS payload {payload:?}"),
+                })?;
+        }
+        Ok(RegistryStats {
+            plans: numbers[0],
+            hits: numbers[1],
+            misses: numbers[2],
+        })
+    }
+
+    /// Sends one raw request line and returns the `OK` payload — the escape
+    /// hatch the loopback tests use to probe server error handling.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::map`].
+    pub fn round_trip(&mut self, line: &str) -> Result<String> {
+        write_frame(&mut self.stream, line)?;
+        let reply = read_frame(&mut self.stream)?.ok_or_else(|| EmbdError::Protocol {
+            message: "server closed the connection mid-request".into(),
+        })?;
+        parse_response(&reply)
+    }
+}

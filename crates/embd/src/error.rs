@@ -1,0 +1,89 @@
+//! Error types for the placement service.
+
+use core::fmt;
+
+use embeddings::PlanError;
+
+/// Why a service operation (frame I/O, request handling, a client call)
+/// failed.
+#[derive(Debug)]
+pub enum EmbdError {
+    /// An underlying socket or stream error.
+    Io(std::io::Error),
+    /// A frame or message violated the wire protocol (oversized frame,
+    /// invalid UTF-8, unknown verb, malformed operand).
+    Protocol {
+        /// What went wrong.
+        message: String,
+    },
+    /// The server answered a well-formed request with an `ERR` response —
+    /// the remote counterpart of a typed local error.
+    Remote {
+        /// The server's error message.
+        message: String,
+    },
+    /// A plan could not be built, parsed, or rebuilt.
+    Plan(PlanError),
+}
+
+impl fmt::Display for EmbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbdError::Io(e) => write!(f, "i/o error: {e}"),
+            EmbdError::Protocol { message } => write!(f, "protocol error: {message}"),
+            EmbdError::Remote { message } => write!(f, "server error: {message}"),
+            EmbdError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmbdError::Io(e) => Some(e),
+            EmbdError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EmbdError {
+    fn from(value: std::io::Error) -> Self {
+        EmbdError::Io(value)
+    }
+}
+
+impl From<PlanError> for EmbdError {
+    fn from(value: PlanError) -> Self {
+        EmbdError::Plan(value)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EmbdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EmbdError::Protocol {
+            message: "frame too large".into(),
+        };
+        assert!(e.to_string().contains("frame too large"));
+        let e = EmbdError::Remote {
+            message: "unsupported pair".into(),
+        };
+        assert!(e.to_string().contains("server error"));
+        let e: EmbdError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: EmbdError = PlanError::Parse {
+            offset: 3,
+            message: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("byte 3"));
+    }
+}

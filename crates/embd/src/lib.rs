@@ -1,0 +1,42 @@
+//! The placement service: the paper's embeddings, served over the wire.
+//!
+//! Everything below `embd` computes placements in-process; this crate makes
+//! them a network service, WIND-style — a registry, a server, a client
+//! library, and a load generator, split so each piece stays testable alone:
+//!
+//! * [`registry`] — [`registry::PlanRegistry`], a concurrent cache of built
+//!   placements keyed by `(guest, host)`: the [`embeddings::Plan`] value,
+//!   the live [`embeddings::Embedding`] rebuilt from it, and the serialized
+//!   plan text, built once per pair and shared. `refine` swaps in an
+//!   annealing-refined table-backed plan.
+//! * [`proto`] — the wire protocol: 4-byte big-endian length-prefixed UTF-8
+//!   frames carrying `MAP v G H` / `PLAN G H` / `STATS` requests and
+//!   `OK …` / `ERR …` responses. Frames are capped, operands validated,
+//!   and every malformation is a typed error — a hostile or confused peer
+//!   gets an `ERR`, never a panic.
+//! * [`server`] — a thread-per-connection TCP server over a shared
+//!   registry, with dial-to-wake shutdown.
+//! * [`client`] — a blocking client: `map` for single placements, `plan` to
+//!   fetch the whole plan and answer further queries locally.
+//!
+//! Two binaries drive it: `embd` (serve, or query a running server from the
+//! command line) and `embd-bench` (a multi-client load generator reporting
+//! p50/p99 latency and queries/s, with a differential `--check` mode that
+//! compares every answer against a direct [`embeddings::auto::embed`]).
+//!
+//! The wire format is the [`embeddings::plan`] text format; see that
+//! module for the grammar and round-trip guarantees.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::Client;
+pub use error::{EmbdError, Result};
+pub use registry::{PlanRegistry, RegistryStats};
+pub use server::{spawn, ServerHandle};

@@ -1,0 +1,307 @@
+//! The wire protocol: length-prefixed text frames and request/response
+//! grammar.
+//!
+//! # Framing
+//!
+//! Every message — in either direction — is one frame: a 4-byte big-endian
+//! length followed by that many bytes of UTF-8 text. Frames are capped at
+//! [`MAX_FRAME`] bytes; an oversized length prefix is a protocol error and
+//! the connection is dropped without attempting to read (or allocate) the
+//! body, so a hostile peer cannot balloon the server's memory.
+//!
+//! # Requests
+//!
+//! ```text
+//! MAP <v> <guest-spec> <host-spec>    -> OK <host-index>
+//! PLAN <guest-spec> <host-spec>       -> OK <plan-text>
+//! STATS                               -> OK plans=<n> hits=<h> misses=<m>
+//! ```
+//!
+//! A graph spec is `torus:4x2x3` / `mesh:4x6` (see
+//! [`embeddings::plan::parse_grid_spec`]). `MAP` answers the host node index
+//! the guest node `v` is placed on — the paper's `O(d)` placement query as a
+//! remote call. `PLAN` answers the serialized [`embeddings::Plan`], so a
+//! client can rebuild the whole mapping locally and stop asking per node.
+//!
+//! # Responses
+//!
+//! `OK <payload>` or `ERR <message>`. Malformed requests and unsupported
+//! pairs answer `ERR` and the connection stays open; only framing
+//! violations drop it.
+
+use std::io::{Read, Write};
+
+use embeddings::plan::{format_grid_spec, parse_grid_spec};
+use topology::Grid;
+
+use crate::error::{EmbdError, Result};
+
+/// Upper bound on a frame body, in bytes (16 MiB). Generous for any plan a
+/// service-sized graph produces, tiny next to what a forged length prefix
+/// could otherwise make the receiver allocate.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one frame: 4-byte big-endian length, then the UTF-8 payload.
+///
+/// # Errors
+///
+/// [`EmbdError::Protocol`] when `text` exceeds [`MAX_FRAME`];
+/// [`EmbdError::Io`] on stream errors.
+pub fn write_frame(stream: &mut impl Write, text: &str) -> Result<()> {
+    if text.len() > MAX_FRAME {
+        return Err(EmbdError::Protocol {
+            message: format!(
+                "frame of {} bytes exceeds the {MAX_FRAME} limit",
+                text.len()
+            ),
+        });
+    }
+    stream.write_all(&(text.len() as u32).to_be_bytes())?;
+    stream.write_all(text.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one frame and returns its payload, or `None` on a clean EOF at a
+/// frame boundary (the peer closed the connection between messages).
+///
+/// # Errors
+///
+/// [`EmbdError::Protocol`] for an oversized length or invalid UTF-8;
+/// [`EmbdError::Io`] for stream errors, including EOF mid-frame.
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    match stream.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(EmbdError::Protocol {
+            message: format!("frame of {len} bytes exceeds the {MAX_FRAME} limit"),
+        });
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| EmbdError::Protocol {
+            message: "frame is not valid UTF-8".into(),
+        })
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Where does guest node `v` land? Answers the host node index.
+    Map {
+        /// The guest node index to place.
+        v: u64,
+        /// The guest graph.
+        guest: Grid,
+        /// The host graph.
+        host: Grid,
+    },
+    /// The full serialized plan for the pair.
+    Plan {
+        /// The guest graph.
+        guest: Grid,
+        /// The host graph.
+        host: Grid,
+    },
+    /// Registry counters (cached plans, hits, misses).
+    Stats,
+}
+
+impl Request {
+    /// Parses a request line.
+    ///
+    /// # Errors
+    ///
+    /// [`EmbdError::Protocol`] naming the defect — unknown verb, wrong
+    /// operand count, unparsable node index or graph spec. The message is
+    /// what `ERR` responses carry back to the client.
+    pub fn parse(line: &str) -> Result<Request> {
+        let mut words = line.split(' ');
+        let verb = words.next().unwrap_or("");
+        let operands: Vec<&str> = words.collect();
+        let grid = |spec: &str| -> Result<Grid> {
+            parse_grid_spec(spec).map_err(|e| EmbdError::Protocol {
+                message: format!("bad graph spec {spec:?}: {e}"),
+            })
+        };
+        match verb {
+            "MAP" => {
+                let [v, guest, host] = operands.as_slice() else {
+                    return Err(EmbdError::Protocol {
+                        message: format!(
+                            "MAP takes 3 operands (v, guest, host), got {}",
+                            operands.len()
+                        ),
+                    });
+                };
+                let v = v.parse::<u64>().map_err(|_| EmbdError::Protocol {
+                    message: format!("bad node index {v:?}"),
+                })?;
+                Ok(Request::Map {
+                    v,
+                    guest: grid(guest)?,
+                    host: grid(host)?,
+                })
+            }
+            "PLAN" => {
+                let [guest, host] = operands.as_slice() else {
+                    return Err(EmbdError::Protocol {
+                        message: format!(
+                            "PLAN takes 2 operands (guest, host), got {}",
+                            operands.len()
+                        ),
+                    });
+                };
+                Ok(Request::Plan {
+                    guest: grid(guest)?,
+                    host: grid(host)?,
+                })
+            }
+            "STATS" => {
+                if operands.is_empty() {
+                    Ok(Request::Stats)
+                } else {
+                    Err(EmbdError::Protocol {
+                        message: format!("STATS takes no operands, got {}", operands.len()),
+                    })
+                }
+            }
+            other => Err(EmbdError::Protocol {
+                message: format!("unknown verb {other:?}"),
+            }),
+        }
+    }
+
+    /// Serializes the request as a line — the inverse of [`Request::parse`].
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Map { v, guest, host } => format!(
+                "MAP {v} {} {}",
+                format_grid_spec(guest),
+                format_grid_spec(host)
+            ),
+            Request::Plan { guest, host } => format!(
+                "PLAN {} {}",
+                format_grid_spec(guest),
+                format_grid_spec(host)
+            ),
+            Request::Stats => "STATS".into(),
+        }
+    }
+}
+
+/// Splits a response line into its payload, turning `ERR` into the typed
+/// [`EmbdError::Remote`].
+///
+/// # Errors
+///
+/// [`EmbdError::Remote`] for `ERR` responses; [`EmbdError::Protocol`] when
+/// the line is neither `OK …` nor `ERR …`.
+pub fn parse_response(line: &str) -> Result<String> {
+    if let Some(payload) = line.strip_prefix("OK ") {
+        Ok(payload.to_string())
+    } else if line == "OK" {
+        Ok(String::new())
+    } else if let Some(message) = line.strip_prefix("ERR ") {
+        Err(EmbdError::Remote {
+            message: message.to_string(),
+        })
+    } else {
+        Err(EmbdError::Protocol {
+            message: format!("malformed response {line:?}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, "MAP 3 torus:4x2x3 mesh:4x6").unwrap();
+        write_frame(&mut buffer, "").unwrap();
+        let mut cursor = std::io::Cursor::new(buffer);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("MAP 3 torus:4x2x3 mesh:4x6")
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(""));
+        // Clean EOF at a frame boundary is a normal close.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        // A forged length prefix must be rejected before allocation.
+        let mut forged = std::io::Cursor::new((u32::MAX).to_be_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut forged),
+            Err(EmbdError::Protocol { .. })
+        ));
+        // EOF mid-frame is an I/O error, not a clean close.
+        let mut truncated = std::io::Cursor::new(vec![0, 0, 0, 9, b'h', b'i']);
+        assert!(matches!(read_frame(&mut truncated), Err(EmbdError::Io(_))));
+        // Invalid UTF-8 in the body is a protocol error.
+        let mut invalid = std::io::Cursor::new(vec![0, 0, 0, 1, 0xFF]);
+        assert!(matches!(
+            read_frame(&mut invalid),
+            Err(EmbdError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn requests_parse_and_round_trip() {
+        for line in [
+            "MAP 3 torus:4x2x3 mesh:4x6",
+            "PLAN mesh:8x2 torus:4x4",
+            "STATS",
+        ] {
+            let request = Request::parse(line).unwrap();
+            assert_eq!(request.to_line(), line);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "",
+            "HELLO",
+            "MAP",
+            "MAP 3 torus:4x2x3",
+            "MAP x torus:4x2x3 mesh:4x6",
+            "MAP 3 cube:8 mesh:4x6",
+            "MAP 3 torus:0x2 mesh:4x6",
+            "PLAN mesh:4",
+            "PLAN mesh:4 mesh:4 extra",
+            "STATS now",
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(EmbdError::Protocol { .. })),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_split_into_payload_or_remote_error() {
+        assert_eq!(parse_response("OK 17").unwrap(), "17");
+        assert_eq!(parse_response("OK").unwrap(), "");
+        assert!(matches!(
+            parse_response("ERR unsupported embedding case: d=c"),
+            Err(EmbdError::Remote { .. })
+        ));
+        assert!(matches!(
+            parse_response("WHAT"),
+            Err(EmbdError::Protocol { .. })
+        ));
+    }
+}

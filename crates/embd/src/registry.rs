@@ -1,0 +1,255 @@
+//! The plan registry: a concurrent cache of built placements.
+//!
+//! Planning is cheap (the constructions are closed-form) but not free — the
+//! planner walks its decision tree, validates shapes, and serializing the
+//! plan allocates. A busy server answers thousands of queries per second for
+//! a handful of distinct graph pairs, so the registry builds each pair once
+//! and shares the result: an [`Entry`] bundling the [`Plan`], the live
+//! [`Embedding`] rebuilt from it, and the pre-serialized plan text.
+//!
+//! Reads take a shared lock; a miss builds *outside* any lock (a slow or
+//! failing build must not stall other pairs) and publishes under the write
+//! lock, keeping whichever entry got there first so concurrent misses stay
+//! consistent.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use embeddings::optim::{CongestionObjective, Optimizer, OptimizerConfig};
+use embeddings::plan::{Plan, PlanError};
+use embeddings::Embedding;
+use topology::Grid;
+
+/// A cached placement: the plan, the live embedding it rebuilds to, and the
+/// serialized text served to `PLAN` queries.
+pub struct Entry {
+    /// The plan as a value.
+    pub plan: Plan,
+    /// The live embedding rebuilt from the plan.
+    pub embedding: Embedding,
+    /// `plan.to_text()`, serialized once.
+    pub text: String,
+}
+
+/// Counters describing a registry's traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Number of cached plans.
+    pub plans: u64,
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to build (or rebuild) a plan.
+    pub misses: u64,
+}
+
+/// A concurrent cache of plans keyed by `(guest, host)`.
+#[derive(Default)]
+pub struct PlanRegistry {
+    plans: RwLock<HashMap<(Grid, Grid), Arc<Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached entry for `(guest, host)`, building the closed-form plan
+    /// on first use.
+    ///
+    /// # Errors
+    ///
+    /// The planner's errors for pairs it cannot embed (different sizes,
+    /// cases outside the paper's constructions), as [`PlanError`]. Failures
+    /// are not cached: a pair can succeed later (it won't today — the
+    /// planner is deterministic — but a negative cache would also pin
+    /// transient build errors forever).
+    pub fn get_or_build(&self, guest: &Grid, host: &Grid) -> Result<Arc<Entry>, PlanError> {
+        let key = (guest.clone(), host.clone());
+        if let Some(entry) = self.plans.read().expect("registry lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Plan::closed_form(guest, host)?;
+        self.publish(key, plan)
+    }
+
+    /// Inserts (or replaces) the plan for its pair — the path by which a
+    /// refined, table-backed plan supersedes the closed-form one.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] when the plan does not rebuild into a live embedding.
+    pub fn insert(&self, plan: Plan) -> Result<Arc<Entry>, PlanError> {
+        let key = (plan.guest().clone(), plan.host().clone());
+        let entry = Self::build_entry(plan)?;
+        self.plans
+            .write()
+            .expect("registry lock")
+            .insert(key, entry.clone());
+        Ok(entry)
+    }
+
+    /// Builds (or fetches) the pair's plan, refines its placement table by
+    /// seeded annealing under the congestion objective, and caches the
+    /// refined table-backed plan in place of the closed-form one.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] when the pair cannot be embedded, the table cannot be
+    /// materialized, or the optimizer rejects the configuration.
+    pub fn refine(
+        &self,
+        guest: &Grid,
+        host: &Grid,
+        steps: u64,
+        seed: u64,
+    ) -> Result<Arc<Entry>, PlanError> {
+        let base = self.get_or_build(guest, host)?;
+        let mut objective = CongestionObjective::new(guest, host)?;
+        let config = OptimizerConfig {
+            seed,
+            steps,
+            ..OptimizerConfig::default()
+        };
+        let outcome = Optimizer::new(config).optimize(&base.embedding, &mut objective)?;
+        let plan = Plan::with_table(
+            guest.clone(),
+            host.clone(),
+            outcome.embedding.name(),
+            outcome.embedding.dilation(),
+            outcome.table,
+        )?;
+        self.insert(plan)
+    }
+
+    /// Traffic counters: cached plans, hits, misses.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            plans: self.plans.read().expect("registry lock").len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Rebuilds `plan` into an entry and publishes it, keeping an entry
+    /// another thread may have published first.
+    fn publish(&self, key: (Grid, Grid), plan: Plan) -> Result<Arc<Entry>, PlanError> {
+        let entry = Self::build_entry(plan)?;
+        let mut plans = self.plans.write().expect("registry lock");
+        Ok(plans.entry(key).or_insert(entry).clone())
+    }
+
+    fn build_entry(plan: Plan) -> Result<Arc<Entry>, PlanError> {
+        let embedding = plan.to_embedding()?;
+        let text = plan.to_text();
+        Ok(Arc::new(Entry {
+            plan,
+            embedding,
+            text,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embeddings::auto::embed;
+    use topology::Shape;
+
+    fn shape(radices: &[u32]) -> Shape {
+        Shape::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn caches_after_first_build() {
+        let registry = PlanRegistry::new();
+        let guest = Grid::torus(shape(&[4, 2, 3]));
+        let host = Grid::mesh(shape(&[4, 6]));
+        let first = registry.get_or_build(&guest, &host).unwrap();
+        let second = registry.get_or_build(&guest, &host).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = registry.stats();
+        assert_eq!(
+            (stats.plans, stats.hits, stats.misses),
+            (1, 1, 1),
+            "{stats:?}"
+        );
+        // The cached embedding is the planner's, node for node.
+        let direct = embed(&guest, &host).unwrap();
+        for x in 0..guest.size() {
+            assert_eq!(first.embedding.map_index(x), direct.map_index(x));
+        }
+        assert_eq!(first.text, first.plan.to_text());
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_entries() {
+        let registry = PlanRegistry::new();
+        let pairs = [
+            (Grid::torus(shape(&[4, 2, 3])), Grid::mesh(shape(&[4, 6]))),
+            (Grid::mesh(shape(&[4, 6])), Grid::torus(shape(&[4, 2, 3]))),
+            (Grid::ring(24).unwrap(), Grid::mesh(shape(&[4, 6]))),
+        ];
+        for (guest, host) in &pairs {
+            registry.get_or_build(guest, host).unwrap();
+        }
+        assert_eq!(registry.stats().plans, pairs.len() as u64);
+    }
+
+    #[test]
+    fn failures_are_typed_and_uncached() {
+        let registry = PlanRegistry::new();
+        let guest = Grid::mesh(shape(&[2, 2]));
+        let host = Grid::mesh(shape(&[5]));
+        assert!(registry.get_or_build(&guest, &host).is_err());
+        assert_eq!(registry.stats().plans, 0);
+    }
+
+    #[test]
+    fn refine_supersedes_the_closed_form_plan() {
+        let registry = PlanRegistry::new();
+        let guest = Grid::torus(shape(&[4, 6]));
+        let host = Grid::mesh(shape(&[4, 6]));
+        let base = registry.get_or_build(&guest, &host).unwrap();
+        assert!(base.plan.table().is_none());
+        let refined = registry.refine(&guest, &host, 300, 11).unwrap();
+        assert!(refined.plan.table().is_some());
+        // The refined plan replaced the closed-form entry...
+        let served = registry.get_or_build(&guest, &host).unwrap();
+        assert!(Arc::ptr_eq(&refined, &served));
+        assert_eq!(registry.stats().plans, 1);
+        // ...and round-trips through its text like any other plan.
+        let parsed = Plan::parse(&refined.text).unwrap();
+        assert_eq!(parsed, refined.plan);
+        for x in 0..guest.size() {
+            assert_eq!(
+                parsed.to_embedding().unwrap().map_index(x),
+                refined.embedding.map_index(x)
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_converge_to_one_entry() {
+        let registry = Arc::new(PlanRegistry::new());
+        let guest = Grid::torus(shape(&[4, 4]));
+        let host = Grid::mesh(shape(&[4, 4]));
+        let entries: Vec<Arc<Entry>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let registry = registry.clone();
+                    let (guest, host) = (guest.clone(), host.clone());
+                    scope.spawn(move || registry.get_or_build(&guest, &host).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(entries.iter().all(|e| Arc::ptr_eq(e, &entries[0])));
+        assert_eq!(registry.stats().plans, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The placement server: a TCP listener answering protocol requests from a
+//! shared [`PlanRegistry`].
+//!
+//! One thread accepts; each connection gets its own thread (queries are
+//! sub-microsecond once a plan is cached, so per-connection threads are
+//! plenty below a few hundred clients — the load generator drives exactly
+//! this shape). Request handling is panic-free by construction: every
+//! operand is validated into a typed error, lookups use the fallible
+//! embedding paths, and an `ERR` response leaves the connection open.
+//! Only framing violations (oversized length, invalid UTF-8, mid-frame EOF)
+//! drop a connection.
+//!
+//! Shutdown uses the listener itself: [`ServerHandle::shutdown`] sets a
+//! flag and dials the listening address so the blocked `accept` wakes,
+//! observes the flag, and exits. Worker threads exit when their peers hang
+//! up; the handle joins the accept thread only, so shutdown never waits on
+//! a slow client.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::error::{EmbdError, Result};
+use crate::proto::{read_frame, write_frame, Request};
+use crate::registry::PlanRegistry;
+
+/// A running server: its bound address and the means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<PlanRegistry>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// `registry` until [`ServerHandle::shutdown`].
+///
+/// # Errors
+///
+/// [`EmbdError::Io`] when the address cannot be bound.
+pub fn spawn(addr: &str, registry: Arc<PlanRegistry>) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let stop = stop.clone();
+        let registry = registry.clone();
+        std::thread::spawn(move || accept_loop(listener, registry, stop))
+    };
+    Ok(ServerHandle {
+        addr,
+        registry,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server answers from.
+    pub fn registry(&self) -> &Arc<PlanRegistry> {
+        &self.registry
+    }
+
+    /// Stops accepting, wakes the accept thread, and joins it. Connections
+    /// already being served wind down as their clients disconnect.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        let Some(thread) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocked accept; if the dial fails the listener is
+        // already gone and the thread is on its way out.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<PlanRegistry>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // A failed accept (peer gone before we got to it) is the
+            // peer's problem; keep serving.
+            continue;
+        };
+        let registry = registry.clone();
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &registry);
+        });
+    }
+}
+
+/// Serves one connection until clean close or framing violation.
+fn serve_connection(mut stream: TcpStream, registry: &PlanRegistry) -> Result<()> {
+    stream.set_nodelay(true)?;
+    while let Some(line) = read_frame(&mut stream)? {
+        let response = match respond(&line, registry) {
+            Ok(payload) => format!("OK {payload}"),
+            Err(error) => format!("ERR {error}"),
+        };
+        write_frame(&mut stream, &response)?;
+    }
+    Ok(())
+}
+
+/// Computes the payload for one request line. Every failure — parse,
+/// planner, out-of-range node — comes back as a typed error for the `ERR`
+/// reply; nothing in this path can panic on untrusted input.
+fn respond(line: &str, registry: &PlanRegistry) -> Result<String> {
+    match Request::parse(line)? {
+        Request::Map { v, guest, host } => {
+            let entry = registry.get_or_build(&guest, &host)?;
+            if v >= guest.size() {
+                return Err(EmbdError::Protocol {
+                    message: format!("node {v} outside the guest's {} nodes", guest.size()),
+                });
+            }
+            let image = entry
+                .embedding
+                .try_map_index(v)
+                .map_err(|e| EmbdError::Plan(e.into()))?;
+            Ok(image.to_string())
+        }
+        Request::Plan { guest, host } => {
+            let entry = registry.get_or_build(&guest, &host)?;
+            Ok(entry.text.clone())
+        }
+        Request::Stats => {
+            let stats = registry.stats();
+            Ok(format!(
+                "plans={} hits={} misses={}",
+                stats.plans, stats.hits, stats.misses
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respond_handles_requests_and_rejects_bad_input() {
+        let registry = PlanRegistry::new();
+        // A valid MAP query answers the direct planner result.
+        let payload = respond("MAP 5 torus:4x2x3 mesh:4x6", &registry).unwrap();
+        let guest = embeddings::plan::parse_grid_spec("torus:4x2x3").unwrap();
+        let host = embeddings::plan::parse_grid_spec("mesh:4x6").unwrap();
+        let direct = embeddings::auto::embed(&guest, &host).unwrap();
+        assert_eq!(payload, direct.map_index(5).to_string());
+        // PLAN serves the serialized plan.
+        let plan_text = respond("PLAN torus:4x2x3 mesh:4x6", &registry).unwrap();
+        assert!(plan_text.starts_with("plan v1 "));
+        // Out-of-range node, malformed verb, impossible pair: typed errors.
+        assert!(respond("MAP 24 torus:4x2x3 mesh:4x6", &registry).is_err());
+        assert!(respond("MAPP 1 torus:4x2x3 mesh:4x6", &registry).is_err());
+        assert!(respond("PLAN mesh:2x2 mesh:5", &registry).is_err());
+        // STATS reflects the traffic above (2 hits: the second PLAN pair
+        // failed before caching; MAP built, PLAN hit, MAP 24 hit).
+        let stats = respond("STATS", &registry).unwrap();
+        assert_eq!(stats, "plans=1 hits=2 misses=2");
+    }
+}

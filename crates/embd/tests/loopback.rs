@@ -1,0 +1,150 @@
+//! End-to-end loopback tests: a real server on an ephemeral port, real
+//! clients over TCP, answers compared against the library directly.
+
+use std::sync::Arc;
+
+use embd::{Client, EmbdError, PlanRegistry};
+use embeddings::auto::embed;
+use topology::{Grid, Shape};
+
+fn shape(radices: &[u32]) -> Shape {
+    Shape::new(radices.to_vec()).unwrap()
+}
+
+fn spawn_server() -> embd::ServerHandle {
+    embd::spawn("127.0.0.1:0", Arc::new(PlanRegistry::new())).expect("bind loopback")
+}
+
+#[test]
+fn map_answers_match_direct_embed_on_every_node() {
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for (guest, host) in [
+        (Grid::torus(shape(&[4, 2, 3])), Grid::mesh(shape(&[4, 6]))),
+        (Grid::mesh(shape(&[4, 6])), Grid::torus(shape(&[4, 2, 3]))),
+        (Grid::ring(24).unwrap(), Grid::mesh(shape(&[4, 6]))),
+        (Grid::torus(shape(&[4, 4])), Grid::hypercube(4).unwrap()),
+    ] {
+        let direct = embed(&guest, &host).unwrap();
+        for v in 0..guest.size() {
+            assert_eq!(
+                client.map(&guest, &host, v).unwrap(),
+                direct.map_index(v),
+                "MAP {v} {guest} {host}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn plan_fetch_rebuilds_the_whole_mapping_locally() {
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let guest = Grid::torus(shape(&[4, 2, 3]));
+    let host = Grid::mesh(shape(&[4, 6]));
+    let plan = client.plan(&guest, &host).unwrap();
+    assert_eq!(plan.guest(), &guest);
+    assert_eq!(plan.host(), &host);
+    let rebuilt = plan.to_embedding().unwrap();
+    let direct = embed(&guest, &host).unwrap();
+    assert_eq!(rebuilt.name(), direct.name());
+    for v in 0..guest.size() {
+        assert_eq!(rebuilt.map_index(v), direct.map_index(v));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_answer_err_and_keep_the_connection() {
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // A parade of malformed and unserviceable requests...
+    for bad in [
+        "NOPE",
+        "MAP",
+        "MAP x torus:4x2x3 mesh:4x6",
+        "MAP 3 torus:0x2 mesh:4x6",
+        "MAP 99 torus:4x2x3 mesh:4x6", // node out of range
+        "PLAN mesh:2x2 mesh:5",        // size mismatch
+        "PLAN mesh:4x4",               // missing operand
+        "STATS verbose",
+    ] {
+        let error = client.round_trip(bad).unwrap_err();
+        assert!(
+            matches!(error, EmbdError::Remote { .. }),
+            "{bad:?} should be a server-side ERR, got {error}"
+        );
+    }
+    // ...and the same connection still serves good queries.
+    let guest = Grid::torus(shape(&[4, 2, 3]));
+    let host = Grid::mesh(shape(&[4, 6]));
+    let direct = embed(&guest, &host).unwrap();
+    assert_eq!(client.map(&guest, &host, 7).unwrap(), direct.map_index(7));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_cached_plan() {
+    let server = spawn_server();
+    let guest = Grid::torus(shape(&[8, 8]));
+    let host = Grid::mesh(shape(&[8, 8]));
+    let direct = embed(&guest, &host).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let (guest, host, direct, addr) = (&guest, &host, &direct, server.addr());
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..50 {
+                    let v = (t * 17 + i * 13) % guest.size();
+                    assert_eq!(client.map(guest, host, v).unwrap(), direct.map_index(v));
+                }
+            });
+        }
+    });
+    // Eight clients, one pair: exactly one plan, built once.
+    let stats = Client::connect(server.addr()).unwrap().stats().unwrap();
+    assert_eq!(stats.plans, 1);
+    assert_eq!(stats.hits + stats.misses, 400);
+    assert!(stats.misses >= 1, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn stats_track_hits_and_misses() {
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let guest = Grid::ring(12).unwrap();
+    let host = Grid::mesh(shape(&[3, 4]));
+    let empty = client.stats().unwrap();
+    assert_eq!((empty.plans, empty.hits, empty.misses), (0, 0, 0));
+    client.map(&guest, &host, 0).unwrap();
+    client.map(&guest, &host, 1).unwrap();
+    client.plan(&guest, &host).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!((stats.plans, stats.hits, stats.misses), (1, 2, 1));
+    server.shutdown();
+}
+
+#[test]
+fn refined_plans_are_served_over_the_wire() {
+    // Refine a pair's placement in the registry; clients must receive the
+    // table-backed plan and rebuild the exact refined mapping.
+    let server = spawn_server();
+    let guest = Grid::torus(shape(&[4, 6]));
+    let host = Grid::mesh(shape(&[4, 6]));
+    let refined = server.registry().refine(&guest, &host, 300, 11).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let plan = client.plan(&guest, &host).unwrap();
+    assert_eq!(plan, refined.plan);
+    assert!(plan.table().is_some());
+    let rebuilt = plan.to_embedding().unwrap();
+    for v in 0..guest.size() {
+        assert_eq!(rebuilt.map_index(v), refined.embedding.map_index(v));
+        assert_eq!(
+            client.map(&guest, &host, v).unwrap(),
+            refined.embedding.map_index(v)
+        );
+    }
+    server.shutdown();
+}

@@ -77,6 +77,75 @@ impl Embedding {
         })
     }
 
+    /// Creates an embedding from an explicit placement table (guest node
+    /// index → host node index), validating the table up front.
+    ///
+    /// This is the trusted boundary for tables that arrive from outside the
+    /// process — a deserialized [`crate::plan::Plan`], a service request, an
+    /// annealing-refined table read back from disk. Validation checks the
+    /// length, the range of every entry and injectivity, so the returned
+    /// embedding's mapping function can never panic on a lookup.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmbeddingError::SizeMismatch`] if the graphs differ in size;
+    /// * [`EmbeddingError::InvalidTable`] if the table's length is not the
+    ///   guest size, an entry is not a host node, or two guests map to the
+    ///   same host node.
+    pub fn from_table(
+        guest: Grid,
+        host: Grid,
+        name: impl Into<String>,
+        table: Vec<u64>,
+    ) -> Result<Self> {
+        if guest.size() != host.size() {
+            return Err(EmbeddingError::SizeMismatch {
+                guest: guest.size(),
+                host: host.size(),
+            });
+        }
+        if table.len() as u64 != guest.size() {
+            return Err(EmbeddingError::InvalidTable {
+                details: format!(
+                    "table has {} entries for a guest of {} nodes",
+                    table.len(),
+                    guest.size()
+                ),
+            });
+        }
+        let n = host.size();
+        let words = n.div_ceil(64) as usize;
+        let mut seen = vec![0u64; words];
+        for (x, &y) in table.iter().enumerate() {
+            if y >= n {
+                return Err(EmbeddingError::InvalidTable {
+                    details: format!("guest node {x} maps to {y}, beyond the host's {n} nodes"),
+                });
+            }
+            let (w, b) = ((y / 64) as usize, y % 64);
+            if seen[w] >> b & 1 == 1 {
+                return Err(EmbeddingError::InvalidTable {
+                    details: format!("host node {y} is the image of two guest nodes"),
+                });
+            }
+            seen[w] |= 1 << b;
+        }
+        let map_table: Arc<[u64]> = table.into();
+        let map_host = host.clone();
+        Embedding::new(
+            guest,
+            host,
+            name,
+            // Every entry was just checked to be a host node, so the
+            // conversion to a coordinate cannot fail.
+            Arc::new(move |x| {
+                map_host
+                    .coord(map_table[x as usize])
+                    .expect("validated table entry")
+            }),
+        )
+    }
+
     /// Creates the identity embedding between two graphs of the same shape.
     ///
     /// # Errors

@@ -51,6 +51,15 @@ pub enum EmbeddingError {
         /// The offending image coordinate (boxed to keep the error small).
         image: Box<mixedradix::Digits>,
     },
+    /// An explicit placement table is not a valid embedding of the given
+    /// pair: wrong length, an entry outside the host, or a repeated image.
+    /// Surfaced by [`crate::Embedding::from_table`] so that tables arriving
+    /// from outside the process (a service request, a deserialized plan)
+    /// become typed errors instead of panics deep in an evaluation sweep.
+    InvalidTable {
+        /// Human-readable description of the defect.
+        details: String,
+    },
     /// The requested graph is too large for the requested operation (e.g.
     /// materializing a table or running an exhaustive search).
     TooLarge {
@@ -87,6 +96,9 @@ impl fmt::Display for EmbeddingError {
                     f,
                     "guest node {guest} maps to {image}, which is not a host node"
                 )
+            }
+            EmbeddingError::InvalidTable { details } => {
+                write!(f, "invalid placement table: {details}")
             }
             EmbeddingError::TooLarge { size, limit } => {
                 write!(
@@ -153,6 +165,10 @@ mod tests {
             details: "bad".into(),
         };
         assert!(e.to_string().contains("invalid factor"));
+        let e = EmbeddingError::InvalidTable {
+            details: "entry 9 out of range".into(),
+        };
+        assert!(e.to_string().contains("invalid placement table"));
         let e = EmbeddingError::InvalidImage {
             guest: 3,
             image: Box::new(mixedradix::Digits::from_slice(&[9, 9]).unwrap()),

@@ -36,6 +36,9 @@
 //! * [`optim`] — seeded local-search / simulated-annealing refinement of any
 //!   embedding's placement table under pluggable, incrementally-evaluated
 //!   objectives (max congestion, average dilation, …).
+//! * [`plan`] — Plan-as-value: serializable embedding descriptions (graph
+//!   pair, construction, dilation, optional explicit table) with a one-line
+//!   text format, rebuilt into live embeddings by [`Plan::to_embedding`].
 //! * [`chain`] — multi-step embedding chains with per-step dilation reports.
 //! * [`paper_examples`] — the paper's worked instances (Figures 1–12,
 //!   Definitions 30 and 41) as reusable constructors.
@@ -71,6 +74,7 @@ pub mod metrics;
 pub mod optim;
 pub mod optimal;
 pub mod paper_examples;
+pub mod plan;
 pub mod reduction;
 pub mod same_shape;
 pub mod square;
@@ -78,6 +82,7 @@ pub mod verify;
 
 pub use embedding::Embedding;
 pub use error::{EmbeddingError, Result};
+pub use plan::{Plan, PlanError};
 
 /// Commonly used items.
 pub mod prelude {
@@ -99,6 +104,7 @@ pub mod prelude {
         CongestionObjective, Cost, DilationObjective, Objective, OptimOutcome, OptimReport,
         Optimizer, OptimizerConfig,
     };
+    pub use crate::plan::{format_grid_spec, parse_grid_spec, Plan, PlanError};
     pub use crate::reduction::embed_simple_reduction;
     pub use crate::same_shape::embed_same_shape;
     pub use crate::square::embed_square;

@@ -79,8 +79,6 @@
 
 pub mod parallel;
 
-use std::sync::Arc;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use topology::routing::{advance_toward, link_slot_of_hop};
@@ -773,18 +771,14 @@ pub(crate) fn refined_embedding(
     table: &[u64],
 ) -> Result<Embedding> {
     let name = format!("optimized({objective}, {})", original.name());
-    let host = original.host().clone();
-    let map_table: Arc<[u64]> = table.to_vec().into();
-    let map_host = host.clone();
-    Embedding::new(
+    // `Embedding::from_table` re-validates range and injectivity, so even a
+    // buggy objective or move generator cannot smuggle a panic into the
+    // returned embedding's mapping closure.
+    Embedding::from_table(
         original.guest().clone(),
-        host,
+        original.host().clone(),
         name,
-        Arc::new(move |x| {
-            map_host
-                .coord(map_table[x as usize])
-                .expect("table entries are host nodes")
-        }),
+        table.to_vec(),
     )
 }
 
@@ -836,6 +830,7 @@ mod tests {
     use super::*;
     use crate::auto::embed;
     use crate::congestion::congestion_sequential;
+    use std::sync::Arc;
     use topology::Shape;
 
     fn shape(radices: &[u32]) -> Shape {

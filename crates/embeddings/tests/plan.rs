@@ -1,0 +1,241 @@
+//! Plan serialization properties and plan/planner differential tests.
+//!
+//! Two guarantees back the `embd` placement service:
+//!
+//! * **round-trip** — `Plan::parse(&plan.to_text())` restores the plan
+//!   bit-identically, for closed-form and table-backed plans alike, for any
+//!   construction name (including quotes, controls, and astral characters);
+//! * **differential** — `Plan::to_embedding()` agrees with the planner's
+//!   live closure on **every node** across the paper's shape families, so a
+//!   plan served over the wire answers exactly what a local `auto::embed`
+//!   would.
+
+use embeddings::auto::embed;
+use embeddings::plan::{format_grid_spec, parse_grid_spec, Plan};
+use embeddings::Embedding;
+use proptest::prelude::*;
+use topology::{Grid, Shape};
+
+/// A small random shape (dimension 1–4, radices 2–6, size ≤ 400).
+fn small_shape() -> impl Strategy<Value = Shape> {
+    proptest::collection::vec(2u32..=6, 1..=4)
+        .prop_filter("bounded size", |radices| {
+            radices.iter().map(|&l| l as u64).product::<u64>() <= 400
+        })
+        .prop_map(|radices| Shape::new(radices).unwrap())
+}
+
+/// A small random grid.
+fn small_grid() -> impl Strategy<Value = Grid> {
+    (small_shape(), proptest::bool::ANY).prop_map(|(shape, torus)| {
+        if torus {
+            Grid::torus(shape)
+        } else {
+            Grid::mesh(shape)
+        }
+    })
+}
+
+/// An arbitrary construction name: each drawn `u32` picks either a point
+/// from a hostile palette (quotes, escapes, controls, non-ASCII, astral) or
+/// an arbitrary Unicode scalar value.
+fn construction_name() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] = &[
+        '"',
+        '\\',
+        '\n',
+        '\t',
+        '\r',
+        '\u{1}',
+        '\u{7f}',
+        ' ',
+        '=',
+        ',',
+        'µ',
+        '✓',
+        'π',
+        '😀',
+        '\u{10FFFF}',
+        'a',
+    ];
+    proptest::collection::vec(0u32..=u32::MAX, 0..=12).prop_map(|points| {
+        points
+            .into_iter()
+            .map(|p| {
+                if p % 2 == 0 {
+                    PALETTE[(p / 2) as usize % PALETTE.len()]
+                } else {
+                    char::from_u32(p % 0x11_0000).unwrap_or('\u{FFFD}')
+                }
+            })
+            .collect()
+    })
+}
+
+/// A deterministic pseudo-random permutation of `0..n` (Fisher–Yates over
+/// splitmix64), used to build table-backed plans.
+fn permutation(n: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut table: Vec<u64> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        table.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    table
+}
+
+/// Asserts that two embeddings of the same pair map every node identically.
+fn assert_same_mapping(a: &Embedding, b: &Embedding) {
+    assert_eq!(a.guest(), b.guest());
+    assert_eq!(a.host(), b.host());
+    for x in 0..a.guest().size() {
+        assert_eq!(
+            a.map_index(x),
+            b.map_index(x),
+            "node {x} diverges: {} vs {}",
+            a.name(),
+            b.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_specs_round_trip(grid in small_grid()) {
+        let spec = format_grid_spec(&grid);
+        prop_assert_eq!(parse_grid_spec(&spec).unwrap(), grid);
+    }
+
+    #[test]
+    fn closed_form_plans_round_trip(guest in small_grid(), flatten in proptest::bool::ANY, torus_host in proptest::bool::ANY) {
+        // Pair the guest with either its own shape or its 1-D collapse, in
+        // both host kinds — the same family the planner proptests use.
+        let host_shape = if flatten && guest.dim() > 1 {
+            Shape::new(vec![guest.size() as u32]).unwrap()
+        } else {
+            guest.shape().clone()
+        };
+        let host = if torus_host {
+            Grid::torus(host_shape)
+        } else {
+            Grid::mesh(host_shape)
+        };
+        if let Ok(plan) = Plan::closed_form(&guest, &host) {
+            let text = plan.to_text();
+            prop_assert_eq!(Plan::parse(&text).unwrap(), plan.clone());
+            // Canonical: re-serializing the parsed plan is bit-identical.
+            prop_assert_eq!(Plan::parse(&text).unwrap().to_text(), text);
+            // And the rebuilt embedding is the planner's embedding, node by
+            // node.
+            assert_same_mapping(&plan.to_embedding().unwrap(), &embed(&guest, &host).unwrap());
+        }
+    }
+
+    #[test]
+    fn construction_names_round_trip(name in construction_name()) {
+        let guest = Grid::mesh(Shape::new(vec![2, 2]).unwrap());
+        let plan = Plan::describing(&guest, &guest, &name, 1);
+        let text = plan.to_text();
+        let parsed = Plan::parse(&text).unwrap();
+        prop_assert_eq!(parsed.construction(), name.as_str());
+        prop_assert_eq!(parsed.clone(), plan);
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn table_plans_round_trip(host in small_grid(), seed in 0u32..=u32::MAX) {
+        let guest = Grid::mesh(host.shape().clone());
+        let table = permutation(host.size(), seed as u64);
+        let plan = Plan::with_table(guest, host, "refined", 2, table.clone()).unwrap();
+        let text = plan.to_text();
+        let parsed = Plan::parse(&text).unwrap();
+        prop_assert_eq!(parsed.clone(), plan);
+        prop_assert_eq!(parsed.to_text(), text);
+        let embedding = parsed.to_embedding().unwrap();
+        for (x, &y) in table.iter().enumerate() {
+            prop_assert_eq!(embedding.map_index(x as u64), y);
+        }
+    }
+}
+
+/// The paper's shape families: for each, the closed-form plan must rebuild
+/// into exactly the planner's embedding (every node compared), and the text
+/// form must round-trip.
+#[test]
+fn paper_families_differential() {
+    let shape = |radices: &[u32]| Shape::new(radices.to_vec()).unwrap();
+    let pairs = [
+        // Same shape (T_L).
+        (
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[4, 2, 3])),
+        ),
+        (Grid::mesh(shape(&[5, 5])), Grid::torus(shape(&[5, 5]))),
+        // Line / ring into grids (Section 3).
+        (Grid::line(24).unwrap(), Grid::mesh(shape(&[4, 6]))),
+        (Grid::ring(24).unwrap(), Grid::mesh(shape(&[4, 6]))),
+        (Grid::ring(24).unwrap(), Grid::torus(shape(&[4, 6]))),
+        // Dimension increase (Section 4.1) and hypercube targets.
+        (Grid::torus(shape(&[4, 6])), Grid::mesh(shape(&[4, 3, 2]))),
+        (Grid::mesh(shape(&[8, 2])), Grid::hypercube(4).unwrap()),
+        (Grid::torus(shape(&[4, 4])), Grid::hypercube(4).unwrap()),
+        // Simple and general reduction (Section 4.2).
+        (Grid::mesh(shape(&[4, 3, 2])), Grid::mesh(shape(&[12, 2]))),
+        (Grid::torus(shape(&[6, 4])), Grid::torus(shape(&[24]))),
+        (Grid::mesh(shape(&[5, 3])), Grid::mesh(shape(&[15]))),
+        // Square graphs (Section 5).
+        (Grid::torus(shape(&[3, 3])), Grid::mesh(shape(&[9]))),
+        (Grid::mesh(shape(&[4, 4, 4])), Grid::mesh(shape(&[64]))),
+    ];
+    for (guest, host) in pairs {
+        let plan = Plan::closed_form(&guest, &host)
+            .unwrap_or_else(|e| panic!("no plan for {guest} -> {host}: {e}"));
+        let text = plan.to_text();
+        let parsed = Plan::parse(&text).unwrap();
+        assert_eq!(parsed, plan, "{guest} -> {host}");
+        assert_eq!(parsed.to_text(), text, "{guest} -> {host}");
+        assert_same_mapping(
+            &parsed.to_embedding().unwrap(),
+            &embed(&guest, &host).unwrap(),
+        );
+    }
+}
+
+/// A refined (table-backed) plan round-trips through text and rebuilds the
+/// exact refined placement — the service path for annealed placements.
+#[test]
+fn refined_plan_differential() {
+    use embeddings::optim::{CongestionObjective, Optimizer, OptimizerConfig};
+
+    let guest = Grid::torus(Shape::new(vec![4, 6]).unwrap());
+    let host = Grid::mesh(Shape::new(vec![4, 6]).unwrap());
+    let base = embed(&guest, &host).unwrap();
+    let mut objective = CongestionObjective::new(&guest, &host).unwrap();
+    let config = OptimizerConfig {
+        seed: 7,
+        steps: 400,
+        ..OptimizerConfig::default()
+    };
+    let outcome = Optimizer::new(config)
+        .optimize(&base, &mut objective)
+        .unwrap();
+    let plan = Plan::with_table(
+        guest,
+        host,
+        outcome.embedding.name(),
+        outcome.embedding.dilation(),
+        outcome.table.clone(),
+    )
+    .unwrap();
+    let parsed = Plan::parse(&plan.to_text()).unwrap();
+    assert_eq!(parsed, plan);
+    assert_same_mapping(&parsed.to_embedding().unwrap(), &outcome.embedding);
+}

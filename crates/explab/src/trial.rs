@@ -16,7 +16,7 @@ use embeddings::congestion::congestion_sequential;
 use embeddings::optim::parallel::{optimize_sharded, ShardedConfig, ShardedOutcome};
 use embeddings::optim::{CongestionObjective, DilationObjective, Objective, OptimizerConfig};
 use embeddings::verify::verify_sequential;
-use embeddings::Embedding;
+use embeddings::{Embedding, Plan};
 use netsim::optimize::MakespanObjective;
 use netsim::sim::{simulate, Placement};
 use netsim::{patterns, Network, Workload};
@@ -123,6 +123,11 @@ pub struct OptimizedMetrics {
 pub struct TrialMetrics {
     /// The construction name the planner chose.
     pub construction: String,
+    /// The trial's placement as a serialized [`embeddings::Plan`] (the
+    /// `plan v1 …` text format): every record carries enough to rebuild
+    /// its exact mapping offline with [`embeddings::Plan::to_embedding`],
+    /// or to seed the `embd` placement service.
+    pub plan: String,
     /// The dilation the paper's theorem guarantees for the pair.
     pub predicted_dilation: u64,
     /// The dilation measured by independent verification.
@@ -263,6 +268,7 @@ impl TrialRecord {
                 }));
                 object = object
                     .string("construction", &m.construction)
+                    .string("plan", &m.plan)
                     .u64("predicted_dilation", m.predicted_dilation)
                     .u64("measured_dilation", m.measured_dilation)
                     .f64("average_dilation", m.average_dilation)
@@ -433,6 +439,9 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
 
     record(TrialOutcome::Supported(Box::new(TrialMetrics {
         construction: embedding.name().to_string(),
+        // The plan is described from the already-built embedding (not
+        // re-planned): same fields `Plan::closed_form` would record.
+        plan: Plan::describing(&spec.guest, &spec.host, embedding.name(), predicted).to_text(),
         predicted_dilation: predicted,
         measured_dilation: verification.dilation,
         average_dilation: verification.average_dilation,
@@ -483,11 +492,16 @@ fn optimize_trial(
                 Box::new(CongestionObjective::new(&spec.guest, &spec.host)?)
             }
             ObjectiveKind::Dilation => Box::new(DilationObjective::new(&spec.guest, &spec.host)?),
-            ObjectiveKind::Makespan => Box::new(MakespanObjective::new(
-                Network::new(spec.host.clone()),
-                Workload::from_task_graph(&spec.guest),
-                spec.rounds.max(1),
-            )),
+            ObjectiveKind::Makespan => Box::new(
+                MakespanObjective::new(
+                    Network::new(spec.host.clone()),
+                    Workload::from_task_graph(&spec.guest),
+                    spec.rounds.max(1),
+                )
+                .map_err(|e| embeddings::EmbeddingError::Unsupported {
+                    details: e.to_string(),
+                })?,
+            ),
         })
     };
     let sharded: ShardedOutcome = optimize_sharded(embedding, factory, &config)?;
@@ -607,6 +621,29 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn dumped_plans_rebuild_the_trial_mapping() {
+        // Every supported record's `plan` field must parse back into a Plan
+        // whose rebuilt embedding is the trial's mapping, node for node.
+        let guest = Grid::torus(shape(&[4, 2, 3]));
+        let host = Grid::mesh(shape(&[4, 6]));
+        let record = run_trial(&spec(guest.clone(), host.clone()));
+        let TrialOutcome::Supported(metrics) = &record.outcome else {
+            panic!("expected a supported trial");
+        };
+        let plan = Plan::parse(&metrics.plan).unwrap();
+        assert_eq!(plan.guest(), &guest);
+        assert_eq!(plan.construction(), metrics.construction);
+        assert_eq!(plan.dilation(), metrics.predicted_dilation);
+        let rebuilt = plan.to_embedding().unwrap();
+        let direct = embed(&guest, &host).unwrap();
+        for v in 0..guest.size() {
+            assert_eq!(rebuilt.map_index(v), direct.map_index(v));
+        }
+        // And the JSONL line carries it.
+        assert!(record.to_json_line().contains("\"plan\":\"plan v1 "));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use collective::{
     simulate_ring_allreduce, simulate_ring_reduce_scatter, CollectiveStats, RingOrder,
 };
 pub use network::Network;
-pub use optimize::MakespanObjective;
+pub use optimize::{MakespanError, MakespanObjective};
 pub use routing::{Router, RoutingAlgorithm};
 pub use sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};
 pub use stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
@@ -66,6 +66,7 @@ pub mod prelude {
         simulate_ring_allreduce, simulate_ring_reduce_scatter, CollectiveStats, RingOrder,
     };
     pub use crate::network::Network;
+    pub use crate::optimize::{MakespanError, MakespanObjective};
     pub use crate::patterns;
     pub use crate::routing::{Router, RoutingAlgorithm};
     pub use crate::sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};

@@ -45,6 +45,37 @@ use crate::traffic::Workload;
 /// slot the move occupies for one cycle.
 type Hop = (u64, u64);
 
+/// Why a [`MakespanObjective`] could not be constructed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MakespanError {
+    /// The schedule is too large: the arbitration scratch indexes messages
+    /// (workload pairs × rounds) with `u32`, so an evaluation is capped at
+    /// `u32::MAX` messages. A request-supplied workload or round count that
+    /// blows past the cap is a typed error here rather than a silent index
+    /// truncation (and a meaningless schedule) later.
+    ScheduleTooLarge {
+        /// The number of workload pairs.
+        pairs: usize,
+        /// The number of rounds per evaluation.
+        rounds: usize,
+    },
+}
+
+impl core::fmt::Display for MakespanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MakespanError::ScheduleTooLarge { pairs, rounds } => write!(
+                f,
+                "schedule of {pairs} workload pairs x {rounds} rounds exceeds the \
+                 {} messages one evaluation can arbitrate",
+                u32::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MakespanError {}
+
 /// Minimize the simulated makespan (cycles to deliver the workload under
 /// one-message-per-directed-link arbitration), with the total routed hop
 /// count as the tie-breaker.
@@ -82,8 +113,16 @@ pub struct MakespanObjective {
 impl MakespanObjective {
     /// Creates the objective: `workload` is delivered on `network` for
     /// `rounds` rounds per evaluation.
-    pub fn new(network: Network, workload: Workload, rounds: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`MakespanError::ScheduleTooLarge`] when `pairs × rounds` exceeds the
+    /// `u32` message index space of the arbitration scratch.
+    pub fn new(network: Network, workload: Workload, rounds: usize) -> Result<Self, MakespanError> {
         let pairs = workload.pairs().len();
+        if pairs as u128 * rounds.max(1) as u128 > u32::MAX as u128 {
+            return Err(MakespanError::ScheduleTooLarge { pairs, rounds });
+        }
         let mut task_pairs: Vec<Vec<u32>> = vec![Vec::new(); workload.tasks() as usize];
         for (index, &(src, dst)) in workload.pairs().iter().enumerate() {
             task_pairs[src as usize].push(index as u32);
@@ -93,7 +132,7 @@ impl MakespanObjective {
         }
         let dims = (0..network.grid().dim()).collect();
         let stamp = vec![0; 2 * network.grid().link_count() as usize];
-        MakespanObjective {
+        Ok(MakespanObjective {
             network,
             workload,
             rounds,
@@ -114,7 +153,7 @@ impl MakespanObjective {
                 primary: 0,
                 secondary: 0,
             },
-        }
+        })
     }
 
     /// Re-expands the cached route of pair `pair` under `table`, keeping
@@ -314,7 +353,8 @@ mod tests {
         let host = Grid::mesh(shape(&[3, 4]));
         let e = embed(&guest, &host).unwrap();
         let workload = Workload::from_task_graph(&guest);
-        let mut objective = MakespanObjective::new(Network::new(host.clone()), workload.clone(), 1);
+        let mut objective =
+            MakespanObjective::new(Network::new(host.clone()), workload.clone(), 1).unwrap();
         let table = e.to_table().unwrap();
         let cost = objective.rebuild(&table);
         let stats = simulate(
@@ -341,7 +381,8 @@ mod tests {
             let workload = Workload::from_task_graph(&guest);
             let network = Network::new(host.clone());
             let mut objective =
-                MakespanObjective::new(Network::new(host.clone()), workload.clone(), rounds);
+                MakespanObjective::new(Network::new(host.clone()), workload.clone(), rounds)
+                    .unwrap();
             let mut table = e.to_table().unwrap();
             let mut cost = objective.rebuild(&table);
             assert_eq!(cost, full_cost(&network, &workload, rounds, &table));
@@ -363,7 +404,8 @@ mod tests {
             }
             // And the incremental end state equals a fresh rebuild.
             let mut fresh =
-                MakespanObjective::new(Network::new(host.clone()), workload.clone(), rounds);
+                MakespanObjective::new(Network::new(host.clone()), workload.clone(), rounds)
+                    .unwrap();
             assert_eq!(cost, fresh.rebuild(&table));
         }
     }
@@ -376,7 +418,8 @@ mod tests {
         let host = Grid::mesh(shape(&[4, 4]));
         let workload = Workload::uniform_random(8, 24, 5);
         let network = Network::new(host.clone());
-        let mut objective = MakespanObjective::new(Network::new(host), workload.clone(), 1);
+        let mut objective =
+            MakespanObjective::new(Network::new(host), workload.clone(), 1).unwrap();
         let mut table: Vec<u64> = (0..16).collect();
         let before = objective.rebuild(&table);
         table.swap(12, 15);
@@ -400,7 +443,8 @@ mod tests {
         let e = embed(&guest, &host).unwrap();
         let workload = Workload::from_task_graph(&guest);
         let network = Network::new(host.clone());
-        let mut objective = MakespanObjective::new(Network::new(host), workload.clone(), 2);
+        let mut objective =
+            MakespanObjective::new(Network::new(host), workload.clone(), 2).unwrap();
         let mut table = e.to_table().unwrap();
         let before = objective.rebuild(&table);
         // Reverse the run 5..=10: transpositions (5,10), (6,9), (7,8).
@@ -412,7 +456,8 @@ mod tests {
             Network::new(Grid::mesh(shape(&[4, 6]))),
             workload.clone(),
             2,
-        );
+        )
+        .unwrap();
         let mut seq_table = e.to_table().unwrap();
         sequential.rebuild(&seq_table);
         let mut seq_cost = before;
@@ -434,7 +479,7 @@ mod tests {
         let host = Grid::mesh(shape(&[3, 4]));
         let e = embed(&guest, &host).unwrap();
         let workload = Workload::from_task_graph(&guest);
-        let mut objective = MakespanObjective::new(Network::new(host), workload, 1);
+        let mut objective = MakespanObjective::new(Network::new(host), workload, 1).unwrap();
         let mut table = e.to_table().unwrap();
         let before = objective.rebuild(&table);
         table.swap(3, 9);
@@ -450,7 +495,8 @@ mod tests {
         let host = Grid::mesh(shape(&[3, 4]));
         let e = embed(&guest, &host).unwrap();
         let workload = Workload::from_task_graph(&guest);
-        let mut objective = MakespanObjective::new(Network::new(host.clone()), workload, 1);
+        let mut objective =
+            MakespanObjective::new(Network::new(host.clone()), workload, 1).unwrap();
         let outcome = Optimizer::new(OptimizerConfig {
             seed: 5,
             steps: 400,
@@ -465,11 +511,26 @@ mod tests {
     }
 
     #[test]
+    fn oversized_schedules_are_typed_errors() {
+        // pairs × rounds beyond u32::MAX would truncate the arbitration
+        // message indices; the constructor must refuse, not wrap.
+        let host = Grid::mesh(shape(&[2, 3]));
+        let workload = Workload::from_task_graph(&Grid::ring(6).unwrap());
+        let pairs = workload.pairs().len();
+        let rounds = (u32::MAX as usize / pairs) + 1;
+        let err = MakespanObjective::new(Network::new(host), workload, rounds)
+            .err()
+            .expect("oversized schedule must be rejected");
+        assert_eq!(err, MakespanError::ScheduleTooLarge { pairs, rounds });
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
     fn zero_rounds_cost_nothing() {
         let guest = Grid::ring(6).unwrap();
         let host = Grid::mesh(shape(&[2, 3]));
         let workload = Workload::from_task_graph(&guest);
-        let mut objective = MakespanObjective::new(Network::new(host), workload, 0);
+        let mut objective = MakespanObjective::new(Network::new(host), workload, 0).unwrap();
         let table: Vec<u64> = (0..6).collect();
         let cost = objective.rebuild(&table);
         assert_eq!(

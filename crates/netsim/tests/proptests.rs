@@ -152,7 +152,7 @@ proptest! {
         let workload = Workload::uniform_random(n, messages, seed);
         let mut table: Vec<u64> = (0..n).collect();
         let mut objective =
-            MakespanObjective::new(network.clone(), workload.clone(), rounds);
+            MakespanObjective::new(network.clone(), workload.clone(), rounds).unwrap();
         let mut cost = objective.rebuild(&table);
         let full = |table: &[u64]| -> Cost {
             let placement = Placement::try_from_table(table.to_vec()).unwrap();
