@@ -1,0 +1,85 @@
+//! Benchmark: the structure-of-arrays digit-plane codec against the scalar
+//! decode it accelerates, on the pipeline's ~2²⁰-node host shape.
+//!
+//! `scalar` decodes one node per call with `RadixBase::to_digits_into`
+//! (itself strength-reduced onto the shared multiply–shift reciprocal
+//! constants); `decode_range` sweeps the same index range through
+//! `DigitPlanes` in batches of `LANES` consecutive nodes (two divisions per
+//! batch per dimension); `gather` decodes the same indices through the
+//! arbitrary-index batch entry point. Throughput is reported in decoded
+//! nodes. Results feed the `soa_codec` group of `BENCH_pipeline.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mixedradix::planes::{DigitPlanes, LANES};
+use mixedradix::{Digits, RadixBase};
+
+/// The pipeline bench's host shape: (32,32,32,32), 2²⁰ nodes.
+fn host_shape() -> RadixBase {
+    RadixBase::new(vec![32, 32, 32, 32]).unwrap()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let shape = host_shape();
+    let n = shape.size();
+
+    let mut group = c.benchmark_group("soa_codec");
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function(BenchmarkId::new("decode", "scalar"), |b| {
+        let mut digits = Digits::empty();
+        b.iter(|| {
+            let mut checksum = 0u32;
+            for x in 0..n {
+                shape.to_digits_into(x, &mut digits).unwrap();
+                checksum ^= digits.get(0);
+            }
+            checksum
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("decode", "decode_range"), |b| {
+        let mut planes = DigitPlanes::for_base(&shape);
+        b.iter(|| {
+            let mut checksum = 0u32;
+            let mut start = 0u64;
+            while start < n {
+                let count = (n - start).min(LANES as u64) as usize;
+                planes.decode_range(&shape, start, count).unwrap();
+                checksum ^= planes.plane(0)[count - 1];
+                start += count as u64;
+            }
+            checksum
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("decode", "gather"), |b| {
+        let mut planes = DigitPlanes::for_base(&shape);
+        let mut indices = [0u64; LANES];
+        b.iter(|| {
+            let mut checksum = 0u32;
+            let mut start = 0u64;
+            while start < n {
+                let count = (n - start).min(LANES as u64) as usize;
+                for (lane, slot) in indices.iter_mut().enumerate().take(count) {
+                    *slot = start + lane as u64;
+                }
+                planes.decode(&shape, &indices[..count]).unwrap();
+                checksum ^= planes.plane(0)[count - 1];
+                start += count as u64;
+            }
+            checksum
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(10))
+        .sample_size(10);
+    targets = bench_codec
+}
+criterion_main!(benches);

@@ -29,6 +29,7 @@ use embeddings::verify::verify_sequential;
 use explab::executor::run;
 use explab::plan::SweepPlan;
 use gridviz::Table;
+use mixedradix::planes::{DigitPlanes, LANES};
 
 /// Times `work` `repetitions` times and returns the fastest wall-clock
 /// seconds (the least-noise estimator for throughput comparisons).
@@ -50,20 +51,47 @@ fn measure(metric: &BaselineMetric) -> Result<f64, String> {
             let embedding = embed(&torus(&[1024, 1024]), &torus(&[32, 32, 32, 32]))
                 .map_err(|e| e.to_string())?;
             let edges = embedding.guest().num_edges() as f64;
-            let seconds = match which {
-                "verify_melem_per_s" => best_seconds(3, || {
-                    std::hint::black_box(verify_sequential(&embedding).dilation);
-                }),
-                "congestion_melem_per_s" => best_seconds(3, || {
-                    std::hint::black_box(
-                        congestion_sequential(&embedding)
-                            .expect("valid")
-                            .max_congestion,
-                    );
-                }),
+            let nodes = embedding.size() as f64;
+            let (elements, seconds) = match which {
+                "verify_melem_per_s" => (
+                    edges,
+                    best_seconds(3, || {
+                        std::hint::black_box(verify_sequential(&embedding).dilation);
+                    }),
+                ),
+                "congestion_melem_per_s" => (
+                    edges,
+                    best_seconds(3, || {
+                        std::hint::black_box(
+                            congestion_sequential(&embedding)
+                                .expect("valid")
+                                .max_congestion,
+                        );
+                    }),
+                ),
+                "soa_codec_melem_per_s" => {
+                    // Raw digit-plane decode over every host node: the codec
+                    // underneath the sweeps above, measured in nodes.
+                    let shape = embedding.host().shape().clone();
+                    let mut planes = DigitPlanes::for_base(&shape);
+                    let seconds = best_seconds(3, || {
+                        // Same loop shape as the criterion bench: fold each
+                        // batch into a checksum, sink it once at the end.
+                        let mut checksum = 0u32;
+                        let mut start = 0u64;
+                        while start < shape.size() {
+                            let count = (shape.size() - start).min(LANES as u64) as usize;
+                            planes.decode_range(&shape, start, count).expect("in range");
+                            checksum ^= planes.plane(0)[count - 1];
+                            start += count as u64;
+                        }
+                        std::hint::black_box(checksum);
+                    });
+                    (nodes, seconds)
+                }
                 other => return Err(format!("unknown pipeline metric {other:?}")),
             };
-            Ok(edges / seconds / 1e6)
+            Ok(elements / seconds / 1e6)
         }
         ("explab_throughput", "trials_per_s") => {
             let plan = SweepPlan::builtin("bench").map_err(|e| e.to_string())?;

@@ -423,6 +423,13 @@ pub fn extract_metrics(root: &Json) -> Result<Vec<BaselineMetric>, GateError> {
                 "congestion_melem_per_s",
                 number_at(result_group(root, "congestion")?, &["batched_melem_per_s"])?,
             ),
+            metric(
+                "soa_codec_melem_per_s",
+                number_at(
+                    result_group(root, "soa_codec")?,
+                    &["decode_range_melem_per_s"],
+                )?,
+            ),
         ]),
         "explab_throughput" => Ok(vec![metric(
             "trials_per_s",
@@ -579,6 +586,19 @@ mod tests {
         assert_eq!(metrics.len(), 1);
         assert_eq!(metrics[0].metric, "sharded_moves_per_s");
         assert_eq!(metrics[0].throughput, 96795.0);
+
+        let pipeline = r#"{
+            "benchmark": "pipeline_throughput",
+            "results": [
+                {"group": "verify", "batched_melem_per_s": 7.0},
+                {"group": "congestion", "batched_melem_per_s": 6.5},
+                {"group": "soa_codec", "decode_range_melem_per_s": 400.0}
+            ]
+        }"#;
+        let metrics = extract_metrics(&parse_json(pipeline).unwrap()).unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics[2].metric, "soa_codec_melem_per_s");
+        assert_eq!(metrics[2].throughput, 400.0);
 
         let unknown = r#"{"benchmark": "mystery"}"#;
         assert!(matches!(

@@ -9,8 +9,6 @@
 
 use mixedradix::{Digits, RadixBase};
 
-use super::fl::f_l;
-
 /// Evaluates `r_L(x)` for a 2-dimensional radix base `L = (l_1, l_2)`
 /// (Definition 20).
 ///
@@ -31,12 +29,22 @@ pub fn r_l(base: &RadixBase, x: u64) -> Digits {
         return out;
     }
     if l2 > 2 {
-        // Remaining columns form an (l_1, l_2 − 1)-mesh covered by f.
-        let sub =
-            RadixBase::new(vec![l1 as u32, (l2 - 1) as u32]).expect("l_2 - 1 >= 2 because l_2 > 2");
-        let inner = f_l(&sub, x - l1);
-        out.set(0, inner.get(0));
-        out.set(1, inner.get(1) + 1);
+        // Remaining columns form an (l_1, l_2 − 1)-mesh covered by
+        // f_{(l_1, l_2−1)}, evaluated directly: with y = x − l_1 < l_1·(l_2−1)
+        // the digit-0 segment ⌊y / (l_1·(l_2−1))⌋ is always 0 (even), so
+        // digit 0 is the plain quotient and digit 1 reflects by its parity —
+        // no sub-shape needs constructing per call.
+        let m = l2 - 1;
+        let y = x - l1;
+        let row = y / m;
+        let rem = y % m;
+        let col = if row.is_multiple_of(2) {
+            rem
+        } else {
+            m - rem - 1
+        };
+        out.set(0, row as u32);
+        out.set(1, (col + 1) as u32);
     } else {
         // l_2 = 2: walk the second column bottom-up.
         out.set(0, (x - l1) as u32);

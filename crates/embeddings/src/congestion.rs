@@ -9,15 +9,15 @@
 //! congestion model and the simulator can never disagree about a route.
 //!
 //! Load accounting is allocation-free per hop: every host link has a dense
-//! slot in a flat `Vec<u64>` (see [`topology::Grid::link_index`]), routes advance a
-//! coordinate and its linear index in place ([`advance_toward`]), and the
-//! parallel path gives each fork–join worker its own flat load vector,
-//! merged elementwise at the end — so sequential and parallel reports are
-//! bit-identical.
+//! slot in a flat `Vec<u64>` (see [`topology::Grid::link_index`]), routes are
+//! expanded per dimension by the batched hop emitter ([`for_each_hop`], one
+//! direction/step-count computation per corrected dimension instead of one
+//! next-hop scan per hop), and the parallel path gives each fork–join worker
+//! its own flat load vector, merged elementwise at the end — so sequential
+//! and parallel reports are bit-identical.
 
 use topology::parallel::{parallel_map_reduce, recommended_threads};
-use topology::routing::{advance_toward, link_slot_of_hop};
-use topology::Coord;
+use topology::routing::{for_each_hop, link_slot_of_hop};
 
 use crate::embedding::Embedding;
 use crate::error::{EmbeddingError, Result};
@@ -62,7 +62,6 @@ fn route_chunk(
         total_path_length: 0,
     };
     let mut failure: Option<EmbeddingError> = None;
-    let mut current = Coord::empty();
     // The current node's host index (or None for an invalid image), handed
     // from the node callback to the edge callbacks that follow it.
     let fx_index = Cell::new(None::<u64>);
@@ -74,7 +73,7 @@ fn route_chunk(
                 return;
             }
             loads.guest_edges += 1;
-            let mut index = match fx_index.get() {
+            let index = match fx_index.get() {
                 Some(index) => index,
                 None => {
                     failure = Some(EmbeddingError::InvalidImage {
@@ -91,17 +90,15 @@ fn route_chunk(
                 });
                 return;
             }
-            current = *fx;
-            loop {
-                let before = index;
-                match advance_toward(host, &mut current, &mut index, fy, dims) {
-                    None => break,
-                    Some(hop) => {
-                        loads.per_link[link_slot_of_hop(host, hop, before, index) as usize] += 1;
-                        loads.total_path_length += 1;
-                    }
-                }
-            }
+            let Loads {
+                per_link,
+                total_path_length,
+                ..
+            } = &mut loads;
+            for_each_hop(host, fx, index, fy, dims, |hop, before, after| {
+                per_link[link_slot_of_hop(host, hop, before, after) as usize] += 1;
+                *total_path_length += 1;
+            });
         },
     );
     match failure {
@@ -147,9 +144,12 @@ fn check_size(embedding: &Embedding) -> Result<()> {
             limit: LIMIT,
         });
     }
-    if embedding.host().link_count() > LINK_LIMIT {
+    // try_link_count: a shape whose d·n overflows u64 is certainly over the
+    // limit, and the unchecked count would wrap to a small number here.
+    let links = embedding.host().try_link_count().unwrap_or(u64::MAX);
+    if links > LINK_LIMIT {
         return Err(EmbeddingError::TooLarge {
-            size: embedding.host().link_count(),
+            size: links,
             limit: LINK_LIMIT,
         });
     }

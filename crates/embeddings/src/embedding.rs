@@ -31,6 +31,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use topology::parallel::{parallel_map_reduce, recommended_threads};
+use topology::planes::{DigitPlanes, LANES};
 use topology::{Coord, GraphKind, Grid};
 
 use crate::error::{EmbeddingError, Result};
@@ -257,7 +258,19 @@ impl Embedding {
     /// for fork–join parallelism. Neighbors inside the current chunk reuse
     /// the materialized image; only edges leaving the chunk re-evaluate the
     /// map, so a sweep costs roughly one `map` call per node instead of two
-    /// per edge, and nothing in the loop touches the allocator.
+    /// per edge, and nothing in the loop touches the allocator after the
+    /// first chunk.
+    ///
+    /// Internally the guest-side arithmetic runs on the structure-of-arrays
+    /// digit-plane codec: each batch of [`LANES`] consecutive nodes is
+    /// decoded with [`DigitPlanes::decode_range`] (two divisions per batch
+    /// per dimension instead of one per node per dimension), and the
+    /// neighbor-by-increasing-coordinate of every lane is computed by
+    /// per-dimension sweeps over the planes before any callback runs. The
+    /// callbacks then replay in exactly the order documented above, so
+    /// stateful visitors (congestion's per-node `Cell` handoff, verify's
+    /// failure accumulation) observe the same sequence as the scalar code
+    /// this replaces.
     ///
     /// # Panics
     ///
@@ -271,11 +284,15 @@ impl Embedding {
         // least-significant-dimension neighbors stay in-chunk, small enough
         // to live in cache.
         const CHUNK: u64 = 1 << 14;
+        // No-edge sentinel for the neighbor planes. Never a real index: the
+        // guest has at most u64::MAX nodes, so indices stop at u64::MAX − 1.
+        const NO_EDGE: u64 = u64::MAX;
         let shape = self.guest.shape();
         let kind = self.guest.kind();
         let d = shape.dim();
+        let mut planes = DigitPlanes::for_base(shape);
+        let mut neighbors = vec![NO_EDGE; d * LANES];
         let mut images: Vec<Coord> = Vec::new();
-        let mut coord = Coord::empty();
         let mut fy = Coord::empty();
         let mut start = nodes.start;
         while start < nodes.end {
@@ -284,45 +301,67 @@ impl Embedding {
             for x in start..end {
                 images.push((self.map)(x));
             }
-            for x in start..end {
-                let slot = (x - start) as usize;
-                shape.to_digits_into(x, &mut coord).expect("node in range");
-                node(x, &images[slot]);
+            let mut batch = start;
+            while batch < end {
+                let count = (end - batch).min(LANES as u64) as usize;
+                planes
+                    .decode_range(shape, batch, count)
+                    .expect("node in range");
+                // Per-dimension sweeps: fixed-bound branches hoisted out of
+                // the lane loops so each loop body is a select over one
+                // digit plane — the autovectorizable shape.
                 for j in 0..d {
                     let l = shape.radix(j);
-                    let i = coord.get(j);
                     let w = shape.weight(j + 1);
-                    let y = match kind {
+                    let plane = planes.plane(j);
+                    let out = &mut neighbors[j * LANES..(j + 1) * LANES];
+                    match kind {
                         GraphKind::Mesh => {
-                            if i < l - 1 {
-                                x + w
-                            } else {
-                                continue;
+                            for (lane, slot) in out.iter_mut().enumerate().take(count) {
+                                let x = batch + lane as u64;
+                                *slot = if plane[lane] < l - 1 { x + w } else { NO_EDGE };
+                            }
+                        }
+                        // Length-2 torus dimensions have a single edge, owned
+                        // by the coordinate-0 endpoint.
+                        GraphKind::Torus if l == 2 => {
+                            for (lane, slot) in out.iter_mut().enumerate().take(count) {
+                                let x = batch + lane as u64;
+                                *slot = if plane[lane] == 0 { x + w } else { NO_EDGE };
                             }
                         }
                         GraphKind::Torus => {
-                            if l == 2 {
-                                if i == 0 {
-                                    x + w
-                                } else {
-                                    continue;
-                                }
-                            } else if i < l - 1 {
-                                x + w
-                            } else {
-                                // Wrap-around edge back to coordinate 0.
-                                x - (l as u64 - 1) * w
+                            let wrap = (l as u64 - 1) * w;
+                            for (lane, slot) in out.iter_mut().enumerate().take(count) {
+                                let x = batch + lane as u64;
+                                // Interior: step forward. Last coordinate:
+                                // wrap-around edge back to coordinate 0.
+                                *slot = if plane[lane] < l - 1 { x + w } else { x - wrap };
                             }
                         }
-                    };
-                    let fy_ref: &Coord = if y >= start && y < end {
-                        &images[(y - start) as usize]
-                    } else {
-                        self.map_into(y, &mut fy);
-                        &fy
-                    };
-                    edge(x, y, &images[slot], fy_ref);
+                    }
                 }
+                // Replay the callbacks in the documented order: node(x),
+                // then x's edges in dimension order, for increasing x.
+                for lane in 0..count {
+                    let x = batch + lane as u64;
+                    let slot = (x - start) as usize;
+                    node(x, &images[slot]);
+                    for j in 0..d {
+                        let y = neighbors[j * LANES + lane];
+                        if y == NO_EDGE {
+                            continue;
+                        }
+                        let fy_ref: &Coord = if y >= start && y < end {
+                            &images[(y - start) as usize]
+                        } else {
+                            self.map_into(y, &mut fy);
+                            &fy
+                        };
+                        edge(x, y, &images[slot], fy_ref);
+                    }
+                }
+                batch += count as u64;
             }
             start = end;
         }

@@ -23,7 +23,7 @@ use crate::basic::t_n;
 use crate::embedding::Embedding;
 use crate::error::{EmbeddingError, Result};
 use crate::expansion::ExpansionFactor;
-use crate::increase::{map_increase, IncreaseFunction};
+use crate::increase::{factor_shapes, map_increase_over, IncreaseFunction};
 
 /// A general-reduction witness: the multiplicant sublist `L′`, the multiplier
 /// sublist `L″`, and the factor lists `S_1, …, S_{d−c}`.
@@ -468,7 +468,7 @@ pub fn embed_general_reduction_with(
         "β ∘ F′_S ∘ α"
     };
 
-    let s_factor = ExpansionFactor::new(reduction.s_lists().to_vec())?;
+    let s_shapes = factor_shapes(&ExpansionFactor::new(reduction.s_lists().to_vec())?);
     let s_flat = reduction.s_flat();
     let multiplicant = reduction.multiplicant().to_vec();
     let c = reduction.c();
@@ -489,7 +489,7 @@ pub fn embed_general_reduction_with(
             let base_part = reordered.slice(0, c);
             let inner_part = reordered.slice(c, reordered.dim());
             // Offset: embed the L″ coordinates in the S̄-mesh supernode.
-            let offset = map_increase(&s_factor, offset_function, &inner_part);
+            let offset = map_increase_over(&s_shapes, offset_function, &inner_part);
             // Base: the supernode coordinates, optionally passed through t.
             let mut out = Digits::zero(c).expect("dimension within bounds");
             for j in 0..c {

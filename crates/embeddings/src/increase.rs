@@ -47,6 +47,20 @@ impl IncreaseFunction {
     }
 }
 
+/// Builds the per-dimension sub-shapes `V_1, …, V_d` of an expansion factor,
+/// one [`Shape`] (with its radix weights and reciprocal constants) per list.
+///
+/// Embedding map closures run once per guest node; constructing these shapes
+/// there would redo a heap allocation and a divider computation per dimension
+/// per node. Build them once and evaluate with [`map_increase_over`].
+pub fn factor_shapes(factor: &ExpansionFactor) -> Vec<Shape> {
+    factor
+        .lists()
+        .iter()
+        .map(|list| Shape::new(list.clone()).expect("factor lists are valid shapes"))
+        .collect()
+}
+
 /// Evaluates `F_V`, `G_V` or `H_V` (Definition 31) on a guest coordinate,
 /// producing a coordinate of the intermediate graph `H'` of shape
 /// `V_1 ∘ V_2 ∘ … ∘ V_d`.
@@ -56,19 +70,29 @@ impl IncreaseFunction {
 /// Panics if the coordinate's dimension differs from the factor's list count
 /// or a digit is out of range for its sub-shape.
 pub fn map_increase(factor: &ExpansionFactor, function: IncreaseFunction, coord: &Coord) -> Digits {
+    map_increase_over(&factor_shapes(factor), function, coord)
+}
+
+/// [`map_increase`] over sub-shapes prepared by [`factor_shapes`] — the
+/// allocation-free form hot loops call per node.
+///
+/// # Panics
+///
+/// Panics if the coordinate's dimension differs from the sub-shape count or a
+/// digit is out of range for its sub-shape.
+pub fn map_increase_over(subs: &[Shape], function: IncreaseFunction, coord: &Coord) -> Digits {
     assert_eq!(
         coord.dim(),
-        factor.len(),
+        subs.len(),
         "coordinate dimension must match the expansion factor"
     );
     let mut out = Digits::empty();
-    for (i, list) in factor.lists().iter().enumerate() {
-        let sub = Shape::new(list.clone()).expect("factor lists are valid shapes");
+    for (i, sub) in subs.iter().enumerate() {
         let digit = coord.get(i) as u64;
         let image = match function {
-            IncreaseFunction::F => f_l(&sub, digit),
-            IncreaseFunction::G => g_l(&sub, digit),
-            IncreaseFunction::H => h_l(&sub, digit),
+            IncreaseFunction::F => f_l(sub, digit),
+            IncreaseFunction::G => g_l(sub, digit),
+            IncreaseFunction::H => h_l(sub, digit),
         };
         out = out.concat(&image).expect("total dimension within bounds");
     }
@@ -91,18 +115,89 @@ pub fn embed_increasing_with(
     factor.validate(guest.shape(), host.shape())?;
     let perm: Permutation = factor.permutation_to(host.shape())?;
     let guest_shape = guest.shape().clone();
-    let factor = factor.clone();
-    Embedding::new(
-        guest.clone(),
-        host.clone(),
-        function.name(),
-        Arc::new(move |x| {
+    let subs = factor_shapes(factor);
+    let map = match increase_tables(&guest_shape, &subs, function, &perm) {
+        Some(tables) => {
+            // Table-driven fast path: the map is separable per guest
+            // dimension, so the per-node work collapses to a scalar decode,
+            // one table load per dimension and a disjoint-position merge.
+            let mover: Arc<dyn Fn(u64) -> Digits + Send + Sync> = Arc::new(move |x| {
+                let coord = guest_shape.to_digits(x).expect("index in range");
+                let mut out = tables[0][coord.get(0) as usize];
+                for (i, table) in tables.iter().enumerate().skip(1) {
+                    let partial = &table[coord.get(i) as usize];
+                    for j in 0..out.dim() {
+                        out.set(j, out.get(j) | partial.get(j));
+                    }
+                }
+                out
+            });
+            mover
+        }
+        None => Arc::new(move |x| {
             let coord = guest_shape.to_digits(x).expect("index in range");
-            let image = map_increase(&factor, function, &coord);
+            let image = map_increase_over(&subs, function, &coord);
             perm.apply_digits(&image)
                 .expect("permutation matches dimension")
         }),
-    )
+    };
+    Embedding::new(guest.clone(), host.clone(), function.name(), map)
+}
+
+/// Guest radices beyond which [`increase_tables`] declines to tabulate: the
+/// tables hold `Σ l_i` [`Digits`] entries, and past this bound the per-node
+/// lookups stop fitting in cache while construction cost starts to show.
+const TABLE_ENTRY_LIMIT: u64 = 1 << 12;
+
+/// Precomputes, for every guest dimension `i` and digit `v < l_i`, the
+/// permuted partial image of `v` — a host coordinate with dimension `i`'s
+/// sub-image spread over its final (post-`π`) positions and zeros elsewhere.
+/// Because `F_V`/`G_V`/`H_V` act dimension-by-dimension and `π` only moves
+/// positions, the full image of a coordinate is the digit-wise merge of one
+/// partial per dimension (their nonzero positions are disjoint).
+///
+/// Returns `None` when the guest's radices sum past [`TABLE_ENTRY_LIMIT`];
+/// callers then fall back to evaluating [`map_increase_over`] per node.
+fn increase_tables(
+    guest_shape: &Shape,
+    subs: &[Shape],
+    function: IncreaseFunction,
+    perm: &Permutation,
+) -> Option<Vec<Vec<Digits>>> {
+    let entries: u64 = guest_shape.radices().iter().map(|&l| l as u64).sum();
+    if entries > TABLE_ENTRY_LIMIT {
+        return None;
+    }
+    let c = perm.len();
+    // Recover π's position map by pushing the identity through it:
+    // host position j reads concatenated position π(j).
+    let identity: Vec<usize> = (0..c).collect();
+    let positions = perm.apply_slice(&identity).expect("lengths match");
+    let mut host_position = vec![0usize; c];
+    for (j, &p) in positions.iter().enumerate() {
+        host_position[p] = j;
+    }
+    let mut tables = Vec::with_capacity(subs.len());
+    let mut offset = 0usize;
+    for (i, sub) in subs.iter().enumerate() {
+        let l = guest_shape.radix(i) as u64;
+        let mut table = Vec::with_capacity(l as usize);
+        for v in 0..l {
+            let image = match function {
+                IncreaseFunction::F => f_l(sub, v),
+                IncreaseFunction::G => g_l(sub, v),
+                IncreaseFunction::H => h_l(sub, v),
+            };
+            let mut partial = Digits::zero(c).expect("host dimension within bounds");
+            for k in 0..sub.dim() {
+                partial.set(host_position[offset + k], image.get(k));
+            }
+            table.push(partial);
+        }
+        offset += sub.dim();
+        tables.push(table);
+    }
+    Some(tables)
 }
 
 /// The dilation cost Theorem 32 guarantees for [`embed_increasing`], or an

@@ -81,7 +81,7 @@ pub mod parallel;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use topology::routing::{advance_toward, link_slot_of_hop};
+use topology::routing::{for_each_hop, link_slot_of_hop};
 use topology::{Coord, Grid};
 
 use crate::embedding::Embedding;
@@ -352,7 +352,10 @@ impl CongestionObjective {
     ///
     /// # Errors
     ///
-    /// Returns [`EmbeddingError::SizeMismatch`] if the graphs differ in size.
+    /// Returns [`EmbeddingError::SizeMismatch`] if the graphs differ in size,
+    /// and [`EmbeddingError::TooLarge`] if the host's dense link index space
+    /// `d · n` does not fit the flat load vector (the unchecked count would
+    /// silently wrap and under-allocate).
     pub fn new(guest: &Grid, host: &Grid) -> Result<Self> {
         if guest.size() != host.size() {
             return Err(EmbeddingError::SizeMismatch {
@@ -360,11 +363,19 @@ impl CongestionObjective {
                 host: host.size(),
             });
         }
+        const LINK_LIMIT: u64 = 1 << 29;
+        let links = host.try_link_count().unwrap_or(u64::MAX);
+        if links > LINK_LIMIT {
+            return Err(EmbeddingError::TooLarge {
+                size: links,
+                limit: LINK_LIMIT,
+            });
+        }
         Ok(CongestionObjective {
             guest: guest.clone(),
             host: host.clone(),
             dims: (0..host.dim()).collect(),
-            loads: vec![0; host.link_count() as usize],
+            loads: vec![0; links as usize],
             tracker: MaxTracker::default(),
             total_path_length: 0,
             current: Coord::empty(),
@@ -376,33 +387,35 @@ impl CongestionObjective {
 
     /// Routes `from → to` and applies `±1` to every traversed link.
     fn route(&mut self, from: u64, to: u64, add: bool) {
-        self.current = self.host.coord(from).expect("host node");
-        self.target = self.host.coord(to).expect("host node");
-        let mut index = from;
-        loop {
-            let before = index;
-            match advance_toward(
-                &self.host,
-                &mut self.current,
-                &mut index,
-                &self.target,
-                &self.dims,
-            ) {
-                None => break,
-                Some(hop) => {
-                    let slot = link_slot_of_hop(&self.host, hop, before, index) as usize;
-                    if add {
-                        self.tracker.increment(self.loads[slot]);
-                        self.loads[slot] += 1;
-                        self.total_path_length += 1;
-                    } else {
-                        self.tracker.decrement(self.loads[slot]);
-                        self.loads[slot] -= 1;
-                        self.total_path_length -= 1;
-                    }
-                }
+        // Destructure to split the borrows: the route expansion reads
+        // host/current/target/dims while the hop callback mutates
+        // loads/tracker/total_path_length.
+        let CongestionObjective {
+            host,
+            dims,
+            loads,
+            tracker,
+            total_path_length,
+            current,
+            target,
+            ..
+        } = self;
+        host.shape()
+            .to_digits_into(from, current)
+            .expect("host node");
+        host.shape().to_digits_into(to, target).expect("host node");
+        for_each_hop(host, current, from, target, dims, |hop, before, after| {
+            let slot = link_slot_of_hop(host, hop, before, after) as usize;
+            if add {
+                tracker.increment(loads[slot]);
+                loads[slot] += 1;
+                *total_path_length += 1;
+            } else {
+                tracker.decrement(loads[slot]);
+                loads[slot] -= 1;
+                *total_path_length -= 1;
             }
-        }
+        });
     }
 
     fn cost(&self) -> Cost {

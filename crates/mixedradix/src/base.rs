@@ -5,6 +5,7 @@ use core::fmt;
 use crate::digits::{Digits, MAX_DIM};
 use crate::error::{MixedRadixError, Result};
 use crate::perm::Permutation;
+use crate::planes::MagicDivisor;
 
 /// A radix base `L = (l_1, l_2, …, l_d)` with every `l_j > 1`.
 ///
@@ -22,6 +23,14 @@ pub struct RadixBase {
     /// `weights[d] = 1` and `weights[0] = n`.
     weights: Vec<u64>,
     size: u64,
+    /// Per-radix multiply–shift reciprocals for the least-significant-first
+    /// decode peel: `dividers[j]` divides by `radices[j]`, proven exact for
+    /// numerators up to `Π_{i ≤ j} radices[i] − 1` (the largest value the
+    /// peel can hand it). `None` on the rare shapes whose numerator range
+    /// admits no 64-bit magic; those dimensions fall back to hardware
+    /// division. Derived deterministically from `radices`, so the derived
+    /// `PartialEq`/`Hash` stay consistent.
+    dividers: Vec<Option<MagicDivisor>>,
 }
 
 impl RadixBase {
@@ -61,10 +70,19 @@ impl RadixBase {
                 .ok_or(MixedRadixError::SizeOverflow)?;
         }
         let size = weights[0];
+        // The decode peels digits least-significant-first; before peeling
+        // dimension j the running numerator is < Π_{i ≤ j} l_i.
+        let mut dividers = Vec::with_capacity(d);
+        let mut prefix = 1u64;
+        for &l in &radices {
+            prefix *= l as u64;
+            dividers.push(MagicDivisor::new(l as u64, prefix - 1));
+        }
         Ok(RadixBase {
             radices,
             weights,
             size,
+            dividers,
         })
     }
 
@@ -123,6 +141,19 @@ impl RadixBase {
     #[inline]
     pub fn weights(&self) -> &[u64] {
         &self.weights
+    }
+
+    /// The precomputed multiply–shift reciprocal for dimension `j`'s radix,
+    /// shared between the scalar decode and the [`crate::planes`] batch
+    /// codec. `None` when the dimension's numerator range admits no exact
+    /// 64-bit magic (callers use hardware division there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.dim()`.
+    #[inline]
+    pub fn divider(&self, j: usize) -> Option<MagicDivisor> {
+        self.dividers[j]
     }
 
     /// Whether all radices are equal (`l_1 = l_2 = … = l_d`) — the paper's
@@ -196,11 +227,21 @@ impl RadixBase {
             });
         }
         *out = Digits::zero(self.dim()).expect("dim <= MAX_DIM");
-        for j in 0..self.dim() {
-            // x̂_j = ⌊x / w_j⌋ mod l_j, using the 1-based weights of the paper;
-            // with 0-based indexing digit j uses weights[j + 1].
-            let digit = (x / self.weights[j + 1]) % self.radices[j] as u64;
-            out.set(j, digit as u32);
+        // Peel least-significant-first: x̂_j = rem mod l_j, rem /= l_j —
+        // equivalent to the weight-based ⌊x / w_j⌋ mod l_j of the paper, but
+        // each division is by a u32 radix with a precomputed multiply–shift
+        // reciprocal instead of a 64-bit hardware div per digit.
+        let mut rem = x;
+        for j in (0..self.dim()).rev() {
+            let (q, r) = match self.dividers[j] {
+                Some(m) => m.div_rem(rem),
+                None => {
+                    let l = self.radices[j] as u64;
+                    (rem / l, rem % l)
+                }
+            };
+            out.set(j, r as u32);
+            rem = q;
         }
         Ok(())
     }

@@ -1,0 +1,522 @@
+//! Structure-of-arrays **digit planes**: the batch form of the radix-`L`
+//! codec, plus the multiply–shift reciprocal constants that strength-reduce
+//! its divisions.
+//!
+//! The scalar codec ([`RadixBase::to_digits_into`]) turns one index into one
+//! digit list with a `div`/`mod` per dimension. Every hot sweep in the
+//! workspace — embedding verification, congestion routing, netsim route
+//! expansion — decodes millions of *consecutive* indices, so this module
+//! restructures the work two ways:
+//!
+//! * **Reciprocal constants** ([`MagicDivisor`]): for a fixed divisor `d`,
+//!   `x / d` is computed as `(x · m) >> p` with precomputed `(m, p)`
+//!   (Granlund–Montgomery multiply–shift division). The checked constructor
+//!   proves exactness for the whole numerator range up front, so the hot
+//!   path carries no correction step.
+//! * **Digit planes** ([`DigitPlanes`]): a batch of up to [`LANES`] indices
+//!   stored *plane-major* — one flat `u32` buffer per dimension, digit of
+//!   lane `i` at offset `i` — so decoding runs as straight-line
+//!   per-dimension sweeps the autovectorizer can chew on, and consumers read
+//!   whole planes instead of gathering digits node by node.
+//!
+//! For consecutive index ranges ([`DigitPlanes::decode_range`]) the planes
+//! are filled without any per-lane division at all: digit `j` of index `x`
+//! changes only at multiples of the weight `w_{j+1}`, so each plane is a
+//! run-length fill (an odometer sweep) costing `O(LANES / w)` writes beyond
+//! the first.
+//!
+//! The layout, one cache line per plane:
+//!
+//! ```text
+//! lane:        0    1    2    …   63
+//! plane 0   [ x̂₁ of every lane            ]   ← planes[0 · LANES ..]
+//! plane 1   [ x̂₂ of every lane            ]   ← planes[1 · LANES ..]
+//!   ⋮
+//! plane d−1 [ x̂_d of every lane           ]   ← planes[(d−1) · LANES ..]
+//! ```
+
+use crate::base::RadixBase;
+use crate::digits::Digits;
+use crate::error::{MixedRadixError, Result};
+
+/// The batch width of a [`DigitPlanes`] buffer: 64 lanes, i.e. one 256-byte
+/// plane per dimension — small enough that a full 32-dimension batch stays
+/// in L1, wide enough for the autovectorizer to fill vector registers.
+pub const LANES: usize = 64;
+
+/// A precomputed multiply–shift reciprocal: `x / divisor` as
+/// `(x · magic) >> shift`, exact for every `x ≤ max_numerator`.
+///
+/// The constructor is *checked*: it searches for a `(magic, shift)` pair and
+/// admits it only after proving the Granlund–Montgomery exactness condition
+/// `f · max_numerator < 2^shift` (with `f = magic · divisor − 2^shift`), so
+/// [`MagicDivisor::divide`] needs no correction step. Powers of two take
+/// `magic = 1` with `shift = log2(divisor)` — the same branch-free
+/// mul-and-shift path, with zero error for *all* numerators.
+///
+/// For a handful of extreme (divisor, range) pairs no exact pair exists
+/// within a 64-bit magic; the constructor returns `None` and callers fall
+/// back to hardware division for that dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MagicDivisor {
+    magic: u64,
+    shift: u32,
+    divisor: u64,
+    max_numerator: u64,
+}
+
+impl MagicDivisor {
+    /// Finds a reciprocal for `divisor`, exact for every numerator in
+    /// `0..=max_numerator`, or `None` when no 64-bit magic satisfies the
+    /// exactness condition (or `divisor == 0`).
+    pub fn new(divisor: u64, max_numerator: u64) -> Option<Self> {
+        if divisor == 0 {
+            return None;
+        }
+        if divisor.is_power_of_two() {
+            // (x · 1) >> log2(d) is exact for every u64 numerator.
+            return Some(MagicDivisor {
+                magic: 1,
+                shift: divisor.trailing_zeros(),
+                divisor,
+                max_numerator: u64::MAX,
+            });
+        }
+        for shift in 64..128u32 {
+            let pow = 1u128 << shift;
+            let magic = pow / divisor as u128 + 1;
+            if magic > u64::MAX as u128 {
+                // The magic only grows with the shift; nothing left to try.
+                break;
+            }
+            // Exactness (Granlund–Montgomery): with f = m·d − 2^p,
+            // ⌊x·m / 2^p⌋ = ⌊x/d⌋ for all x ≤ X  iff  f·X < 2^p.
+            let error = magic * divisor as u128 - pow;
+            if error * (max_numerator as u128) < pow {
+                return Some(MagicDivisor {
+                    magic: magic as u64,
+                    shift,
+                    divisor,
+                    max_numerator,
+                });
+            }
+        }
+        None
+    }
+
+    /// The divisor this reciprocal stands for.
+    #[inline]
+    pub fn divisor(&self) -> u64 {
+        self.divisor
+    }
+
+    /// The largest numerator the exactness proof covers.
+    #[inline]
+    pub fn max_numerator(&self) -> u64 {
+        self.max_numerator
+    }
+
+    /// `x / self.divisor()`, by multiply–shift.
+    ///
+    /// Exact for `x ≤ self.max_numerator()`; larger numerators are a logic
+    /// error (checked in debug builds).
+    #[inline]
+    pub fn divide(&self, x: u64) -> u64 {
+        debug_assert!(x <= self.max_numerator, "numerator beyond proven range");
+        ((x as u128 * self.magic as u128) >> self.shift) as u64
+    }
+
+    /// `(x / d, x % d)` in one multiply–shift and one multiply-subtract.
+    #[inline]
+    pub fn div_rem(&self, x: u64) -> (u64, u64) {
+        let q = self.divide(x);
+        (q, x - q * self.divisor)
+    }
+}
+
+/// A structure-of-arrays batch of up to [`LANES`] radix-`L` representations:
+/// one flat `u32` plane per dimension, lane-indexed (see the module docs for
+/// the layout).
+///
+/// A `DigitPlanes` value is scratch: allocate once per sweep with
+/// [`DigitPlanes::for_base`], refill per batch with [`DigitPlanes::decode`]
+/// or [`DigitPlanes::decode_range`], and read planes in per-dimension loops.
+/// Lanes at and beyond [`DigitPlanes::len`] hold unspecified (but in-range)
+/// digits so per-dimension sweeps can run over the full fixed width.
+#[derive(Clone, Debug)]
+pub struct DigitPlanes {
+    /// `dim · LANES` digits, plane-major: digit `j` of lane `i` at
+    /// `planes[j · LANES + i]`.
+    planes: Vec<u32>,
+    dim: usize,
+    len: usize,
+}
+
+impl DigitPlanes {
+    /// Allocates a zeroed batch shaped for `base` (one plane per dimension).
+    pub fn for_base(base: &RadixBase) -> Self {
+        DigitPlanes {
+            planes: vec![0u32; base.dim() * LANES],
+            dim: base.dim(),
+            len: 0,
+        }
+    }
+
+    /// The number of dimensions (planes).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of lanes holding decoded indices after the last
+    /// `decode`/`decode_range` call.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch currently holds no decoded indices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The digit plane of dimension `j`: `LANES` digits, lane-indexed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.dim()`.
+    #[inline]
+    pub fn plane(&self, j: usize) -> &[u32] {
+        &self.planes[j * LANES..(j + 1) * LANES]
+    }
+
+    /// Decodes a gather of up to [`LANES`] arbitrary indices into the
+    /// planes, one strength-reduced per-dimension sweep at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedRadixError::IndexOutOfRange`] if any index is `>= n`
+    /// (the planes are left in an unspecified state in that case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len() > LANES` or the base's dimension differs
+    /// from this batch's.
+    pub fn decode(&mut self, base: &RadixBase, indices: &[u64]) -> Result<()> {
+        assert!(indices.len() <= LANES, "batch wider than LANES");
+        assert_eq!(self.dim, base.dim(), "base dimension mismatch");
+        for &x in indices {
+            if x >= base.size() {
+                return Err(MixedRadixError::IndexOutOfRange {
+                    index: x,
+                    size: base.size(),
+                });
+            }
+        }
+        self.len = indices.len();
+        // Padding lanes decode index 0 so every per-dimension loop below has
+        // a fixed LANES trip count (straight-line, vectorizable).
+        let mut rem = [0u64; LANES];
+        rem[..indices.len()].copy_from_slice(indices);
+        rem[indices.len()..].fill(0);
+        // Peel least-significant-first: x̂_j = rem mod l_j, rem /= l_j. The
+        // per-radix reciprocal is shared with the scalar codec via
+        // `RadixBase::divider`.
+        for j in (0..self.dim).rev() {
+            let l = base.radix(j) as u64;
+            let plane = &mut self.planes[j * LANES..(j + 1) * LANES];
+            match base.divider(j) {
+                Some(m) => {
+                    for (digit, x) in plane.iter_mut().zip(rem.iter_mut()) {
+                        let (q, r) = m.div_rem(*x);
+                        *digit = r as u32;
+                        *x = q;
+                    }
+                }
+                None => {
+                    for (digit, x) in plane.iter_mut().zip(rem.iter_mut()) {
+                        let q = *x / l;
+                        *digit = (*x - q * l) as u32;
+                        *x = q;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes the consecutive index range `start .. start + count` into the
+    /// planes with the odometer fill: digit `j` changes only at multiples of
+    /// the weight `w_{j+1}`, so each plane is a run-length fill with two
+    /// divisions per *batch* instead of one per lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedRadixError::IndexOutOfRange`] if the range reaches
+    /// past `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > LANES` or the base's dimension differs from this
+    /// batch's.
+    pub fn decode_range(&mut self, base: &RadixBase, start: u64, count: usize) -> Result<()> {
+        assert!(count <= LANES, "batch wider than LANES");
+        assert_eq!(self.dim, base.dim(), "base dimension mismatch");
+        if count as u64 > base.size() || start > base.size() - count as u64 {
+            return Err(MixedRadixError::IndexOutOfRange {
+                index: start + count as u64 - 1,
+                size: base.size(),
+            });
+        }
+        self.len = count;
+        for j in 0..self.dim {
+            let w = base.weight(j + 1);
+            let l = base.radix(j);
+            let plane = &mut self.planes[j * LANES..(j + 1) * LANES];
+            // digit_j(x) = (x / w) mod l increments (mod l) at every
+            // multiple of w; fill runs between those boundaries. Padding
+            // lanes continue the same odometer pattern.
+            let q = start / w;
+            let mut digit = (q % l as u64) as u32;
+            let mut pos = 0usize;
+            let mut run = ((w - start % w).min(LANES as u64)) as usize;
+            loop {
+                plane[pos..pos + run].fill(digit);
+                pos += run;
+                if pos >= LANES {
+                    break;
+                }
+                digit += 1;
+                if digit == l {
+                    digit = 0;
+                }
+                run = w.min((LANES - pos) as u64) as usize;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-encodes lane `lane` into its linear index (`Σ_k x̂_k · w_k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedRadixError::DigitOutOfRange`] if a digit exceeds its
+    /// radix (possible only after external plane mutation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.len()` or the base's dimension differs.
+    pub fn encode(&self, base: &RadixBase, lane: usize) -> Result<u64> {
+        assert!(lane < self.len, "lane beyond decoded batch");
+        assert_eq!(self.dim, base.dim(), "base dimension mismatch");
+        let mut x = 0u64;
+        for j in 0..self.dim {
+            let digit = self.planes[j * LANES + lane] as u64;
+            if digit >= base.radix(j) as u64 {
+                return Err(MixedRadixError::DigitOutOfRange {
+                    position: j,
+                    digit,
+                    radix: base.radix(j) as u64,
+                });
+            }
+            x += digit * base.weight(j + 1);
+        }
+        Ok(x)
+    }
+
+    /// Re-encodes every decoded lane into `out[..self.len()]` with one
+    /// multiply–add sweep per dimension — the batch twin of
+    /// [`DigitPlanes::encode`], skipping per-digit validation (the planes
+    /// were produced by a decode, so digits are in range by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < self.len()` or the base's dimension differs.
+    pub fn encode_into(&self, base: &RadixBase, out: &mut [u64]) {
+        assert!(out.len() >= self.len, "output narrower than batch");
+        assert_eq!(self.dim, base.dim(), "base dimension mismatch");
+        let out = &mut out[..self.len];
+        out.fill(0);
+        for j in 0..self.dim {
+            let w = base.weight(j + 1);
+            let plane = &self.planes[j * LANES..(j + 1) * LANES];
+            for (x, &digit) in out.iter_mut().zip(plane.iter()) {
+                *x += digit as u64 * w;
+            }
+        }
+    }
+
+    /// Gathers lane `lane` into a scalar digit list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.len()`.
+    pub fn get(&self, lane: usize) -> Digits {
+        assert!(lane < self.len, "lane beyond decoded batch");
+        let mut out = Digits::zero(self.dim).expect("dim <= MAX_DIM");
+        for j in 0..self.dim {
+            out.set(j, self.planes[j * LANES + lane]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(radices: &[u32]) -> RadixBase {
+        RadixBase::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn magic_matches_hardware_division_exhaustively_per_radix() {
+        // Every radix a real shape uses (plus awkward primes and composites)
+        // against hardware division over the full proven numerator range.
+        for divisor in 2u64..=512 {
+            let limit = divisor * divisor * 4;
+            let m = MagicDivisor::new(divisor, limit).expect("small ranges always admit a magic");
+            for x in 0..=limit {
+                assert_eq!(m.divide(x), x / divisor, "d={divisor} x={x}");
+                let (q, r) = m.div_rem(x);
+                assert_eq!((q, r), (x / divisor, x % divisor), "d={divisor} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn magic_is_exact_at_the_edges_of_huge_ranges() {
+        // Spot the failure-prone numerators: just below/at multiples of the
+        // divisor near the top of the proven range.
+        for divisor in [3u64, 5, 6, 7, 10, 24, 1_000_003, u32::MAX as u64] {
+            for max in [1u64 << 20, 1 << 40, 1 << 52] {
+                let m = MagicDivisor::new(divisor, max).expect("range admits a magic");
+                let mut probes = vec![0, 1, divisor - 1, divisor, divisor + 1, max - 1, max];
+                let top = max / divisor * divisor;
+                probes.extend([top.saturating_sub(1), top, (top + 1).min(max)]);
+                for x in probes.into_iter().filter(|&x| x <= max) {
+                    assert_eq!(m.divide(x), x / divisor, "d={divisor} max={max} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_magics_cover_every_u64() {
+        for k in 0..=63u32 {
+            let divisor = 1u64 << k;
+            let m = MagicDivisor::new(divisor, u64::MAX).expect("powers of two always work");
+            assert_eq!(m.max_numerator(), u64::MAX);
+            for x in [0u64, 1, divisor - 1, divisor, u64::MAX - 1, u64::MAX] {
+                assert_eq!(m.divide(x), x / divisor, "d=2^{k} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_ranges_are_rejected_not_mis_divided() {
+        assert!(MagicDivisor::new(0, 10).is_none());
+        // Divisor 7 over the full u64 range: every feasible shift (64..=66,
+        // beyond which the magic overflows u64) leaves f · X ≥ 2^shift, so
+        // the checked constructor must refuse rather than return an inexact
+        // reciprocal.
+        assert!(MagicDivisor::new(7, u64::MAX).is_none());
+        // Divisor 3 only barely works: shift 64 has f = 2 (refused for the
+        // full range) but shift 65 has f = 1, which covers every u64.
+        let m = MagicDivisor::new(3, u64::MAX).expect("f = 1 at shift 65");
+        assert_eq!(m.divide(u64::MAX), u64::MAX / 3);
+    }
+
+    #[test]
+    fn planes_match_scalar_decode_on_the_paper_base() {
+        let b = base(&[4, 2, 3]);
+        let mut planes = DigitPlanes::for_base(&b);
+        let indices: Vec<u64> = (0..b.size()).collect();
+        planes
+            .decode(&b, &indices[..LANES.min(indices.len())])
+            .unwrap();
+        for lane in 0..planes.len() {
+            assert_eq!(planes.get(lane), b.to_digits(lane as u64).unwrap());
+            assert_eq!(planes.encode(&b, lane).unwrap(), lane as u64);
+        }
+    }
+
+    #[test]
+    fn decode_range_matches_gather_decode_across_batch_offsets() {
+        // Offsets that straddle run boundaries in every dimension, plus a
+        // ragged final batch.
+        let b = base(&[5, 3, 7]); // n = 105, not a multiple of 64
+        let mut by_range = DigitPlanes::for_base(&b);
+        let mut by_gather = DigitPlanes::for_base(&b);
+        let mut start = 0u64;
+        while start < b.size() {
+            let count = ((b.size() - start) as usize).min(LANES);
+            by_range.decode_range(&b, start, count).unwrap();
+            let indices: Vec<u64> = (start..start + count as u64).collect();
+            by_gather.decode(&b, &indices).unwrap();
+            assert_eq!(by_range.len(), count);
+            for lane in 0..count {
+                assert_eq!(
+                    by_range.get(lane),
+                    by_gather.get(lane),
+                    "start={start} lane={lane}"
+                );
+            }
+            start += count as u64;
+        }
+    }
+
+    #[test]
+    fn encode_into_round_trips_a_batch() {
+        let b = base(&[4, 2, 3]);
+        let mut planes = DigitPlanes::for_base(&b);
+        planes.decode_range(&b, 7, 17).unwrap();
+        let mut out = [0u64; LANES];
+        planes.encode_into(&b, &mut out);
+        for (lane, &x) in out[..17].iter().enumerate() {
+            assert_eq!(x, 7 + lane as u64);
+        }
+    }
+
+    #[test]
+    fn out_of_range_batches_are_rejected() {
+        let b = base(&[4, 2, 3]);
+        let mut planes = DigitPlanes::for_base(&b);
+        assert!(matches!(
+            planes.decode(&b, &[0, 24]),
+            Err(MixedRadixError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            planes.decode_range(&b, 20, 5),
+            Err(MixedRadixError::IndexOutOfRange { .. })
+        ));
+        // In-range gathers and ranges still work afterwards.
+        planes.decode(&b, &[23]).unwrap();
+        assert_eq!(planes.get(0).as_slice(), &[3, 1, 2]);
+        planes.decode_range(&b, 20, 4).unwrap();
+        assert_eq!(planes.len(), 4);
+    }
+
+    #[test]
+    fn tampered_planes_fail_scalar_encode_validation() {
+        let b = base(&[4, 2, 3]);
+        let mut planes = DigitPlanes::for_base(&b);
+        planes.decode(&b, &[0]).unwrap();
+        planes.planes[LANES] = 9; // plane 1 (radix 2), lane 0
+        assert!(matches!(
+            planes.encode(&b, 0),
+            Err(MixedRadixError::DigitOutOfRange { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn single_dimension_ring_decodes_as_identity_digits() {
+        let b = base(&[1 << 20]);
+        let mut planes = DigitPlanes::for_base(&b);
+        planes.decode_range(&b, (1 << 20) - 10, 10).unwrap();
+        for lane in 0..10 {
+            assert_eq!(planes.plane(0)[lane] as u64, (1 << 20) - 10 + lane as u64);
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! the analytical model can never disagree about which arc a route takes.
 
 use topology::csr::CsrAdjacency;
-use topology::routing::{advance_toward, next_hop_toward};
+use topology::routing::{for_each_hop, next_hop_toward};
 use topology::{Coord, Grid};
 
 /// A network instance: a torus or mesh topology plus the routing metadata the
@@ -92,12 +92,11 @@ impl Network {
         dims: &[usize],
         out: &mut Vec<u64>,
     ) {
-        let mut current = self.grid.coord(from).expect("node in range");
+        let current = self.grid.coord(from).expect("node in range");
         let target = self.grid.coord(to).expect("node in range");
-        let mut index = from;
-        while advance_toward(&self.grid, &mut current, &mut index, &target, dims).is_some() {
-            out.push(index);
-        }
+        for_each_hop(&self.grid, &current, from, &target, dims, |_, _, after| {
+            out.push(after);
+        });
     }
 
     /// The number of hops of the dimension-ordered route — equal to the

@@ -36,7 +36,7 @@
 //! `apply_swap` against [`crate::sim::simulate`] on random walks.
 
 use embeddings::optim::{Cost, Objective};
-use topology::routing::{advance_toward, link_slot_of_hop};
+use topology::routing::{for_each_hop, link_slot_of_hop};
 
 use crate::network::Network;
 use crate::traffic::Workload;
@@ -168,20 +168,20 @@ impl MakespanObjective {
         let route = &mut self.routes[pair];
         self.route_hops -= route.len() as u64;
         route.clear();
-        let mut current = grid.coord(from).expect("placement node in range");
+        let current = grid.coord(from).expect("placement node in range");
         let target = grid.coord(to).expect("placement node in range");
-        let mut index = from;
-        loop {
-            let before = index;
-            match advance_toward(grid, &mut current, &mut index, &target, &self.dims) {
-                None => break,
-                Some(hop) => {
-                    let link = link_slot_of_hop(grid, hop, before, index);
-                    let slot = 2 * link + u64::from(before < index);
-                    route.push((index, slot));
-                }
-            }
-        }
+        for_each_hop(
+            grid,
+            &current,
+            from,
+            &target,
+            &self.dims,
+            |hop, before, after| {
+                let link = link_slot_of_hop(grid, hop, before, after);
+                let slot = 2 * link + u64::from(before < after);
+                route.push((after, slot));
+            },
+        );
         self.route_hops += route.len() as u64;
     }
 

@@ -39,6 +39,16 @@ pub enum TopologyError {
         /// The requested size.
         size: u64,
     },
+    /// The dense directed-edge index space `2 · d · n` of a shape does not
+    /// fit in `u64`, so [`crate::Grid::edge_index`]-style arithmetic would
+    /// silently wrap. Returned by the checked constructor/count paths
+    /// instead of wrapping.
+    EdgeSpaceTooLarge {
+        /// The number of nodes `n`.
+        nodes: u64,
+        /// The dimension `d`.
+        dim: usize,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -59,6 +69,12 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::GraphTooSmall { size } => {
                 write!(f, "a ring or line needs at least 2 nodes, got {size}")
+            }
+            TopologyError::EdgeSpaceTooLarge { nodes, dim } => {
+                write!(
+                    f,
+                    "directed-edge index space 2 * {dim} * {nodes} overflows u64"
+                )
             }
         }
     }

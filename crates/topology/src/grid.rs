@@ -78,6 +78,27 @@ impl Grid {
         Grid { kind, shape }
     }
 
+    /// Creates a graph of the given kind and shape, additionally validating
+    /// that the dense directed-edge index space `2 · d · n` fits in `u64` —
+    /// the checked constructor for code that will use [`Grid::edge_index`] /
+    /// [`Grid::link_index`] arithmetic (load vectors, claim tables).
+    ///
+    /// [`Grid::new`] itself stays infallible: a `Grid` is just a labeled
+    /// shape, and only the dense edge-indexing consumers can overflow. Those
+    /// consumers should either construct through here or call
+    /// [`Grid::try_link_count`] / [`Grid::try_directed_edge_count`] before
+    /// sizing buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EdgeSpaceTooLarge`] when `2 · d · n`
+    /// overflows (e.g. a 32-dimension shape with more than 2⁵⁸ nodes).
+    pub fn new_checked(kind: GraphKind, shape: Shape) -> Result<Grid> {
+        let grid = Grid { kind, shape };
+        grid.try_directed_edge_count()?;
+        Ok(grid)
+    }
+
     /// Creates a ring of `n` nodes (a 1-dimensional torus).
     ///
     /// # Errors
@@ -409,8 +430,34 @@ impl Grid {
     /// dimensions are simply never produced by a valid route. This lets load
     /// accounting use a flat `Vec` indexed by [`Grid::edge_index`] instead of
     /// a hash map keyed on coordinate pairs.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the count fits in `u64`; use
+    /// [`Grid::try_directed_edge_count`] (or construct through
+    /// [`Grid::new_checked`]) when the shape is not already known to be
+    /// small enough.
     pub fn directed_edge_count(&self) -> u64 {
+        debug_assert!(
+            self.try_directed_edge_count().is_ok(),
+            "directed-edge space overflows u64; use try_directed_edge_count"
+        );
         2 * self.dim() as u64 * self.size()
+    }
+
+    /// [`Grid::directed_edge_count`] without silent wrapping: `2 · d · n`,
+    /// or [`TopologyError::EdgeSpaceTooLarge`] when that overflows `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EdgeSpaceTooLarge`] on overflow.
+    pub fn try_directed_edge_count(&self) -> Result<u64> {
+        self.try_link_count()?
+            .checked_mul(2)
+            .ok_or(TopologyError::EdgeSpaceTooLarge {
+                nodes: self.size(),
+                dim: self.dim(),
+            })
     }
 
     /// The dense index of the directed edge leaving node `from` along
@@ -431,8 +478,33 @@ impl Grid {
     /// The number of slots in the dense *undirected*-link indexing scheme:
     /// `d · n`, one slot per (tail node, dimension) pair — the forward half
     /// of [`Grid::directed_edge_count`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the count fits in `u64`; use
+    /// [`Grid::try_link_count`] when the shape is not already known to be
+    /// small enough.
     pub fn link_count(&self) -> u64 {
+        debug_assert!(
+            self.try_link_count().is_ok(),
+            "link index space overflows u64; use try_link_count"
+        );
         self.dim() as u64 * self.size()
+    }
+
+    /// [`Grid::link_count`] without silent wrapping: `d · n`, or
+    /// [`TopologyError::EdgeSpaceTooLarge`] when that overflows `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EdgeSpaceTooLarge`] on overflow.
+    pub fn try_link_count(&self) -> Result<u64> {
+        (self.dim() as u64)
+            .checked_mul(self.size())
+            .ok_or(TopologyError::EdgeSpaceTooLarge {
+                nodes: self.size(),
+                dim: self.dim(),
+            })
     }
 
     /// The dense index of the undirected link whose canonical *tail* is
@@ -473,6 +545,43 @@ mod tests {
 
     fn coord(digits: &[u32]) -> Coord {
         Coord::from_slice(digits).unwrap()
+    }
+
+    #[test]
+    fn huge_shapes_are_rejected_by_the_checked_edge_paths() {
+        // (2³²−1)² ≈ 2⁶⁴ nodes fits in u64, but d·n and 2·d·n do not: the
+        // unchecked counts would silently wrap.
+        let huge = shape(&[u32::MAX, u32::MAX]);
+        let grid = Grid::torus(huge.clone());
+        assert_eq!(
+            grid.try_link_count(),
+            Err(TopologyError::EdgeSpaceTooLarge {
+                nodes: huge.size(),
+                dim: 2,
+            })
+        );
+        assert!(grid.try_directed_edge_count().is_err());
+        assert!(Grid::new_checked(GraphKind::Torus, huge).is_err());
+
+        // A 2·d·n overflow where d·n still fits: a single-dimension ring of
+        // 2⁶³ + something is impossible (radices are u32), so drive it with
+        // dim 2 where n · 2 fits but · 2 again does not. n = 2⁶²·…; simplest:
+        // (2³¹, 2³¹) has n = 2⁶², d·n = 2⁶³, 2·d·n = 2⁶⁴ → overflow.
+        let edge_only = shape(&[1 << 31, 1 << 31]);
+        let grid = Grid::mesh(edge_only.clone());
+        assert_eq!(grid.try_link_count(), Ok(1u64 << 63));
+        assert_eq!(
+            grid.try_directed_edge_count(),
+            Err(TopologyError::EdgeSpaceTooLarge {
+                nodes: edge_only.size(),
+                dim: 2,
+            })
+        );
+
+        // Ordinary shapes pass through the checked constructor unchanged.
+        let ok = Grid::new_checked(GraphKind::Torus, shape(&[4, 2, 3])).unwrap();
+        assert_eq!(ok.try_directed_edge_count(), Ok(ok.directed_edge_count()));
+        assert_eq!(ok.try_link_count(), Ok(ok.link_count()));
     }
 
     #[test]

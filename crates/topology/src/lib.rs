@@ -58,6 +58,11 @@ pub type Coord = mixedradix::Digits;
 pub use error::{Result, TopologyError};
 pub use grid::{GraphKind, Grid};
 
+/// The structure-of-arrays digit-plane codec, re-exported so downstream
+/// crates can batch-decode node indices of a [`Shape`] without depending on
+/// `mixedradix` directly.
+pub use mixedradix::planes;
+
 /// Commonly used items.
 pub mod prelude {
     pub use crate::bfs::{bfs, BfsDistances};
@@ -66,6 +71,7 @@ pub mod prelude {
     pub use crate::grid::{GraphKind, Grid};
     pub use crate::hamiltonian::{admits_hamiltonian_circuit, is_hamiltonian_circuit};
     pub use crate::metrics::GridMetrics;
-    pub use crate::routing::{advance_toward, next_hop_toward};
+    pub use crate::routing::{advance_toward, for_each_hop, next_hop_toward};
     pub use crate::{Coord, Shape};
+    pub use mixedradix::planes::{DigitPlanes, LANES};
 }

@@ -7,13 +7,25 @@
 //! (+1) direction. Keeping the rule in one place guarantees the two crates
 //! can never silently disagree about which arc a tied route takes.
 //!
-//! Two entry points are provided:
+//! Three entry points are provided:
 //!
 //! * [`next_hop_toward`] — the simple form: build and return the next
 //!   coordinate (`Coord` is `Copy`, so this never allocates);
-//! * [`advance_toward`] — the batched form: mutate a coordinate *and* its
+//! * [`advance_toward`] — the stepwise form: mutate a coordinate *and* its
 //!   linear index in place and report which dimension/direction was taken,
-//!   so sweeps over millions of hops never re-encode a coordinate.
+//!   so sweeps over millions of hops never re-encode a coordinate;
+//! * [`for_each_hop`] — the batched form: emit the *entire* route as
+//!   per-dimension sweeps (direction and step count computed once per
+//!   dimension, then pure index arithmetic per hop), producing exactly the
+//!   hop sequence repeated [`advance_toward`] calls would. The scalar
+//!   entry points are thin wrappers over the same per-step kernel
+//!   (`step_digit`/`step_index`), so the three can never disagree.
+//!
+//! The batching is sound because dimension-ordered routing fully corrects
+//! one dimension before touching the next, and the shorter-arc choice is
+//! invariant along a correction (each step shortens the chosen arc and
+//! lengthens the other), so the per-hop "first differing dimension" rescan
+//! of the stepwise form is redundant work the batched form skips.
 
 use crate::grid::Grid;
 use crate::Coord;
@@ -55,6 +67,35 @@ fn dor_step(grid: &Grid, from: &Coord, to: &Coord, dims: &[usize]) -> Option<(us
         return Some((j, forward));
     }
     None
+}
+
+/// One digit step in the given direction: the next digit value and whether
+/// the step wrapped around the dimension (torus wrap edges only).
+#[inline]
+pub(crate) fn step_digit(l: u32, digit: u32, forward: bool) -> (u32, bool) {
+    if forward {
+        if digit + 1 == l {
+            (0, true)
+        } else {
+            (digit + 1, false)
+        }
+    } else if digit == 0 {
+        (l - 1, true)
+    } else {
+        (digit - 1, false)
+    }
+}
+
+/// The linear-index delta of one digit step, from the dimension's radix and
+/// weight: `±w` for interior steps, `∓(l−1)·w` across the wrap edge.
+#[inline]
+pub(crate) fn step_index(index: u64, l: u32, w: u64, forward: bool, wrapped: bool) -> u64 {
+    match (forward, wrapped) {
+        (true, false) => index + w,
+        (true, true) => index - (l as u64 - 1) * w,
+        (false, false) => index - w,
+        (false, true) => index + (l as u64 - 1) * w,
+    }
 }
 
 /// The next hop from `from` toward `to`, correcting dimensions in the order
@@ -100,31 +141,95 @@ pub fn advance_toward(
     let (j, forward) = dor_step(grid, current, target, dims)?;
     let l = grid.shape().radix(j);
     let w = grid.shape().weight(j + 1);
-    let x = current.get(j);
-    let (next_digit, wrapped) = if forward {
-        if x + 1 == l {
-            (0, true)
-        } else {
-            (x + 1, false)
-        }
-    } else if x == 0 {
-        (l - 1, true)
-    } else {
-        (x - 1, false)
-    };
+    let (next_digit, wrapped) = step_digit(l, current.get(j), forward);
     debug_assert!(!wrapped || grid.is_torus(), "meshes never wrap");
     current.set(j, next_digit);
-    *current_index = match (forward, wrapped) {
-        (true, false) => *current_index + w,
-        (true, true) => *current_index - (l as u64 - 1) * w,
-        (false, false) => *current_index - w,
-        (false, true) => *current_index + (l as u64 - 1) * w,
-    };
+    *current_index = step_index(*current_index, l, w, forward, wrapped);
     Some(HopTaken {
         dim: j,
         forward,
         wrapped,
     })
+}
+
+/// Emits every hop of the dimension-ordered route from `from` (whose linear
+/// index is `from_index`) to `to`, correcting dimensions in the order given
+/// by `dims` — the batched form of calling [`advance_toward`] until it
+/// returns `None`.
+///
+/// `emit(hop, before, after)` receives exactly the `HopTaken` sequence and
+/// before/after node indices repeated `advance_toward` calls would produce,
+/// but the direction and step count are computed **once per dimension**
+/// (digit-plane style: one sweep per dimension instead of one dimension
+/// rescan per hop), so each hop costs one wrap test and one index add. This
+/// is the route-expansion kernel behind `embeddings::congestion`, the
+/// congestion objective's incremental ±1 updates, and netsim's hop buffers.
+///
+/// # Panics
+///
+/// Panics if a coordinate has the wrong dimension, a dimension index in
+/// `dims` is out of range, or `from_index` is not the index of `from`.
+pub fn for_each_hop<F>(
+    grid: &Grid,
+    from: &Coord,
+    from_index: u64,
+    to: &Coord,
+    dims: &[usize],
+    mut emit: F,
+) where
+    F: FnMut(HopTaken, u64, u64),
+{
+    let shape = grid.shape();
+    let torus = grid.is_torus();
+    let mut index = from_index;
+    for &j in dims {
+        let (x, y) = (from.get(j), to.get(j));
+        if x == y {
+            continue;
+        }
+        let l = shape.radix(j);
+        let w = shape.weight(j + 1);
+        // Direction and hop count for the whole dimension. On toruses the
+        // shorter arc wins with ties forward — the same rule as `dor_step`,
+        // and invariant along the correction (each step shortens the chosen
+        // arc), so no per-hop re-evaluation is needed.
+        let (forward, steps) = if torus {
+            let ahead = if y >= x {
+                (y - x) as u64
+            } else {
+                // Cast before adding: y + l would overflow u32 for radices
+                // near u32::MAX.
+                y as u64 + l as u64 - x as u64
+            };
+            let behind = l as u64 - ahead;
+            if ahead <= behind {
+                (true, ahead)
+            } else {
+                (false, behind)
+            }
+        } else if y > x {
+            (true, (y - x) as u64)
+        } else {
+            (false, (x - y) as u64)
+        };
+        let mut digit = x;
+        for _ in 0..steps {
+            let before = index;
+            let (next, wrapped) = step_digit(l, digit, forward);
+            index = step_index(index, l, w, forward, wrapped);
+            digit = next;
+            emit(
+                HopTaken {
+                    dim: j,
+                    forward,
+                    wrapped,
+                },
+                before,
+                index,
+            );
+        }
+        debug_assert_eq!(digit, y, "dimension fully corrected");
+    }
 }
 
 /// The canonical undirected-link slot of the hop that [`advance_toward`]
@@ -274,6 +379,49 @@ mod tests {
                         link_slot_of_hop(&grid, hop, b, i)
                     };
                     assert_eq!(slot_ab, slot_ba, "{grid} link {a}-{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_hop_matches_stepwise_advance_exhaustively() {
+        // The batched per-dimension emitter must reproduce the stepwise
+        // sequence bit for bit — hops, directions, wraps, and both node
+        // indices — for every ordered pair, in forward and reversed
+        // dimension order.
+        for grid in [
+            Grid::torus(shape(&[4, 2, 3])),
+            Grid::mesh(shape(&[4, 2, 3])),
+            Grid::torus(shape(&[5, 3])),
+            Grid::mesh(shape(&[3, 5])),
+            Grid::hypercube(4).unwrap(),
+            Grid::ring(8).unwrap(),
+            Grid::ring(2).unwrap(),
+        ] {
+            let forward: Vec<usize> = (0..grid.dim()).collect();
+            let reverse: Vec<usize> = (0..grid.dim()).rev().collect();
+            for dims in [&forward, &reverse] {
+                for a in grid.nodes() {
+                    for b in grid.nodes() {
+                        let from = grid.coord(a).unwrap();
+                        let target = grid.coord(b).unwrap();
+                        let mut expected = Vec::new();
+                        let mut current = from;
+                        let mut index = a;
+                        loop {
+                            let before = index;
+                            match advance_toward(&grid, &mut current, &mut index, &target, dims) {
+                                None => break,
+                                Some(hop) => expected.push((hop, before, index)),
+                            }
+                        }
+                        let mut batched = Vec::new();
+                        for_each_hop(&grid, &from, a, &target, dims, |hop, before, after| {
+                            batched.push((hop, before, after));
+                        });
+                        assert_eq!(batched, expected, "{grid} {a}->{b} dims={dims:?}");
+                    }
                 }
             }
         }

@@ -29,6 +29,12 @@ fn fixtures() -> Vec<Embedding> {
         Grid::torus(shape(&[5, 3])),
         Grid::mesh(shape(&[5, 3])),
         Grid::hypercube(4).unwrap(),
+        // Ragged shapes: sizes that are not multiples of the SoA batch
+        // width, so the digit-plane sweeps hit a short final batch.
+        Grid::torus(shape(&[5, 3, 7])),
+        Grid::mesh(shape(&[5, 3, 7])),
+        Grid::ring(67).unwrap(),
+        Grid::line(67).unwrap(),
     ] {
         embeddings.push(embed_line_in(&host).unwrap());
         embeddings.push(embed_ring_in(&host).unwrap());
