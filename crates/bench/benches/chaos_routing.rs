@@ -1,0 +1,64 @@
+//! Benchmark: faulted routing throughput — the pristine simulator versus
+//! `netsim::chaos`'s detour and BFS-table routers on a 5%-degraded torus.
+//!
+//! The gated figure (`BENCH_netsim.json`) is the detour router's routed
+//! messages per second on the 16×16 case: it pays the overlay mask check on
+//! every hop plus the occasional misroute, so a regression here means the
+//! degraded path got structurally slower, not that the network got worse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::torus;
+use netsim::chaos::{simulate_chaos, ChaosRouting, FaultPlan};
+use netsim::{simulate, Network, Placement, Workload};
+
+fn bench_chaos_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_routing");
+    for (label, radix, messages) in [("torus16x16", 16u32, 4096usize), ("torus32x32", 32, 8192)] {
+        let network = Network::new(torus(&[radix, radix]));
+        let n = network.size();
+        let workload = Workload::uniform_random(n, messages, 7);
+        let placement = Placement::identity(n);
+        let plan = FaultPlan::random_link_percent(network.grid(), 5, 1987);
+        group.throughput(Throughput::Elements(messages as u64));
+        group.bench_function(BenchmarkId::new("pristine_dor", label), |b| {
+            b.iter(|| simulate(&network, &workload, &placement, 1).total_hops)
+        });
+        group.bench_function(BenchmarkId::new("detour_5pct", label), |b| {
+            b.iter(|| {
+                simulate_chaos(
+                    &network,
+                    &workload,
+                    &placement,
+                    1,
+                    &plan,
+                    ChaosRouting::Detour,
+                )
+                .delivered
+            })
+        });
+        group.bench_function(BenchmarkId::new("bfs_table_5pct", label), |b| {
+            b.iter(|| {
+                simulate_chaos(
+                    &network,
+                    &workload,
+                    &placement,
+                    1,
+                    &plan,
+                    ChaosRouting::BfsTable,
+                )
+                .delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_chaos_routing
+}
+criterion_main!(benches);

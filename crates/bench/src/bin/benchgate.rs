@@ -30,6 +30,8 @@ use explab::executor::run;
 use explab::plan::SweepPlan;
 use gridviz::Table;
 use mixedradix::planes::{DigitPlanes, LANES};
+use netsim::chaos::{simulate_chaos, ChaosRouting, FaultPlan};
+use netsim::{Network, Placement, Workload};
 
 /// Times `work` `repetitions` times and returns the fastest wall-clock
 /// seconds (the least-noise estimator for throughput comparisons).
@@ -186,6 +188,31 @@ fn measure(metric: &BaselineMetric) -> Result<f64, String> {
             });
             server.shutdown();
             Ok(clients as f64 * queries_per_client as f64 / seconds)
+        }
+        ("chaos_routing", "chaos_routed_msgs_per_s") => {
+            // The 16×16 case of the criterion bench: the detour router on a
+            // 5%-degraded torus, counting every routed (delivered or
+            // dropped) message.
+            let network = Network::new(torus(&[16, 16]));
+            let n = network.size();
+            let messages = 4096usize;
+            let workload = Workload::uniform_random(n, messages, 7);
+            let placement = Placement::identity(n);
+            let plan = FaultPlan::random_link_percent(network.grid(), 5, 1987);
+            let seconds = best_seconds(3, || {
+                std::hint::black_box(
+                    simulate_chaos(
+                        &network,
+                        &workload,
+                        &placement,
+                        1,
+                        &plan,
+                        ChaosRouting::Detour,
+                    )
+                    .delivered,
+                );
+            });
+            Ok(messages as f64 / seconds)
         }
         (benchmark, metric) => Err(format!("unknown metric {benchmark}/{metric}")),
     }

@@ -447,6 +447,10 @@ pub fn extract_metrics(root: &Json) -> Result<Vec<BaselineMetric>, GateError> {
             "queries_per_s",
             number_at(root, &["summary", "queries_per_second"])?,
         )]),
+        "chaos_routing" => Ok(vec![metric(
+            "chaos_routed_msgs_per_s",
+            number_at(root, &["summary", "routed_msgs_per_second"])?,
+        )]),
         other => Err(GateError::UnknownBenchmark { name: other.into() }),
     }
 }
@@ -557,6 +561,7 @@ mod tests {
             "BENCH_optim.json",
             "BENCH_shards.json",
             "BENCH_embd.json",
+            "BENCH_netsim.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
             let text = std::fs::read_to_string(&path).expect(file);
@@ -599,6 +604,15 @@ mod tests {
         assert_eq!(metrics.len(), 3);
         assert_eq!(metrics[2].metric, "soa_codec_melem_per_s");
         assert_eq!(metrics[2].throughput, 400.0);
+
+        let chaos = r#"{
+            "benchmark": "chaos_routing",
+            "summary": {"routed_msgs_per_second": 120000}
+        }"#;
+        let metrics = extract_metrics(&parse_json(chaos).unwrap()).unwrap();
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].metric, "chaos_routed_msgs_per_s");
+        assert_eq!(metrics[0].throughput, 120000.0);
 
         let unknown = r#"{"benchmark": "mystery"}"#;
         assert!(matches!(

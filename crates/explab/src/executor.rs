@@ -44,6 +44,7 @@ pub fn expand(plan: &SweepPlan) -> Vec<TrialSpec> {
                 rounds: plan.rounds,
                 workloads: plan.workloads.clone(),
                 optimize: plan.optimize,
+                chaos: plan.chaos.clone(),
             });
         }
     }
@@ -153,6 +154,7 @@ mod tests {
             families: vec![random.clone(), random],
             workloads: vec![crate::plan::WorkloadSpec::Neighbor],
             optimize: None,
+            chaos: None,
         };
         let specs = expand(&plan);
         assert_eq!(specs.len(), 12);

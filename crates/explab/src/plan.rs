@@ -21,6 +21,8 @@
 //! optimize = congestion      # none (default) | congestion | dilation | makespan
 //! optim_steps = 800          # annealing steps per shard
 //! optim_shards = 4           # independently-seeded annealing walks per trial
+//! chaos = 1, 5, 10           # link-loss percentages for fault-tolerance rows
+//! chaos_tenants = 2, 4       # multi-tenant contention sizes (needs chaos)
 //! family paper
 //! family ring_into max_size=32 max_dim=3
 //! family torus_to_mesh max_size=24 max_dim=3
@@ -325,6 +327,26 @@ pub struct OptimSpec {
     pub shards: u32,
 }
 
+/// The chaos stage of a plan: degraded-operation measurements for every
+/// supported trial, produced by `netsim::chaos`.
+///
+/// For each percentage in `loss_percents` the trial's host network gets a
+/// seeded [`netsim::chaos::FaultPlan`] failing that share of its links, and
+/// the guest's neighbor-exchange workload is re-simulated with the detour
+/// router under both the constructive and (when optimization is on) the
+/// annealed placement — plus the implicit pristine 0% baseline row, which
+/// must reproduce the unfaulted simulator bit for bit. For each `K` in
+/// `tenants`, `K` rotated copies of the constructive placement are composed
+/// onto the shared host with [`netsim::traffic::multi_tenant`] and the
+/// contention makespan is compared against the single-tenant run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Link-loss percentages (each > 0; the 0% baseline row is implicit).
+    pub loss_percents: Vec<u32>,
+    /// Multi-tenant sizes `K ≥ 2` to compose onto the shared host.
+    pub tenants: Vec<u32>,
+}
+
 /// Every workload spec, in the order used by plan listings.
 pub const ALL_WORKLOADS: [WorkloadSpec; 6] = [
     WorkloadSpec::Neighbor,
@@ -380,6 +402,10 @@ pub struct SweepPlan {
     /// with the seeded local-search optimizer and records
     /// constructive-vs-optimized measurements.
     pub optimize: Option<OptimSpec>,
+    /// When set, every supported trial additionally records degraded-
+    /// operation measurements (fault-tolerance and multi-tenant contention
+    /// rows) via `netsim::chaos`.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl SweepPlan {
@@ -427,6 +453,10 @@ impl SweepPlan {
                     steps: 200,
                     shards: 2,
                 }),
+                chaos: Some(ChaosSpec {
+                    loss_percents: vec![10],
+                    tenants: vec![2],
+                }),
             }),
             "report" => Ok(SweepPlan {
                 name: "report".into(),
@@ -464,6 +494,10 @@ impl SweepPlan {
                     steps: 1_200,
                     shards: 4,
                 }),
+                chaos: Some(ChaosSpec {
+                    loss_percents: vec![1, 5, 10],
+                    tenants: vec![2, 4],
+                }),
             }),
             "bench" => Ok(SweepPlan {
                 name: "bench".into(),
@@ -481,9 +515,11 @@ impl SweepPlan {
                 ],
                 workloads: vec![WorkloadSpec::Neighbor],
                 // The bench plan feeds the `explab_throughput` baseline;
-                // keeping it optimizer-free keeps BENCH_explab.json
-                // comparable across PRs (the optimizer has its own bench).
+                // keeping it optimizer-free (and chaos-free) keeps
+                // BENCH_explab.json comparable across PRs (the optimizer and
+                // the chaos router have their own benches).
                 optimize: None,
+                chaos: None,
             }),
             other => Err(ExplabError::UnknownPlan { name: other.into() }),
         }
@@ -503,9 +539,11 @@ impl SweepPlan {
             families: Vec::new(),
             workloads: vec![WorkloadSpec::Neighbor],
             optimize: None,
+            chaos: None,
         };
         let mut optim_steps: Option<u64> = None;
         let mut optim_shards: Option<u32> = None;
+        let mut chaos_tenants: Option<Vec<u32>> = None;
         for (index, raw) in text.lines().enumerate() {
             let line = index + 1;
             let content = raw.split('#').next().unwrap_or("").trim();
@@ -579,6 +617,59 @@ impl SweepPlan {
                     })?;
                     optim_steps = Some(steps);
                 }
+                "chaos" => {
+                    plan.chaos = match value {
+                        "none" => None,
+                        list => {
+                            let mut loss_percents = Vec::new();
+                            for entry in list.split(',').map(str::trim) {
+                                let percent: u32 =
+                                    entry.parse().map_err(|_| ExplabError::PlanParse {
+                                        line,
+                                        message: format!(
+                                            "chaos must be none or a list of loss \
+                                             percentages, got {entry:?}"
+                                        ),
+                                    })?;
+                                if percent == 0 || percent > 100 {
+                                    return Err(ExplabError::PlanParse {
+                                        line,
+                                        message: format!(
+                                            "chaos loss percentages must be in 1..=100, \
+                                             got {percent}"
+                                        ),
+                                    });
+                                }
+                                loss_percents.push(percent);
+                            }
+                            Some(ChaosSpec {
+                                loss_percents,
+                                tenants: Vec::new(),
+                            })
+                        }
+                    };
+                }
+                "chaos_tenants" => {
+                    let mut tenants = Vec::new();
+                    for entry in value.split(',').map(str::trim) {
+                        let k: u32 = entry.parse().map_err(|_| ExplabError::PlanParse {
+                            line,
+                            message: format!(
+                                "chaos_tenants must be a list of tenant counts, got {entry:?}"
+                            ),
+                        })?;
+                        if k < 2 {
+                            return Err(ExplabError::PlanParse {
+                                line,
+                                message: format!(
+                                    "chaos_tenants entries must be at least 2, got {k}"
+                                ),
+                            });
+                        }
+                        tenants.push(k);
+                    }
+                    chaos_tenants = Some(tenants);
+                }
                 "optim_shards" => {
                     let shards: u32 = value.parse().map_err(|_| ExplabError::PlanParse {
                         line,
@@ -614,6 +705,15 @@ impl SweepPlan {
             (None, Some(_)) => {
                 return Err(ExplabError::InvalidPlan {
                     message: "optim_shards requires an `optimize = <objective>` line".into(),
+                });
+            }
+            _ => {}
+        }
+        match (&mut plan.chaos, chaos_tenants) {
+            (Some(spec), Some(tenants)) => spec.tenants = tenants,
+            (None, Some(_)) => {
+                return Err(ExplabError::InvalidPlan {
+                    message: "chaos_tenants requires a `chaos = <percent list>` line".into(),
                 });
             }
             _ => {}
@@ -837,6 +937,40 @@ mod tests {
         assert!(SweepPlan::parse("family paper\noptim_shards = 2").is_err());
         assert!(SweepPlan::parse("family paper\noptimize = congestion\noptim_shards = 0").is_err());
         assert!(SweepPlan::parse("family paper\noptimize = congestion\noptim_shards = x").is_err());
+    }
+
+    #[test]
+    fn chaos_plan_keys_parse_and_validate() {
+        let plan =
+            SweepPlan::parse("family paper\nchaos = 1, 5, 10\nchaos_tenants = 2, 4").unwrap();
+        assert_eq!(
+            plan.chaos,
+            Some(ChaosSpec {
+                loss_percents: vec![1, 5, 10],
+                tenants: vec![2, 4],
+            })
+        );
+        // Loss rates alone are fine; `none` disables the stage.
+        let loss_only = SweepPlan::parse("family paper\nchaos = 5").unwrap();
+        assert_eq!(
+            loss_only.chaos,
+            Some(ChaosSpec {
+                loss_percents: vec![5],
+                tenants: vec![],
+            })
+        );
+        assert_eq!(
+            SweepPlan::parse("family paper\nchaos = none")
+                .unwrap()
+                .chaos,
+            None
+        );
+        // Tenants without chaos, out-of-range rates, and junk are rejected.
+        assert!(SweepPlan::parse("family paper\nchaos_tenants = 2").is_err());
+        assert!(SweepPlan::parse("family paper\nchaos = 0").is_err());
+        assert!(SweepPlan::parse("family paper\nchaos = 101").is_err());
+        assert!(SweepPlan::parse("family paper\nchaos = x").is_err());
+        assert!(SweepPlan::parse("family paper\nchaos = 5\nchaos_tenants = 1").is_err());
     }
 
     #[test]

@@ -17,13 +17,15 @@ use embeddings::optim::parallel::{optimize_sharded, ShardedConfig, ShardedOutcom
 use embeddings::optim::{CongestionObjective, DilationObjective, Objective, OptimizerConfig};
 use embeddings::verify::verify_sequential;
 use embeddings::{Embedding, Plan};
+use netsim::chaos::{simulate_chaos, ChaosRouting, FaultPlan};
 use netsim::optimize::MakespanObjective;
 use netsim::sim::{simulate, Placement};
+use netsim::traffic::multi_tenant;
 use netsim::{patterns, Network, Workload};
 use topology::Grid;
 
 use crate::json::{array, Object};
-use crate::plan::{ObjectiveKind, OptimSpec, WorkloadSpec};
+use crate::plan::{ChaosSpec, ObjectiveKind, OptimSpec, WorkloadSpec};
 
 /// The input of one trial, produced by expanding a plan.
 #[derive(Clone, Debug)]
@@ -46,6 +48,9 @@ pub struct TrialSpec {
     /// When set, refine the placement with the local-search optimizer and
     /// record constructive-vs-optimized measurements.
     pub optimize: Option<OptimSpec>,
+    /// When set, re-simulate the placement under seeded link loss and
+    /// multi-tenant contention and record degraded-operation rows.
+    pub chaos: Option<ChaosSpec>,
 }
 
 /// One workload's simulation results.
@@ -118,6 +123,86 @@ pub struct OptimizedMetrics {
     pub injective: bool,
 }
 
+/// One faulted (or baseline) simulation's counters: the [`netsim::SimStats`]
+/// fields a degraded-operation row needs, flattened for serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosRun {
+    /// Messages injected over all rounds.
+    pub messages: u64,
+    /// Messages that reached their destination.
+    pub delivered: u64,
+    /// Messages dropped as [`netsim::chaos::RouteOutcome::Unreachable`].
+    pub dropped: u64,
+    /// Sum of delivered route lengths.
+    pub total_hops: u64,
+    /// Hops taken beyond the pristine shortest paths (detour overhead).
+    pub detour_hops: u64,
+    /// Makespan in cycles under one-message-per-link arbitration.
+    pub cycles: u64,
+}
+
+impl ChaosRun {
+    fn from_stats(stats: &netsim::SimStats) -> ChaosRun {
+        ChaosRun {
+            messages: stats.messages,
+            delivered: stats.delivered,
+            dropped: stats.dropped,
+            total_hops: stats.total_hops,
+            detour_hops: stats.detour_hops,
+            cycles: stats.cycles,
+        }
+    }
+
+    /// Delivered messages as a fraction of injected ones (`1.0` when the
+    /// run injected nothing).
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.messages == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.messages as f64
+        }
+    }
+}
+
+/// One link-loss level of a trial's fault-tolerance sweep: the guest's
+/// neighbor-exchange traffic re-simulated with the detour router under a
+/// seeded [`FaultPlan`] failing `loss_percent`% of the host's links.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRow {
+    /// The share of host links the row's fault plan failed (0 = the
+    /// pristine baseline, which must match the unfaulted simulator).
+    pub loss_percent: u32,
+    /// The run under the paper's constructive placement.
+    pub constructive: ChaosRun,
+    /// The run under the annealed placement, when the optimizer stage ran.
+    pub optimized: Option<ChaosRun>,
+}
+
+/// One multi-tenant contention row: `tenants` rotated copies of the
+/// constructive placement composed onto the shared host via
+/// [`multi_tenant`], simulated together on a pristine network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantRow {
+    /// How many guest copies shared the host.
+    pub tenants: u32,
+    /// Messages injected per round by the composed workload.
+    pub messages: u64,
+    /// Makespan of the composed traffic.
+    pub cycles: u64,
+    /// Makespan of tenant 0 running alone (the contention-free floor;
+    /// `cycles >= solo_cycles` always, by FIFO link arbitration).
+    pub solo_cycles: u64,
+}
+
+/// The degraded-operation measurements of one trial.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosMetrics {
+    /// One row per loss level, ascending, starting with the 0% baseline.
+    pub fault_rows: Vec<FaultRow>,
+    /// One row per tenant count, ascending.
+    pub tenant_rows: Vec<TenantRow>,
+}
+
 /// The measurements of a supported pair.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TrialMetrics {
@@ -151,6 +236,8 @@ pub struct TrialMetrics {
     /// Constructive-vs-optimized comparison, when the plan enables the
     /// optimizer stage.
     pub optimized: Option<OptimizedMetrics>,
+    /// Degraded-operation rows, when the plan enables the chaos stage.
+    pub chaos: Option<ChaosMetrics>,
 }
 
 /// What happened to a trial.
@@ -206,7 +293,11 @@ impl TrialRecord {
     /// additionally verify injective, and under the congestion objective its
     /// independently measured max congestion must not exceed the
     /// constructive embedding's (the optimizer's monotone guarantee,
-    /// re-checked from the outside).
+    /// re-checked from the outside). When the chaos stage ran, every fault
+    /// row must conserve messages (`delivered + dropped == messages`), the
+    /// 0% baseline row must reproduce the unfaulted neighbor-exchange
+    /// simulation bit for bit (no drops, no detours, the same makespan),
+    /// and every contention row must cost at least its solo floor.
     pub fn bound_ok(&self) -> bool {
         match self.metrics() {
             None => true,
@@ -221,7 +312,7 @@ impl TrialRecord {
                             && (o.objective != "congestion" || o.max_congestion <= m.max_congestion)
                     }
                 };
-                constructive_ok && optimized_ok
+                constructive_ok && optimized_ok && chaos_ok(m)
             }
         }
     }
@@ -307,10 +398,79 @@ impl TrialRecord {
                         .finish();
                     object = object.raw("optimized", optimized);
                 }
+                if let Some(c) = &m.chaos {
+                    let run_json = |run: &ChaosRun| {
+                        Object::new()
+                            .u64("messages", run.messages)
+                            .u64("delivered", run.delivered)
+                            .u64("dropped", run.dropped)
+                            .u64("total_hops", run.total_hops)
+                            .u64("detour_hops", run.detour_hops)
+                            .u64("cycles", run.cycles)
+                            .f64("delivered_fraction", run.delivered_fraction())
+                            .finish()
+                    };
+                    let faults = array(c.fault_rows.iter().map(|row| {
+                        let mut fault = Object::new()
+                            .u64("loss_percent", u64::from(row.loss_percent))
+                            .raw("constructive", run_json(&row.constructive));
+                        if let Some(optimized) = &row.optimized {
+                            fault = fault.raw("optimized", run_json(optimized));
+                        }
+                        fault.finish()
+                    }));
+                    let tenants = array(c.tenant_rows.iter().map(|row| {
+                        Object::new()
+                            .u64("tenants", u64::from(row.tenants))
+                            .u64("messages", row.messages)
+                            .u64("cycles", row.cycles)
+                            .u64("solo_cycles", row.solo_cycles)
+                            .finish()
+                    }));
+                    let chaos = Object::new()
+                        .raw("faults", faults)
+                        .raw("tenants", tenants)
+                        .finish();
+                    object = object.raw("chaos", chaos);
+                }
             }
         }
         object.finish()
     }
+}
+
+/// The chaos half of [`TrialRecord::bound_ok`]: message conservation on
+/// every fault row, bit-identity of the 0% baseline with the unfaulted
+/// neighbor-exchange run, and contention never cheaper than running solo.
+fn chaos_ok(m: &TrialMetrics) -> bool {
+    let Some(c) = &m.chaos else {
+        return true;
+    };
+    let conserves = |run: &ChaosRun| run.delivered + run.dropped == run.messages;
+    let rows_ok = c
+        .fault_rows
+        .iter()
+        .all(|row| conserves(&row.constructive) && row.optimized.as_ref().is_none_or(conserves));
+    let baseline_ok = c.fault_rows.first().is_none_or(|row| {
+        let pristine = |run: &ChaosRun| run.dropped == 0 && run.detour_hops == 0;
+        let matches_neighbor = match m.workloads.iter().find(|w| w.workload == "neighbor") {
+            None => true,
+            Some(w) => {
+                row.constructive.messages == w.messages
+                    && row.constructive.total_hops == w.total_hops
+                    && row.constructive.cycles == w.cycles
+            }
+        };
+        row.loss_percent == 0
+            && pristine(&row.constructive)
+            && row.optimized.as_ref().is_none_or(pristine)
+            && matches_neighbor
+    });
+    let tenants_ok = c
+        .tenant_rows
+        .iter()
+        .all(|row| row.cycles >= row.solo_cycles);
+    rows_ok && baseline_ok && tenants_ok
 }
 
 /// Builds the workload a spec denotes for a guest of `guest.size()` tasks,
@@ -410,7 +570,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
     let optimized = match spec.optimize {
         None => None,
         Some(optim_spec) => match optimize_trial(spec, &embedding, optim_spec) {
-            Ok(metrics) => Some(metrics),
+            Ok(result) => Some(result),
             Err(error) => {
                 return record(TrialOutcome::Unsupported {
                     reason: format!("optimizer failed: {error}"),
@@ -437,6 +597,20 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
         });
     }
 
+    let (optimized, optimized_placement) = match optimized {
+        None => (None, None),
+        Some((metrics, refined)) => (Some(metrics), Some(refined)),
+    };
+    let chaos = spec.chaos.as_ref().map(|chaos_spec| {
+        chaos_metrics(
+            spec,
+            chaos_spec,
+            &network,
+            &placement,
+            optimized_placement.as_ref(),
+        )
+    });
+
     record(TrialOutcome::Supported(Box::new(TrialMetrics {
         construction: embedding.name().to_string(),
         // The plan is described from the already-built embedding (not
@@ -453,7 +627,109 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
         chain,
         workloads,
         optimized,
+        chaos,
     })))
+}
+
+/// Runs the chaos stage of one trial: the guest's neighbor-exchange traffic
+/// re-simulated with the detour router under a seeded [`FaultPlan`] per
+/// loss level (the 0% baseline first — it must reproduce the unfaulted
+/// simulator bit for bit), plus one multi-tenant contention row per tenant
+/// count. Everything is a pure function of the spec: the fault seeds derive
+/// from the trial seed and the loss level, so records stay bit-identical
+/// for any worker count.
+fn chaos_metrics(
+    spec: &TrialSpec,
+    chaos_spec: &ChaosSpec,
+    network: &Network,
+    constructive: &Placement,
+    optimized: Option<&Placement>,
+) -> ChaosMetrics {
+    let neighbor = build_workload(WorkloadSpec::Neighbor, &spec.guest, spec.seed)
+        .expect("the neighbor exchange applies to every guest");
+
+    // The 0% baseline plus the plan's loss levels, ascending and deduplicated.
+    let mut losses = vec![0u32];
+    losses.extend(chaos_spec.loss_percents.iter().copied().filter(|&l| l > 0));
+    losses.sort_unstable();
+    losses.dedup();
+    let fault_rows = losses
+        .into_iter()
+        .map(|loss| {
+            let plan = if loss == 0 {
+                FaultPlan::none()
+            } else {
+                // Decorrelate the fault draws from the trial's workload and
+                // optimizer seeds, and from the other loss levels.
+                let seed = crate::executor::splitmix64(
+                    spec.seed ^ 0xfa17_ed11_4b5e_5eed ^ u64::from(loss),
+                );
+                FaultPlan::random_link_percent(network.grid(), loss, seed)
+            };
+            let run = |placement: &Placement| {
+                ChaosRun::from_stats(&simulate_chaos(
+                    network,
+                    &neighbor,
+                    placement,
+                    spec.rounds,
+                    &plan,
+                    ChaosRouting::Detour,
+                ))
+            };
+            FaultRow {
+                loss_percent: loss,
+                constructive: run(constructive),
+                optimized: optimized.map(run),
+            }
+        })
+        .collect();
+
+    // K tenants = K copies of the constructive placement, each rotated by a
+    // multiple of n/K host nodes (adding a constant offset modulo n keeps
+    // every table injective), composed onto the shared pristine host.
+    let host_nodes = network.size();
+    let compose = |tenants: u32| {
+        let placements: Vec<Placement> = (0..tenants)
+            .map(|tenant| {
+                let offset = u64::from(tenant) * (host_nodes / u64::from(tenants)).max(1);
+                let table = (0..constructive.tasks())
+                    .map(|task| (constructive.node_of(task) + offset) % host_nodes)
+                    .collect();
+                Placement::try_from_table(table).expect("a rotated injective table is injective")
+            })
+            .collect();
+        let guests: Vec<(&Workload, &Placement)> =
+            placements.iter().map(|p| (&neighbor, p)).collect();
+        let composed = multi_tenant(host_nodes, &guests).expect("rotated tenants stay on the host");
+        simulate(
+            network,
+            &composed,
+            &Placement::identity(host_nodes),
+            spec.rounds,
+        )
+    };
+    let solo_cycles = compose(1).cycles;
+    let mut tenant_counts = chaos_spec.tenants.clone();
+    tenant_counts.sort_unstable();
+    tenant_counts.dedup();
+    let tenant_rows = tenant_counts
+        .into_iter()
+        .filter(|&k| k >= 2)
+        .map(|tenants| {
+            let stats = compose(tenants);
+            TenantRow {
+                tenants,
+                messages: stats.messages,
+                cycles: stats.cycles,
+                solo_cycles,
+            }
+        })
+        .collect();
+
+    ChaosMetrics {
+        fault_rows,
+        tenant_rows,
+    }
 }
 
 /// Runs the optimizer stage of one trial: refine the constructive placement
@@ -461,12 +737,13 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
 /// annealing walks (seeded from the trial seed, so the stage is a pure
 /// function of the spec and bit-identical for any worker count), then
 /// re-measure the winning refined embedding with the same independent sweeps
-/// used for the constructive one.
+/// used for the constructive one. Also returns the refined placement, so the
+/// chaos stage can degrade it alongside the constructive one.
 fn optimize_trial(
     spec: &TrialSpec,
     embedding: &Embedding,
     optim_spec: OptimSpec,
-) -> embeddings::error::Result<OptimizedMetrics> {
+) -> embeddings::error::Result<(OptimizedMetrics, Placement)> {
     let config = ShardedConfig {
         base: OptimizerConfig {
             // Decorrelate the optimizer walks from the random-workload draws
@@ -509,7 +786,8 @@ fn optimize_trial(
     let verification = verify_sequential(&outcome.embedding);
     let congestion = congestion_sequential(&outcome.embedding)?;
     let winner = &sharded.shards[sharded.winner as usize];
-    Ok(OptimizedMetrics {
+    let placement = Placement::from_embedding(&outcome.embedding);
+    let metrics = OptimizedMetrics {
         objective: outcome.report.objective,
         steps: outcome.report.steps,
         accepted: outcome.report.accepted,
@@ -534,7 +812,8 @@ fn optimize_trial(
         measured_dilation: verification.dilation,
         average_dilation: verification.average_dilation,
         injective: verification.injective,
-    })
+    };
+    Ok((metrics, placement))
 }
 
 #[cfg(test)]
@@ -556,6 +835,7 @@ mod tests {
             rounds: 1,
             workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
             optimize: None,
+            chaos: None,
         }
     }
 
@@ -644,6 +924,56 @@ mod tests {
         }
         // And the JSONL line carries it.
         assert!(record.to_json_line().contains("\"plan\":\"plan v1 "));
+    }
+
+    #[test]
+    fn chaos_rows_measure_degraded_operation() {
+        let mut spec = spec(Grid::torus(shape(&[4, 4])), Grid::torus(shape(&[4, 4])));
+        spec.chaos = Some(ChaosSpec {
+            loss_percents: vec![50, 10], // unsorted on purpose
+            tenants: vec![2],
+        });
+        spec.optimize = Some(OptimSpec {
+            objective: ObjectiveKind::Congestion,
+            steps: 50,
+            shards: 1,
+        });
+        let record = run_trial(&spec);
+        let metrics = record.metrics().expect("supported");
+        let chaos = metrics.chaos.as_ref().expect("chaos stage ran");
+
+        // Rows come back ascending with the implicit 0% baseline first.
+        let losses: Vec<u32> = chaos.fault_rows.iter().map(|r| r.loss_percent).collect();
+        assert_eq!(losses, vec![0, 10, 50]);
+        for row in &chaos.fault_rows {
+            let c = &row.constructive;
+            assert_eq!(c.delivered + c.dropped, c.messages);
+            let o = row.optimized.as_ref().expect("optimizer stage ran");
+            assert_eq!(o.delivered + o.dropped, o.messages);
+        }
+        // The baseline reproduces the unfaulted neighbor-exchange run.
+        let baseline = &chaos.fault_rows[0].constructive;
+        let neighbor = &metrics.workloads[0];
+        assert_eq!(baseline.dropped, 0);
+        assert_eq!(baseline.detour_hops, 0);
+        assert_eq!(baseline.messages, neighbor.messages);
+        assert_eq!(baseline.cycles, neighbor.cycles);
+        // Half the links gone on a 16-node torus: traffic must degrade.
+        let half = &chaos.fault_rows[2].constructive;
+        assert!(half.dropped > 0 || half.detour_hops > 0);
+
+        // Two tenants at least double the traffic and never beat the floor.
+        assert_eq!(chaos.tenant_rows.len(), 1);
+        let row = &chaos.tenant_rows[0];
+        assert_eq!(row.tenants, 2);
+        assert_eq!(row.messages, 2 * neighbor.messages);
+        assert!(row.cycles >= row.solo_cycles);
+
+        assert!(record.bound_ok());
+        let json = record.to_json_line();
+        assert!(json.contains("\"chaos\":{\"faults\":["));
+        assert!(json.contains("\"tenants\":["));
+        assert!(json.contains("\"delivered_fraction\""));
     }
 
     #[test]

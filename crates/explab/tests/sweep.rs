@@ -5,7 +5,7 @@ use embeddings::auto::{embed, predicted_dilation};
 use embeddings::congestion::congestion;
 use embeddings::verify::verify;
 use explab::executor::{expand, run};
-use explab::plan::{Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
+use explab::plan::{ChaosSpec, Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
 use explab::report::experiments_markdown;
 
 fn test_plan() -> SweepPlan {
@@ -38,6 +38,12 @@ fn test_plan() -> SweepPlan {
             objective: ObjectiveKind::Congestion,
             steps: 150,
             shards: 2,
+        }),
+        // Chaos rows ride along so the determinism and shard-invariance
+        // tests below also pin the faulted re-simulations.
+        chaos: Some(ChaosSpec {
+            loss_percents: vec![10],
+            tenants: vec![2],
         }),
     }
 }
@@ -213,6 +219,7 @@ fn makespan_objective_runs_sharded_in_sweeps() {
             steps: 150,
             shards: 2,
         }),
+        chaos: None,
     };
     let outcome = run(&plan, 2);
     assert!(outcome.supported() > 0);

@@ -116,7 +116,7 @@ impl RingOrder {
         let pairs = (0..n)
             .map(|k| (self.nodes[k], self.nodes[(k + 1) % n]))
             .collect();
-        Workload::new(network.size(), pairs)
+        Workload::try_new(network.size(), pairs).expect("ring nodes are network nodes")
     }
 }
 

@@ -22,7 +22,10 @@
 //!   so the local-search optimizer can refine placements against the
 //!   simulator itself;
 //! * [`collective`] — ring reduce-scatter / allreduce schedules built on the
-//!   paper's Hamiltonian-circuit embeddings (Corollaries 25 and 29).
+//!   paper's Hamiltonian-circuit embeddings (Corollaries 25 and 29);
+//! * [`chaos`] — fault injection ([`chaos::FaultPlan`] overlays), degraded
+//!   routing with typed [`chaos::RouteOutcome`]s, adversarial traffic
+//!   generators, and the faulted simulator [`chaos::simulate_chaos`].
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod collective;
 pub mod network;
 pub mod optimize;
@@ -50,6 +54,10 @@ pub mod sim;
 pub mod stats;
 pub mod traffic;
 
+pub use chaos::{
+    simulate_chaos, simulate_chaos_schedule, ChaosRouting, DetourRouter, FaultMask, FaultPlan,
+    RouteOutcome, TableRouter,
+};
 pub use collective::{
     simulate_ring_allreduce, simulate_ring_reduce_scatter, CollectiveStats, RingOrder,
 };
@@ -58,10 +66,14 @@ pub use optimize::{MakespanError, MakespanObjective};
 pub use routing::{Router, RoutingAlgorithm};
 pub use sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};
 pub use stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
-pub use traffic::{Workload, WorkloadError};
+pub use traffic::{bursty_schedule, multi_tenant, zipf_hotspot, Workload, WorkloadError};
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::chaos::{
+        simulate_chaos, simulate_chaos_schedule, ChaosRouting, DetourRouter, FaultMask, FaultPlan,
+        RouteOutcome, TableRouter,
+    };
     pub use crate::collective::{
         simulate_ring_allreduce, simulate_ring_reduce_scatter, CollectiveStats, RingOrder,
     };
@@ -71,5 +83,7 @@ pub mod prelude {
     pub use crate::routing::{Router, RoutingAlgorithm};
     pub use crate::sim::{simulate, simulate_embedding, Placement, PlacementError, SimStats};
     pub use crate::stats::{simulate_detailed, DetailedStats, LatencySummary, LinkLoads};
-    pub use crate::traffic::{Workload, WorkloadError};
+    pub use crate::traffic::{
+        bursty_schedule, multi_tenant, zipf_hotspot, Workload, WorkloadError,
+    };
 }

@@ -37,7 +37,7 @@ pub fn transpose(rows: u64, cols: u64) -> Workload {
             }
         }
     }
-    Workload::new(tasks, pairs)
+    Workload::try_new(tasks, pairs).expect("generated pairs are in range")
 }
 
 /// Bit-reversal permutation over `2^bits` tasks: task `i` sends to the task
@@ -56,7 +56,7 @@ pub fn bit_reversal(bits: u32) -> Workload {
             (i != r).then_some((i, r))
         })
         .collect();
-    Workload::new(tasks, pairs)
+    Workload::try_new(tasks, pairs).expect("generated pairs are in range")
 }
 
 /// Bit-complement permutation over `2^bits` tasks: task `i` sends to `!i`
@@ -70,7 +70,7 @@ pub fn bit_complement(bits: u32) -> Workload {
     let tasks = 1u64 << bits;
     let mask = tasks - 1;
     let pairs = (0..tasks).map(|i| (i, !i & mask)).collect();
-    Workload::new(tasks, pairs)
+    Workload::try_new(tasks, pairs).expect("generated pairs are in range")
 }
 
 /// Perfect-shuffle permutation over `2^bits` tasks: task `i` sends to the
@@ -89,7 +89,7 @@ pub fn shuffle(bits: u32) -> Workload {
             (i != s).then_some((i, s))
         })
         .collect();
-    Workload::new(tasks, pairs)
+    Workload::try_new(tasks, pairs).expect("generated pairs are in range")
 }
 
 /// Cyclic shift: task `i` sends to task `(i + offset) mod tasks`.
@@ -106,7 +106,7 @@ pub fn shift(tasks: u64, offset: u64) -> Workload {
             (i != d).then_some((i, d))
         })
         .collect();
-    Workload::new(tasks, pairs)
+    Workload::try_new(tasks, pairs).expect("generated pairs are in range")
 }
 
 /// Tornado traffic: task `i` sends to task `(i + ⌈tasks/2⌉ − 1) mod tasks`,
@@ -135,7 +135,7 @@ pub fn hotspot(tasks: u64, target: u64, messages_per_task: usize) -> Workload {
             pairs.push((i, target));
         }
     }
-    Workload::new(tasks, pairs)
+    Workload::try_new(tasks, pairs).expect("generated pairs are in range")
 }
 
 /// All-to-all personalized exchange: every ordered pair of distinct tasks
@@ -154,7 +154,7 @@ pub fn all_to_all(tasks: u64) -> Workload {
             }
         }
     }
-    Workload::new(tasks, pairs)
+    Workload::try_new(tasks, pairs).expect("generated pairs are in range")
 }
 
 /// One-to-all broadcast from `root`: the root sends one message to every
@@ -170,7 +170,7 @@ pub fn broadcast(tasks: u64, root: u64) -> Workload {
         .filter(|&i| i != root)
         .map(|i| (root, i))
         .collect();
-    Workload::new(tasks, pairs)
+    Workload::try_new(tasks, pairs).expect("generated pairs are in range")
 }
 
 #[cfg(test)]

@@ -93,6 +93,7 @@ impl Placement {
     ///
     /// Panics if the table is not injective; use
     /// [`Placement::try_from_table`] to handle that case as an error.
+    #[deprecated(note = "use `Placement::try_from_table` and handle the error")]
     pub fn from_table(map: Vec<u64>) -> Self {
         Self::try_from_table(map).expect("placement must be injective")
     }
@@ -119,27 +120,51 @@ impl Placement {
 }
 
 /// Aggregate results of a simulation.
+///
+/// On a pristine network every injected message is delivered, so
+/// `delivered == messages` and the degradation counters stay zero; under a
+/// [`crate::chaos::FaultPlan`] the invariant is instead
+/// `delivered + dropped == messages`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimStats {
-    /// Total number of messages delivered.
+    /// Total number of messages injected (delivered plus dropped).
     pub messages: u64,
-    /// Sum of route lengths over all messages.
+    /// Messages that reached their destination.
+    pub delivered: u64,
+    /// Messages abandoned because no masked route existed (always 0 on a
+    /// pristine network).
+    pub dropped: u64,
+    /// Sum of route lengths over all delivered messages.
     pub total_hops: u64,
-    /// Longest route of any message — bounded by `dilation × guest diameter`
-    /// when the workload is a task graph embedded with that dilation.
+    /// Longest route of any delivered message — bounded by
+    /// `dilation × guest diameter` when the workload is a task graph embedded
+    /// with that dilation (pristine networks only).
     pub max_hops: u64,
+    /// Hops taken beyond the pristine shortest-path distance, summed over
+    /// delivered messages (always 0 on a pristine network).
+    pub detour_hops: u64,
     /// Cycles needed to deliver every message under one-message-per-link
     /// arbitration.
     pub cycles: u64,
 }
 
 impl SimStats {
-    /// Mean hops per message.
+    /// Mean hops per delivered message.
     pub fn average_hops(&self) -> f64 {
-        if self.messages == 0 {
+        if self.delivered == 0 {
             0.0
         } else {
-            self.total_hops as f64 / self.messages as f64
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Fraction of injected messages that were delivered (1.0 for an empty
+    /// simulation, so pristine runs read as fully delivered).
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.messages == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.messages as f64
         }
     }
 }
@@ -236,8 +261,11 @@ pub fn simulate(
 
     SimStats {
         messages: total_messages,
+        delivered: total_messages,
+        dropped: 0,
         total_hops,
         max_hops,
+        detour_hops: 0,
         cycles,
     }
 }
@@ -335,6 +363,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "injective")]
     fn non_injective_placement_panics() {
+        // Pins the deprecated constructor's panic contract until removal.
+        #[allow(deprecated)]
         let _ = Placement::from_table(vec![0, 1, 1]);
     }
 

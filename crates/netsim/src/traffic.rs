@@ -5,10 +5,18 @@
 //! that task graph, flattened to a list of communicating task pairs; the
 //! simulator sends one message per pair per round after the tasks have been
 //! placed on network nodes by an embedding (or any other placement).
+//!
+//! Beyond task-graph and uniform-random traffic, this module provides the
+//! adversarial generators used by the `chaos` subsystem: Zipf-skewed hotspot
+//! destinations ([`zipf_hotspot`]), on/off bursty arrival schedules
+//! ([`bursty_schedule`]), and multi-tenant composition of several embedded
+//! guests onto one shared host ([`multi_tenant`]).
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use topology::Grid;
+
+use crate::sim::Placement;
 
 /// Why an explicit workload pair list was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,6 +30,25 @@ pub enum WorkloadError {
         /// The declared number of tasks.
         tasks: u64,
     },
+    /// A multi-tenant guest placement maps a task onto a node outside the
+    /// shared host.
+    GuestOutsideHost {
+        /// The position of the guest in the tenant list.
+        guest_index: usize,
+        /// The offending host node.
+        node: u64,
+        /// The number of host nodes.
+        host_nodes: u64,
+    },
+    /// A multi-tenant guest workload has more tasks than its placement maps.
+    GuestExceedsPlacement {
+        /// The position of the guest in the tenant list.
+        guest_index: usize,
+        /// The guest workload's task count.
+        tasks: u64,
+        /// The guest placement's task count.
+        placed: u64,
+    },
 }
 
 impl core::fmt::Display for WorkloadError {
@@ -34,6 +61,24 @@ impl core::fmt::Display for WorkloadError {
             } => write!(
                 f,
                 "workload pair #{pair_index} ({a}, {b}) references tasks outside [0, {tasks})"
+            ),
+            WorkloadError::GuestOutsideHost {
+                guest_index,
+                node,
+                host_nodes,
+            } => write!(
+                f,
+                "tenant #{guest_index} places a task on node {node}, \
+                 outside the {host_nodes}-node host"
+            ),
+            WorkloadError::GuestExceedsPlacement {
+                guest_index,
+                tasks,
+                placed,
+            } => write!(
+                f,
+                "tenant #{guest_index} has {tasks} tasks but its placement \
+                 only maps {placed}"
             ),
         }
     }
@@ -79,6 +124,7 @@ impl Workload {
     ///
     /// Panics if any pair references a task `>= tasks`; use
     /// [`Workload::try_new`] to handle that case as an error.
+    #[deprecated(note = "use `Workload::try_new` and handle the error")]
     pub fn new(tasks: u64, pairs: Vec<(u64, u64)>) -> Self {
         Self::try_new(tasks, pairs).expect("workload references tasks outside the task range")
     }
@@ -131,6 +177,142 @@ impl Workload {
     }
 }
 
+/// A hotspot workload with Zipf-skewed destinations: `messages` pairs whose
+/// sources are uniform and whose destinations follow a Zipf law with exponent
+/// `skew` over a seeded random ranking of the tasks (so the hot task is not
+/// always task 0). `skew = 0` degenerates to uniform destinations; larger
+/// exponents concentrate traffic on ever fewer tasks. Self-pairs are
+/// filtered the same way [`Workload::uniform_random`] filters them.
+///
+/// # Panics
+///
+/// Panics if `tasks < 2` or `skew` is not finite and non-negative.
+pub fn zipf_hotspot(tasks: u64, messages: usize, skew: f64, seed: u64) -> Workload {
+    assert!(tasks >= 2, "need at least two tasks");
+    assert!(
+        skew.is_finite() && skew >= 0.0,
+        "skew must be finite and non-negative"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Rank → task: a seeded permutation, so rank 0 (the hottest
+    // destination) lands on an arbitrary task instead of always task 0.
+    let mut ranked: Vec<u64> = (0..tasks).collect();
+    use rand::seq::SliceRandom;
+    ranked.shuffle(&mut rng);
+
+    // Cumulative Zipf weights 1/(k+1)^skew over the ranks.
+    let mut cumulative = Vec::with_capacity(tasks as usize);
+    let mut total = 0.0f64;
+    for k in 0..tasks {
+        total += 1.0 / ((k + 1) as f64).powf(skew);
+        cumulative.push(total);
+    }
+
+    let mut pairs = Vec::with_capacity(messages);
+    for _ in 0..messages {
+        let a = rng.gen_range(0..tasks);
+        let b = loop {
+            // A uniform draw in [0, total), binary-searched against the
+            // cumulative weights: the first rank whose cumulative weight
+            // exceeds the draw.
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            let rank = cumulative.partition_point(|&c| c <= u);
+            let candidate = ranked[rank.min(ranked.len() - 1)];
+            if candidate != a {
+                break candidate;
+            }
+        };
+        pairs.push((a, b));
+    }
+    Workload { tasks, pairs }
+}
+
+/// An on/off bursty arrival schedule: one workload per round, where each
+/// source task of `base` transmits for `on` rounds and then stays silent for
+/// `off` rounds, with a seeded per-source phase offset so bursts are not
+/// globally synchronized. Round `r` keeps a pair of `base` exactly when its
+/// source is in the on-phase of its cycle.
+///
+/// # Panics
+///
+/// Panics if `on + off == 0`.
+pub fn bursty_schedule(
+    base: &Workload,
+    rounds: usize,
+    on: u32,
+    off: u32,
+    seed: u64,
+) -> Vec<Workload> {
+    let period = u64::from(on) + u64::from(off);
+    assert!(period > 0, "on + off must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let phases: Vec<u64> = (0..base.tasks())
+        .map(|_| rng.gen_range(0..period))
+        .collect();
+    (0..rounds as u64)
+        .map(|r| {
+            let pairs = base
+                .pairs()
+                .iter()
+                .copied()
+                .filter(|&(a, _)| (r + phases[a as usize]) % period < u64::from(on))
+                .collect();
+            Workload {
+                tasks: base.tasks(),
+                pairs,
+            }
+        })
+        .collect()
+}
+
+/// Composes `K` embedded guests' workloads onto one shared host: each guest
+/// pair `(a, b)` becomes the host-node pair `(P(a), P(b))` under that guest's
+/// placement, and the result is a host-level workload over `host_nodes`
+/// tasks, simulated with [`Placement::identity`]. Different guests may place
+/// tasks on the same host node — that contention is exactly what the
+/// multi-tenant scenario measures — but each guest's own placement must stay
+/// within the host.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::GuestExceedsPlacement`] when a guest workload
+/// references more tasks than its placement maps, and
+/// [`WorkloadError::GuestOutsideHost`] when a placement maps a task outside
+/// `[0, host_nodes)`.
+pub fn multi_tenant(
+    host_nodes: u64,
+    guests: &[(&Workload, &Placement)],
+) -> Result<Workload, WorkloadError> {
+    let mut pairs = Vec::with_capacity(guests.iter().map(|(w, _)| w.pairs().len()).sum());
+    for (guest_index, &(workload, placement)) in guests.iter().enumerate() {
+        if workload.tasks() > placement.tasks() {
+            return Err(WorkloadError::GuestExceedsPlacement {
+                guest_index,
+                tasks: workload.tasks(),
+                placed: placement.tasks(),
+            });
+        }
+        for task in 0..workload.tasks() {
+            let node = placement.node_of(task);
+            if node >= host_nodes {
+                return Err(WorkloadError::GuestOutsideHost {
+                    guest_index,
+                    node,
+                    host_nodes,
+                });
+            }
+        }
+        for &(a, b) in workload.pairs() {
+            pairs.push((placement.node_of(a), placement.node_of(b)));
+        }
+    }
+    Ok(Workload {
+        tasks: host_nodes,
+        pairs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,9 +348,119 @@ mod tests {
     }
 
     #[test]
+    fn uniform_random_pins_message_counts_with_no_self_pairs() {
+        // Self-pairs are rejected at generation by redrawing the
+        // destination, so the requested message count is delivered exactly —
+        // no pair is silently lost to the filter.
+        for (tasks, messages, seed) in [(2u64, 37usize, 1u64), (16, 100, 7), (24, 48, 1987)] {
+            let w = Workload::uniform_random(tasks, messages, seed);
+            assert_eq!(w.messages_per_round(), messages);
+            assert_eq!(w.pairs().len(), messages);
+            assert!(w.pairs().iter().all(|&(a, b)| a != b));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "outside")]
     fn out_of_range_pairs_panic() {
+        // Pins the deprecated constructor's panic contract until removal.
+        #[allow(deprecated)]
         let _ = Workload::new(4, vec![(0, 4)]);
+    }
+
+    #[test]
+    fn zipf_hotspot_skews_destinations_and_is_reproducible() {
+        let a = zipf_hotspot(32, 2000, 1.2, 7);
+        let b = zipf_hotspot(32, 2000, 1.2, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.messages_per_round(), 2000);
+        assert!(a.pairs().iter().all(|&(x, y)| x != y && x < 32 && y < 32));
+
+        // The hottest destination of a skewed draw must receive far more
+        // than the uniform share (2000/32 ≈ 63 messages).
+        let mut counts = [0usize; 32];
+        for &(_, b) in a.pairs() {
+            counts[b as usize] += 1;
+        }
+        let hottest = counts.iter().max().copied().unwrap();
+        assert!(hottest > 250, "hottest destination got {hottest} messages");
+
+        // skew = 0 degenerates to (near-)uniform destinations.
+        let uniform = zipf_hotspot(32, 2000, 0.0, 7);
+        let mut flat = [0usize; 32];
+        for &(_, b) in uniform.pairs() {
+            flat[b as usize] += 1;
+        }
+        assert!(flat.iter().max().copied().unwrap() < 150);
+    }
+
+    #[test]
+    fn bursty_schedule_gates_sources_on_their_phase() {
+        let base = Workload::try_new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let schedule = bursty_schedule(&base, 12, 2, 2, 11);
+        assert_eq!(schedule.len(), 12);
+        // Every round keeps a subset of the base pairs, and each source's
+        // on/off pattern repeats with period on + off = 4.
+        for (r, w) in schedule.iter().enumerate() {
+            assert_eq!(w.tasks(), base.tasks());
+            for pair in w.pairs() {
+                assert!(base.pairs().contains(pair));
+            }
+            if r + 4 < schedule.len() {
+                assert_eq!(w.pairs(), schedule[r + 4].pairs());
+            }
+        }
+        // Each source transmits in exactly half the rounds of each period.
+        for src in 0..4u64 {
+            let active = schedule
+                .iter()
+                .filter(|w| w.pairs().iter().any(|&(a, _)| a == src))
+                .count();
+            assert_eq!(active, 6, "source {src} active {active} rounds");
+        }
+        // Reproducible per seed.
+        let again = bursty_schedule(&base, 12, 2, 2, 11);
+        assert_eq!(schedule, again);
+    }
+
+    #[test]
+    fn multi_tenant_composes_guests_through_their_placements() {
+        let guest = Workload::try_new(3, vec![(0, 1), (1, 2)]).unwrap();
+        let p0 = Placement::try_from_table(vec![0, 1, 2]).unwrap();
+        let p1 = Placement::try_from_table(vec![3, 4, 5]).unwrap();
+        let composed = multi_tenant(6, &[(&guest, &p0), (&guest, &p1)]).unwrap();
+        assert_eq!(composed.tasks(), 6);
+        assert_eq!(
+            composed.pairs(),
+            &[(0, 1), (1, 2), (3, 4), (4, 5)],
+            "guest pairs mapped through each tenant's placement"
+        );
+
+        // Overlapping tenant placements are allowed — contention is the
+        // scenario being measured.
+        let overlapping = multi_tenant(6, &[(&guest, &p0), (&guest, &p0)]).unwrap();
+        assert_eq!(overlapping.messages_per_round(), 4);
+
+        // A placement that leaves the host is rejected with a typed error.
+        match multi_tenant(4, &[(&guest, &p0), (&guest, &p1)]) {
+            Err(WorkloadError::GuestOutsideHost {
+                guest_index,
+                node,
+                host_nodes,
+            }) => assert_eq!((guest_index, node, host_nodes), (1, 4, 4)),
+            other => panic!("expected GuestOutsideHost, got {other:?}"),
+        }
+
+        // A guest bigger than its placement is rejected too.
+        let big = Workload::try_new(4, vec![(0, 3)]).unwrap();
+        match multi_tenant(6, &[(&big, &p0)]) {
+            Err(WorkloadError::GuestExceedsPlacement {
+                guest_index,
+                tasks,
+                placed,
+            }) => assert_eq!((guest_index, tasks, placed), (0, 4, 3)),
+            other => panic!("expected GuestExceedsPlacement, got {other:?}"),
+        }
     }
 
     #[test]

@@ -40,6 +40,9 @@ fn main() {
             steps: 200,
             shards: 2,
         }),
+        // No degraded-operation rows here; set a `ChaosSpec` to also
+        // re-simulate every placement under seeded link loss.
+        chaos: None,
     };
     println!(
         "plan {:?} expands to {} trials\n",

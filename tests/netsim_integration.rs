@@ -67,7 +67,7 @@ fn paper_placement_beats_random_placement_on_hops() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(12345);
     let mut table: Vec<u64> = (0..guest.size()).collect();
     table.shuffle(&mut rng);
-    let random = Placement::from_table(table);
+    let random = Placement::try_from_table(table).expect("shuffled identity is injective");
     let random_stats = simulate(&network, &workload, &random, 1);
 
     assert!(
