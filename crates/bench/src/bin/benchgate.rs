@@ -24,7 +24,7 @@ use embd::{Client, PlanRegistry};
 use embeddings::auto::embed;
 use embeddings::congestion::congestion_sequential;
 use embeddings::optim::parallel::{optimize_sharded, ShardedConfig};
-use embeddings::optim::{CongestionObjective, Optimizer, OptimizerConfig};
+use embeddings::optim::{CongestionObjective, Optimizer, OptimizerConfig, WirelengthObjective};
 use embeddings::verify::verify_sequential;
 use explab::executor::run;
 use explab::plan::SweepPlan;
@@ -102,6 +102,30 @@ fn measure(metric: &BaselineMetric) -> Result<f64, String> {
                 std::hint::black_box(run(&plan, 1).supported());
             });
             Ok(trials / seconds)
+        }
+        ("optim_throughput", "wirelength_moves_per_s") => {
+            // Same workload and config as the congestion-objective gate
+            // below, annealing under the wirelength objective instead.
+            let guest = torus(&[16, 16]);
+            let host = mesh(&[16, 16]);
+            let embedding = embed(&guest, &host).map_err(|e| e.to_string())?;
+            let steps = 5_000u64;
+            let config = OptimizerConfig {
+                seed: 1987,
+                steps,
+                ..OptimizerConfig::default()
+            };
+            let seconds = best_seconds(3, || {
+                let mut objective = WirelengthObjective::new(&guest, &host).expect("equal sizes");
+                std::hint::black_box(
+                    Optimizer::new(config)
+                        .optimize(&embedding, &mut objective)
+                        .expect("optimize")
+                        .report
+                        .best,
+                );
+            });
+            Ok(steps as f64 / seconds)
         }
         ("optim_throughput", "moves_per_s") => {
             // The same workload and config as the criterion bench.

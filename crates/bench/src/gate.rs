@@ -435,10 +435,16 @@ pub fn extract_metrics(root: &Json) -> Result<Vec<BaselineMetric>, GateError> {
             "trials_per_s",
             number_at(root, &["summary", "trials_per_second_single_worker"])?,
         )]),
-        "optim_throughput" => Ok(vec![metric(
-            "moves_per_s",
-            number_at(root, &["summary", "moves_per_second"])?,
-        )]),
+        "optim_throughput" => Ok(vec![
+            metric(
+                "moves_per_s",
+                number_at(root, &["summary", "moves_per_second"])?,
+            ),
+            metric(
+                "wirelength_moves_per_s",
+                number_at(root, &["summary", "wirelength_moves_per_second"])?,
+            ),
+        ]),
         "shard_scaling" => Ok(vec![metric(
             "sharded_moves_per_s",
             number_at(root, &["summary", "sharded_moves_per_second"])?,
@@ -613,6 +619,16 @@ mod tests {
         assert_eq!(metrics.len(), 1);
         assert_eq!(metrics[0].metric, "chaos_routed_msgs_per_s");
         assert_eq!(metrics[0].throughput, 120000.0);
+
+        let optim = r#"{
+            "benchmark": "optim_throughput",
+            "summary": {"moves_per_second": 85630, "wirelength_moves_per_second": 105086}
+        }"#;
+        let metrics = extract_metrics(&parse_json(optim).unwrap()).unwrap();
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].metric, "moves_per_s");
+        assert_eq!(metrics[1].metric, "wirelength_moves_per_s");
+        assert_eq!(metrics[1].throughput, 105086.0);
 
         let unknown = r#"{"benchmark": "mystery"}"#;
         assert!(matches!(

@@ -18,7 +18,9 @@
 //! * [`general_reduction`] — Section 4.2.2: general reduction via supernodes
 //!   (`F′_S`, `G′_S`, `G″_S`, Theorem 43).
 //! * [`square`] — Section 5: square graphs (Theorems 48, 51, 52, 53).
-//! * [`lower_bound`] — Theorem 47's dilation lower bound.
+//! * [`lower_bound`] — Theorem 47's dilation lower bound, plus Tang's exact
+//!   minimum-wirelength bound for hypercubes in toruses and meshes
+//!   (arXiv:2302.13237) — the crate's second analytic target.
 //! * [`optimal`] — known optimal costs (FitzGerald, Harper, Ma–Narahari) and
 //!   the appendix's `ε_d` analysis.
 //! * [`exhaustive`] — branch-and-bound optimal dilation on tiny instances,
@@ -35,7 +37,7 @@
 //!   (dilation, distribution, congestion, prediction, lower bound).
 //! * [`optim`] — seeded local-search / simulated-annealing refinement of any
 //!   embedding's placement table under pluggable, incrementally-evaluated
-//!   objectives (max congestion, average dilation, …).
+//!   objectives (max congestion, average dilation, weighted wirelength, …).
 //! * [`plan`] — Plan-as-value: serializable embedding descriptions (graph
 //!   pair, construction, dilation, optional explicit table) with a one-line
 //!   text format, rebuilt into live embeddings by [`Plan::to_embedding`].
@@ -97,12 +99,12 @@ pub mod prelude {
     pub use crate::expansion::{find_expansion_factor, ExpansionFactor};
     pub use crate::general_reduction::{embed_general_reduction, GeneralReduction};
     pub use crate::increase::embed_increasing;
-    pub use crate::lower_bound::dilation_lower_bound;
+    pub use crate::lower_bound::{dilation_lower_bound, wirelength_lower_bound};
     pub use crate::metrics::EmbeddingMetrics;
     pub use crate::optim::parallel::{optimize_sharded, ShardedConfig, ShardedOutcome};
     pub use crate::optim::{
         CongestionObjective, Cost, DilationObjective, Objective, OptimOutcome, OptimReport,
-        Optimizer, OptimizerConfig,
+        Optimizer, OptimizerConfig, WirelengthObjective,
     };
     pub use crate::plan::{format_grid_spec, parse_grid_spec, Plan, PlanError};
     pub use crate::reduction::embed_simple_reduction;

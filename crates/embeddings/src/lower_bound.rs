@@ -1,5 +1,9 @@
-//! Lower bounds on dilation cost for lowering-dimension embeddings
-//! (Section 5, Lemmas 44–46, Theorem 47).
+//! Analytic lower bounds the sweeps check measured embeddings against: the
+//! paper's dilation bound for lowering-dimension embeddings (Section 5,
+//! Lemmas 44–46, Theorem 47) and Tang's exact minimum-wirelength bound for
+//! hypercubes in toruses and meshes (arXiv:2302.13237).
+//!
+//! # Dilation (Theorem 47)
 //!
 //! The argument follows Rosenberg: a ball of radius `k` in a `d`-dimensional
 //! mesh contains at least `C(k + d, d)` nodes (take the corner node as the
@@ -9,6 +13,33 @@
 //! shortest dimension of the guest, which rearranges into a lower bound on
 //! `ρ` of order `p^{(d−c)/c}`. Lemma 46 transfers the bound (up to a factor
 //! of 2) to the remaining torus/mesh type combinations.
+//!
+//! # Wirelength (Tang 2023)
+//!
+//! The wirelength of a bijection `f : Q_n → H` is the sum over hypercube
+//! edges of the host distance of the endpoint images — exactly the
+//! unit-weight cost of
+//! [`WirelengthObjective`](crate::optim::WirelengthObjective). When `H` is a
+//! product of paths and/or cycles whose lengths are powers of two (every
+//! torus or mesh of `2^n` nodes qualifies — each radix divides `2^n`), the
+//! host distance splits into per-dimension terms, and Tang (arXiv:2302.13237)
+//! proves via the congestion lemma over Harper's optimal sets that each
+//! dimension's term is minimized *simultaneously* by a Gray-code-style
+//! labeling. The exact minimum is the closed form
+//!
+//! ```text
+//! WL(Q_n, H) = Σ_j 2^(n − a_j) · F(kind_j, a_j),    l_j = 2^(a_j)
+//! ```
+//!
+//! where `F(path, a)` = [`hypercube_path_wirelength`]`(a)` (Harper 1964) and
+//! `F(cycle, a)` = [`hypercube_cycle_wirelength`]`(a)`: dimension `j` of the
+//! product sees the `2^(n−a_j)`-fold blow-up of the optimal `Q_(a_j)` →
+//! path/cycle labeling. [`wirelength_lower_bound`] evaluates the closed form
+//! as a checkable bound; the `hypercube_torus` explab family anneals against
+//! it and EXPERIMENTS.md Table 11 reports both sides (violations fold into
+//! `bound_ok`, like every other bound here). The brute-force tests below pin
+//! exactness on every shape of `Q_2` and `Q_3` by minimizing over all
+//! bijections.
 
 use topology::Grid;
 
@@ -98,6 +129,88 @@ pub fn dilation_lower_bound(guest: &Grid, host: &Grid) -> Result<u64> {
 /// constructions.
 pub fn asymptotic_lower_bound(d: usize, c: usize, p: u64) -> f64 {
     (p as f64).powf((d as f64 - c as f64) / c as f64)
+}
+
+/// Harper's exact minimum wirelength of the hypercube `Q_a` in the path
+/// `P_(2^a)`: `2^(a−1) · (2^a − 1)`, achieved by the lexicographic (binary
+/// counting) order. `a = 0` is the single node (wirelength 0).
+pub fn hypercube_path_wirelength(a: u32) -> u64 {
+    if a == 0 {
+        return 0;
+    }
+    (1u64 << (a - 1)) * ((1u64 << a) - 1)
+}
+
+/// The exact minimum wirelength of the hypercube `Q_a` in the cycle
+/// `C_(2^a)`: `3·2^(2a−3) − 2^(a−1)` for `a ≥ 2` (Tang, arXiv:2302.13237),
+/// achieved by Gray-code labelings. `C_2` degenerates to the single edge of
+/// `P_2` (wirelength 1), and `a = 0` is the single node.
+pub fn hypercube_cycle_wirelength(a: u32) -> u64 {
+    match a {
+        0 => 0,
+        1 => 1,
+        _ => 3 * (1u64 << (2 * a - 3)) - (1u64 << (a - 1)),
+    }
+}
+
+/// Tang's exact minimum wirelength of **any** bijection of the hypercube
+/// `Q_n` onto a same-size torus or mesh host (arXiv:2302.13237): the
+/// closed form `Σ_j 2^(n − a_j) · F(kind_j, a_j)` over host dimensions of
+/// length `2^(a_j)`, with `F` the per-dimension path/cycle optimum
+/// ([`hypercube_path_wirelength`] / [`hypercube_cycle_wirelength`]). See the
+/// [module docs](self) for the decomposition argument.
+///
+/// Every host radix of a `2^n`-node grid is automatically a power of two, so
+/// the bound covers the whole `hypercube_torus` explab family; measured
+/// wirelengths below it indicate a broken theorem (or measurement) and fold
+/// into `bound_ok`. For the host `Q_n` itself the formula collapses to
+/// `n · 2^(n−1)` — the edge count, achieved by the identity.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::SizeMismatch`] if the sizes differ,
+/// [`EmbeddingError::Unsupported`] if the guest is not a hypercube, and
+/// [`EmbeddingError::TooLarge`] beyond `2^31` nodes (where the closed form
+/// could overflow `u64`).
+pub fn wirelength_lower_bound(guest: &Grid, host: &Grid) -> Result<u64> {
+    if guest.size() != host.size() {
+        return Err(EmbeddingError::SizeMismatch {
+            guest: guest.size(),
+            host: host.size(),
+        });
+    }
+    if !guest.is_hypercube() {
+        return Err(EmbeddingError::Unsupported {
+            details: "the Tang wirelength bound applies to hypercube guests".into(),
+        });
+    }
+    const NODE_LIMIT: u64 = 1 << 31;
+    if guest.size() > NODE_LIMIT {
+        return Err(EmbeddingError::TooLarge {
+            size: guest.size(),
+            limit: NODE_LIMIT,
+        });
+    }
+    let n = guest.size().trailing_zeros();
+    let mut total = 0u64;
+    for j in 0..host.dim() {
+        let l = u64::from(host.shape().radix(j));
+        if !l.is_power_of_two() {
+            // Unreachable for equal sizes (every divisor of 2^n is a power
+            // of two), but the formula is meaningless without it.
+            return Err(EmbeddingError::Unsupported {
+                details: "the Tang wirelength bound needs power-of-two host radices".into(),
+            });
+        }
+        let a = l.trailing_zeros();
+        let factor = if host.is_torus() {
+            hypercube_cycle_wirelength(a)
+        } else {
+            hypercube_path_wirelength(a)
+        };
+        total += (1u64 << (n - a)) * factor;
+    }
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -202,5 +315,113 @@ mod tests {
         assert!(dilation_lower_bound(&guest, &host).is_err());
         let increasing = Grid::hypercube(4).unwrap();
         assert!(dilation_lower_bound(&guest, &increasing).is_err());
+    }
+
+    /// The wirelength of one explicit bijection `table[guest] = host`.
+    fn table_wirelength(guest: &Grid, host: &Grid, table: &[u64]) -> u64 {
+        guest
+            .edges()
+            .map(|(x, y)| {
+                host.distance_index(table[x as usize], table[y as usize])
+                    .unwrap()
+            })
+            .sum()
+    }
+
+    /// The true minimum wirelength over *all* `n!` bijections, by Heap's
+    /// permutation enumeration — only feasible for `n ≤ 8`.
+    fn brute_force_min_wirelength(guest: &Grid, host: &Grid) -> u64 {
+        let n = guest.size() as usize;
+        assert!(n <= 8, "brute force is only for tiny graphs");
+        let mut table: Vec<u64> = (0..n as u64).collect();
+        let mut best = table_wirelength(guest, host, &table);
+        let mut c = vec![0usize; n];
+        let mut i = 0;
+        while i < n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    table.swap(0, i);
+                } else {
+                    table.swap(c[i], i);
+                }
+                best = best.min(table_wirelength(guest, host, &table));
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn tang_closed_form_values_are_pinned() {
+        // Harper's path optima: Q_1 -> P_2 = 1, Q_2 -> P_4 = 6, Q_3 -> P_8 = 28.
+        assert_eq!(hypercube_path_wirelength(0), 0);
+        assert_eq!(hypercube_path_wirelength(1), 1);
+        assert_eq!(hypercube_path_wirelength(2), 6);
+        assert_eq!(hypercube_path_wirelength(3), 28);
+        // Tang's cycle optima: Q_2 -> C_4 = 4, Q_3 -> C_8 = 20, Q_4 -> C_16 = 88.
+        assert_eq!(hypercube_cycle_wirelength(0), 0);
+        assert_eq!(hypercube_cycle_wirelength(1), 1);
+        assert_eq!(hypercube_cycle_wirelength(2), 4);
+        assert_eq!(hypercube_cycle_wirelength(3), 20);
+        assert_eq!(hypercube_cycle_wirelength(4), 88);
+    }
+
+    #[test]
+    fn tang_bound_is_exact_on_every_shape_of_q2_and_q3() {
+        // Minimize over all bijections (24 for Q_2, 40320 for Q_3) and
+        // compare with the closed form — exactness, not just soundness.
+        let q2 = Grid::hypercube(2).unwrap();
+        let q3 = Grid::hypercube(3).unwrap();
+        let hosts_q2 = [
+            Grid::ring(4).unwrap(),
+            Grid::line(4).unwrap(),
+            Grid::torus(Shape::new(vec![2, 2]).unwrap()),
+            Grid::mesh(Shape::new(vec![2, 2]).unwrap()),
+        ];
+        let hosts_q3 = [
+            Grid::ring(8).unwrap(),
+            Grid::line(8).unwrap(),
+            Grid::torus(Shape::new(vec![4, 2]).unwrap()),
+            Grid::mesh(Shape::new(vec![4, 2]).unwrap()),
+            Grid::torus(Shape::new(vec![2, 2, 2]).unwrap()),
+            Grid::mesh(Shape::new(vec![2, 2, 2]).unwrap()),
+        ];
+        for (guest, hosts) in [(&q2, &hosts_q2[..]), (&q3, &hosts_q3[..])] {
+            for host in hosts {
+                let bound = wirelength_lower_bound(guest, host).unwrap();
+                let brute = brute_force_min_wirelength(guest, host);
+                assert_eq!(
+                    bound, brute,
+                    "closed form vs exhaustive minimum for {guest} -> {host}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tang_bound_collapses_to_the_edge_count_on_hypercube_hosts() {
+        for n in 1..=10u32 {
+            let q = Grid::hypercube(n as usize).unwrap();
+            let bound = wirelength_lower_bound(&q, &q).unwrap();
+            assert_eq!(bound, q.num_edges(), "Q_{n} into itself");
+        }
+    }
+
+    #[test]
+    fn tang_bound_rejects_invalid_pairs() {
+        let q3 = Grid::hypercube(3).unwrap();
+        assert!(matches!(
+            wirelength_lower_bound(&q3, &Grid::ring(16).unwrap()),
+            Err(EmbeddingError::SizeMismatch { .. })
+        ));
+        let torus = Grid::torus(Shape::new(vec![4, 2]).unwrap());
+        assert!(matches!(
+            wirelength_lower_bound(&torus, &Grid::ring(8).unwrap()),
+            Err(EmbeddingError::Unsupported { .. })
+        ));
     }
 }

@@ -16,7 +16,7 @@ use crate::auto::predicted_dilation;
 use crate::congestion::{congestion, CongestionReport};
 use crate::embedding::Embedding;
 use crate::error::Result;
-use crate::lower_bound::dilation_lower_bound;
+use crate::lower_bound::{dilation_lower_bound, wirelength_lower_bound};
 
 /// Every quality measure of an embedding, gathered in one place.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +47,11 @@ pub struct EmbeddingMetrics {
     /// The Theorem 47 lower bound for lowering-dimension pairs (`None`
     /// otherwise).
     pub lower_bound: Option<u64>,
+    /// Tang's exact minimum-wirelength bound
+    /// ([`crate::lower_bound::wirelength_lower_bound`]) for hypercube
+    /// guests (`None` otherwise). Compare with
+    /// [`EmbeddingMetrics::wirelength`].
+    pub wirelength_lower_bound: Option<u64>,
     /// Edge congestion under dimension-ordered routing.
     pub congestion: CongestionReport,
 }
@@ -76,8 +81,26 @@ impl EmbeddingMetrics {
             dilation_histogram: embedding.dilation_histogram(),
             predicted_dilation: predicted_dilation(guest, host).ok(),
             lower_bound: dilation_lower_bound(guest, host).ok(),
+            wirelength_lower_bound: wirelength_lower_bound(guest, host).ok(),
             congestion,
         })
+    }
+
+    /// The measured wirelength: the total routed path length over guest
+    /// edges. Dimension-ordered routes are shortest paths, so this equals
+    /// the sum of host distances — the quantity
+    /// [`EmbeddingMetrics::wirelength_lower_bound`] bounds from below.
+    pub fn wirelength(&self) -> u64 {
+        self.congestion.total_path_length
+    }
+
+    /// Whether the measured wirelength respects Tang's bound (vacuously true
+    /// when the bound does not apply). `false` means a broken theorem or a
+    /// broken measurement — the sweeps fold this into `bound_ok`.
+    pub fn meets_wirelength_bound(&self) -> bool {
+        self.wirelength_lower_bound
+            .map(|bound| self.wirelength() >= bound)
+            .unwrap_or(true)
     }
 
     /// Whether the measured dilation meets the paper's guarantee (vacuously
@@ -119,6 +142,9 @@ impl fmt::Display for EmbeddingMetrics {
         }
         if let Some(bound) = self.lower_bound {
             write!(f, ", lower bound {bound}")?;
+        }
+        if let Some(bound) = self.wirelength_lower_bound {
+            write!(f, ", wirelength {} (bound {bound})", self.wirelength())?;
         }
         Ok(())
     }
@@ -171,6 +197,23 @@ mod tests {
         let ratio = m.optimality_ratio().unwrap();
         assert!(ratio >= 1.0);
         assert!(m.to_string().contains("lower bound"));
+    }
+
+    #[test]
+    fn hypercube_guests_report_the_tang_wirelength_bound() {
+        let guest = Grid::hypercube(4).unwrap();
+        let host = Grid::torus(shape(&[4, 4]));
+        let e = embed(&guest, &host).unwrap();
+        let m = EmbeddingMetrics::measure(&e).unwrap();
+        let bound = m.wirelength_lower_bound.unwrap();
+        assert!(m.wirelength() >= bound, "{} < {bound}", m.wirelength());
+        assert!(m.meets_wirelength_bound());
+        assert!(m.to_string().contains("wirelength"));
+        // Non-hypercube guests carry no wirelength bound, vacuously met.
+        let other = embed_ring_in(&Grid::mesh(shape(&[4, 2, 3]))).unwrap();
+        let m = EmbeddingMetrics::measure(&other).unwrap();
+        assert_eq!(m.wirelength_lower_bound, None);
+        assert!(m.meets_wirelength_bound());
     }
 
     #[test]

@@ -3,11 +3,26 @@
 //!
 //! The paper's constructions carry worst-case dilation guarantees, but a
 //! measured objective — the congestion of the busiest link, the average
-//! dilation, or a simulated makespan — often leaves headroom below the
-//! analytic bound. This module closes that gap the way wirelength-minimizing
-//! embedders do: start from any [`Embedding`] (paper-constructive or random),
-//! materialize its placement table, and refine the table with permutation
-//! moves.
+//! dilation, the weighted wirelength, or a simulated makespan — often leaves
+//! headroom below the analytic bound. This module closes that gap the way
+//! wirelength-minimizing embedders do: start from any [`Embedding`]
+//! (paper-constructive or random), materialize its placement table, and
+//! refine the table with permutation moves.
+//!
+//! Four objectives ship with the repo — see the "Objective catalog" section
+//! of ARCHITECTURE.md for the state/delta-cost/invariant summary of each:
+//!
+//! | objective | primary cost | tie-breaker |
+//! |---|---|---|
+//! | [`CongestionObjective`] | max link congestion (DOR) | total routed path length |
+//! | [`DilationObjective`] | total host distance over guest edges | max per-edge distance |
+//! | [`WirelengthObjective`] | **weighted** total route length | max per-edge distance |
+//! | `netsim::optimize::MakespanObjective` | simulated makespan | total routed path length |
+//!
+//! The unit-weight wirelength objective doubles as the annealing target for
+//! Tang's exact hypercube → torus minimum-wirelength bound
+//! ([`crate::lower_bound::wirelength_lower_bound`]), the repo's first
+//! cross-paper result (EXPERIMENTS.md Table 11).
 //!
 //! # Architecture
 //!
@@ -117,7 +132,7 @@ impl Cost {
 /// the same cost the incremental path reported.
 pub trait Objective {
     /// The objective's name, used in reports (`"congestion"`, `"dilation"`,
-    /// `"makespan"`).
+    /// `"wirelength"`, `"makespan"`).
     fn name(&self) -> &'static str;
 
     /// Rebuilds all internal state for `table` with a full sweep and returns
@@ -275,23 +290,25 @@ fn incident_edges_into(guest: &Grid, x: u64, out: &mut Vec<(u64, u64)>) {
 
 /// Visits every guest edge affected by the transposition of the images of
 /// guest nodes `a` and `b`, calling
-/// `update(pre_tail, pre_head, post_tail, post_head)` once per edge with the
-/// edge's endpoint *images* before and after the swap, in the canonical
-/// tail → head orientation of [`Grid::edges`]. `table` is the table after
-/// the swap; `scratch` is a caller-owned buffer so the walk is
+/// `update(tail, head, pre_tail, pre_head, post_tail, post_head)` once per
+/// edge with the edge's *guest* endpoints followed by its endpoint *images*
+/// before and after the swap, all in the canonical tail → head orientation
+/// of [`Grid::edges`]. The guest endpoints are what weighted objectives key
+/// per-edge weights on — they are invariant under the swap. `table` is the
+/// table after the swap; `scratch` is a caller-owned buffer so the walk is
 /// allocation-free after warm-up.
 ///
 /// This is the one place that knows which edges a swap touches — in
 /// particular that an edge between `a` and `b` themselves appears in both
 /// incident lists and must be updated exactly once (the `a` pivot skips it,
-/// the `b` pivot handles it). Both incremental objectives defer to it.
+/// the `b` pivot handles it). Every incremental objective defers to it.
 fn for_each_affected_edge(
     guest: &Grid,
     scratch: &mut Vec<(u64, u64)>,
     table: &[u64],
     a: u64,
     b: u64,
-    mut update: impl FnMut(u64, u64, u64, u64),
+    mut update: impl FnMut(u64, u64, u64, u64, u64, u64),
 ) {
     // The images of `a` and `b` were exchanged, everything else is
     // unchanged, so the pre-swap image of `a` is `table[b]` and vice versa.
@@ -314,6 +331,8 @@ fn for_each_affected_edge(
                 continue;
             }
             update(
+                tail,
+                head,
                 pre(tail),
                 pre(head),
                 table[tail as usize],
@@ -449,9 +468,16 @@ impl Objective for CongestionObjective {
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut updates = std::mem::take(&mut self.updates);
         updates.clear();
-        for_each_affected_edge(&self.guest, &mut scratch, table, a, b, |pf, pt, nf, nt| {
-            updates.push((pf, pt, nf, nt));
-        });
+        for_each_affected_edge(
+            &self.guest,
+            &mut scratch,
+            table,
+            a,
+            b,
+            |_, _, pf, pt, nf, nt| {
+                updates.push((pf, pt, nf, nt));
+            },
+        );
         for &(pre_from, pre_to, post_from, post_to) in &updates {
             // Remove the pre-swap route, add the post-swap route — both in
             // the canonical tail → head orientation the full sweep uses.
@@ -559,9 +585,16 @@ impl Objective for DilationObjective {
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut updates = std::mem::take(&mut self.updates);
         updates.clear();
-        for_each_affected_edge(&self.guest, &mut scratch, table, a, b, |pf, pt, nf, nt| {
-            updates.push((pf, pt, nf, nt));
-        });
+        for_each_affected_edge(
+            &self.guest,
+            &mut scratch,
+            table,
+            a,
+            b,
+            |_, _, pf, pt, nf, nt| {
+                updates.push((pf, pt, nf, nt));
+            },
+        );
         for &(pre_from, pre_to, post_from, post_to) in &updates {
             let old = self.distance(pre_from, pre_to);
             let new = self.distance(post_from, post_to);
@@ -569,6 +602,205 @@ impl Objective for DilationObjective {
             self.add_edge(new);
         }
         self.scratch = scratch;
+        self.updates = updates;
+        self.cost()
+    }
+}
+
+/// Minimize the **wirelength** — the sum of weighted route lengths over
+/// guest edges — with the maximum per-edge host distance as the tie-breaker.
+///
+/// Under dimension-ordered routing every route is a shortest path, so each
+/// edge's route length equals the host distance of its endpoint images and
+/// the unit-weight wirelength coincides with [`DilationObjective`]'s total.
+/// The objective earns its keep in two ways: per-guest-edge *weights*
+/// ([`WirelengthObjective::with_weights`]) let hot guest edges count more
+/// than cold ones, and the unit-weight total is exactly the quantity Tang's
+/// closed form bounds from below
+/// ([`crate::lower_bound::wirelength_lower_bound`]) — the repo's second
+/// analytic optimization target after the paper's dilation predictions.
+///
+/// State: the weighted total plus a `MaxTracker` histogram of *unweighted*
+/// per-edge distances (tracking weighted contributions would size the
+/// histogram by the largest weight). A swap re-measures only the
+/// `O(degree)` guest edges incident to the swapped nodes, via the same
+/// affected-edge walk the other incremental objectives use; the guest
+/// endpoints it reports key the weight lookup.
+///
+/// # Example
+///
+/// Anneal the constructive hypercube → ring embedding of `Q₃` toward Tang's
+/// exact minimum-wirelength bound:
+///
+/// ```
+/// use embeddings::auto::embed;
+/// use embeddings::lower_bound::wirelength_lower_bound;
+/// use embeddings::optim::{Optimizer, OptimizerConfig, WirelengthObjective};
+/// use topology::Grid;
+///
+/// let guest = Grid::hypercube(3).unwrap();
+/// let host = Grid::ring(8).unwrap(); // the (8)-torus
+/// let constructive = embed(&guest, &host).unwrap();
+///
+/// let mut objective = WirelengthObjective::new(&guest, &host).unwrap();
+/// let config = OptimizerConfig { seed: 1987, steps: 1_500, ..OptimizerConfig::default() };
+/// let outcome = Optimizer::new(config).optimize(&constructive, &mut objective).unwrap();
+///
+/// // Tang's closed form: embedding Q₃ in the cycle C₈ costs at least 20.
+/// let bound = wirelength_lower_bound(&guest, &host).unwrap();
+/// assert_eq!(bound, 20);
+/// assert!(outcome.report.best <= outcome.report.initial);
+/// assert!(outcome.report.best.primary >= bound);
+/// ```
+pub struct WirelengthObjective {
+    guest: Grid,
+    host: Grid,
+    /// Per-guest-edge weights keyed by the canonical `(tail, head)`
+    /// orientation of [`Grid::edges`]; `None` means every edge weighs 1 and
+    /// skips the lookup entirely.
+    weights: Option<std::collections::HashMap<(u64, u64), u64>>,
+    tracker: MaxTracker,
+    total: u64,
+    /// Scratch incident-edge buffer reused by every swap evaluation.
+    scratch: Vec<(u64, u64)>,
+    /// Scratch (tail, head, pre-from, pre-to, post-from, post-to) update
+    /// list — guest endpoints first, so the weight lookup happens outside
+    /// the affected-edge walk's borrow of the scratch buffer.
+    updates: Vec<(u64, u64, u64, u64, u64, u64)>,
+}
+
+impl WirelengthObjective {
+    /// Creates the unit-weight objective for a guest/host pair: every guest
+    /// edge counts its route length once, so the primary cost is the total
+    /// routed path length — the quantity Tang's bound speaks about.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SizeMismatch`] if the graphs differ in size.
+    pub fn new(guest: &Grid, host: &Grid) -> Result<Self> {
+        Self::build(guest, host, None)
+    }
+
+    /// Creates the objective with a per-guest-edge weight function, evaluated
+    /// once per canonical edge of [`Grid::edges`] (so `weight(tail, head)`
+    /// sees each edge exactly once, in sweep orientation). Zero-weight edges
+    /// are legal — they simply stop contributing to the primary cost, though
+    /// they still participate in the max-distance tie-breaker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddingError::SizeMismatch`] if the graphs differ in size.
+    pub fn with_weights(
+        guest: &Grid,
+        host: &Grid,
+        mut weight: impl FnMut(u64, u64) -> u64,
+    ) -> Result<Self> {
+        let weights = guest
+            .edges()
+            .map(|(tail, head)| ((tail, head), weight(tail, head)))
+            .collect();
+        Self::build(guest, host, Some(weights))
+    }
+
+    fn build(
+        guest: &Grid,
+        host: &Grid,
+        weights: Option<std::collections::HashMap<(u64, u64), u64>>,
+    ) -> Result<Self> {
+        if guest.size() != host.size() {
+            return Err(EmbeddingError::SizeMismatch {
+                guest: guest.size(),
+                host: host.size(),
+            });
+        }
+        Ok(WirelengthObjective {
+            guest: guest.clone(),
+            host: host.clone(),
+            weights,
+            tracker: MaxTracker::default(),
+            total: 0,
+            scratch: Vec::new(),
+            updates: Vec::new(),
+        })
+    }
+
+    fn weight(&self, tail: u64, head: u64) -> u64 {
+        match &self.weights {
+            None => 1,
+            Some(map) => *map.get(&(tail, head)).unwrap_or(&1),
+        }
+    }
+
+    fn distance(&self, from: u64, to: u64) -> u64 {
+        self.host
+            .distance_index(from, to)
+            .expect("table entries are host nodes")
+    }
+
+    fn add_edge(&mut self, weight: u64, d: u64) {
+        for v in 0..d {
+            self.tracker.increment(v);
+        }
+        self.total += weight * d;
+    }
+
+    fn remove_edge(&mut self, weight: u64, d: u64) {
+        for v in (1..=d).rev() {
+            self.tracker.decrement(v);
+        }
+        self.total -= weight * d;
+    }
+
+    fn cost(&self) -> Cost {
+        Cost {
+            primary: self.total,
+            secondary: self.tracker.max,
+        }
+    }
+}
+
+impl Objective for WirelengthObjective {
+    fn name(&self) -> &'static str {
+        "wirelength"
+    }
+
+    fn rebuild(&mut self, table: &[u64]) -> Cost {
+        self.tracker.clear();
+        self.total = 0;
+        let guest = self.guest.clone();
+        for (x, y) in guest.edges() {
+            let w = self.weight(x, y);
+            let d = self.distance(table[x as usize], table[y as usize]);
+            self.add_edge(w, d);
+        }
+        self.cost()
+    }
+
+    fn apply_swap(&mut self, table: &[u64], a: u64, b: u64) -> Cost {
+        if a == b {
+            return self.cost();
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut updates = std::mem::take(&mut self.updates);
+        updates.clear();
+        for_each_affected_edge(
+            &self.guest,
+            &mut scratch,
+            table,
+            a,
+            b,
+            |t, h, pf, pt, nf, nt| {
+                updates.push((t, h, pf, pt, nf, nt));
+            },
+        );
+        self.scratch = scratch;
+        for &(tail, head, pre_from, pre_to, post_from, post_to) in &updates {
+            let w = self.weight(tail, head);
+            let old = self.distance(pre_from, pre_to);
+            let new = self.distance(post_from, post_to);
+            self.remove_edge(w, old);
+            self.add_edge(w, new);
+        }
         self.updates = updates;
         self.cost()
     }
@@ -957,6 +1189,88 @@ mod tests {
     }
 
     #[test]
+    fn wirelength_matches_the_congestion_sweeps_total_path_length() {
+        // DOR routes are shortest paths, so the unit-weight wirelength is
+        // exactly the independent congestion sweep's total path length.
+        for (guest, host) in [
+            (Grid::hypercube(4).unwrap(), Grid::torus(shape(&[4, 4]))),
+            (Grid::hypercube(3).unwrap(), Grid::ring(8).unwrap()),
+            (
+                Grid::torus(shape(&[4, 2, 3])),
+                Grid::mesh(shape(&[4, 2, 3])),
+            ),
+        ] {
+            let e = embed(&guest, &host).unwrap();
+            let mut objective = WirelengthObjective::new(&guest, &host).unwrap();
+            let cost = objective.rebuild(&e.to_table().unwrap());
+            let report = congestion_sequential(&e).unwrap();
+            assert_eq!(cost.primary, report.total_path_length, "{guest} -> {host}");
+            assert_eq!(cost.secondary, e.dilation());
+        }
+    }
+
+    #[test]
+    fn wirelength_incremental_swaps_match_rebuild() {
+        // Unit weights and a skewed weight function both stay bit-exact
+        // against a full recompute after a long random swap walk.
+        let guest = Grid::hypercube(4).unwrap();
+        let host = Grid::torus(shape(&[4, 4]));
+        let e = embed(&guest, &host).unwrap();
+        for weighted in [false, true] {
+            let build = || {
+                if weighted {
+                    WirelengthObjective::with_weights(&guest, &host, |t, h| 1 + (t * 7 + h) % 5)
+                } else {
+                    WirelengthObjective::new(&guest, &host)
+                }
+            };
+            let mut table = e.to_table().unwrap();
+            let mut incremental = build().unwrap();
+            let mut cost = incremental.rebuild(&table);
+            for (a, b) in random_swaps(guest.size(), 250, 23) {
+                table.swap(a as usize, b as usize);
+                cost = incremental.apply_swap(&table, a, b);
+            }
+            assert_eq!(
+                cost,
+                build().unwrap().rebuild(&table),
+                "weighted={weighted}"
+            );
+        }
+    }
+
+    #[test]
+    fn wirelength_double_swap_is_identity() {
+        let guest = Grid::hypercube(3).unwrap();
+        let host = Grid::torus(shape(&[4, 2]));
+        let e = embed(&guest, &host).unwrap();
+        let mut table = e.to_table().unwrap();
+        let mut objective =
+            WirelengthObjective::with_weights(&guest, &host, |t, h| 1 + (t + h) % 3).unwrap();
+        let before = objective.rebuild(&table);
+        table.swap(1, 6);
+        objective.apply_swap(&table, 1, 6);
+        table.swap(1, 6);
+        let after = objective.apply_swap(&table, 1, 6);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn zero_weight_edges_drop_out_of_the_primary_cost() {
+        let guest = Grid::hypercube(3).unwrap();
+        let host = Grid::ring(8).unwrap();
+        let e = embed(&guest, &host).unwrap();
+        let table = e.to_table().unwrap();
+        let mut all = WirelengthObjective::new(&guest, &host).unwrap();
+        let mut none = WirelengthObjective::with_weights(&guest, &host, |_, _| 0).unwrap();
+        let full = all.rebuild(&table);
+        let empty = none.rebuild(&table);
+        assert_eq!(empty.primary, 0);
+        // The tie-breaker (max per-edge distance) ignores weights.
+        assert_eq!(empty.secondary, full.secondary);
+    }
+
+    #[test]
     fn double_swap_is_identity() {
         let guest = Grid::torus(shape(&[3, 3]));
         let host = Grid::mesh(shape(&[3, 3]));
@@ -1080,6 +1394,10 @@ mod tests {
         ));
         assert!(matches!(
             DilationObjective::new(&guest, &host),
+            Err(EmbeddingError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            WirelengthObjective::new(&guest, &host),
             Err(EmbeddingError::SizeMismatch { .. })
         ));
     }

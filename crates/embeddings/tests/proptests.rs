@@ -162,6 +162,61 @@ proptest! {
     }
 
     #[test]
+    fn incremental_wirelength_matches_rebuild_after_random_moves(
+        host in small_grid(),
+        seed in 0u64..(1 << 16),
+        weighted in proptest::bool::ANY,
+    ) {
+        // Differential pin for the wirelength objective: a random sequence
+        // of swap and segment-reversal moves — reversals batched through
+        // `apply_disjoint_swaps`, exactly as the optimizer issues them —
+        // must leave the incremental state bit-exact against a full
+        // recompute, with and without per-edge weights.
+        use embeddings::optim::{Objective, WirelengthObjective};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let e = embed_ring_in(&host).unwrap();
+        let guest = e.guest().clone();
+        let build = || {
+            if weighted {
+                WirelengthObjective::with_weights(&guest, &host, |t, h| (t ^ h) % 4)
+            } else {
+                WirelengthObjective::new(&guest, &host)
+            }
+        };
+        let mut table = e.to_table().unwrap();
+        let mut objective = build().unwrap();
+        let mut cost = objective.rebuild(&table);
+        let n = table.len() as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut swaps: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..40 {
+            if n >= 2 && rng.gen_bool(0.3) {
+                let len = rng.gen_range(2u64..=n.min(8));
+                let start = rng.gen_range(0u64..=n - len);
+                swaps.clear();
+                let (mut i, mut j) = (start, start + len - 1);
+                while i < j {
+                    swaps.push((i, j));
+                    i += 1;
+                    j -= 1;
+                }
+                cost = objective.apply_disjoint_swaps(&mut table, &swaps);
+            } else {
+                let a = rng.gen_range(0u64..n);
+                let mut b = rng.gen_range(0u64..n - 1);
+                if b >= a {
+                    b += 1;
+                }
+                table.swap(a as usize, b as usize);
+                cost = objective.apply_swap(&table, a, b);
+            }
+        }
+        prop_assert_eq!(cost, build().unwrap().rebuild(&table));
+    }
+
+    #[test]
     fn parallel_verification_agrees_with_sequential(host in small_grid(), threads in 1usize..6) {
         let e = embed_ring_in(&host).unwrap();
         let sequential = verify_sequential(&e);

@@ -14,11 +14,15 @@
 //! produce bit-identical records; the resulting document states the check.
 //!
 //! `lab doccheck` (default files: `EXPERIMENTS.md`, `ARCHITECTURE.md`,
-//! `README.md`) guards the hand-written documents against drift: every
-//! relative markdown link and every back-ticked repo path must name an
-//! existing file, and every `Table N` reference must match a `## Table N`
-//! heading in the EXPERIMENTS.md next to the checked file — so renumbering
-//! the generated tables without updating the architecture notes fails CI.
+//! `README.md`, `ROADMAP.md`) guards the hand-written documents against
+//! drift: every relative markdown link and every back-ticked repo path must
+//! name an existing file, every URL must be well-formed (arXiv links in the
+//! canonical `arxiv.org/abs/<id>` form, DOI links resolving a `/10.…` DOI),
+//! heading anchors must be unique per file, every `BENCH_*.json` baseline
+//! mentioned must exist, and every `Table N` reference must match a
+//! `## Table N` heading in the EXPERIMENTS.md next to the checked file — so
+//! renumbering the generated tables without updating the architecture notes
+//! fails CI.
 //!
 //! Exit codes: `0` success, `1` usage or plan errors, `2` a failed check
 //! (report drift, bound violation, shard mismatch, or a dangling doc
@@ -265,7 +269,12 @@ fn cmd_run(rest: &[String]) -> Result<(), CliError> {
 }
 
 /// The files `lab doccheck` validates when none are given.
-const DOCCHECK_DEFAULTS: [&str; 3] = ["EXPERIMENTS.md", "ARCHITECTURE.md", "README.md"];
+const DOCCHECK_DEFAULTS: [&str; 4] = [
+    "EXPERIMENTS.md",
+    "ARCHITECTURE.md",
+    "README.md",
+    "ROADMAP.md",
+];
 
 /// Extracts the targets of markdown links (`[text](target)`) from `text`.
 fn markdown_link_targets(text: &str) -> Vec<String> {
@@ -296,6 +305,9 @@ fn backticked_paths(text: &str) -> Vec<String> {
             !span.is_empty()
                 && !span.contains(char::is_whitespace)
                 && !span.contains(['{', '}', '<', '>', '*', ':', '|'])
+                // Absolute paths point outside the repo (e.g. environment
+                // notes); only repo-relative references are checkable.
+                && !span.starts_with('/')
                 && (span.contains('/')
                     || span.ends_with(".md")
                     || span.ends_with(".json")
@@ -303,6 +315,112 @@ fn backticked_paths(text: &str) -> Vec<String> {
         })
         .map(str::to_string)
         .collect()
+}
+
+/// Extracts every `http://`/`https://` URL in `text` — bare or inside a
+/// markdown link — up to the first whitespace or delimiter, with trailing
+/// sentence punctuation stripped.
+fn urls(text: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    for scheme in ["https://", "http://"] {
+        for (index, _) in text.match_indices(scheme) {
+            let rest = &text[index..];
+            let end = rest
+                .find(|c: char| {
+                    c.is_whitespace() || matches!(c, ')' | ']' | '>' | '"' | '`' | '\'' | ',')
+                })
+                .unwrap_or(rest.len());
+            found.push(rest[..end].trim_end_matches(['.', ';', ':']).to_string());
+        }
+    }
+    found
+}
+
+/// Validates one URL: it must carry a dotted host, arXiv links must use the
+/// canonical `arxiv.org/abs/<id>` (or `/pdf/<id>`) form, and DOI links must
+/// resolve a `/10.…` DOI. Returns a problem description, or `None` when the
+/// URL is fine.
+fn url_problem(url: &str) -> Option<String> {
+    let rest = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))
+        .unwrap_or(url);
+    let host = rest.split('/').next().unwrap_or("");
+    if host.is_empty() || !host.contains('.') {
+        return Some(format!("malformed URL {url:?} (no dotted host)"));
+    }
+    let path = &rest[host.len()..];
+    if host == "arxiv.org" || host.ends_with(".arxiv.org") {
+        let id_ok = |id: &str| {
+            !id.is_empty()
+                && id
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'v'))
+        };
+        let ok = ["/abs/", "/pdf/"]
+            .iter()
+            .any(|prefix| path.strip_prefix(prefix).is_some_and(id_ok));
+        if !ok {
+            return Some(format!(
+                "arXiv URL {url:?} is not of the form https://arxiv.org/abs/<id>"
+            ));
+        }
+    }
+    if (host == "doi.org" || host.ends_with(".doi.org")) && !path.starts_with("/10.") {
+        return Some(format!("DOI URL {url:?} does not resolve a `/10.…` DOI"));
+    }
+    None
+}
+
+/// The GitHub-style anchors of every markdown heading in `text`, skipping
+/// fenced code blocks (a `#` there is a shell comment, not a heading).
+fn heading_anchors(text: &str) -> Vec<String> {
+    let mut in_fence = false;
+    let mut anchors = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        anchors.push(
+            line.trim_start_matches('#')
+                .trim()
+                .chars()
+                .filter_map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        Some(c.to_ascii_lowercase())
+                    } else if c == ' ' || c == '-' {
+                        Some('-')
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        );
+    }
+    anchors
+}
+
+/// Extracts every `BENCH_<name>.json` baseline reference in `text`,
+/// deduplicated (glob placeholders like `BENCH_*.json` are skipped).
+fn bench_file_references(text: &str) -> Vec<String> {
+    let mut found: Vec<String> = Vec::new();
+    for (index, _) in text.match_indices("BENCH_") {
+        let rest = &text[index..];
+        let Some(end) = rest.find(".json") else {
+            continue;
+        };
+        let stem = &rest["BENCH_".len()..end];
+        if !stem.is_empty() && stem.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            found.push(rest[..end + ".json".len()].to_string());
+        }
+    }
+    found.sort();
+    found.dedup();
+    found
 }
 
 /// Extracts the numbers of every `Table N` reference in `text`.
@@ -377,6 +495,36 @@ fn cmd_doccheck(rest: &[String]) -> Result<(), CliError> {
             checked += 1;
             if !dir.join(&path).exists() {
                 problems.push(format!("{file}: referenced path {path:?} does not exist"));
+            }
+        }
+
+        for url in urls(&text) {
+            checked += 1;
+            if let Some(problem) = url_problem(&url) {
+                problems.push(format!("{file}: {problem}"));
+            }
+        }
+
+        // Duplicate heading anchors make `#anchor` links ambiguous (GitHub
+        // silently renames the second one to `anchor-1`).
+        let mut anchors = heading_anchors(&text);
+        checked += anchors.len();
+        anchors.sort();
+        for window in anchors.windows(2) {
+            if window[0] == window[1] {
+                problems.push(format!(
+                    "{file}: duplicate heading anchor {:?} (intra-document links are ambiguous)",
+                    window[0]
+                ));
+            }
+        }
+
+        for name in bench_file_references(&text) {
+            checked += 1;
+            if !dir.join(&name).exists() {
+                problems.push(format!(
+                    "{file}: referenced bench baseline {name:?} does not exist"
+                ));
             }
         }
 

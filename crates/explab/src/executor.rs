@@ -44,6 +44,7 @@ pub fn expand(plan: &SweepPlan) -> Vec<TrialSpec> {
                 rounds: plan.rounds,
                 workloads: plan.workloads.clone(),
                 optimize: plan.optimize,
+                wirelength: plan.wirelength,
                 chaos: plan.chaos.clone(),
             });
         }
@@ -154,6 +155,7 @@ mod tests {
             families: vec![random.clone(), random],
             workloads: vec![crate::plan::WorkloadSpec::Neighbor],
             optimize: None,
+            wirelength: None,
             chaos: None,
         };
         let specs = expand(&plan);

@@ -36,6 +36,7 @@
 //!     families: vec![Family::RingInto { max_size: 8, max_dim: 2 }],
 //!     workloads: vec![WorkloadSpec::Neighbor],
 //!     optimize: None,
+//!     wirelength: None,
 //!     chaos: None,
 //! };
 //! let outcome = run(&plan, 2);
@@ -57,14 +58,18 @@ pub mod trial;
 
 pub use error::{ExplabError, Result};
 pub use executor::{run, SweepOutcome};
-pub use plan::{ChaosSpec, Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
+pub use plan::{
+    ChaosSpec, Family, ObjectiveKind, OptimSpec, SweepPlan, WirelengthSpec, WorkloadSpec,
+};
 pub use trial::{TrialOutcome, TrialRecord, TrialSpec};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::error::ExplabError;
     pub use crate::executor::{expand, run, SweepOutcome};
-    pub use crate::plan::{ChaosSpec, Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
+    pub use crate::plan::{
+        ChaosSpec, Family, ObjectiveKind, OptimSpec, SweepPlan, WirelengthSpec, WorkloadSpec,
+    };
     pub use crate::report::experiments_markdown;
     pub use crate::trial::{run_trial, TrialOutcome, TrialRecord, TrialSpec};
 }

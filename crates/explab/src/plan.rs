@@ -18,9 +18,11 @@
 //! seed = 42
 //! rounds = 1
 //! workloads = neighbor, tornado, transpose
-//! optimize = congestion      # none (default) | congestion | dilation | makespan
+//! optimize = congestion      # none (default) | congestion | dilation | wirelength | makespan
 //! optim_steps = 800          # annealing steps per shard
 //! optim_shards = 4           # independently-seeded annealing walks per trial
+//! wirelength = 600           # anneal hypercube guests toward Tang's bound (none disables)
+//! wirelength_shards = 4      # independently-seeded wirelength walks (needs wirelength)
 //! chaos = 1, 5, 10           # link-loss percentages for fault-tolerance rows
 //! chaos_tenants = 2, 4       # multi-tenant contention sizes (needs chaos)
 //! family paper
@@ -28,6 +30,7 @@
 //! family torus_to_mesh max_size=24 max_dim=3
 //! family same_shape max_size=32 max_dim=3
 //! family hypercube max_dim=5
+//! family hypercube_torus max_dim=5
 //! family random count=16 max_size=40 max_dim=3
 //! ```
 
@@ -73,6 +76,16 @@ pub enum Family {
         /// Largest hypercube dimension to sweep.
         max_dim: usize,
     },
+    /// `hypercube(d)` into every distinct non-binary *torus* of size `2^d`,
+    /// for `2 ≤ d ≤ max_dim` — the cross-paper family behind EXPERIMENTS.md
+    /// Table 11: every member has an exact Tang minimum-wirelength bound
+    /// (`embeddings::lower_bound::wirelength_lower_bound`), so the
+    /// `wirelength` plan key can compare the 1987 constructive embeddings and
+    /// sharded-annealed tables against the closed form.
+    HypercubeTorus {
+        /// Largest hypercube dimension to sweep.
+        max_dim: usize,
+    },
     /// `count` random same-size pairs: a random size in `[4, max_size]`, a
     /// random ordered shape of that size for each side, and random kinds.
     /// Fully determined by the seed. A parameterization that cannot produce
@@ -101,6 +114,7 @@ impl Family {
             Family::TorusToMesh { .. } => "torus_to_mesh",
             Family::SameShape { .. } => "same_shape",
             Family::Hypercube { .. } => "hypercube",
+            Family::HypercubeTorus { .. } => "hypercube_torus",
             Family::Random { .. } => "random",
         }
     }
@@ -167,6 +181,25 @@ impl Family {
                     {
                         // The hypercube itself appears as the all-2s shape on
                         // both lists; skip the identity pairs.
+                        if host.shape().is_binary() {
+                            continue;
+                        }
+                        out.push((cube.clone(), host));
+                    }
+                }
+                out
+            }
+            Family::HypercubeTorus { max_dim } => {
+                let mut out = Vec::new();
+                for d in 2..=max_dim {
+                    let cube = match Grid::hypercube(d) {
+                        Ok(cube) => cube,
+                        Err(_) => break,
+                    };
+                    let n = cube.size();
+                    for host in grids_of_size(GraphKind::Torus, n, d) {
+                        // The all-2s torus is the hypercube itself; skip the
+                        // identity pair (its bound is just the edge count).
                         if host.shape().is_binary() {
                             continue;
                         }
@@ -284,6 +317,10 @@ pub enum ObjectiveKind {
     /// Minimize total path length / average dilation (ties: max dilation);
     /// incremental delta evaluation.
     Dilation,
+    /// Minimize the unit-weight wirelength — the total routed path length
+    /// over guest edges, the quantity Tang's bound speaks about (ties: max
+    /// per-edge distance); incremental delta evaluation.
+    Wirelength,
     /// Minimize the simulated makespan of the guest's neighbor-exchange
     /// workload; every move re-simulates, so prefer small step counts.
     Makespan,
@@ -295,6 +332,7 @@ impl ObjectiveKind {
         match self {
             ObjectiveKind::Congestion => "congestion",
             ObjectiveKind::Dilation => "dilation",
+            ObjectiveKind::Wirelength => "wirelength",
             ObjectiveKind::Makespan => "makespan",
         }
     }
@@ -304,6 +342,7 @@ impl ObjectiveKind {
         [
             ObjectiveKind::Congestion,
             ObjectiveKind::Dilation,
+            ObjectiveKind::Wirelength,
             ObjectiveKind::Makespan,
         ]
         .into_iter()
@@ -376,6 +415,25 @@ impl WorkloadSpec {
     }
 }
 
+/// The wirelength stage of a plan: for every supported trial whose guest is
+/// a hypercube, measure the constructive embedding's wirelength (the total
+/// routed path length), anneal the placement under the unit-weight
+/// [`embeddings::optim::WirelengthObjective`] with `shards`
+/// independently-seeded walks of `steps` moves each, and compare both
+/// numbers against Tang's exact minimum
+/// (`embeddings::lower_bound::wirelength_lower_bound`) — EXPERIMENTS.md
+/// Table 11. A measured wirelength below the bound is a bound violation and
+/// fails the trial's `bound_ok`. Non-hypercube guests skip the stage (the
+/// closed form does not apply to them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WirelengthSpec {
+    /// Proposed annealing moves per shard.
+    pub steps: u64,
+    /// Independently-seeded walks per trial (`wirelength_shards`; 1 = the
+    /// sequential optimizer).
+    pub shards: u32,
+}
+
 /// The optimizer step count a plan file gets when `optimize` is set without
 /// an explicit `optim_steps`.
 pub const DEFAULT_OPTIM_STEPS: u64 = 800;
@@ -383,6 +441,10 @@ pub const DEFAULT_OPTIM_STEPS: u64 = 800;
 /// The shard count a plan file gets when `optimize` is set without an
 /// explicit `optim_shards`.
 pub const DEFAULT_OPTIM_SHARDS: u32 = 1;
+
+/// The shard count a plan file gets when `wirelength` is set without an
+/// explicit `wirelength_shards`.
+pub const DEFAULT_WIRELENGTH_SHARDS: u32 = 1;
 
 /// A declarative sweep: families × workloads, a seed, and a round count for
 /// the simulator.
@@ -402,6 +464,10 @@ pub struct SweepPlan {
     /// with the seeded local-search optimizer and records
     /// constructive-vs-optimized measurements.
     pub optimize: Option<OptimSpec>,
+    /// When set, every supported hypercube-guest trial additionally anneals
+    /// its placement toward Tang's exact minimum-wirelength bound and
+    /// records constructive/annealed/bound wirelengths (Table 11).
+    pub wirelength: Option<WirelengthSpec>,
     /// When set, every supported trial additionally records degraded-
     /// operation measurements (fault-tolerance and multi-tenant contention
     /// rows) via `netsim::chaos`.
@@ -434,6 +500,7 @@ impl SweepPlan {
                 rounds: 1,
                 families: vec![
                     Family::Hypercube { max_dim: 4 },
+                    Family::HypercubeTorus { max_dim: 4 },
                     Family::RingInto {
                         max_size: 16,
                         max_dim: 3,
@@ -450,6 +517,10 @@ impl SweepPlan {
                 workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
                 optimize: Some(OptimSpec {
                     objective: ObjectiveKind::Congestion,
+                    steps: 200,
+                    shards: 2,
+                }),
+                wirelength: Some(WirelengthSpec {
                     steps: 200,
                     shards: 2,
                 }),
@@ -477,6 +548,7 @@ impl SweepPlan {
                         max_dim: 3,
                     },
                     Family::Hypercube { max_dim: 6 },
+                    Family::HypercubeTorus { max_dim: 6 },
                     Family::Random {
                         count: 24,
                         max_size: 40,
@@ -491,6 +563,10 @@ impl SweepPlan {
                 ],
                 optimize: Some(OptimSpec {
                     objective: ObjectiveKind::Congestion,
+                    steps: 1_200,
+                    shards: 4,
+                }),
+                wirelength: Some(WirelengthSpec {
                     steps: 1_200,
                     shards: 4,
                 }),
@@ -519,6 +595,7 @@ impl SweepPlan {
                 // BENCH_explab.json comparable across PRs (the optimizer and
                 // the chaos router have their own benches).
                 optimize: None,
+                wirelength: None,
                 chaos: None,
             }),
             other => Err(ExplabError::UnknownPlan { name: other.into() }),
@@ -539,10 +616,12 @@ impl SweepPlan {
             families: Vec::new(),
             workloads: vec![WorkloadSpec::Neighbor],
             optimize: None,
+            wirelength: None,
             chaos: None,
         };
         let mut optim_steps: Option<u64> = None;
         let mut optim_shards: Option<u32> = None;
+        let mut wirelength_shards: Option<u32> = None;
         let mut chaos_tenants: Option<Vec<u32>> = None;
         for (index, raw) in text.lines().enumerate() {
             let line = index + 1;
@@ -597,8 +676,8 @@ impl SweepPlan {
                                 ExplabError::PlanParse {
                                     line,
                                     message: format!(
-                                        "optimize must be none, congestion, dilation or \
-                                         makespan, got {name:?}"
+                                        "optimize must be none, congestion, dilation, \
+                                         wirelength or makespan, got {name:?}"
                                     ),
                                 }
                             })?;
@@ -616,6 +695,37 @@ impl SweepPlan {
                         message: format!("optim_steps must be a u64, got {value:?}"),
                     })?;
                     optim_steps = Some(steps);
+                }
+                "wirelength" => {
+                    plan.wirelength = match value {
+                        "none" => None,
+                        steps => {
+                            let steps: u64 = steps.parse().map_err(|_| ExplabError::PlanParse {
+                                line,
+                                message: format!(
+                                    "wirelength must be none or an annealing step \
+                                         count, got {value:?}"
+                                ),
+                            })?;
+                            Some(WirelengthSpec {
+                                steps,
+                                shards: DEFAULT_WIRELENGTH_SHARDS,
+                            })
+                        }
+                    };
+                }
+                "wirelength_shards" => {
+                    let shards: u32 = value.parse().map_err(|_| ExplabError::PlanParse {
+                        line,
+                        message: format!("wirelength_shards must be a u32, got {value:?}"),
+                    })?;
+                    if shards == 0 {
+                        return Err(ExplabError::PlanParse {
+                            line,
+                            message: "wirelength_shards must be at least 1".into(),
+                        });
+                    }
+                    wirelength_shards = Some(shards);
                 }
                 "chaos" => {
                     plan.chaos = match value {
@@ -709,6 +819,15 @@ impl SweepPlan {
             }
             _ => {}
         }
+        match (&mut plan.wirelength, wirelength_shards) {
+            (Some(spec), Some(shards)) => spec.shards = shards,
+            (None, Some(_)) => {
+                return Err(ExplabError::InvalidPlan {
+                    message: "wirelength_shards requires a `wirelength = <steps>` line".into(),
+                });
+            }
+            _ => {}
+        }
         match (&mut plan.chaos, chaos_tenants) {
             (Some(spec), Some(tenants)) => spec.tenants = tenants,
             (None, Some(_)) => {
@@ -769,6 +888,9 @@ fn parse_family(body: &str, line: usize) -> Result<Family> {
         "hypercube" => Family::Hypercube {
             max_dim: get("max_dim", 5)? as usize,
         },
+        "hypercube_torus" => Family::HypercubeTorus {
+            max_dim: get("max_dim", 5)? as usize,
+        },
         "random" => Family::Random {
             count: get("count", 8)? as usize,
             max_size: get("max_size", 24)?,
@@ -787,7 +909,7 @@ fn parse_family(body: &str, line: usize) -> Result<Family> {
         Family::RingInto { .. } | Family::TorusToMesh { .. } | Family::SameShape { .. } => {
             &["max_size", "max_dim"]
         }
-        Family::Hypercube { .. } => &["max_dim"],
+        Family::Hypercube { .. } | Family::HypercubeTorus { .. } => &["max_dim"],
         Family::Random { .. } => &["count", "max_size", "max_dim"],
     };
     if let Some((key, _)) = args.iter().find(|(k, _)| !known.contains(k)) {
@@ -833,6 +955,61 @@ mod tests {
         assert!(pairs.iter().any(|(_, h)| h.is_mesh()));
         assert!(pairs.iter().any(|(_, h)| h.is_torus() && !h.is_ring()));
         assert!(pairs.iter().all(|(g, h)| g.size() == h.size()));
+    }
+
+    #[test]
+    fn hypercube_torus_family_pairs_all_carry_the_tang_bound() {
+        let pairs = Family::HypercubeTorus { max_dim: 5 }.pairs(0);
+        // d=2: (4); d=3: (8),(4,2); d=4: (16),(8,2),(4,4),(4,2,2);
+        // d=5: (32),(16,2),(8,4),(8,2,2),(4,4,2),(4,2,2,2).
+        assert_eq!(pairs.len(), 1 + 2 + 4 + 6);
+        for (guest, host) in &pairs {
+            assert!(guest.is_hypercube(), "{guest}");
+            assert!(host.is_torus() && !host.shape().is_binary(), "{host}");
+            assert_eq!(guest.size(), host.size());
+            // Every member is covered by the closed form.
+            let bound = embeddings::lower_bound::wirelength_lower_bound(guest, host).unwrap();
+            assert!(bound > 0, "{guest} -> {host}");
+        }
+    }
+
+    #[test]
+    fn wirelength_plan_keys_parse_and_validate() {
+        let plan =
+            SweepPlan::parse("family paper\nwirelength = 300\nwirelength_shards = 3").unwrap();
+        assert_eq!(
+            plan.wirelength,
+            Some(WirelengthSpec {
+                steps: 300,
+                shards: 3,
+            })
+        );
+        // The shard default applies without the explicit key; `none`
+        // disables the stage.
+        let defaulted = SweepPlan::parse("family paper\nwirelength = 500").unwrap();
+        assert_eq!(
+            defaulted.wirelength,
+            Some(WirelengthSpec {
+                steps: 500,
+                shards: DEFAULT_WIRELENGTH_SHARDS,
+            })
+        );
+        assert_eq!(
+            SweepPlan::parse("family paper\nwirelength = none")
+                .unwrap()
+                .wirelength,
+            None
+        );
+        // The wirelength stage is independent of `optimize = wirelength`,
+        // which refines under the same objective but feeds Tables 7/8.
+        let combined =
+            SweepPlan::parse("family paper\noptimize = wirelength\nwirelength = 100").unwrap();
+        assert_eq!(combined.optimize.unwrap().objective.name(), "wirelength");
+        assert!(combined.wirelength.is_some());
+        // Shards without the stage, zero shards, and junk are rejected.
+        assert!(SweepPlan::parse("family paper\nwirelength_shards = 2").is_err());
+        assert!(SweepPlan::parse("family paper\nwirelength = 100\nwirelength_shards = 0").is_err());
+        assert!(SweepPlan::parse("family paper\nwirelength = lots").is_err());
     }
 
     #[test]

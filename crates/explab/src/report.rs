@@ -528,6 +528,46 @@ pub fn tenant_contention(outcome: &SweepOutcome) -> Table {
 /// The fixed multi-step chains EXPERIMENTS.md reports: endpoints the planner
 /// also covers directly, routed through explicit intermediate graphs so the
 /// per-step dilations and the multiplicative bound are visible.
+/// Table: the cross-paper wirelength comparison, one row per hypercube-guest
+/// trial that ran the wirelength stage — the 1987 constructive embedding's
+/// total routed wirelength, the best a sharded annealing search under the
+/// wirelength objective found, and Tang's exact analytic minimum
+/// (arXiv:2302.13237) side by side. `check` compares the annealed value with
+/// the bound: `ok (tight)` means annealing reached the exact optimum, `ok`
+/// means it stayed above, `MISMATCH` (never expected) would mean a measured
+/// wirelength below a proven minimum.
+pub fn wirelength_table(outcome: &SweepOutcome) -> Table {
+    let mut table = Table::new(vec![
+        "guest",
+        "host",
+        "constructive",
+        "annealed",
+        "Tang bound",
+        "check",
+    ])
+    .with_alignments(right(4));
+    for record in &outcome.records {
+        let Some(w) = record.metrics().and_then(|m| m.wirelength.as_ref()) else {
+            continue;
+        };
+        table.push_row(vec![
+            record.guest.clone(),
+            record.host.clone(),
+            w.constructive.to_string(),
+            w.optimized.to_string(),
+            w.bound.to_string(),
+            if w.optimized < w.bound {
+                "MISMATCH".to_string()
+            } else if w.optimized == w.bound {
+                "ok (tight)".to_string()
+            } else {
+                "ok".to_string()
+            },
+        ]);
+    }
+    table
+}
+
 fn report_chains() -> Vec<(&'static str, Grid, Vec<Grid>, Grid)> {
     let shape = |radices: &[u32]| Shape::new(radices.to_vec()).expect("valid shape");
     vec![
@@ -627,10 +667,12 @@ pub fn experiments_markdown(outcome: &SweepOutcome, shard_note: &str) -> String 
          drift. Trials run the batched `verify`/`congestion` pipeline plus one `netsim`\n\
          round per workload, then refine each placement with sharded seeded annealing\n\
          (N independent walks, lexicographically best kept) for constructive-vs-\n\
-         optimized and sequential-vs-sharded comparisons, then re-simulate it under\n\
-         seeded link loss and multi-tenant contention (`netsim::chaos`) for the\n\
-         degraded-operation tables; a pair outside the paper's constructions is\n\
-         recorded as unsupported, not an error.\n\n",
+         optimized and sequential-vs-sharded comparisons, anneal hypercube guests\n\
+         under the wirelength objective against Tang's exact analytic minimum\n\
+         (Table 11), then re-simulate each placement under seeded link loss and\n\
+         multi-tenant contention (`netsim::chaos`) for the degraded-operation\n\
+         tables; a pair outside the paper's constructions is recorded as\n\
+         unsupported, not an error.\n\n",
     );
     out.push_str(&format!(
         "- plan: `{}` (seed {}, {} trials: {} supported, {} outside the paper's cases)\n",
@@ -750,6 +792,28 @@ pub fn experiments_markdown(outcome: &SweepOutcome, shard_note: &str) -> String 
              adding tenants can only delay, never accelerate, the solo traffic.\n",
         );
     }
+
+    let wirelength = wirelength_table(outcome);
+    if !wirelength.is_empty() {
+        out.push_str(
+            "\n## Table 11 — wirelength: 1987 constructions vs annealing vs Tang's exact bound\n\n",
+        );
+        out.push_str(&wirelength.to_markdown());
+        out.push_str(
+            "\nA cross-paper check: Tang (*Optimal Embedding of Hypercubes into Grids*,\n\
+             arXiv:2302.13237) proves a closed form for the **minimum wirelength** —\n\
+             the sum of host distances over all guest edges — of any embedding of the\n\
+             hypercube `Q_n` into a torus or mesh of the same size. `constructive` is\n\
+             the total routed path length of this repo's 1987-era construction,\n\
+             `annealed` the best of N independently-seeded annealing walks under\n\
+             `embeddings::optim`'s wirelength objective (independently re-measured by\n\
+             the congestion sweep — dimension-ordered routes are shortest paths, so\n\
+             total path length *is* wirelength), and `Tang bound` the analytic\n\
+             minimum. `ok (tight)` marks rows where annealing reached the exact\n\
+             optimum; a value below the bound would be a `MISMATCH` and makes\n\
+             `lab run`/`lab report` exit non-zero.\n",
+        );
+    }
     out
 }
 
@@ -791,6 +855,10 @@ mod tests {
         // the 2-tenant contention rows.
         assert!(md.contains("## Table 9"));
         assert!(md.contains("## Table 10"));
+        // The smoke plan sweeps the hypercube_torus family with a
+        // wirelength spec, so the cross-paper Table 11 renders.
+        assert!(md.contains("## Table 11"));
+        assert!(md.contains("Tang bound"));
         assert!(md.contains("| 0% |"));
         assert!(md.contains("| 10% |"));
         assert!(md.contains("test note"));

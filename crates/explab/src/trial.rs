@@ -13,8 +13,11 @@
 use embeddings::auto::{embed, predicted_dilation};
 use embeddings::chain::{ChainReport, ChainStep};
 use embeddings::congestion::congestion_sequential;
+use embeddings::lower_bound::wirelength_lower_bound;
 use embeddings::optim::parallel::{optimize_sharded, ShardedConfig, ShardedOutcome};
-use embeddings::optim::{CongestionObjective, DilationObjective, Objective, OptimizerConfig};
+use embeddings::optim::{
+    CongestionObjective, DilationObjective, Objective, OptimizerConfig, WirelengthObjective,
+};
 use embeddings::verify::verify_sequential;
 use embeddings::{Embedding, Plan};
 use netsim::chaos::{simulate_chaos, ChaosRouting, FaultPlan};
@@ -25,7 +28,7 @@ use netsim::{patterns, Network, Workload};
 use topology::Grid;
 
 use crate::json::{array, Object};
-use crate::plan::{ChaosSpec, ObjectiveKind, OptimSpec, WorkloadSpec};
+use crate::plan::{ChaosSpec, ObjectiveKind, OptimSpec, WirelengthSpec, WorkloadSpec};
 
 /// The input of one trial, produced by expanding a plan.
 #[derive(Clone, Debug)]
@@ -48,6 +51,10 @@ pub struct TrialSpec {
     /// When set, refine the placement with the local-search optimizer and
     /// record constructive-vs-optimized measurements.
     pub optimize: Option<OptimSpec>,
+    /// When set, anneal hypercube-guest trials under the wirelength
+    /// objective and record the constructive / annealed / Tang-bound
+    /// comparison (Table 11). Silently skipped for non-hypercube guests.
+    pub wirelength: Option<WirelengthSpec>,
     /// When set, re-simulate the placement under seeded link loss and
     /// multi-tenant contention and record degraded-operation rows.
     pub chaos: Option<ChaosSpec>,
@@ -121,6 +128,48 @@ pub struct OptimizedMetrics {
     /// Whether the refined mapping verified as injective (every optimizer
     /// move is a permutation, so this must always hold).
     pub injective: bool,
+}
+
+/// The wirelength stage's measurements for a hypercube-guest trial: the
+/// constructive placement's total routed wirelength, the best wirelength a
+/// sharded annealing search under [`WirelengthObjective`] found, and Tang's
+/// exact analytic minimum (arXiv:2302.13237), side by side. Both measured
+/// wirelengths come from independent `congestion` re-sweeps, never from the
+/// optimizer's own bookkeeping; both must stay at or above `bound`, and the
+/// annealed value must not exceed the constructive one — violations fold
+/// into [`TrialRecord::bound_ok`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WirelengthMetrics {
+    /// Proposed annealing steps per shard.
+    pub steps: u64,
+    /// Independently-seeded annealing walks run for this trial.
+    pub shards: u32,
+    /// The shard whose table won the lexicographic reduce.
+    pub winner_shard: u32,
+    /// The winning shard's seed.
+    pub winner_seed: u64,
+    /// Total routed wirelength of the paper's constructive placement.
+    pub constructive: u64,
+    /// Total routed wirelength of the annealed placement (independent
+    /// re-sweep of the winning table).
+    pub optimized: u64,
+    /// Tang's exact minimum wirelength for the pair.
+    pub bound: u64,
+    /// Whether the annealed mapping verified as injective (every optimizer
+    /// move is a permutation, so this must always hold).
+    pub injective: bool,
+}
+
+impl WirelengthMetrics {
+    /// Whether the row is consistent: injective annealed table, both
+    /// measurements at or above Tang's bound, and annealing never worse
+    /// than the constructive start.
+    pub fn is_consistent(&self) -> bool {
+        self.injective
+            && self.constructive >= self.bound
+            && self.optimized >= self.bound
+            && self.optimized <= self.constructive
+    }
 }
 
 /// One faulted (or baseline) simulation's counters: the [`netsim::SimStats`]
@@ -236,6 +285,9 @@ pub struct TrialMetrics {
     /// Constructive-vs-optimized comparison, when the plan enables the
     /// optimizer stage.
     pub optimized: Option<OptimizedMetrics>,
+    /// Constructive / annealed / Tang-bound wirelength comparison, when the
+    /// plan enables the wirelength stage and the guest is a hypercube.
+    pub wirelength: Option<WirelengthMetrics>,
     /// Degraded-operation rows, when the plan enables the chaos stage.
     pub chaos: Option<ChaosMetrics>,
 }
@@ -293,7 +345,11 @@ impl TrialRecord {
     /// additionally verify injective, and under the congestion objective its
     /// independently measured max congestion must not exceed the
     /// constructive embedding's (the optimizer's monotone guarantee,
-    /// re-checked from the outside). When the chaos stage ran, every fault
+    /// re-checked from the outside). When the wirelength stage ran, both the
+    /// constructive and the annealed wirelength must respect Tang's exact
+    /// lower bound and the annealed one must not exceed the constructive
+    /// one (see [`WirelengthMetrics::is_consistent`]). When the chaos stage
+    /// ran, every fault
     /// row must conserve messages (`delivered + dropped == messages`), the
     /// 0% baseline row must reproduce the unfaulted neighbor-exchange
     /// simulation bit for bit (no drops, no detours, the same makespan),
@@ -312,7 +368,11 @@ impl TrialRecord {
                             && (o.objective != "congestion" || o.max_congestion <= m.max_congestion)
                     }
                 };
-                constructive_ok && optimized_ok && chaos_ok(m)
+                let wirelength_ok = m
+                    .wirelength
+                    .as_ref()
+                    .is_none_or(WirelengthMetrics::is_consistent);
+                constructive_ok && optimized_ok && wirelength_ok && chaos_ok(m)
             }
         }
     }
@@ -397,6 +457,19 @@ impl TrialRecord {
                         .bool("injective", o.injective)
                         .finish();
                     object = object.raw("optimized", optimized);
+                }
+                if let Some(w) = &m.wirelength {
+                    let wirelength = Object::new()
+                        .u64("steps", w.steps)
+                        .u64("shards", u64::from(w.shards))
+                        .u64("winner_shard", u64::from(w.winner_shard))
+                        .u64("winner_seed", w.winner_seed)
+                        .u64("constructive", w.constructive)
+                        .u64("optimized", w.optimized)
+                        .u64("bound", w.bound)
+                        .bool("injective", w.injective)
+                        .finish();
+                    object = object.raw("wirelength", wirelength);
                 }
                 if let Some(c) = &m.chaos {
                     let run_json = |run: &ChaosRun| {
@@ -579,6 +652,22 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
         },
     };
 
+    let wirelength = match spec.wirelength {
+        // The Tang bound only covers hypercube guests; the stage silently
+        // skips other pairs so mixed-family sweeps keep a single plan.
+        Some(wl_spec) if spec.guest.is_hypercube() => {
+            match wirelength_trial(spec, &embedding, congestion.total_path_length, wl_spec) {
+                Ok(result) => Some(result),
+                Err(error) => {
+                    return record(TrialOutcome::Unsupported {
+                        reason: format!("wirelength stage failed: {error}"),
+                    });
+                }
+            }
+        }
+        _ => None,
+    };
+
     let network = Network::new(spec.host.clone());
     let placement = Placement::from_embedding(&embedding);
     let mut workloads = Vec::with_capacity(spec.workloads.len());
@@ -627,6 +716,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialRecord {
         chain,
         workloads,
         optimized,
+        wirelength,
         chaos,
     })))
 }
@@ -769,6 +859,9 @@ fn optimize_trial(
                 Box::new(CongestionObjective::new(&spec.guest, &spec.host)?)
             }
             ObjectiveKind::Dilation => Box::new(DilationObjective::new(&spec.guest, &spec.host)?),
+            ObjectiveKind::Wirelength => {
+                Box::new(WirelengthObjective::new(&spec.guest, &spec.host)?)
+            }
             ObjectiveKind::Makespan => Box::new(
                 MakespanObjective::new(
                     Network::new(spec.host.clone()),
@@ -816,6 +909,54 @@ fn optimize_trial(
     Ok((metrics, placement))
 }
 
+/// Runs the wirelength stage of one trial: anneal the constructive placement
+/// under the unit-weight [`WirelengthObjective`] with `wl_spec.shards`
+/// independently-seeded walks, re-measure the winner with the same
+/// `verify`/`congestion` sweeps used everywhere else, and put both
+/// measurements next to Tang's exact analytic minimum. Like the optimizer
+/// stage, everything is a pure function of the spec (its seed decorrelates
+/// from the optimizer and workload draws via a distinct constant), so
+/// records stay bit-identical for any worker count.
+fn wirelength_trial(
+    spec: &TrialSpec,
+    embedding: &Embedding,
+    constructive_wirelength: u64,
+    wl_spec: WirelengthSpec,
+) -> embeddings::error::Result<WirelengthMetrics> {
+    let bound = wirelength_lower_bound(&spec.guest, &spec.host)?;
+    let config = ShardedConfig {
+        base: OptimizerConfig {
+            seed: crate::executor::splitmix64(spec.seed ^ 0x7a96_2023_0d1e_57a1),
+            steps: wl_spec.steps,
+            ..OptimizerConfig::default()
+        },
+        shards: wl_spec.shards,
+        // Sequential shards for the same reason as `optimize_trial`: the
+        // executor parallelizes across trials.
+        workers: 1,
+    };
+    let factory = || -> embeddings::error::Result<Box<dyn Objective>> {
+        Ok(Box::new(WirelengthObjective::new(&spec.guest, &spec.host)?))
+    };
+    let sharded: ShardedOutcome = optimize_sharded(embedding, factory, &config)?;
+    let refined = &sharded.outcome.embedding;
+    let verification = verify_sequential(refined);
+    let congestion = congestion_sequential(refined)?;
+    let winner = &sharded.shards[sharded.winner as usize];
+    Ok(WirelengthMetrics {
+        steps: wl_spec.steps,
+        shards: wl_spec.shards.max(1),
+        winner_shard: sharded.winner,
+        winner_seed: winner.seed,
+        constructive: constructive_wirelength,
+        // DOR routes are shortest paths, so the congestion sweep's total
+        // path length *is* the refined table's wirelength.
+        optimized: congestion.total_path_length,
+        bound,
+        injective: verification.injective,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -835,6 +976,7 @@ mod tests {
             rounds: 1,
             workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
             optimize: None,
+            wirelength: None,
             chaos: None,
         }
     }

@@ -225,6 +225,41 @@ fn doccheck_rejects_dangling_links_tables_and_paths() {
 }
 
 #[test]
+fn doccheck_validates_urls_anchors_and_bench_baselines() {
+    // Malformed arXiv / DOI / hostless URLs, a duplicate heading anchor and
+    // a missing BENCH_*.json baseline each produce their own problem line.
+    let doc = temp_file(
+        "badrefs.md",
+        "# Title\n\n\
+         see https://arxiv.org/abs/not-an-id and https://doi.org/wrong\n\
+         and http://nohost plus the baseline BENCH_missing.json\n\n\
+         # Title\n",
+    );
+    let out = lab(&["doccheck", doc.to_str().unwrap()]);
+    std::fs::remove_file(&doc).ok();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("arXiv URL"), "{stderr}");
+    assert!(stderr.contains("DOI URL"), "{stderr}");
+    assert!(stderr.contains("no dotted host"), "{stderr}");
+    assert!(stderr.contains("duplicate heading anchor"), "{stderr}");
+    assert!(stderr.contains("BENCH_missing.json"), "{stderr}");
+
+    // Canonical forms pass: a real arXiv id, a real DOI, unique anchors,
+    // and a glob placeholder (`BENCH_*.json`) that names no concrete file.
+    let doc = temp_file(
+        "goodrefs.md",
+        "# Title\n\n\
+         see https://arxiv.org/abs/2302.13237 and https://doi.org/10.1000/x\n\
+         (CI gates every `BENCH_*.json` baseline)\n\n\
+         ## Subtitle\n",
+    );
+    let out = lab(&["doccheck", doc.to_str().unwrap()]);
+    std::fs::remove_file(&doc).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+}
+
+#[test]
 fn doccheck_rejects_flags_and_missing_files() {
     let out = lab(&["doccheck", "--strict"]);
     assert_eq!(out.status.code(), Some(1));

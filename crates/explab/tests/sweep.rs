@@ -5,7 +5,9 @@ use embeddings::auto::{embed, predicted_dilation};
 use embeddings::congestion::congestion;
 use embeddings::verify::verify;
 use explab::executor::{expand, run};
-use explab::plan::{ChaosSpec, Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
+use explab::plan::{
+    ChaosSpec, Family, ObjectiveKind, OptimSpec, SweepPlan, WirelengthSpec, WorkloadSpec,
+};
 use explab::report::experiments_markdown;
 
 fn test_plan() -> SweepPlan {
@@ -28,6 +30,7 @@ fn test_plan() -> SweepPlan {
                 max_size: 20,
                 max_dim: 3,
             },
+            Family::HypercubeTorus { max_dim: 4 },
         ],
         workloads: vec![
             WorkloadSpec::Neighbor,
@@ -37,6 +40,12 @@ fn test_plan() -> SweepPlan {
         optimize: Some(OptimSpec {
             objective: ObjectiveKind::Congestion,
             steps: 150,
+            shards: 2,
+        }),
+        // The wirelength stage rides along on the hypercube-guest trials so
+        // the determinism and shard-invariance tests also pin it.
+        wirelength: Some(WirelengthSpec {
+            steps: 120,
             shards: 2,
         }),
         // Chaos rows ride along so the determinism and shard-invariance
@@ -219,6 +228,7 @@ fn makespan_objective_runs_sharded_in_sweeps() {
             steps: 150,
             shards: 2,
         }),
+        wirelength: None,
         chaos: None,
     };
     let outcome = run(&plan, 2);
@@ -233,6 +243,64 @@ fn makespan_objective_runs_sharded_in_sweeps() {
         .filter(|o| o.objective == "makespan")
         .count();
     assert_eq!(optimized, outcome.supported());
+}
+
+#[test]
+fn wirelength_stage_respects_tangs_bound_on_every_swept_member() {
+    // Satellite check for the cross-paper lab: sweep the whole
+    // hypercube_torus family and require every supported trial to carry a
+    // wirelength row whose constructive AND annealed wirelengths sit at or
+    // above Tang's exact minimum, with annealing never losing ground. A
+    // single violation anywhere would mean a broken closed form, a broken
+    // incremental objective, or a broken measurement.
+    let plan = SweepPlan {
+        name: "tang".into(),
+        seed: 1987,
+        rounds: 1,
+        families: vec![Family::HypercubeTorus { max_dim: 5 }],
+        workloads: vec![WorkloadSpec::Neighbor],
+        optimize: None,
+        wirelength: Some(WirelengthSpec {
+            steps: 250,
+            shards: 2,
+        }),
+        chaos: None,
+    };
+    let outcome = run(&plan, 2);
+    assert!(outcome.supported() > 0);
+    assert!(outcome.bound_violations().is_empty());
+    let mut rows = 0;
+    for record in &outcome.records {
+        let Some(metrics) = record.metrics() else {
+            continue;
+        };
+        let w = metrics
+            .wirelength
+            .as_ref()
+            .expect("every supported family member is a hypercube guest");
+        rows += 1;
+        assert!(w.injective, "trial {}", record.id);
+        assert!(
+            w.constructive >= w.bound,
+            "trial {}: constructive {} < Tang bound {}",
+            record.id,
+            w.constructive,
+            w.bound
+        );
+        assert!(
+            w.optimized >= w.bound,
+            "trial {}: annealed {} < Tang bound {}",
+            record.id,
+            w.optimized,
+            w.bound
+        );
+        assert!(w.optimized <= w.constructive, "trial {}", record.id);
+        assert_eq!(w.shards, 2);
+        assert!(record.to_json_line().contains("\"wirelength\":{"));
+    }
+    assert!(rows >= 8, "only {rows} wirelength rows swept");
+    // Worker-count invariance covers the new stage too.
+    assert_eq!(run(&plan, 1).records, outcome.records);
 }
 
 #[test]

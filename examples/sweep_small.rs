@@ -8,7 +8,7 @@
 //! ```
 
 use explab::executor::{expand, run};
-use explab::plan::{Family, ObjectiveKind, OptimSpec, SweepPlan, WorkloadSpec};
+use explab::plan::{Family, ObjectiveKind, OptimSpec, SweepPlan, WirelengthSpec, WorkloadSpec};
 use explab::report::family_overview;
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
                 max_size: 16,
                 max_dim: 3,
             },
+            Family::HypercubeTorus { max_dim: 3 },
         ],
         workloads: vec![WorkloadSpec::Neighbor, WorkloadSpec::Tornado],
         // Refine every supported placement with two independently-seeded
@@ -38,6 +39,12 @@ fn main() {
         optimize: Some(OptimSpec {
             objective: ObjectiveKind::Congestion,
             steps: 200,
+            shards: 2,
+        }),
+        // Anneal hypercube-guest trials under the wirelength objective and
+        // compare with Tang's exact analytic minimum (Table 11).
+        wirelength: Some(WirelengthSpec {
+            steps: 150,
             shards: 2,
         }),
         // No degraded-operation rows here; set a `ChaosSpec` to also
@@ -80,6 +87,22 @@ fn main() {
         "bound violations: {} (always 0 unless a theorem is broken)\n",
         outcome.bound_violations().len()
     );
+
+    // ------------------------------------------------------------------
+    // 3b. Hypercube-guest trials additionally carry the wirelength stage:
+    //     constructive vs annealed total route length vs Tang's bound.
+    // ------------------------------------------------------------------
+    for (record, w) in outcome.records.iter().filter_map(|r| {
+        r.metrics()
+            .and_then(|m| m.wirelength.as_ref())
+            .map(|w| (r, w))
+    }) {
+        println!(
+            "wirelength {} -> {}: constructive {}, annealed {}, Tang bound {}",
+            record.guest, record.host, w.constructive, w.optimized, w.bound,
+        );
+    }
+    println!();
 
     // ------------------------------------------------------------------
     // 4. The same records serialize to one JSON line per trial — what
