@@ -1,0 +1,79 @@
+//! Benchmark: annealing move throughput per move repertoire.
+//!
+//! Same workload as `optim_throughput` — a (16,16)-torus embedded in a
+//! (16,16)-mesh (256 nodes, 512 guest edges) under the congestion
+//! objective — annealed once per [`MoveMix`] of interest. Compound moves
+//! (k-cycle rotations, block swaps) decompose into disjoint-transposition
+//! batches, so a "move" here is one *proposal*, not one transposition: the
+//! numbers show what the richer repertoires cost per annealing step
+//! relative to the pairwise baseline. Results are recorded in
+//! `BENCH_optim.json` at the repo root; the `kcycle` rate is gated.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emb_bench::{mesh, torus};
+use embeddings::auto::embed;
+use embeddings::optim::{CongestionObjective, MoveMix, Optimizer, OptimizerConfig};
+
+const STEPS: u64 = 5_000;
+
+/// The portfolio's k-cycle-heavy palette entry, also the gated mix.
+fn kcycle_heavy() -> MoveMix {
+    MoveMix {
+        reverse_per_mille: 150,
+        kcycle_per_mille: 300,
+        block_per_mille: 50,
+    }
+}
+
+/// The portfolio's block-heavy palette entry.
+fn block_heavy() -> MoveMix {
+    MoveMix {
+        reverse_per_mille: 150,
+        kcycle_per_mille: 50,
+        block_per_mille: 300,
+    }
+}
+
+fn bench_move_mix(c: &mut Criterion) {
+    let guest = torus(&[16, 16]);
+    let host = mesh(&[16, 16]);
+    let embedding = embed(&guest, &host).unwrap();
+
+    let mut group = c.benchmark_group("move_mix");
+    group.throughput(Throughput::Elements(STEPS));
+    for (name, mix) in [
+        ("pairwise", MoveMix::pairwise()),
+        ("kcycle", kcycle_heavy()),
+        ("block", block_heavy()),
+        ("compound", MoveMix::compound()),
+    ] {
+        let config = OptimizerConfig {
+            seed: 1987,
+            steps: STEPS,
+            mix,
+            ..OptimizerConfig::default()
+        };
+        group.bench_function(BenchmarkId::new("move_mix", name), |b| {
+            b.iter(|| {
+                let mut objective = CongestionObjective::new(&guest, &host).unwrap();
+                Optimizer::new(config)
+                    .optimize(&embedding, &mut objective)
+                    .unwrap()
+                    .report
+                    .best
+                    .primary
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(8))
+        .sample_size(10);
+    targets = bench_move_mix
+}
+criterion_main!(benches);

@@ -47,6 +47,7 @@ fn bench_shards(c: &mut Criterion) {
                 base,
                 shards,
                 workers: shards as usize,
+                ..ShardedConfig::default()
             };
             b.iter(|| {
                 optimize_sharded(

@@ -24,7 +24,9 @@ use embd::{Client, PlanRegistry};
 use embeddings::auto::embed;
 use embeddings::congestion::congestion_sequential;
 use embeddings::optim::parallel::{optimize_sharded, ShardedConfig};
-use embeddings::optim::{CongestionObjective, Optimizer, OptimizerConfig, WirelengthObjective};
+use embeddings::optim::{
+    CongestionObjective, MoveMix, Optimizer, OptimizerConfig, WirelengthObjective,
+};
 use embeddings::verify::verify_sequential;
 use explab::executor::run;
 use explab::plan::SweepPlan;
@@ -127,6 +129,37 @@ fn measure(metric: &BaselineMetric) -> Result<f64, String> {
             });
             Ok(steps as f64 / seconds)
         }
+        ("optim_throughput", "kcycle_moves_per_s") => {
+            // The `move_mix` bench's gated row: the k-cycle-heavy portfolio
+            // mix on the same workload. A "move" is one proposal; rotations
+            // and block swaps cost several transpositions each, so this
+            // rate is expected to sit below the pairwise one.
+            let guest = torus(&[16, 16]);
+            let host = mesh(&[16, 16]);
+            let embedding = embed(&guest, &host).map_err(|e| e.to_string())?;
+            let steps = 5_000u64;
+            let config = OptimizerConfig {
+                seed: 1987,
+                steps,
+                mix: MoveMix {
+                    reverse_per_mille: 150,
+                    kcycle_per_mille: 300,
+                    block_per_mille: 50,
+                },
+                ..OptimizerConfig::default()
+            };
+            let seconds = best_seconds(3, || {
+                let mut objective = CongestionObjective::new(&guest, &host).expect("equal sizes");
+                std::hint::black_box(
+                    Optimizer::new(config)
+                        .optimize(&embedding, &mut objective)
+                        .expect("optimize")
+                        .report
+                        .best,
+                );
+            });
+            Ok(steps as f64 / seconds)
+        }
         ("optim_throughput", "moves_per_s") => {
             // The same workload and config as the criterion bench.
             let guest = torus(&[16, 16]);
@@ -168,6 +201,7 @@ fn measure(metric: &BaselineMetric) -> Result<f64, String> {
                 },
                 shards,
                 workers: shards as usize,
+                ..ShardedConfig::default()
             };
             let seconds = best_seconds(3, || {
                 std::hint::black_box(

@@ -444,6 +444,10 @@ pub fn extract_metrics(root: &Json) -> Result<Vec<BaselineMetric>, GateError> {
                 "wirelength_moves_per_s",
                 number_at(root, &["summary", "wirelength_moves_per_second"])?,
             ),
+            metric(
+                "kcycle_moves_per_s",
+                number_at(root, &["summary", "kcycle_moves_per_second"])?,
+            ),
         ]),
         "shard_scaling" => Ok(vec![metric(
             "sharded_moves_per_s",
@@ -622,13 +626,19 @@ mod tests {
 
         let optim = r#"{
             "benchmark": "optim_throughput",
-            "summary": {"moves_per_second": 85630, "wirelength_moves_per_second": 105086}
+            "summary": {
+                "moves_per_second": 85630,
+                "wirelength_moves_per_second": 105086,
+                "kcycle_moves_per_second": 60000
+            }
         }"#;
         let metrics = extract_metrics(&parse_json(optim).unwrap()).unwrap();
-        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics.len(), 3);
         assert_eq!(metrics[0].metric, "moves_per_s");
         assert_eq!(metrics[1].metric, "wirelength_moves_per_s");
         assert_eq!(metrics[1].throughput, 105086.0);
+        assert_eq!(metrics[2].metric, "kcycle_moves_per_s");
+        assert_eq!(metrics[2].throughput, 60000.0);
 
         let unknown = r#"{"benchmark": "mystery"}"#;
         assert!(matches!(

@@ -265,6 +265,7 @@ pub fn embed_with_budget(
         },
         shards: budget.shards,
         workers: 0,
+        ..ShardedConfig::default()
     };
     let mut best: Option<(Cost, usize)> = None;
     for index in 0..tied.len() {

@@ -6,8 +6,9 @@ use std::sync::Arc;
 
 use embeddings::auto::embed;
 use embeddings::congestion::congestion_sequential;
+use embeddings::optim::parallel::{optimize_sharded, ShardStrategy, ShardedConfig};
 use embeddings::optim::{
-    CongestionObjective, Cost, DilationObjective, Objective, Optimizer, OptimizerConfig,
+    CongestionObjective, Cost, DilationObjective, MoveMix, Objective, Optimizer, OptimizerConfig,
 };
 use embeddings::verify::verify_sequential;
 use embeddings::Embedding;
@@ -34,14 +35,17 @@ fn pairs() -> Vec<(Grid, Grid)> {
     ]
 }
 
-/// Wraps an objective and asserts, at every single `apply_swap` call, that
-/// the table the optimizer hands over is still a permutation of `0..n` —
-/// i.e. that *every* move (accepted, rejected-then-undone, or part of a
-/// segment reversal) preserves bijectivity.
+/// Wraps an objective and asserts, at every single `apply_swap` and
+/// `apply_disjoint_swaps` call, that the table the optimizer hands over is
+/// still a permutation of `0..n` — i.e. that *every* move (accepted,
+/// rejected-then-undone, pairwise, segment reversal, k-cycle rotation batch,
+/// or block swap) preserves bijectivity — and that every batched move keeps
+/// its disjointness contract: no index appears twice in one batch.
 struct BijectivityAuditor<'a> {
     inner: &'a mut dyn Objective,
     seen: Vec<bool>,
     calls: u64,
+    batches: u64,
 }
 
 impl<'a> BijectivityAuditor<'a> {
@@ -50,6 +54,7 @@ impl<'a> BijectivityAuditor<'a> {
             inner,
             seen: Vec::new(),
             calls: 0,
+            batches: 0,
         }
     }
 
@@ -80,6 +85,19 @@ impl Objective for BijectivityAuditor<'_> {
         self.assert_permutation(table);
         self.inner.apply_swap(table, a, b)
     }
+
+    fn apply_disjoint_swaps(&mut self, table: &mut [u64], swaps: &[(u64, u64)]) -> Cost {
+        self.batches += 1;
+        let mut touched = std::collections::HashSet::new();
+        for &(a, b) in swaps {
+            assert_ne!(a, b, "degenerate transposition ({a}, {b})");
+            assert!(touched.insert(a), "index {a} appears twice in one batch");
+            assert!(touched.insert(b), "index {b} appears twice in one batch");
+        }
+        let cost = self.inner.apply_disjoint_swaps(table, swaps);
+        self.assert_permutation(table);
+        cost
+    }
 }
 
 #[test]
@@ -95,7 +113,39 @@ fn every_applied_move_preserves_bijectivity() {
         })
         .optimize(&e, &mut auditor)
         .unwrap();
-        assert!(auditor.calls >= 600, "swap path exercised per step");
+        assert!(
+            auditor.calls + auditor.batches >= 600,
+            "every step must reach the audited objective"
+        );
+        assert!(outcome.embedding.is_injective(), "{guest} -> {host}");
+        assert!(verify_sequential(&outcome.embedding).injective);
+    }
+}
+
+#[test]
+fn every_compound_move_preserves_bijectivity_and_disjointness() {
+    // Same audit, but with the full repertoire in the mix: k-cycle
+    // rotations and block swaps reach the objective as disjoint batches,
+    // and the auditor checks both the permutation and the disjointness
+    // contract on every one — including the undo batches of rejected moves.
+    for (guest, host) in pairs() {
+        let e = embed(&guest, &host).unwrap();
+        let mut congestion = CongestionObjective::new(&guest, &host).unwrap();
+        let mut auditor = BijectivityAuditor::new(&mut congestion);
+        let outcome = Optimizer::new(OptimizerConfig {
+            seed: 23,
+            steps: 600,
+            mix: MoveMix::compound(),
+            ..OptimizerConfig::default()
+        })
+        .optimize(&e, &mut auditor)
+        .unwrap();
+        assert!(
+            auditor.batches >= 100,
+            "compound mix must issue batched moves ({} batches)",
+            auditor.batches
+        );
+        assert!(auditor.calls >= 100, "pairwise swaps stay in the mix");
         assert!(outcome.embedding.is_injective(), "{guest} -> {host}");
         assert!(verify_sequential(&outcome.embedding).injective);
     }
@@ -207,6 +257,63 @@ fn incremental_cost_matches_full_resweep_after_optimization() {
         let mut fresh = CongestionObjective::new(&guest, &host).unwrap();
         assert_eq!(fresh.rebuild(&outcome.table), outcome.report.best);
     }
+}
+
+#[test]
+fn portfolio_shards_are_deterministic_and_keep_shard_zero_sequential() {
+    // The portfolio strategy must preserve both parallel invariants from
+    // the outside: bit-identical results for any worker count, and shard 0
+    // reporting exactly what a sequential run of the base config reports —
+    // diversified mixes and temperatures live strictly on shards >= 1.
+    let (guest, host) = (Grid::torus(shape(&[4, 6])), Grid::mesh(shape(&[4, 6])));
+    let e = shuffled_embedding(&guest, &host, 17);
+    let base = OptimizerConfig {
+        seed: 31,
+        steps: 400,
+        ..OptimizerConfig::default()
+    };
+    let run = |workers: usize| {
+        optimize_sharded(
+            &e,
+            || CongestionObjective::new(&guest, &host),
+            &ShardedConfig {
+                base,
+                shards: 6,
+                strategy: ShardStrategy::Portfolio,
+                workers,
+            },
+        )
+        .unwrap()
+    };
+    let one = run(1);
+    let many = run(4);
+    assert_eq!(one.winner, many.winner);
+    assert_eq!(one.outcome.table, many.outcome.table);
+    assert_eq!(one.shards, many.shards);
+
+    // Shard 0 ≡ sequential, untouched by the portfolio palette.
+    let mut objective = CongestionObjective::new(&guest, &host).unwrap();
+    let sequential = Optimizer::new(base).optimize(&e, &mut objective).unwrap();
+    assert_eq!(one.shards[0].style, "base");
+    assert_eq!(one.shards[0].report, sequential.report);
+
+    // The non-zero shards actually diversify: more than one style ran, and
+    // a single-shard portfolio degenerates to exactly the sequential run.
+    let styles: std::collections::HashSet<&str> = one.shards.iter().map(|s| s.style).collect();
+    assert!(styles.len() > 1, "portfolio ran only {styles:?}");
+    let single = optimize_sharded(
+        &e,
+        || CongestionObjective::new(&guest, &host),
+        &ShardedConfig {
+            base,
+            shards: 1,
+            strategy: ShardStrategy::Portfolio,
+            workers: 3,
+        },
+    )
+    .unwrap();
+    assert_eq!(single.outcome.table, sequential.table);
+    assert_eq!(single.outcome.report, sequential.report);
 }
 
 #[test]

@@ -30,6 +30,140 @@ fn small_grid() -> impl Strategy<Value = Grid> {
     })
 }
 
+/// Drives `objective` through `moves` random moves drawn from the
+/// optimizer's full repertoire — pairwise swaps, segment reversals, k-cycle
+/// rotations and dimension-aligned block swaps — decomposed into exactly the
+/// disjoint-transposition batches `Optimizer` issues. Roughly a third of the
+/// moves are undone again (the optimizer's rejection path), and every undo
+/// must restore the cost bit-exactly. Returns the final incremental cost for
+/// the caller to compare against a fresh rebuild.
+fn compound_move_walk(
+    objective: &mut dyn embeddings::optim::Objective,
+    guest: &Shape,
+    table: &mut [u64],
+    seed: u64,
+    moves: usize,
+) -> Result<embeddings::optim::Cost, TestCaseError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Fills `swaps` with the disjoint transpositions of `reverse(start..=end)`.
+    fn reversal_batch(start: u64, end: u64, swaps: &mut Vec<(u64, u64)>) {
+        swaps.clear();
+        let (mut i, mut j) = (start, end);
+        while i < j {
+            swaps.push((i, j));
+            i += 1;
+            j -= 1;
+        }
+    }
+
+    let n = table.len() as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = objective.rebuild(table);
+    let mut swaps: Vec<(u64, u64)> = Vec::new();
+    let block_dims: Vec<usize> = (0..guest.dim()).filter(|&d| guest.radix(d) >= 2).collect();
+    for _ in 0..moves {
+        if n < 2 {
+            break;
+        }
+        let before = cost;
+        // (kind, payload): 0 = swap(a, b), 1 = reverse(start, end),
+        // 2 = rotate(start, end), 3 = block swap with its batch in `swaps`.
+        let mut kind = rng.gen_range(0u32..4);
+        if kind == 2 && n < 3 {
+            kind = 0;
+        }
+        if kind == 3 && block_dims.is_empty() {
+            kind = 0;
+        }
+        let payload = match kind {
+            0 => {
+                let a = rng.gen_range(0u64..n);
+                let mut b = rng.gen_range(0u64..n - 1);
+                if b >= a {
+                    b += 1;
+                }
+                table.swap(a as usize, b as usize);
+                cost = objective.apply_swap(table, a, b);
+                (a, b)
+            }
+            1 => {
+                let len = rng.gen_range(2u64..=n.min(8));
+                let start = rng.gen_range(0u64..=n - len);
+                let end = start + len - 1;
+                reversal_batch(start, end, &mut swaps);
+                cost = objective.apply_disjoint_swaps(table, &swaps);
+                (start, end)
+            }
+            2 => {
+                // Rotate left by one: reverse the whole run, then all but
+                // its last element — the optimizer's two-batch decomposition.
+                let len = rng.gen_range(3u64..=n.min(8));
+                let start = rng.gen_range(0u64..=n - len);
+                let end = start + len - 1;
+                reversal_batch(start, end, &mut swaps);
+                objective.apply_disjoint_swaps(table, &swaps);
+                reversal_batch(start, end - 1, &mut swaps);
+                cost = objective.apply_disjoint_swaps(table, &swaps);
+                (start, end)
+            }
+            _ => {
+                let dim = block_dims[rng.gen_range(0..block_dims.len())];
+                let radix = u64::from(guest.radix(dim));
+                let first = rng.gen_range(0u64..radix);
+                let mut second = rng.gen_range(0u64..radix - 1);
+                if second >= first {
+                    second += 1;
+                }
+                let (low, high) = (first.min(second), first.max(second));
+                let stride = guest.weight(dim + 1);
+                let plane = stride * radix;
+                let shift = (high - low) * stride;
+                swaps.clear();
+                let mut base = low * stride;
+                while base < n {
+                    for x in base..base + stride {
+                        swaps.push((x, x + shift));
+                    }
+                    base += plane;
+                }
+                cost = objective.apply_disjoint_swaps(table, &swaps);
+                (0, 0)
+            }
+        };
+        if rng.gen_bool(0.35) {
+            // The optimizer's rejection path: undo by the involution (swap,
+            // reversal, block swap) or the inverse rotation.
+            match kind {
+                0 => {
+                    let (a, b) = payload;
+                    table.swap(a as usize, b as usize);
+                    cost = objective.apply_swap(table, a, b);
+                }
+                1 => {
+                    let (start, end) = payload;
+                    reversal_batch(start, end, &mut swaps);
+                    cost = objective.apply_disjoint_swaps(table, &swaps);
+                }
+                2 => {
+                    let (start, end) = payload;
+                    reversal_batch(start, end - 1, &mut swaps);
+                    objective.apply_disjoint_swaps(table, &swaps);
+                    reversal_batch(start, end, &mut swaps);
+                    cost = objective.apply_disjoint_swaps(table, &swaps);
+                }
+                _ => {
+                    // `swaps` still holds the block batch.
+                    cost = objective.apply_disjoint_swaps(table, &swaps);
+                }
+            }
+            prop_assert_eq!(cost, before, "undone move must restore the cost");
+        }
+    }
+    Ok(cost)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -217,6 +351,51 @@ proptest! {
     }
 
     #[test]
+    fn incremental_congestion_matches_rebuild_after_compound_moves(
+        shape in small_shape(),
+        seed in 0u64..(1 << 16),
+    ) {
+        // Differential pin for the congestion objective under the full move
+        // repertoire: random swaps, reversals, k-cycle rotations and block
+        // swaps (some undone again) must leave the incremental state
+        // bit-exact against a full recompute.
+        use embeddings::optim::{CongestionObjective, Objective};
+        let guest = Grid::torus(shape.clone());
+        let host = Grid::mesh(shape);
+        let e = embed(&guest, &host).unwrap();
+        let mut table = e.to_table().unwrap();
+        let mut objective = CongestionObjective::new(&guest, &host).unwrap();
+        let cost = compound_move_walk(&mut objective, guest.shape(), &mut table, seed, 40)?;
+        let mut fresh = CongestionObjective::new(&guest, &host).unwrap();
+        prop_assert_eq!(cost, fresh.rebuild(&table));
+    }
+
+    #[test]
+    fn incremental_wirelength_matches_rebuild_after_compound_moves(
+        shape in small_shape(),
+        seed in 0u64..(1 << 16),
+        weighted in proptest::bool::ANY,
+    ) {
+        // Same differential wall for the wirelength objective, with and
+        // without per-edge weights.
+        use embeddings::optim::{Objective, WirelengthObjective};
+        let guest = Grid::torus(shape.clone());
+        let host = Grid::mesh(shape);
+        let e = embed(&guest, &host).unwrap();
+        let build = || {
+            if weighted {
+                WirelengthObjective::with_weights(&guest, &host, |t, h| (t ^ h) % 4)
+            } else {
+                WirelengthObjective::new(&guest, &host)
+            }
+        };
+        let mut table = e.to_table().unwrap();
+        let mut objective = build().unwrap();
+        let cost = compound_move_walk(&mut objective, guest.shape(), &mut table, seed, 40)?;
+        prop_assert_eq!(cost, build().unwrap().rebuild(&table));
+    }
+
+    #[test]
     fn parallel_verification_agrees_with_sequential(host in small_grid(), threads in 1usize..6) {
         let e = embed_ring_in(&host).unwrap();
         let sequential = verify_sequential(&e);
@@ -249,6 +428,38 @@ proptest! {
         prop_assert_eq!(report.dilation, per_call);
         prop_assert_eq!(report.edges, e.guest().num_edges());
         prop_assert!(report.injective);
+    }
+
+    #[test]
+    fn incremental_makespan_matches_rebuild_after_compound_moves(
+        shape in proptest::collection::vec(2u32..=5, 1..=3)
+            .prop_filter("bounded size", |radices| {
+                let size: u64 = radices.iter().map(|&l| l as u64).product();
+                (4..=100).contains(&size)
+            })
+            .prop_map(|radices| Shape::new(radices).unwrap()),
+        seed in 0u64..(1 << 16),
+        rounds in 1usize..=2,
+    ) {
+        // The simulation-backed objective joins the differential wall: the
+        // contention-component replay of `netsim::optimize` must stay
+        // bit-exact against a fresh full-arbitration rebuild through the
+        // same compound-move walks (its `Cost` is the makespan itself, so
+        // any skipped-but-affected component shows up here immediately).
+        use embeddings::optim::Objective;
+        use netsim::optimize::MakespanObjective;
+        use netsim::{Network, Workload};
+        let guest = Grid::torus(shape.clone());
+        let host = Grid::mesh(shape);
+        let e = embed(&guest, &host).unwrap();
+        let workload = Workload::from_task_graph(&guest);
+        let mut table = e.to_table().unwrap();
+        let mut objective =
+            MakespanObjective::new(Network::new(host.clone()), workload.clone(), rounds).unwrap();
+        let cost = compound_move_walk(&mut objective, guest.shape(), &mut table, seed, 25)?;
+        let mut fresh =
+            MakespanObjective::new(Network::new(host), workload, rounds).unwrap();
+        prop_assert_eq!(cost, fresh.rebuild(&table));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! optimize = congestion      # none (default) | congestion | dilation | wirelength | makespan
 //! optim_steps = 800          # annealing steps per shard
 //! optim_shards = 4           # independently-seeded annealing walks per trial
+//! optim_portfolio = true     # vary shard move mixes/temperatures (needs optimize)
 //! wirelength = 600           # anneal hypercube guests toward Tang's bound (none disables)
 //! wirelength_shards = 4      # independently-seeded wirelength walks (needs wirelength)
 //! chaos = 1, 5, 10           # link-loss percentages for fault-tolerance rows
@@ -364,6 +365,11 @@ pub struct OptimSpec {
     /// Independently-seeded walks per trial (`optim_shards`; 1 = the
     /// sequential optimizer).
     pub shards: u32,
+    /// Whether the non-zero shards run the `embeddings::optim::parallel`
+    /// portfolio palette (per-shard move mixes and temperature schedules)
+    /// instead of seed-only restarts (`optim_portfolio`). Shard 0 always
+    /// runs the base config, so the sequential baseline stays comparable.
+    pub portfolio: bool,
 }
 
 /// The chaos stage of a plan: degraded-operation measurements for every
@@ -442,6 +448,10 @@ pub const DEFAULT_OPTIM_STEPS: u64 = 800;
 /// explicit `optim_shards`.
 pub const DEFAULT_OPTIM_SHARDS: u32 = 1;
 
+/// Whether a plan file's optimizer stage runs portfolio shards when
+/// `optimize` is set without an explicit `optim_portfolio`.
+pub const DEFAULT_OPTIM_PORTFOLIO: bool = false;
+
 /// The shard count a plan file gets when `wirelength` is set without an
 /// explicit `wirelength_shards`.
 pub const DEFAULT_WIRELENGTH_SHARDS: u32 = 1;
@@ -519,6 +529,7 @@ impl SweepPlan {
                     objective: ObjectiveKind::Congestion,
                     steps: 200,
                     shards: 2,
+                    portfolio: true,
                 }),
                 wirelength: Some(WirelengthSpec {
                     steps: 200,
@@ -565,6 +576,7 @@ impl SweepPlan {
                     objective: ObjectiveKind::Congestion,
                     steps: 1_200,
                     shards: 4,
+                    portfolio: true,
                 }),
                 wirelength: Some(WirelengthSpec {
                     steps: 1_200,
@@ -621,6 +633,7 @@ impl SweepPlan {
         };
         let mut optim_steps: Option<u64> = None;
         let mut optim_shards: Option<u32> = None;
+        let mut optim_portfolio: Option<bool> = None;
         let mut wirelength_shards: Option<u32> = None;
         let mut chaos_tenants: Option<Vec<u32>> = None;
         for (index, raw) in text.lines().enumerate() {
@@ -685,6 +698,7 @@ impl SweepPlan {
                                 objective,
                                 steps: DEFAULT_OPTIM_STEPS,
                                 shards: DEFAULT_OPTIM_SHARDS,
+                                portfolio: DEFAULT_OPTIM_PORTFOLIO,
                             })
                         }
                     };
@@ -793,6 +807,21 @@ impl SweepPlan {
                     }
                     optim_shards = Some(shards);
                 }
+                "optim_portfolio" => {
+                    let portfolio = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => {
+                            return Err(ExplabError::PlanParse {
+                                line,
+                                message: format!(
+                                    "optim_portfolio must be true or false, got {value:?}"
+                                ),
+                            });
+                        }
+                    };
+                    optim_portfolio = Some(portfolio);
+                }
                 other => {
                     return Err(ExplabError::PlanParse {
                         line,
@@ -815,6 +844,15 @@ impl SweepPlan {
             (None, Some(_)) => {
                 return Err(ExplabError::InvalidPlan {
                     message: "optim_shards requires an `optimize = <objective>` line".into(),
+                });
+            }
+            _ => {}
+        }
+        match (&mut plan.optimize, optim_portfolio) {
+            (Some(spec), Some(portfolio)) => spec.portfolio = portfolio,
+            (None, Some(_)) => {
+                return Err(ExplabError::InvalidPlan {
+                    message: "optim_portfolio requires an `optimize = <objective>` line".into(),
                 });
             }
             _ => {}
@@ -1089,7 +1127,8 @@ mod tests {
     #[test]
     fn optimizer_plan_keys_parse_and_validate() {
         let plan = SweepPlan::parse(
-            "family paper\noptimize = makespan\noptim_steps = 64\noptim_shards = 3",
+            "family paper\noptimize = makespan\noptim_steps = 64\noptim_shards = 3\n\
+             optim_portfolio = true",
         )
         .unwrap();
         assert_eq!(
@@ -1098,6 +1137,7 @@ mod tests {
                 objective: ObjectiveKind::Makespan,
                 steps: 64,
                 shards: 3,
+                portfolio: true,
             })
         );
         // Defaults apply without the explicit keys.
@@ -1108,12 +1148,19 @@ mod tests {
                 objective: ObjectiveKind::Congestion,
                 steps: DEFAULT_OPTIM_STEPS,
                 shards: DEFAULT_OPTIM_SHARDS,
+                portfolio: DEFAULT_OPTIM_PORTFOLIO,
             })
         );
         // Shards without an objective, zero shards, and junk are rejected.
         assert!(SweepPlan::parse("family paper\noptim_shards = 2").is_err());
         assert!(SweepPlan::parse("family paper\noptimize = congestion\noptim_shards = 0").is_err());
         assert!(SweepPlan::parse("family paper\noptimize = congestion\noptim_shards = x").is_err());
+        // Portfolio without an objective, and junk values, are rejected.
+        assert!(SweepPlan::parse("family paper\noptim_portfolio = true").is_err());
+        assert!(
+            SweepPlan::parse("family paper\noptimize = congestion\noptim_portfolio = maybe")
+                .is_err()
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use embeddings::auto::{embed, predicted_dilation};
 use embeddings::chain::{ChainReport, ChainStep};
 use embeddings::congestion::congestion_sequential;
 use embeddings::lower_bound::wirelength_lower_bound;
-use embeddings::optim::parallel::{optimize_sharded, ShardedConfig, ShardedOutcome};
+use embeddings::optim::parallel::{optimize_sharded, ShardStrategy, ShardedConfig, ShardedOutcome};
 use embeddings::optim::{
     CongestionObjective, DilationObjective, Objective, OptimizerConfig, WirelengthObjective,
 };
@@ -86,6 +86,10 @@ pub struct ShardSummary {
     pub shard: u32,
     /// The seed the shard annealed with.
     pub seed: u64,
+    /// The `shard_config` style the shard ran: `"base"` for the unmodified
+    /// config, otherwise the portfolio palette entry (`"kcycle"`,
+    /// `"block"`, `"hot"`, `"hot-compound"`).
+    pub style: &'static str,
     /// The shard's best primary cost (e.g. max congestion).
     pub best_primary: u64,
     /// The shard's best secondary (tie-break) cost.
@@ -435,6 +439,7 @@ impl TrialRecord {
                         Object::new()
                             .u64("shard", u64::from(s.shard))
                             .u64("seed", s.seed)
+                            .string("style", s.style)
                             .u64("best_primary", s.best_primary)
                             .u64("best_secondary", s.best_secondary)
                             .u64("accepted", s.accepted)
@@ -844,6 +849,11 @@ fn optimize_trial(
             ..OptimizerConfig::default()
         },
         shards: optim_spec.shards,
+        strategy: if optim_spec.portfolio {
+            ShardStrategy::Portfolio
+        } else {
+            ShardStrategy::Restarts
+        },
         // Shards run sequentially inside each trial: the executor already
         // parallelizes across trials (spawning shard threads on top would
         // oversubscribe the cores and pay a scope spawn per trial), and the
@@ -894,6 +904,7 @@ fn optimize_trial(
             .map(|s| ShardSummary {
                 shard: s.shard,
                 seed: s.seed,
+                style: s.style,
                 best_primary: s.report.best.primary,
                 best_secondary: s.report.best.secondary,
                 accepted: s.report.accepted,
@@ -931,8 +942,10 @@ fn wirelength_trial(
             ..OptimizerConfig::default()
         },
         shards: wl_spec.shards,
-        // Sequential shards for the same reason as `optimize_trial`: the
-        // executor parallelizes across trials.
+        // The wirelength stage stays a pure restart race (Table 11 compares
+        // seeds, not styles); sequential shards for the same reason as
+        // `optimize_trial`: the executor parallelizes across trials.
+        strategy: ShardStrategy::Restarts,
         workers: 1,
     };
     let factory = || -> embeddings::error::Result<Box<dyn Objective>> {
@@ -1079,6 +1092,7 @@ mod tests {
             objective: ObjectiveKind::Congestion,
             steps: 50,
             shards: 1,
+            portfolio: false,
         });
         let record = run_trial(&spec);
         let metrics = record.metrics().expect("supported");

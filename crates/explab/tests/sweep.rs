@@ -41,6 +41,7 @@ fn test_plan() -> SweepPlan {
             objective: ObjectiveKind::Congestion,
             steps: 150,
             shards: 2,
+            portfolio: true,
         }),
         // The wirelength stage rides along on the hypercube-guest trials so
         // the determinism and shard-invariance tests also pin it.
@@ -146,6 +147,7 @@ fn sharded_optimizer_records_are_worker_invariant_and_consistent() {
         objective: ObjectiveKind::Congestion,
         steps: 120,
         shards: 3,
+        portfolio: true,
     });
     let reference = run(&plan, 1);
     assert_eq!(run(&plan, 4).records, reference.records);
@@ -191,6 +193,7 @@ fn sharded_optimizer_records_are_worker_invariant_and_consistent() {
         objective: ObjectiveKind::Congestion,
         steps: 120,
         shards: 1,
+        portfolio: true,
     });
     let single_outcome = run(&single, 2);
     for (sharded, sequential) in reference.records.iter().zip(&single_outcome.records) {
@@ -227,6 +230,7 @@ fn makespan_objective_runs_sharded_in_sweeps() {
             objective: ObjectiveKind::Makespan,
             steps: 150,
             shards: 2,
+            portfolio: true,
         }),
         wirelength: None,
         chaos: None,

@@ -20,20 +20,31 @@
 //!   moved tasks* (every simulated round injects the same pairs, so those
 //!   pairs cover every touched round) — `O(degree × path length)` instead of
 //!   re-expanding every route;
-//! * **arbitration** is re-run over the cached routes — link contention is
-//!   global, so a changed route can displace any message — but on flat,
-//!   clock-stamped claim vectors indexed by directed link slot, with an
-//!   order-preserving active list that drops delivered messages. No hashing,
-//!   no allocation after warm-up, and a swap that touches no workload pair
-//!   (possible when the optimizer's guest has more nodes than the workload
-//!   has tasks) skips re-arbitration entirely.
+//! * **arbitration** is re-run only where a change can reach. Messages
+//!   interact exclusively through shared directed link slots, so the cached
+//!   routes partition into *contention components* (union–find over slots:
+//!   each route chains its own slots together, shared slots merge routes).
+//!   A re-routed pair dirties the slots of both its old and its new route;
+//!   only the components containing a dirty slot replay arbitration —
+//!   every other message keeps its cached delivery cycle, and the makespan
+//!   is the maximum over the per-message cycle cache. The replay runs on
+//!   flat, clock-stamped claim vectors indexed by directed link slot, with
+//!   an order-preserving active list that drops delivered messages: no
+//!   hashing, no allocation after warm-up. A swap that touches no workload
+//!   pair (possible when the optimizer's guest has more nodes than the
+//!   workload has tasks) skips re-arbitration entirely.
 //!
-//! The arbitration pass replays the exact priority rule of
-//! [`crate::sim::simulate`] (message-index order, one message per directed
-//! link per cycle, FIFO blocking), so the incremental path is bit-identical
-//! to full re-simulation — `rebuild` recomputes everything from scratch and
-//! is the differential anchor, and the netsim proptest suite checks
-//! `apply_swap` against [`crate::sim::simulate`] on random walks.
+//! Skipping clean components is exact, not approximate: a component with no
+//! dirty slot contains only unchanged routes (a changed route's slots are
+//! all dirty), shares no slot with any changed or replayed message, and all
+//! messages inject at cycle 1 — so its schedule under full arbitration is
+//! bit-identical to its cached one. The replayed components' active list
+//! stays in ascending message-index order, replaying the exact priority
+//! rule of [`crate::sim::simulate`] (message-index order, one message per
+//! directed link per cycle, FIFO blocking) — `rebuild` recomputes
+//! everything from scratch and is the differential anchor, and the netsim
+//! tests plus the embeddings proptest wall check every incremental path
+//! against [`crate::sim::simulate`] on random walks.
 
 use embeddings::optim::{Cost, Objective};
 use topology::routing::{for_each_hop, link_slot_of_hop};
@@ -107,7 +118,37 @@ pub struct MakespanObjective {
     next_active: Vec<u32>,
     affected: Vec<u32>,
     touched: Vec<u64>,
+    /// Delivery cycle of each message (round-major index; 0 for empty
+    /// routes). The makespan is the maximum; clean contention components
+    /// keep their entries across incremental evaluations.
+    msg_cycles: Vec<u64>,
+    /// Union–find parents over directed slots, rebuilt per incremental
+    /// evaluation to partition routes into contention components.
+    slot_parent: Vec<u32>,
+    /// `root_epoch[root] == epoch` marks a dirty component this evaluation.
+    root_epoch: Vec<u64>,
+    /// Old + new slots of every route changed since the last arbitration.
+    dirty_slots: Vec<u64>,
     cost: Cost,
+}
+
+/// Union–find `find` with path halving, as a free function so it can borrow
+/// the parent vector while other fields of the objective stay borrowed.
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
+}
+
+/// Union–find merge of the components of `a` and `b`.
+fn union(parent: &mut [u32], a: u32, b: u32) {
+    let ra = find(parent, a);
+    let rb = find(parent, b);
+    if ra != rb {
+        parent[rb as usize] = ra;
+    }
 }
 
 impl MakespanObjective {
@@ -149,6 +190,10 @@ impl MakespanObjective {
             next_active: Vec::new(),
             affected: Vec::new(),
             touched: Vec::new(),
+            msg_cycles: Vec::new(),
+            slot_parent: Vec::new(),
+            root_epoch: Vec::new(),
+            dirty_slots: Vec::new(),
             cost: Cost {
                 primary: 0,
                 secondary: 0,
@@ -159,14 +204,18 @@ impl MakespanObjective {
     /// Re-expands the cached route of pair `pair` under `table`, keeping
     /// `route_hops` in sync. Hops are stored with their directed claim slot
     /// (`2 × canonical link slot + direction bit`) so arbitration needs no
-    /// coordinate math.
+    /// coordinate math. Both the old and the new route's slots are appended
+    /// to `dirty_slots`, marking every contention component this change can
+    /// reach (the full evaluation of `rebuild` clears the list instead).
     fn route_pair(&mut self, pair: usize, table: &[u64]) {
         let (src_task, dst_task) = self.workload.pairs()[pair];
         let from = table[src_task as usize];
         let to = table[dst_task as usize];
         let grid = self.network.grid();
+        let mut dirty = std::mem::take(&mut self.dirty_slots);
         let route = &mut self.routes[pair];
         self.route_hops -= route.len() as u64;
+        dirty.extend(route.iter().map(|&(_, slot)| slot));
         route.clear();
         let current = grid.coord(from).expect("placement node in range");
         let target = grid.coord(to).expect("placement node in range");
@@ -182,28 +231,27 @@ impl MakespanObjective {
                 route.push((after, slot));
             },
         );
+        dirty.extend(route.iter().map(|&(_, slot)| slot));
         self.route_hops += route.len() as u64;
+        self.dirty_slots = dirty;
     }
 
-    /// Replays the arbitration of [`crate::sim::simulate`] over the cached
-    /// routes: every round injects one message per pair at cycle 1, messages
-    /// contend in message-index order (round-major, pair-minor — the order
-    /// the full simulator builds its message list in), each directed link
-    /// carries one message per cycle, and blocked messages retry in place.
-    fn arbitrate(&mut self) -> u64 {
+    /// Replays the arbitration of [`crate::sim::simulate`] over the
+    /// messages currently in `active` (ascending message index — the
+    /// priority order of the full simulator; indices are round-major,
+    /// pair-minor, the order the full simulator builds its message list
+    /// in): every active message injects at cycle 1, each directed link
+    /// carries one message per cycle, blocked messages retry in place, and
+    /// each delivery records its cycle in `msg_cycles`. Callers must reset
+    /// `position` to 0 for every active message. Messages left out of
+    /// `active` keep their cached delivery cycles — exact whenever they
+    /// share no directed slot with any active message, because disjoint
+    /// slots never contend and all messages inject at cycle 1.
+    fn arbitrate_active(&mut self) {
         let pairs = self.routes.len();
-        let total = pairs * self.rounds;
-        self.position.clear();
-        self.position.resize(total, 0);
-        self.active.clear();
-        for m in 0..total {
-            if !self.routes[m % pairs].is_empty() {
-                self.active.push(m as u32);
-            }
-        }
-        let mut cycles = 0u64;
+        let mut cycle = 0u64;
         while !self.active.is_empty() {
-            cycles += 1;
+            cycle += 1;
             self.clock += 1;
             self.next_active.clear();
             for &m in &self.active {
@@ -214,6 +262,8 @@ impl MakespanObjective {
                     self.position[m as usize] += 1;
                     if (self.position[m as usize] as usize) < route.len() {
                         self.next_active.push(m);
+                    } else {
+                        self.msg_cycles[m as usize] = cycle;
                     }
                 } else {
                     self.next_active.push(m);
@@ -221,21 +271,106 @@ impl MakespanObjective {
             }
             std::mem::swap(&mut self.active, &mut self.next_active);
         }
-        cycles
     }
 
-    /// Recomputes the cost from the cached routes.
-    fn evaluate(&mut self) -> Cost {
+    /// Caches and returns the cost implied by the current `msg_cycles` and
+    /// route lengths.
+    fn finish_cost(&mut self) -> Cost {
         self.cost = Cost {
-            primary: self.arbitrate(),
+            primary: self.msg_cycles.iter().copied().max().unwrap_or(0),
             secondary: self.route_hops * self.rounds as u64,
         };
         self.cost
     }
 
+    /// Recomputes the schedule from the cached routes, arbitrating every
+    /// message from scratch — the differential anchor for the incremental
+    /// path.
+    fn evaluate_full(&mut self) -> Cost {
+        let pairs = self.routes.len();
+        let total = pairs * self.rounds;
+        self.position.clear();
+        self.position.resize(total, 0);
+        self.msg_cycles.clear();
+        self.msg_cycles.resize(total, 0);
+        self.active.clear();
+        for m in 0..total {
+            if !self.routes[m % pairs].is_empty() {
+                self.active.push(m as u32);
+            }
+        }
+        self.arbitrate_active();
+        self.finish_cost()
+    }
+
+    /// Re-arbitrates only the contention components reachable from
+    /// `dirty_slots` (consumed here): union–find over the directed slots of
+    /// the *current* routes partitions messages into slot-sharing
+    /// components, and a component replays iff it contains a dirty slot.
+    /// Every other message keeps its cached delivery cycle — see the module
+    /// docs for why skipping clean components is bit-exact.
+    fn evaluate_incremental(&mut self) -> Cost {
+        let pairs = self.routes.len();
+        let total = pairs * self.rounds;
+        debug_assert_eq!(
+            self.msg_cycles.len(),
+            total,
+            "rebuild must run before incremental evaluation"
+        );
+
+        // Partition: chain each route's slots together; shared slots merge
+        // routes transitively.
+        let slots = self.stamp.len();
+        self.slot_parent.clear();
+        self.slot_parent.extend(0..slots as u32);
+        for route in &self.routes {
+            let mut hops = route.iter();
+            if let Some(&(_, first)) = hops.next() {
+                for &(_, slot) in hops {
+                    union(&mut self.slot_parent, first as u32, slot as u32);
+                }
+            }
+        }
+
+        // Mark the components holding any old or new slot of a changed
+        // route. Dirty slots no current route uses root singleton
+        // components with no messages — harmless. The `epoch` stamp was
+        // bumped by `resync_touched`, so stale marks never match.
+        self.root_epoch.resize(slots, 0);
+        let mut dirty = std::mem::take(&mut self.dirty_slots);
+        for &slot in &dirty {
+            let root = find(&mut self.slot_parent, slot as u32);
+            self.root_epoch[root as usize] = self.epoch;
+        }
+        dirty.clear();
+        self.dirty_slots = dirty;
+
+        // Replay exactly the messages of dirty components, in ascending
+        // message-index order. A route's slots all share one component, so
+        // its first slot's root classifies the whole message. Pairs with
+        // empty routes have no slots and never contend; their cached cycle
+        // is 0 and stays valid (a route is empty iff its pair is a
+        // self-send, which no table change can alter).
+        self.active.clear();
+        for m in 0..total {
+            let route = &self.routes[m % pairs];
+            let Some(&(_, first)) = route.first() else {
+                continue;
+            };
+            let root = find(&mut self.slot_parent, first as u32);
+            if self.root_epoch[root as usize] == self.epoch {
+                self.position[m] = 0;
+                self.active.push(m as u32);
+            }
+        }
+        self.arbitrate_active();
+        self.finish_cost()
+    }
+
     /// The shared delta path: re-routes every workload pair touched by any
-    /// task in `touched` (deduplicated), then re-arbitrates once. Returns
-    /// the cached cost untouched when no pair is affected.
+    /// task in `touched` (deduplicated), then re-arbitrates the reachable
+    /// contention components once. Returns the cached cost untouched when
+    /// no pair is affected.
     fn resync_touched(&mut self, table: &[u64], touched: &[u64]) -> Cost {
         self.epoch += 1;
         let epoch = self.epoch;
@@ -264,7 +399,7 @@ impl MakespanObjective {
             self.route_pair(pair as usize, table);
         }
         self.affected = affected;
-        self.evaluate()
+        self.evaluate_incremental()
     }
 }
 
@@ -292,7 +427,10 @@ impl Objective for MakespanObjective {
         for pair in 0..self.routes.len() {
             self.route_pair(pair, table);
         }
-        self.evaluate()
+        // Full evaluation re-arbitrates everything; the dirty-slot trail
+        // the re-routes left behind is moot.
+        self.dirty_slots.clear();
+        self.evaluate_full()
     }
 
     fn apply_swap(&mut self, table: &[u64], a: u64, b: u64) -> Cost {
@@ -303,10 +441,11 @@ impl Objective for MakespanObjective {
     }
 
     fn apply_disjoint_swaps(&mut self, table: &mut [u64], swaps: &[(u64, u64)]) -> Cost {
-        // A compound move (segment reversal) re-routes the pairs of *every*
-        // transposed task but pays the arbitration pass once — the override
-        // the default per-swap loop exists for, since arbitration dominates
-        // this objective's evaluation.
+        // A compound move (segment reversal, k-cycle rotation batch, block
+        // swap) re-routes the pairs of *every* transposed task but pays the
+        // arbitration pass once — the override the default per-swap loop
+        // exists for, since arbitration dominates this objective's
+        // evaluation.
         let mut touched = std::mem::take(&mut self.touched);
         touched.clear();
         for &(a, b) in swaps {
@@ -408,6 +547,101 @@ mod tests {
                     .unwrap();
             assert_eq!(cost, fresh.rebuild(&table));
         }
+    }
+
+    /// Two four-task rings pinned to opposite rows of a 4×4 mesh, with the
+    /// middle rows unused: their routes share no directed slots, so the
+    /// contention partition always has (at least) two clean-able components.
+    fn two_cluster_workload() -> (Network, Workload, Vec<u64>) {
+        let host = Grid::mesh(shape(&[4, 4]));
+        let pairs = vec![
+            (0u64, 1u64),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (12, 13),
+            (13, 14),
+            (14, 15),
+            (15, 12),
+        ];
+        let workload = Workload::try_new(16, pairs).unwrap();
+        let table: Vec<u64> = (0..16).collect();
+        (Network::new(host), workload, table)
+    }
+
+    #[test]
+    fn multi_component_walks_match_full_resimulation() {
+        // The sparse case the contention-component replay exists for: most
+        // swaps touch one cluster (or no cluster at all), so the other
+        // cluster's cached cycles must carry over bit-exactly while its
+        // component is skipped. Random swaps and reversal batches, checked
+        // against a full re-simulation at every step.
+        let (network, workload, mut table) = two_cluster_workload();
+        let rounds = 2;
+        let mut objective = MakespanObjective::new(
+            Network::new(network.grid().clone()),
+            workload.clone(),
+            rounds,
+        )
+        .unwrap();
+        let mut cost = objective.rebuild(&table);
+        assert_eq!(cost, full_cost(&network, &workload, rounds, &table));
+        let n = table.len() as u64;
+        let mut rng = StdRng::seed_from_u64(87);
+        for step in 0..120 {
+            if rng.gen_bool(0.25) {
+                let len = rng.gen_range(2u64..=6);
+                let start = rng.gen_range(0u64..=n - len);
+                let swaps: Vec<(u64, u64)> = (0..len / 2)
+                    .map(|i| (start + i, start + len - 1 - i))
+                    .collect();
+                cost = objective.apply_disjoint_swaps(&mut table, &swaps);
+            } else {
+                let a = rng.gen_range(0u64..n);
+                let mut b = rng.gen_range(0u64..n - 1);
+                if b >= a {
+                    b += 1;
+                }
+                table.swap(a as usize, b as usize);
+                cost = objective.apply_swap(&table, a, b);
+            }
+            assert_eq!(
+                cost,
+                full_cost(&network, &workload, rounds, &table),
+                "step {step}"
+            );
+        }
+        let mut fresh =
+            MakespanObjective::new(Network::new(network.grid().clone()), workload, rounds).unwrap();
+        assert_eq!(cost, fresh.rebuild(&table));
+    }
+
+    #[test]
+    fn clean_components_are_skipped_not_replayed() {
+        // White-box proof that the incremental path really skips clean
+        // components instead of recomputing them: corrupt the cached
+        // delivery cycle of a message in the *other* cluster, apply a swap
+        // confined to the first cluster, and watch the corruption survive
+        // into the reported cost. A full replay would wash it out — which
+        // is exactly what the final rebuild then does.
+        let (network, workload, mut table) = two_cluster_workload();
+        let mut objective =
+            MakespanObjective::new(Network::new(network.grid().clone()), workload.clone(), 1)
+                .unwrap();
+        let honest = objective.rebuild(&table);
+        // Message 4 is pair (12, 13): routed entirely inside the bottom row.
+        objective.msg_cycles[4] = 777;
+        // Swap two top-row placements: dirty slots stay in the top row.
+        table.swap(0, 1);
+        let tainted = objective.apply_swap(&table, 0, 1);
+        assert_eq!(
+            tainted.primary, 777,
+            "the bottom-row component was replayed, not skipped"
+        );
+        // A rebuild discards every cached cycle and restores the truth.
+        let rebuilt = objective.rebuild(&table);
+        assert_eq!(rebuilt, full_cost(&network, &workload, 1, &table));
+        assert_eq!(rebuilt.secondary, honest.secondary, "same routed hops");
     }
 
     #[test]

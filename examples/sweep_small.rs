@@ -36,10 +36,13 @@ fn main() {
         // Refine every supported placement with two independently-seeded
         // 200-step annealing walks under the max-congestion objective,
         // keeping the best (set to `None` to skip the stage).
+        // The portfolio strategy gives the non-zero shards compound move
+        // repertoires (k-cycles, block swaps) and hotter schedules.
         optimize: Some(OptimSpec {
             objective: ObjectiveKind::Congestion,
             steps: 200,
             shards: 2,
+            portfolio: true,
         }),
         // Anneal hypercube-guest trials under the wirelength objective and
         // compare with Tang's exact analytic minimum (Table 11).
